@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/eval"
+)
+
+// curve evaluates a trained model against a labelled pair of traces — one
+// normal, one attacked (everything after -onset is ground-truth intrusion)
+// — and prints the recall-precision curve with its summary statistics.
+func curve(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cfa curve", flag.ContinueOnError)
+	normalIn := fs.String("normal", "", "normal trace CSV (required)")
+	attackIn := fs.String("attack", "", "attack trace CSV (required)")
+	model := fs.String("model", "model.bin", "model path from cfa train")
+	onset := fs.Float64("onset", 0, "intrusion onset time in the attack trace (records at/after are positives)")
+	warmup := fs.Float64("warmup", 900, "skip records before this time in both traces")
+	points := fs.Int("points", 15, "curve points to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *normalIn == "" || *attackIn == "" {
+		return fmt.Errorf("-normal and -attack are required")
+	}
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	core.RegisterGobModels()
+	var mf modelFile
+	if err := gob.NewDecoder(f).Decode(&mf); err != nil {
+		return fmt.Errorf("decode model: %w", err)
+	}
+
+	var events []eval.Scored
+	score := func(path string, intrusionFrom float64, anyIntrusion bool) error {
+		vectors, err := readTrace(path)
+		if err != nil {
+			return err
+		}
+		for _, v := range vectors {
+			if v.Time < *warmup {
+				continue
+			}
+			x, err := mf.Discretizer.Transform(v.Values)
+			if err != nil {
+				return err
+			}
+			events = append(events, eval.Scored{
+				Score:     mf.Analyzer.Score(x, mf.Scorer),
+				Intrusion: anyIntrusion && v.Time >= intrusionFrom,
+			})
+		}
+		return nil
+	}
+	if err := score(*normalIn, 0, false); err != nil {
+		return err
+	}
+	if err := score(*attackIn, *onset, true); err != nil {
+		return err
+	}
+
+	pts := eval.Curve(events)
+	opt := eval.OptimalPoint(pts)
+	fmt.Fprintf(w, "events=%d AUC=%.3f AUC-above-diagonal=%.3f optimal=(recall=%.2f, precision=%.2f)\n",
+		len(events), eval.AUC(pts), eval.AUCAboveDiagonal(pts), opt.Recall, opt.Precision)
+	conf := eval.At(events, mf.Threshold)
+	fmt.Fprintf(w, "at calibrated threshold %.4f: %s\n", mf.Threshold, conf)
+	step := len(pts) / *points
+	if step < 1 {
+		step = 1
+	}
+	fmt.Fprintln(w, "recall\tprecision\tthreshold")
+	for i := 0; i < len(pts); i += step {
+		fmt.Fprintf(w, "%.3f\t%.3f\t%.4f\n", pts[i].Recall, pts[i].Precision, pts[i].Threshold)
+	}
+	return nil
+}

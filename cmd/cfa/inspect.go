@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/ml/c45"
+	"crossfeature/internal/ml/nbayes"
+	"crossfeature/internal/ml/ripper"
+)
+
+// inspect renders a trained model for human examination: sub-model
+// summaries, and the full tree/rule list for a chosen feature.
+func inspect(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cfa inspect", flag.ContinueOnError)
+	model := fs.String("model", "model.bin", "model path from cfa train")
+	feature := fs.String("feature", "", "render the sub-model for this feature name")
+	depth := fs.Int("depth", 4, "maximum tree depth to print")
+	top := fs.Int("top", 20, "sub-models listed in the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	core.RegisterGobModels()
+	var mf modelFile
+	if err := gob.NewDecoder(f).Decode(&mf); err != nil {
+		return fmt.Errorf("decode model: %w", err)
+	}
+	a := mf.Analyzer
+	attrName := func(i int) string {
+		if i >= 0 && i < len(a.Attrs) {
+			return a.Attrs[i].Name
+		}
+		return fmt.Sprintf("f%d", i)
+	}
+
+	if *feature != "" {
+		for j, attr := range a.Attrs {
+			if attr.Name != *feature {
+				continue
+			}
+			if a.Models[j] == nil {
+				return fmt.Errorf("no sub-model for %q", *feature)
+			}
+			switch m := a.Models[j].(type) {
+			case *c45.Tree:
+				fmt.Fprint(w, m.Render(attrName, *depth))
+			case *ripper.RuleSet:
+				fmt.Fprint(w, m.Render(attrName))
+			case *nbayes.Model:
+				fmt.Fprintf(w, "naive Bayes sub-model for %s (%d classes); per-class log priors: %v\n",
+					*feature, len(m.LogPrior), m.LogPrior)
+			default:
+				fmt.Fprintf(w, "sub-model for %s: %T\n", *feature, m)
+			}
+			return nil
+		}
+		return fmt.Errorf("unknown feature %q", *feature)
+	}
+
+	// Summary: size/complexity per sub-model.
+	fmt.Fprintf(w, "%s analyzer: %d sub-models over %d features (threshold %.4f, %s)\n",
+		a.LearnerName, a.NumModels(), len(a.Attrs), mf.Threshold, mf.Scorer)
+	type row struct {
+		name string
+		desc string
+		size int
+	}
+	var rows []row
+	for j, m := range a.Models {
+		if m == nil {
+			continue
+		}
+		switch mm := m.(type) {
+		case *c45.Tree:
+			rows = append(rows, row{attrName(j), fmt.Sprintf("tree: %d nodes, depth %d", mm.Size(), mm.Depth()), mm.Size()})
+		case *ripper.RuleSet:
+			rows = append(rows, row{attrName(j), fmt.Sprintf("rules: %d + default", mm.NumRules()), mm.NumRules()})
+		case *nbayes.Model:
+			rows = append(rows, row{attrName(j), fmt.Sprintf("naive Bayes: %d classes", len(mm.LogPrior)), len(mm.LogPrior)})
+		default:
+			rows = append(rows, row{attrName(j), fmt.Sprintf("%T", mm), 0})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].size > rows[j].size })
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-28s %s\n", r.name, r.desc)
+	}
+	fmt.Fprintln(w, "use -feature <name> to render one sub-model in full")
+	return nil
+}

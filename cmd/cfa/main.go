@@ -1,0 +1,207 @@
+// Command cfa trains and applies cross-feature analysis detectors on
+// trace CSVs produced by cmd/manetsim.
+//
+// Train a detector on a normal trace:
+//
+//	cfa train -in normal.csv -model model.bin -learner C4.5
+//
+// Score a trace with a trained model:
+//
+//	cfa detect -in suspect.csv -model model.bin -scorer probability
+//
+// Detect prints one line per record: time, score and the normal/anomaly
+// verdict at the calibrated threshold.
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/experiments"
+	"crossfeature/internal/features"
+)
+
+// modelFile is the serialised bundle cfa train emits: the analyzer, its
+// discretiser and the calibrated threshold.
+type modelFile struct {
+	Analyzer    *core.Analyzer
+	Discretizer *features.Discretizer
+	Threshold   float64
+	Scorer      core.Scorer
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cfa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: cfa <train|detect|curve|inspect> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return train(args[1:], w)
+	case "detect":
+		return detect(args[1:], w)
+	case "curve":
+		return curve(args[1:], w)
+	case "inspect":
+		return inspect(args[1:], w)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want train, detect, curve or inspect)", args[0])
+	}
+}
+
+func train(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cfa train", flag.ContinueOnError)
+	in := fs.String("in", "", "normal-trace CSV (required)")
+	model := fs.String("model", "model.bin", "output model path")
+	learnerName := fs.String("learner", "C4.5", "base learner: C4.5, RIPPER or NBC")
+	buckets := fs.Int("buckets", features.DefaultBuckets, "equal-frequency buckets")
+	warmup := fs.Float64("warmup", 900, "seconds of trace to skip while windows fill")
+	far := fs.Float64("false-alarm-rate", 0.02, "calibration false-alarm rate")
+	scorer := fs.String("scorer", "probability", "combination rule: probability or matchcount")
+	parallel := fs.Int("parallel", 0, "sub-model training parallelism (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	sc, err := parseScorer(*scorer)
+	if err != nil {
+		return err
+	}
+	learner, err := experiments.LearnerByName(*learnerName)
+	if err != nil {
+		return err
+	}
+	vectors, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	for _, v := range vectors {
+		if v.Time >= *warmup {
+			rows = append(rows, v.Values)
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no records past the %gs warmup in %s", *warmup, *in)
+	}
+	disc, err := features.Fit(rows, features.Names(), features.FitOptions{Buckets: *buckets, Seed: 1})
+	if err != nil {
+		return err
+	}
+	ds, err := disc.Dataset(rows)
+	if err != nil {
+		return err
+	}
+	analyzer, err := core.Train(ds, learner, core.TrainOptions{Parallelism: *parallel})
+	if err != nil {
+		return err
+	}
+	scores := analyzer.ScoreAll(ds.X, sc)
+	mf := modelFile{
+		Analyzer:    analyzer,
+		Discretizer: disc,
+		Threshold:   core.Threshold(scores, *far),
+		Scorer:      sc,
+	}
+	f, err := os.Create(*model)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	core.RegisterGobModels()
+	if err := gob.NewEncoder(f).Encode(&mf); err != nil {
+		return fmt.Errorf("encode model: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trained %s detector: %d sub-models on %d records, threshold %.4f -> %s\n",
+		learner.Name(), analyzer.NumModels(), len(rows), mf.Threshold, *model)
+	return nil
+}
+
+func detect(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cfa detect", flag.ContinueOnError)
+	in := fs.String("in", "", "trace CSV to score (required)")
+	model := fs.String("model", "model.bin", "model path from cfa train")
+	threshold := fs.Float64("threshold", -1, "override the calibrated decision threshold")
+	summary := fs.Bool("summary", false, "print only the alarm summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	core.RegisterGobModels()
+	var mf modelFile
+	if err := gob.NewDecoder(f).Decode(&mf); err != nil {
+		return fmt.Errorf("decode model: %w", err)
+	}
+	th := mf.Threshold
+	if *threshold >= 0 {
+		th = *threshold
+	}
+	vectors, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	alarms := 0
+	for _, v := range vectors {
+		x, err := mf.Discretizer.Transform(v.Values)
+		if err != nil {
+			return err
+		}
+		score := mf.Analyzer.Score(x, mf.Scorer)
+		anomaly := score < th
+		if anomaly {
+			alarms++
+		}
+		if !*summary {
+			verdict := "normal"
+			if anomaly {
+				verdict = "ANOMALY"
+			}
+			fmt.Fprintf(w, "%.0f\t%.4f\t%s\n", v.Time, score, verdict)
+		}
+	}
+	fmt.Fprintf(w, "cfa: %d/%d records flagged as anomalies (threshold %.4f, %s)\n",
+		alarms, len(vectors), th, mf.Scorer)
+	return nil
+}
+
+func parseScorer(s string) (core.Scorer, error) {
+	switch s {
+	case "probability":
+		return core.Probability, nil
+	case "matchcount":
+		return core.MatchCount, nil
+	default:
+		return 0, fmt.Errorf("unknown scorer %q (want probability or matchcount)", s)
+	}
+}
+
+func readTrace(path string) ([]features.Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return features.ReadCSV(f)
+}

@@ -1,0 +1,105 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-preset paper|quick] [-only tables,figure1..figure6,ablations,storm,multinode,olsr,all] [-parallel N]
+//
+// Each experiment prints the rows/series the paper reports: the two-node
+// example tables (1-3), the recall-precision curves of Figures 1-2, the
+// time series of Figures 3 and 5, and the density distributions of
+// Figures 4 and 6. Simulations are memoised across experiments within one
+// invocation, so "-only all" costs far less than the sum of its parts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"crossfeature/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	preset := fs.String("preset", "quick", "experiment scale: quick or paper")
+	only := fs.String("only", "all", "comma-separated experiments: tables, figure1..figure6, ablations, storm, multinode, olsr, all")
+	parallel := fs.Int("parallel", 0, "sub-model training parallelism (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p experiments.Preset
+	switch *preset {
+	case "paper":
+		p = experiments.PaperPreset()
+	case "quick":
+		p = experiments.QuickPreset()
+	default:
+		return fmt.Errorf("unknown preset %q (want paper or quick)", *preset)
+	}
+	p.Parallelism = *parallel
+
+	lab, err := experiments.NewLab(p)
+	if err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	exps := []experiment{
+		{"tables", func() error {
+			experiments.PrintTable1(w)
+			fmt.Fprintln(w)
+			experiments.PrintTable2(w)
+			fmt.Fprintln(w)
+			experiments.PrintTable3(w)
+			return nil
+		}},
+		{"figure1", func() error { _, err := lab.Figure1(w); return err }},
+		{"figure2", func() error { _, err := lab.Figure2(w); return err }},
+		{"figure3", func() error { _, err := lab.Figure3(w); return err }},
+		{"figure4", func() error { _, err := lab.Figure4(w); return err }},
+		{"figure5", func() error { _, err := lab.Figure5(w); return err }},
+		{"figure6", func() error { _, err := lab.Figure6(w); return err }},
+		{"ablations", func() error { _, err := lab.Ablations(w); return err }},
+		{"storm", func() error { _, err := lab.StormStudy(w); return err }},
+		{"multinode", func() error { _, err := lab.MultiNodeStudy(w, nil); return err }},
+		{"olsr", func() error { _, err := lab.OLSRStudy(w); return err }},
+	}
+	ran := 0
+	for _, e := range exps {
+		if !selected(e.name) {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "==== %s (preset=%s) ====\n", e.name, *preset)
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(w, "---- %s done in %v ----\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTablesExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "tables"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, needle := range []string{"Table 1", "Table 2", "Table 3", "0.83", "Abnormal"} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("output missing %q", needle)
+		}
+	}
+}
+
+func TestRejectsBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-preset", "gigantic"}, &out); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run([]string{"-only", "figure99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package crossfeature is the public API of the cross-feature analysis
+// library — a from-scratch reproduction of "Cross-Feature Analysis for
+// Detecting Ad-Hoc Routing Anomalies" (Huang, Fan, Lee, Yu — ICDCS 2003).
+//
+// Cross-feature analysis learns, from NORMAL data only, one classifier
+// per feature predicting that feature from all the others (Algorithm 1).
+// An event is scored by how strongly the sub-models agree with its actual
+// feature values — the average match count (Algorithm 2) or the average
+// probability of the true values (Algorithm 3) — and flagged as an
+// anomaly when the score falls below a threshold calibrated on normal
+// data.
+//
+// Typical use:
+//
+//	disc, _ := crossfeature.FitDiscretizer(rows, names, crossfeature.FitOptions{Buckets: 5})
+//	ds, _ := disc.Dataset(rows)
+//	analyzer, _ := crossfeature.Train(ds, crossfeature.NewC45(), crossfeature.TrainOptions{})
+//	det := crossfeature.NewDetector(analyzer, crossfeature.Probability, ds.X, 0.02)
+//	x, _ := disc.Transform(event)
+//	if det.IsAnomaly(x) { ... }
+//
+// The deeper machinery — the MANET simulator, the protocols, the paper's
+// experiment harness — lives under internal/ and is driven through the
+// cmd/ binaries; this package re-exports the detection pipeline a
+// downstream application embeds.
+package crossfeature
+
+import (
+	"io"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/eval"
+	"crossfeature/internal/features"
+	"crossfeature/internal/ml"
+	"crossfeature/internal/ml/c45"
+	"crossfeature/internal/ml/nbayes"
+	"crossfeature/internal/ml/ripper"
+)
+
+// Dataset is a table of discrete (nominal) feature vectors.
+type Dataset = ml.Dataset
+
+// Attr describes one nominal attribute: a name and a cardinality.
+type Attr = ml.Attr
+
+// Learner fits one sub-model; C4.5, RIPPER and Naive Bayes ship in-box.
+type Learner = ml.Learner
+
+// Classifier is a fitted sub-model emitting class distributions.
+type Classifier = ml.Classifier
+
+// NewDataset builds an empty dataset with the given schema.
+func NewDataset(attrs []Attr) *Dataset { return ml.NewDataset(attrs) }
+
+// NewC45 returns the C4.5 decision-tree learner configured as the
+// experiments use it: gain-ratio trees with a temporal holdout for
+// reduced-error pruning, which is what makes sub-models transfer across
+// autocorrelated audit traces.
+func NewC45() Learner {
+	l := c45.NewLearner()
+	l.HoldoutFrac = 1.0 / 3.0
+	return l
+}
+
+// NewRIPPER returns the RIPPER-style ordered rule learner.
+func NewRIPPER() Learner { return ripper.NewLearner() }
+
+// NewNaiveBayes returns the Laplace-smoothed Naive Bayes learner.
+func NewNaiveBayes() Learner { return nbayes.NewLearner() }
+
+// Scorer selects the combination rule over sub-models.
+type Scorer = core.Scorer
+
+// The two combination rules of the paper.
+const (
+	// MatchCount is Algorithm 2: the fraction of sub-models whose argmax
+	// prediction equals the feature's true value.
+	MatchCount = core.MatchCount
+	// Probability is Algorithm 3: the mean probability assigned to the
+	// true feature values.
+	Probability = core.Probability
+)
+
+// TrainOptions tunes Algorithm 1.
+type TrainOptions = core.TrainOptions
+
+// Analyzer is the trained cross-feature model (one classifier per feature).
+type Analyzer = core.Analyzer
+
+// Detector couples an analyzer with a scorer and calibrated threshold.
+type Detector = core.Detector
+
+// OnlineDetector adds EWMA smoothing and alarm hysteresis for streaming
+// deployment.
+type OnlineDetector = core.OnlineDetector
+
+// Train runs Algorithm 1: one sub-model per feature, on normal-only data.
+func Train(ds *Dataset, learner Learner, opts TrainOptions) (*Analyzer, error) {
+	return core.Train(ds, learner, opts)
+}
+
+// Threshold calibrates a decision threshold from normal-data scores at the
+// given false-alarm rate.
+func Threshold(normalScores []float64, falseAlarmRate float64) float64 {
+	return core.Threshold(normalScores, falseAlarmRate)
+}
+
+// NewDetector calibrates a detector on normal events.
+func NewDetector(a *Analyzer, s Scorer, normalEvents [][]int, falseAlarmRate float64) *Detector {
+	return core.NewDetector(a, s, normalEvents, falseAlarmRate)
+}
+
+// NewOnlineDetector wraps a detector for streaming use.
+func NewOnlineDetector(det *Detector) *OnlineDetector {
+	return core.NewOnlineDetector(det)
+}
+
+// LoadAnalyzer reads an analyzer saved with Analyzer.Save.
+func LoadAnalyzer(r io.Reader) (*Analyzer, error) { return core.Load(r) }
+
+// --- feature preparation -----------------------------------------------------
+
+// Discretizer maps continuous feature vectors to nominal buckets with the
+// paper's equal-frequency scheme plus out-of-range guard buckets.
+type Discretizer = features.Discretizer
+
+// FitOptions tunes discretiser fitting.
+type FitOptions = features.FitOptions
+
+// FitDiscretizer learns bucket boundaries from normal-data rows.
+func FitDiscretizer(rows [][]float64, names []string, opts FitOptions) (*Discretizer, error) {
+	return features.Fit(rows, names, opts)
+}
+
+// --- evaluation ----------------------------------------------------------------
+
+// Scored is a labelled detector output for evaluation.
+type Scored = eval.Scored
+
+// Point is one recall/precision operating point.
+type Point = eval.Point
+
+// Curve computes the recall-precision curve over a threshold sweep.
+func Curve(events []Scored) []Point { return eval.Curve(events) }
+
+// AUC integrates precision over recall.
+func AUC(points []Point) float64 { return eval.AUC(points) }
+
+// OptimalPoint returns the operating point closest to perfect (1,1).
+func OptimalPoint(points []Point) Point { return eval.OptimalPoint(points) }

@@ -1,0 +1,136 @@
+package crossfeature_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	crossfeature "crossfeature"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the package doc
+// comment advertises: fit a discretiser, train, calibrate, detect.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	names := []string{"a", "b", "noise"}
+	normalRow := func() []float64 {
+		v := rng.Float64() * 10
+		return []float64{v, 2*v + rng.Float64()*0.2, rng.Float64() * 100}
+	}
+	var rows [][]float64
+	for i := 0; i < 500; i++ {
+		rows = append(rows, normalRow())
+	}
+	disc, err := crossfeature.FitDiscretizer(rows, names, crossfeature.FitOptions{Buckets: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := disc.Dataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, learner := range []crossfeature.Learner{
+		crossfeature.NewC45(), crossfeature.NewRIPPER(), crossfeature.NewNaiveBayes(),
+	} {
+		analyzer, err := crossfeature.Train(ds, learner, crossfeature.TrainOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", learner.Name(), err)
+		}
+		det := crossfeature.NewDetector(analyzer, crossfeature.Probability, ds.X, 0.05)
+
+		var events []crossfeature.Scored
+		flaggedNormal, flaggedAnomalous := 0, 0
+		for i := 0; i < 100; i++ {
+			x, err := disc.Transform(normalRow())
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, crossfeature.Scored{Score: det.Score(x)})
+			if det.IsAnomaly(x) {
+				flaggedNormal++
+			}
+			// Broken correlation: b is in the normal marginal range but no
+			// longer tracks a.
+			v := 2 + rng.Float64()*6
+			y, err := disc.Transform([]float64{v, 2 * (10 - v), rng.Float64() * 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, crossfeature.Scored{Score: det.Score(y), Intrusion: true})
+			if det.IsAnomaly(y) {
+				flaggedAnomalous++
+			}
+		}
+		if flaggedNormal > 25 {
+			t.Errorf("%s: %d/100 normal events flagged", learner.Name(), flaggedNormal)
+		}
+		if flaggedAnomalous < 60 {
+			t.Errorf("%s: only %d/100 anomalies flagged", learner.Name(), flaggedAnomalous)
+		}
+		pts := crossfeature.Curve(events)
+		if auc := crossfeature.AUC(pts); auc < 0.8 {
+			t.Errorf("%s: public-API pipeline AUC %.3f", learner.Name(), auc)
+		}
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	ds := crossfeature.NewDataset([]crossfeature.Attr{
+		{Name: "x", Card: 3}, {Name: "y", Card: 3},
+	})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		v := rng.Intn(3)
+		if err := ds.Add([]int{v, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := crossfeature.Train(ds, crossfeature.NewNaiveBayes(), crossfeature.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := crossfeature.LoadAnalyzer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.AvgProbability([]int{1, 1}) != a.AvgProbability([]int{1, 1}) {
+		t.Error("persistence changed scores")
+	}
+}
+
+func TestPublicOnlineDetector(t *testing.T) {
+	ds := crossfeature.NewDataset([]crossfeature.Attr{
+		{Name: "x", Card: 3}, {Name: "y", Card: 3},
+	})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		v := rng.Intn(3)
+		if err := ds.Add([]int{v, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := crossfeature.Train(ds, crossfeature.NewNaiveBayes(), crossfeature.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := crossfeature.NewDetector(a, crossfeature.Probability, ds.X, 0.02)
+	online := crossfeature.NewOnlineDetector(det)
+	for i := 0; i < 20; i++ {
+		v := rng.Intn(3)
+		online.Observe([]int{v, v})
+	}
+	if online.Alarm() {
+		t.Fatal("alarm on normal stream")
+	}
+	for i := 0; i < 10; i++ {
+		v := rng.Intn(3)
+		online.Observe([]int{v, (v + 1) % 3})
+	}
+	if !online.Alarm() {
+		t.Error("sustained anomaly never raised the online alarm")
+	}
+}

@@ -1,0 +1,125 @@
+// Dropping demonstrates detecting the paper's selective packet-dropping
+// attack on a DSR network: a compromised relay silently discards every
+// packet destined to the monitored node during three on-off intrusion
+// sessions, and a RIPPER-based cross-feature detector trained on normal
+// traffic flags the sessions. It also contrasts the paper's two
+// combination rules (average match count vs average probability) on the
+// same trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"crossfeature/internal/attack"
+	"crossfeature/internal/core"
+	"crossfeature/internal/eval"
+	"crossfeature/internal/features"
+	"crossfeature/internal/ml/ripper"
+	"crossfeature/internal/netsim"
+	"crossfeature/internal/packet"
+)
+
+func main() {
+	duration := flag.Float64("duration", 3000, "virtual seconds per trace")
+	nodes := flag.Int("nodes", 30, "network size")
+	flag.Parse()
+	if err := run(*duration, *nodes); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(duration float64, nodes int) error {
+	base := netsim.DefaultConfig()
+	base.Nodes = nodes
+	base.Connections = nodes
+	base.Duration = duration
+	base.WorkloadSeed = 77
+	base.Routing = netsim.DSR
+	base.Transport = netsim.CBR
+
+	normal := base
+	normal.Seed = 1
+	fmt.Println("simulating normal DSR trace...")
+	trainVecs, _, err := simulate(normal)
+	if err != nil {
+		return err
+	}
+	warmup := duration / 8
+	var rows [][]float64
+	for _, v := range trainVecs {
+		if v.Time >= warmup {
+			rows = append(rows, v.Values)
+		}
+	}
+	disc, err := features.Fit(rows, features.Names(), features.FitOptions{Buckets: 5, Seed: 1})
+	if err != nil {
+		return err
+	}
+	ds, err := disc.Dataset(rows)
+	if err != nil {
+		return err
+	}
+	analyzer, err := core.Train(ds, ripper.NewLearner(), core.TrainOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %d RIPPER sub-models\n", analyzer.NumModels())
+
+	// Attack trace: three dropping sessions aimed at the monitored node.
+	attacked := base
+	attacked.Seed = 2
+	session := duration / 25
+	starts := []float64{duration / 4, duration / 2, 3 * duration / 4}
+	attacked.Attacks = []attack.Spec{{
+		Kind:     attack.SelectiveDrop,
+		Node:     packet.NodeID(nodes / 3),
+		Target:   0,
+		Sessions: attack.Sessions(session, starts...),
+	}}
+	fmt.Printf("simulating dropping trace (attacker %d targets node 0, sessions at %.0f/%.0f/%.0fs)...\n",
+		nodes/3, starts[0], starts[1], starts[2])
+	attackVecs, plan, err := simulate(attacked)
+	if err != nil {
+		return err
+	}
+
+	// Compare the two combination rules on identical events.
+	for _, scorer := range []core.Scorer{core.MatchCount, core.Probability} {
+		detector := core.NewDetector(analyzer, scorer, ds.X, 0.02)
+		var events []eval.Scored
+		for _, v := range attackVecs {
+			if v.Time < warmup {
+				continue
+			}
+			x, err := disc.Transform(v.Values)
+			if err != nil {
+				return err
+			}
+			events = append(events, eval.Scored{
+				Score:     detector.Score(x),
+				Intrusion: v.Time >= starts[0],
+			})
+		}
+		pts := eval.Curve(events)
+		opt := eval.OptimalPoint(pts)
+		conf := eval.At(events, detector.Threshold)
+		fmt.Printf("\n%s:\n", scorer)
+		fmt.Printf("  AUC=%.3f optimal=(recall=%.2f, precision=%.2f)\n", eval.AUC(pts), opt.Recall, opt.Precision)
+		fmt.Printf("  at calibrated threshold %.3f: %s\n", detector.Threshold, conf)
+	}
+	_ = plan
+	return nil
+}
+
+func simulate(cfg netsim.Config) ([]features.Vector, attack.Plan, error) {
+	net, err := netsim.New(cfg)
+	if err != nil {
+		return nil, attack.Plan{}, err
+	}
+	if err := net.Run(); err != nil {
+		return nil, attack.Plan{}, err
+	}
+	return features.FromSnapshots(net.Snapshots(0)), net.Plan(), nil
+}

@@ -1,0 +1,3 @@
+module crossfeature
+
+go 1.22

@@ -1,0 +1,797 @@
+// Package aodv implements the Ad hoc On-demand Distance Vector routing
+// protocol (Perkins & Royer) at the fidelity the paper's experiments
+// require: a per-destination route table with sequence numbers, reactive
+// RREQ flooding with RREQ-ID duplicate suppression, RREP generation by the
+// destination or by fresh-enough intermediates, RERR propagation on link
+// breaks, periodic HELLO beacons, and buffering of data packets while a
+// discovery is in flight.
+//
+// The black-hole attack exploits AODV's freshness rule: a route is only
+// replaced by one with a greater-or-equal destination sequence number, so
+// a fabricated advertisement carrying the maximum sequence number poisons
+// the table irreversibly (the paper observes exactly this failure to
+// self-heal in ns-2).
+package aodv
+
+import (
+	"math"
+
+	"crossfeature/internal/packet"
+	"crossfeature/internal/routing"
+	"crossfeature/internal/trace"
+)
+
+// MaxSeq is the maximum sequence number; the black-hole attack advertises
+// it to make poisoned routes permanently "freshest".
+const MaxSeq = math.MaxUint32
+
+// Config holds AODV protocol constants.
+type Config struct {
+	HelloInterval    float64 // seconds between HELLO beacons; 0 disables HELLO
+	AllowedHelloLoss int     // missed HELLOs before a neighbour is declared lost
+	ActiveRouteLife  float64 // route lifetime extension on use, seconds
+	DiscoveryTimeout float64 // wait for an RREP before retrying, seconds
+	DiscoveryRetries int     // RREQ retries before giving up
+	MaxBuffer        int     // buffered data packets per destination
+
+	// Expanding-ring search (RFC 3561 section 6.4): the first RREQ goes
+	// out with TTLStart, each retry adds TTLIncrement until TTLThreshold,
+	// after which floods are network-wide. Keeps discovery overhead local
+	// when the destination is near.
+	TTLStart     int
+	TTLIncrement int
+	TTLThreshold int
+
+	// RREQRateLimit caps originated RREQs per second per node (RFC 3561's
+	// RREQ_RATELIMIT, default 10); 0 disables the cap.
+	RREQRateLimit int
+}
+
+// DefaultConfig mirrors the ns-2/RFC 3561 AODV defaults at the granularity
+// that matters for trace statistics.
+func DefaultConfig() Config {
+	return Config{
+		HelloInterval:    1.0,
+		AllowedHelloLoss: 4,
+		ActiveRouteLife:  10.0,
+		DiscoveryTimeout: 1.0,
+		DiscoveryRetries: 3,
+		MaxBuffer:        64,
+		TTLStart:         3,
+		TTLIncrement:     2,
+		TTLThreshold:     7,
+		RREQRateLimit:    10,
+	}
+}
+
+// rreqHeader is the ROUTE REQUEST body.
+type rreqHeader struct {
+	Orig     packet.NodeID
+	OrigSeq  uint32
+	RreqID   uint32
+	Dst      packet.NodeID
+	DstSeq   uint32
+	HasDseq  bool
+	HopCount int
+}
+
+// rrepHeader is the ROUTE REPLY body, travelling from the replier back to
+// the request originator along reverse routes.
+type rrepHeader struct {
+	Orig     packet.NodeID // who asked
+	Dst      packet.NodeID // who the route leads to
+	DstSeq   uint32
+	HopCount int
+}
+
+// rerrHeader lists destinations that became unreachable via the sender.
+type rerrHeader struct {
+	Unreachable []unreachable
+}
+
+type unreachable struct {
+	Dst packet.NodeID
+	Seq uint32
+}
+
+// routeEntry is one row of the route table.
+type routeEntry struct {
+	nextHop  packet.NodeID
+	hops     int
+	seq      uint32
+	validSeq bool
+	expires  float64
+	valid    bool
+}
+
+// discovery tracks an in-flight route discovery.
+type discovery struct {
+	retries int
+	timer   interface{ Cancel() bool }
+}
+
+// Router is one AODV instance.
+type Router struct {
+	env routing.Env
+	cfg Config
+
+	seq    uint32
+	rreqID uint32
+
+	routes    map[packet.NodeID]*routeEntry
+	seenRREQ  map[rreqKey]float64
+	buffer    map[packet.NodeID][]*packet.Packet
+	pending   map[packet.NodeID]*discovery
+	lastHello map[packet.NodeID]float64
+
+	dropFilter routing.DropFilter
+	bhTargets  []packet.NodeID
+
+	// RREQ origination rate limiting.
+	rreqWindowAt float64
+	rreqInWindow int
+
+	// Stats counters, exported through Stats for tests and debugging.
+	dataOriginated uint64
+	dataDelivered  uint64
+	dataForwarded  uint64
+	dataDropped    uint64
+}
+
+type rreqKey struct {
+	orig packet.NodeID
+	id   uint32
+}
+
+// New creates an AODV router bound to env.
+func New(env routing.Env, cfg Config) *Router {
+	return &Router{
+		env:       env,
+		cfg:       cfg,
+		routes:    make(map[packet.NodeID]*routeEntry),
+		seenRREQ:  make(map[rreqKey]float64),
+		buffer:    make(map[packet.NodeID][]*packet.Packet),
+		pending:   make(map[packet.NodeID]*discovery),
+		lastHello: make(map[packet.NodeID]float64),
+	}
+}
+
+var (
+	_ routing.Protocol            = (*Router)(nil)
+	_ routing.BlackHoleAdvertiser = (*Router)(nil)
+)
+
+// Name implements routing.Protocol.
+func (r *Router) Name() string { return "AODV" }
+
+// Promiscuous implements routing.Protocol; AODV does not overhear.
+func (r *Router) Promiscuous() bool { return false }
+
+// SetDropFilter implements routing.Protocol.
+func (r *Router) SetDropFilter(f routing.DropFilter) { r.dropFilter = f }
+
+// Start arms the HELLO beacon and neighbour liveness check.
+func (r *Router) Start() {
+	if r.cfg.HelloInterval <= 0 {
+		return
+	}
+	r.env.Tick(r.cfg.HelloInterval, 1.0, r.sendHello)
+	r.env.Tick(r.cfg.HelloInterval, 1.0, r.checkNeighbors)
+}
+
+// Stats reports cumulative data-plane counters.
+func (r *Router) Stats() (originated, delivered, forwarded, dropped uint64) {
+	return r.dataOriginated, r.dataDelivered, r.dataForwarded, r.dataDropped
+}
+
+// RouteTo exposes the current next hop for dst (for tests and attacks).
+func (r *Router) RouteTo(dst packet.NodeID) (next packet.NodeID, hops int, ok bool) {
+	e := r.routes[dst]
+	if e == nil || !e.valid || e.expires < r.env.Now() {
+		return 0, 0, false
+	}
+	return e.nextHop, e.hops, true
+}
+
+// AvgRouteLength implements routing.Protocol.
+func (r *Router) AvgRouteLength() float64 {
+	now := r.env.Now()
+	var sum, n float64
+	for _, e := range r.routes {
+		if e.valid && e.expires >= now {
+			sum += float64(e.hops)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// --- table maintenance -----------------------------------------------------
+
+// updateRoute installs or refreshes a route, enforcing AODV's freshness
+// rule: prefer greater sequence numbers, break ties by hop count. It emits
+// RouteAdd when a destination gains a (new or resurrected) route.
+func (r *Router) updateRoute(dst, nextHop packet.NodeID, hops int, seq uint32, validSeq bool) {
+	if dst == r.env.ID() {
+		return
+	}
+	now := r.env.Now()
+	e := r.routes[dst]
+	fresh := e == nil || !e.valid || e.expires < now
+	if e != nil && e.validSeq && validSeq {
+		// The sequence number outlives the route's validity (RFC 3561):
+		// even a broken route's freshness gates what may replace it. This
+		// is exactly why a fabricated maximum sequence number is never
+		// rectified, as the paper observes in ns-2.
+		if seq < e.seq {
+			return // stale information
+		}
+		if !fresh && seq == e.seq && hops >= e.hops {
+			// Same freshness, no shorter: just refresh lifetime.
+			e.expires = now + r.cfg.ActiveRouteLife
+			return
+		}
+	}
+	if e == nil {
+		e = &routeEntry{}
+		r.routes[dst] = e
+	}
+	e.nextHop = nextHop
+	e.hops = hops
+	e.seq = seq
+	e.validSeq = validSeq
+	e.expires = now + r.cfg.ActiveRouteLife
+	e.valid = true
+	if fresh {
+		r.env.Audit().RecordRoute(trace.RouteAdd)
+	}
+}
+
+// invalidate marks dst unreachable and emits RouteRemoval. It reports
+// whether a valid entry was actually removed and returns its sequence.
+func (r *Router) invalidate(dst packet.NodeID) (uint32, bool) {
+	e := r.routes[dst]
+	if e == nil || !e.valid {
+		return 0, false
+	}
+	e.valid = false
+	if e.validSeq && e.seq < MaxSeq {
+		e.seq++ // per RFC 3561, bump so future info must be fresher
+	}
+	r.env.Audit().RecordRoute(trace.RouteRemoval)
+	return e.seq, true
+}
+
+// lookup returns a currently valid route entry, expiring lazily.
+func (r *Router) lookup(dst packet.NodeID) *routeEntry {
+	e := r.routes[dst]
+	if e == nil || !e.valid {
+		return nil
+	}
+	if e.expires < r.env.Now() {
+		e.valid = false
+		r.env.Audit().RecordRoute(trace.RouteRemoval)
+		return nil
+	}
+	return e
+}
+
+// --- data plane --------------------------------------------------------------
+
+// SendData implements routing.Protocol: route a locally originated packet.
+func (r *Router) SendData(p *packet.Packet) {
+	r.dataOriginated++
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Data, trace.Sent)
+	if p.Dst == r.env.ID() {
+		r.deliver(p)
+		return
+	}
+	if e := r.lookup(p.Dst); e != nil {
+		r.env.Audit().RecordRoute(trace.RouteFind)
+		r.transmitData(p, e)
+		return
+	}
+	r.enqueue(p)
+	r.startDiscovery(p.Dst)
+}
+
+// enqueue buffers a data packet awaiting route discovery.
+func (r *Router) enqueue(p *packet.Packet) {
+	q := r.buffer[p.Dst]
+	if len(q) >= r.cfg.MaxBuffer {
+		r.dropData(q[0])
+		q = q[1:]
+	}
+	r.buffer[p.Dst] = append(q, p)
+}
+
+// transmitData unicasts a data packet to the route's next hop and arms the
+// link-break handler.
+func (r *Router) transmitData(p *packet.Packet, e *routeEntry) {
+	e.expires = r.env.Now() + r.cfg.ActiveRouteLife
+	next := e.nextHop
+	r.env.Unicast(next, p, func() { r.linkBreak(next, p) })
+}
+
+// deliver hands a packet destined to this node to the transport.
+func (r *Router) deliver(p *packet.Packet) {
+	if r.dropFilter != nil && r.dropFilter(p) {
+		r.dropData(p)
+		return
+	}
+	r.dataDelivered++
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Data, trace.Received)
+	r.env.DeliverUp(p)
+}
+
+// dropData discards a data packet, recording the audit event.
+func (r *Router) dropData(p *packet.Packet) {
+	r.dataDropped++
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Data, trace.Dropped)
+}
+
+// forwardData relays a data packet as an intermediate router.
+func (r *Router) forwardData(p *packet.Packet) {
+	if r.dropFilter != nil && r.dropFilter(p) {
+		r.dropData(p)
+		return
+	}
+	if p.TTL <= 0 {
+		r.dropData(p)
+		return
+	}
+	e := r.lookup(p.Dst)
+	if e == nil {
+		// No route at an intermediate hop: drop and report upstream.
+		r.dropData(p)
+		r.originateRERR([]unreachable{{Dst: p.Dst, Seq: r.seqFor(p.Dst)}})
+		return
+	}
+	p.TTL--
+	p.Hops++
+	r.dataForwarded++
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Data, trace.Forwarded)
+	r.transmitData(p, e)
+}
+
+// seqFor returns the last known sequence number for dst (0 if unknown).
+func (r *Router) seqFor(dst packet.NodeID) uint32 {
+	if e := r.routes[dst]; e != nil && e.validSeq {
+		return e.seq
+	}
+	return 0
+}
+
+// linkBreak handles a MAC-level unicast failure toward next while carrying
+// data packet p: the route through next is torn down, an RERR is issued,
+// and the packet is either re-queued for rediscovery (at the source) or
+// dropped (at an intermediate).
+func (r *Router) linkBreak(next packet.NodeID, p *packet.Packet) {
+	var lost []unreachable
+	for dst, e := range r.routes {
+		if e.valid && e.nextHop == next {
+			seq, _ := r.invalidate(dst)
+			lost = append(lost, unreachable{Dst: dst, Seq: seq})
+		}
+	}
+	delete(r.lastHello, next)
+	if len(lost) > 0 {
+		r.originateRERR(lost)
+	}
+	if p.Src == r.env.ID() {
+		// Source-side repair: rediscover and retry.
+		r.env.Audit().RecordRoute(trace.RouteRepair)
+		r.enqueue(p)
+		r.startDiscovery(p.Dst)
+		return
+	}
+	r.dropData(p)
+}
+
+// --- route discovery ---------------------------------------------------------
+
+// startDiscovery begins (or continues) an RREQ flood for dst.
+func (r *Router) startDiscovery(dst packet.NodeID) {
+	if _, ok := r.pending[dst]; ok {
+		return
+	}
+	d := &discovery{}
+	r.pending[dst] = d
+	r.sendRREQ(dst, d)
+}
+
+// sendRREQ emits one RREQ round with expanding-ring TTL and arms the retry
+// timer. Rounds beyond the per-second rate limit are deferred, not lost:
+// the retry timer simply fires again.
+func (r *Router) sendRREQ(dst packet.NodeID, d *discovery) {
+	timeout := r.cfg.DiscoveryTimeout * float64(int(1)<<uint(d.retries)) // binary exponential backoff
+	d.timer = r.env.AfterFunc(timeout, func() { r.discoveryTimeout(dst) })
+
+	if r.cfg.RREQRateLimit > 0 {
+		now := r.env.Now()
+		if now-r.rreqWindowAt >= 1 {
+			r.rreqWindowAt = now
+			r.rreqInWindow = 0
+		}
+		if r.rreqInWindow >= r.cfg.RREQRateLimit {
+			return // rate-limited: the retry timer will try again
+		}
+		r.rreqInWindow++
+	}
+
+	r.seq++
+	r.rreqID++
+	p := r.env.NewPacket(packet.RouteRequest, r.env.ID(), packet.Broadcast, packet.ControlSize)
+	if r.cfg.TTLStart > 0 {
+		ttl := r.cfg.TTLStart + d.retries*r.cfg.TTLIncrement
+		if ttl >= r.cfg.TTLThreshold || d.retries >= r.cfg.DiscoveryRetries {
+			ttl = packet.DefaultTTL // network-wide
+		}
+		p.TTL = ttl
+	}
+	hdr := rreqHeader{
+		Orig:    r.env.ID(),
+		OrigSeq: r.seq,
+		RreqID:  r.rreqID,
+		Dst:     dst,
+	}
+	if e := r.routes[dst]; e != nil && e.validSeq {
+		hdr.DstSeq = e.seq
+		hdr.HasDseq = true
+	}
+	p.Header = hdr
+	r.seenRREQ[rreqKey{orig: hdr.Orig, id: hdr.RreqID}] = r.env.Now()
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteRequest, trace.Sent)
+	r.env.Broadcast(p)
+}
+
+// discoveryTimeout retries or abandons a discovery.
+func (r *Router) discoveryTimeout(dst packet.NodeID) {
+	d, ok := r.pending[dst]
+	if !ok {
+		return
+	}
+	if r.lookup(dst) != nil {
+		r.finishDiscovery(dst)
+		return
+	}
+	d.retries++
+	if d.retries > r.cfg.DiscoveryRetries {
+		delete(r.pending, dst)
+		for _, p := range r.buffer[dst] {
+			r.dropData(p)
+		}
+		delete(r.buffer, dst)
+		return
+	}
+	r.sendRREQ(dst, d)
+}
+
+// finishDiscovery flushes buffered packets once a route exists.
+func (r *Router) finishDiscovery(dst packet.NodeID) {
+	if d, ok := r.pending[dst]; ok {
+		if d.timer != nil {
+			d.timer.Cancel()
+		}
+		delete(r.pending, dst)
+	}
+	q := r.buffer[dst]
+	delete(r.buffer, dst)
+	for _, p := range q {
+		if e := r.lookup(dst); e != nil {
+			r.transmitData(p, e)
+		} else {
+			r.dropData(p)
+		}
+	}
+}
+
+// --- control plane -----------------------------------------------------------
+
+// HandleFrame implements routing.Protocol.
+func (r *Router) HandleFrame(p *packet.Packet, from packet.NodeID) {
+	switch p.Type {
+	case packet.Data:
+		if p.Dst == r.env.ID() {
+			r.deliver(p)
+			return
+		}
+		r.forwardData(p)
+	case packet.RouteRequest:
+		r.handleRREQ(p, from)
+	case packet.RouteReply:
+		r.handleRREP(p, from)
+	case packet.RouteError:
+		r.handleRERR(p, from)
+	case packet.Hello:
+		r.handleHello(p, from)
+	}
+}
+
+// OverhearFrame implements routing.Protocol; AODV ignores overheard frames.
+func (r *Router) OverhearFrame(*packet.Packet, packet.NodeID) {}
+
+func (r *Router) handleRREQ(p *packet.Packet, from packet.NodeID) {
+	hdr, ok := p.Header.(rreqHeader)
+	if !ok {
+		return
+	}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteRequest, trace.Received)
+	if hdr.Orig == r.env.ID() {
+		return // our own flood came back
+	}
+	key := rreqKey{orig: hdr.Orig, id: hdr.RreqID}
+	if _, seen := r.seenRREQ[key]; seen {
+		return // duplicate suppression (silent, per protocol)
+	}
+	r.seenRREQ[key] = r.env.Now()
+
+	// Reverse route toward the originator through the transmitting hop.
+	r.updateRoute(hdr.Orig, from, hdr.HopCount+1, hdr.OrigSeq, true)
+
+	if hdr.Dst == r.env.ID() {
+		// We are the destination: answer with our own sequence number,
+		// raised to the requested one if that is higher (RFC 3561 6.6.1).
+		if hdr.HasDseq && hdr.DstSeq > r.seq {
+			r.seq = hdr.DstSeq
+		}
+		if r.seq < MaxSeq {
+			r.seq++
+		}
+		r.sendRREP(hdr.Orig, r.env.ID(), r.seq, 0)
+		return
+	}
+	if e := r.lookup(hdr.Dst); e != nil && e.validSeq && e.nextHop != from &&
+		(!hdr.HasDseq || e.seq >= hdr.DstSeq) {
+		// Fresh-enough intermediate route: reply from cache. Routes that
+		// point back through the hop the request arrived from are useless
+		// to the requester (loop avoidance), so those keep flooding.
+		r.env.Audit().RecordRoute(trace.RouteFind)
+		r.sendRREP(hdr.Orig, hdr.Dst, e.seq, e.hops)
+		return
+	}
+	// Rebroadcast the request.
+	if p.TTL <= 0 {
+		return
+	}
+	fwd := p.Clone()
+	fwd.TTL--
+	fwd.Hops++
+	h2 := hdr
+	h2.HopCount++
+	fwd.Header = h2
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteRequest, trace.Forwarded)
+	r.env.Broadcast(fwd)
+}
+
+// sendRREP unicasts a reply toward orig along the reverse route.
+func (r *Router) sendRREP(orig, dst packet.NodeID, dstSeq uint32, hops int) {
+	e := r.lookup(orig)
+	if e == nil {
+		return // reverse route vanished
+	}
+	p := r.env.NewPacket(packet.RouteReply, r.env.ID(), orig, packet.ControlSize)
+	p.Header = rrepHeader{Orig: orig, Dst: dst, DstSeq: dstSeq, HopCount: hops}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteReply, trace.Sent)
+	next := e.nextHop
+	r.env.Unicast(next, p, func() { r.controlLinkBreak(next) })
+}
+
+func (r *Router) handleRREP(p *packet.Packet, from packet.NodeID) {
+	hdr, ok := p.Header.(rrepHeader)
+	if !ok {
+		return
+	}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteReply, trace.Received)
+	// Forward route to the replied-for destination via the transmitter.
+	r.updateRoute(hdr.Dst, from, hdr.HopCount+1, hdr.DstSeq, true)
+
+	if hdr.Orig == r.env.ID() {
+		r.finishDiscovery(hdr.Dst)
+		return
+	}
+	// Relay along the reverse route toward the originator.
+	e := r.lookup(hdr.Orig)
+	if e == nil || p.TTL <= 0 {
+		r.env.Audit().RecordPacket(r.env.Now(), packet.RouteReply, trace.Dropped)
+		return
+	}
+	fwd := p.Clone()
+	fwd.TTL--
+	fwd.Hops++
+	h2 := hdr
+	h2.HopCount++
+	fwd.Header = h2
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteReply, trace.Forwarded)
+	next := e.nextHop
+	r.env.Unicast(next, fwd, func() { r.controlLinkBreak(next) })
+}
+
+// controlLinkBreak tears down routes through a hop that failed while
+// carrying control traffic.
+func (r *Router) controlLinkBreak(next packet.NodeID) {
+	var lost []unreachable
+	for dst, e := range r.routes {
+		if e.valid && e.nextHop == next {
+			seq, _ := r.invalidate(dst)
+			lost = append(lost, unreachable{Dst: dst, Seq: seq})
+		}
+	}
+	delete(r.lastHello, next)
+	if len(lost) > 0 {
+		r.originateRERR(lost)
+	}
+}
+
+// originateRERR broadcasts a route error for the given destinations.
+func (r *Router) originateRERR(lost []unreachable) {
+	p := r.env.NewPacket(packet.RouteError, r.env.ID(), packet.Broadcast, packet.ControlSize)
+	p.TTL = 1 // RERRs propagate hop-by-hop, re-originated by affected nodes
+	p.Header = rerrHeader{Unreachable: lost}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteError, trace.Sent)
+	r.env.Broadcast(p)
+}
+
+func (r *Router) handleRERR(p *packet.Packet, from packet.NodeID) {
+	hdr, ok := p.Header.(rerrHeader)
+	if !ok {
+		return
+	}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteError, trace.Received)
+	var lost []unreachable
+	for _, u := range hdr.Unreachable {
+		e := r.routes[u.Dst]
+		if e != nil && e.valid && e.nextHop == from {
+			seq, removed := r.invalidate(u.Dst)
+			if removed {
+				if u.Seq > seq {
+					seq = u.Seq
+					e.seq = u.Seq
+				}
+				lost = append(lost, unreachable{Dst: u.Dst, Seq: seq})
+			}
+		}
+	}
+	if len(lost) > 0 {
+		// Propagate for routes we in turn lose.
+		fwd := r.env.NewPacket(packet.RouteError, r.env.ID(), packet.Broadcast, packet.ControlSize)
+		fwd.TTL = 1
+		fwd.Header = rerrHeader{Unreachable: lost}
+		r.env.Audit().RecordPacket(r.env.Now(), packet.RouteError, trace.Forwarded)
+		r.env.Broadcast(fwd)
+	}
+}
+
+// --- HELLO / neighbour liveness ----------------------------------------------
+
+type helloHeader struct {
+	Seq uint32
+}
+
+func (r *Router) sendHello() {
+	p := r.env.NewPacket(packet.Hello, r.env.ID(), packet.Broadcast, packet.ControlSize)
+	p.TTL = 1
+	p.Header = helloHeader{Seq: r.seq}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Hello, trace.Sent)
+	r.env.Broadcast(p)
+}
+
+func (r *Router) handleHello(p *packet.Packet, from packet.NodeID) {
+	hdr, ok := p.Header.(helloHeader)
+	if !ok {
+		return
+	}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Hello, trace.Received)
+	r.lastHello[from] = r.env.Now()
+	r.updateRoute(from, from, 1, hdr.Seq, true)
+}
+
+// checkNeighbors invalidates routes through neighbours whose HELLOs went
+// silent, the protocol's passive link-failure detector. Unlike an active
+// forwarding failure, a silent HELLO loss tears routes down quietly — the
+// RERR storm otherwise triggered by routine mobility would drown the
+// network in control traffic (forwarding failures still raise RERRs).
+func (r *Router) checkNeighbors() {
+	if r.cfg.HelloInterval <= 0 {
+		return
+	}
+	deadline := r.env.Now() - float64(r.cfg.AllowedHelloLoss)*r.cfg.HelloInterval
+	for nb, last := range r.lastHello {
+		if last >= deadline {
+			continue
+		}
+		delete(r.lastHello, nb)
+		for dst, e := range r.routes {
+			if e.valid && e.nextHop == nb {
+				r.invalidate(dst)
+			}
+		}
+	}
+	// Garbage-collect old RREQ dedup state.
+	cutoff := r.env.Now() - 30
+	for k, t := range r.seenRREQ {
+		if t < cutoff {
+			delete(r.seenRREQ, k)
+		}
+	}
+}
+
+// --- black hole ---------------------------------------------------------------
+
+// AdvertiseBlackHole implements the paper's AODV black-hole script: for
+// every other node n, flood a bogus ROUTE REQUEST whose source and
+// destination are both n, carrying the maximum source sequence number and
+// claiming the attacker is the hop adjacent to n. Receivers install the
+// poisoned reverse route (to n, via the attacker, freshness MaxSeq), which
+// legitimate traffic can never displace.
+func (r *Router) AdvertiseBlackHole() {
+	me := r.env.ID()
+	// Poison routes to every station the attacker knows of; the node count
+	// is discoverable from the configured network, so iterate over route
+	// table entries plus a dense ID range hint supplied via SetTargets.
+	for _, n := range r.blackHoleTargets() {
+		if n == me {
+			continue
+		}
+		r.rreqID++
+		p := r.env.NewPacket(packet.RouteRequest, me, packet.Broadcast, packet.ControlSize)
+		p.Header = rreqHeader{
+			Orig:    n,
+			OrigSeq: MaxSeq,
+			RreqID:  r.rreqID,
+			Dst:     n,
+			// Demanding the maximum destination sequence prevents any
+			// intermediate from answering out of its table, so the bogus
+			// request floods the whole network and poisons every node.
+			DstSeq:   MaxSeq,
+			HasDseq:  true,
+			HopCount: 1, // pretend n is our immediate neighbour
+		}
+		r.env.Audit().RecordPacket(r.env.Now(), packet.RouteRequest, trace.Sent)
+		r.env.Broadcast(p)
+	}
+}
+
+// blackHoleTargets returns the victim set; set via SetBlackHoleTargets,
+// falling back to destinations already in the route table.
+func (r *Router) blackHoleTargets() []packet.NodeID {
+	if len(r.bhTargets) > 0 {
+		return r.bhTargets
+	}
+	out := make([]packet.NodeID, 0, len(r.routes))
+	for dst := range r.routes {
+		out = append(out, dst)
+	}
+	return out
+}
+
+// FloodBogusDiscovery implements routing.StormFlooder: one network-wide
+// ROUTE REQUEST for a destination that cannot exist, bypassing the
+// protocol's rate limit (an attacker is not polite). Every node in the
+// network rebroadcasts it once and nobody can answer.
+func (r *Router) FloodBogusDiscovery() {
+	r.seq++
+	r.rreqID++
+	p := r.env.NewPacket(packet.RouteRequest, r.env.ID(), packet.Broadcast, packet.ControlSize)
+	p.Header = rreqHeader{
+		Orig:    r.env.ID(),
+		OrigSeq: r.seq,
+		RreqID:  r.rreqID,
+		Dst:     bogusDst,
+	}
+	r.seenRREQ[rreqKey{orig: r.env.ID(), id: r.rreqID}] = r.env.Now()
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteRequest, trace.Sent)
+	r.env.Broadcast(p)
+}
+
+// bogusDst is an address no real node holds; update-storm requests for it
+// flood the whole network unanswered.
+const bogusDst = packet.NodeID(1 << 30)
+
+// SetBlackHoleTargets configures the victim set for AdvertiseBlackHole.
+func (r *Router) SetBlackHoleTargets(targets []packet.NodeID) {
+	r.bhTargets = append([]packet.NodeID(nil), targets...)
+}

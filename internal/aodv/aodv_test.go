@@ -1,0 +1,262 @@
+package aodv
+
+import (
+	"testing"
+
+	"crossfeature/internal/geom"
+	"crossfeature/internal/packet"
+	"crossfeature/internal/trace"
+)
+
+func TestDiscoveryAndDeliveryOverThreeHops(t *testing.T) {
+	net := newLine(t, 4, DefaultConfig())
+	net.start()
+	net.eng.At(1, func() { net.sendData(0, 3) })
+	net.run(t, 10)
+	if got := len(net.hosts[3].delivered); got != 1 {
+		t.Fatalf("destination delivered %d packets, want 1", got)
+	}
+	// The source must now hold a 3-hop route via node 1.
+	next, hops, ok := net.hosts[0].router.RouteTo(net.hosts[3].id)
+	if !ok || next != net.hosts[1].id || hops != 3 {
+		t.Errorf("source route = (%v,%d,%v), want via node 1 at 3 hops", next, hops, ok)
+	}
+}
+
+func TestRouteEventsAddThenFind(t *testing.T) {
+	net := newLine(t, 3, DefaultConfig())
+	net.start()
+	net.eng.At(1, func() { net.sendData(0, 2) })
+	net.eng.At(5, func() { net.sendData(0, 2) })
+	net.run(t, 10)
+	snap := net.hosts[0].collector.Snapshot(10, 0, 0)
+	if snap.RouteCounts[trace.RouteAdd] == 0 {
+		t.Error("discovery produced no RouteAdd events")
+	}
+	if snap.RouteCounts[trace.RouteFind] == 0 {
+		t.Error("second send should hit the route table (RouteFind)")
+	}
+}
+
+func TestDataBufferedDuringDiscovery(t *testing.T) {
+	net := newLine(t, 3, DefaultConfig())
+	net.start()
+	// Burst of 5 packets before any route exists: all must arrive.
+	net.eng.At(1, func() {
+		for i := 0; i < 5; i++ {
+			net.sendData(0, 2)
+		}
+	})
+	net.run(t, 10)
+	if got := len(net.hosts[2].delivered); got != 5 {
+		t.Errorf("delivered %d of 5 buffered packets", got)
+	}
+}
+
+func TestUnreachableDestinationDropsAfterRetries(t *testing.T) {
+	cfg := DefaultConfig()
+	net := newLine(t, 4, cfg)
+	// Partition: move node 3 far away.
+	net.hosts[3].mob.pos = geom.Vec{X: 10000}
+	net.start()
+	net.eng.At(1, func() { net.sendData(0, 3) })
+	net.run(t, 60)
+	if len(net.hosts[3].delivered) != 0 {
+		t.Fatal("partitioned destination received data")
+	}
+	_, _, dropped := statsOf(net, 0)
+	if dropped == 0 {
+		t.Error("abandoned discovery did not drop the buffered packet")
+	}
+}
+
+func statsOf(n *testNet, i int) (orig, deliv, dropped uint64) {
+	o, d, _, dr := n.hosts[i].router.Stats()
+	return o, d, dr
+}
+
+func TestHelloMaintainsNeighborRoutes(t *testing.T) {
+	net := newLine(t, 2, DefaultConfig())
+	net.start()
+	net.run(t, 5)
+	if _, hops, ok := net.hosts[0].router.RouteTo(net.hosts[1].id); !ok || hops != 1 {
+		t.Error("HELLO beacons did not install a 1-hop neighbour route")
+	}
+}
+
+func TestHelloLossInvalidatesSilently(t *testing.T) {
+	net := newLine(t, 2, DefaultConfig())
+	net.start()
+	net.run(t, 5)
+	// Break the link; routes should disappear after AllowedHelloLoss.
+	net.hosts[1].mob.pos = geom.Vec{X: 10000}
+	net.run(t, 20)
+	if _, _, ok := net.hosts[0].router.RouteTo(net.hosts[1].id); ok {
+		t.Error("neighbour route survived HELLO loss")
+	}
+}
+
+func TestLinkBreakTriggersRepairAndRERR(t *testing.T) {
+	net := newLine(t, 4, DefaultConfig())
+	net.start()
+	net.eng.At(1, func() { net.sendData(0, 3) })
+	net.run(t, 5)
+	if len(net.hosts[3].delivered) != 1 {
+		t.Fatal("initial delivery failed")
+	}
+	// Break the middle of the path: node 2 jumps away; keep 0-1 intact.
+	net.hosts[2].mob.pos = geom.Vec{Y: 10000}
+	sent := false
+	net.eng.At(6, func() { net.sendData(0, 3); sent = true })
+	net.run(t, 30)
+	if !sent {
+		t.Fatal("test did not send")
+	}
+	snap := net.hosts[1].collector.Snapshot(30, 0, 0)
+	if snap.RouteCounts[trace.RouteRemoval] == 0 {
+		t.Error("node 1 never removed the broken route")
+	}
+	// Node 1 detected the failure while forwarding and reported it.
+	rerrSent := snap.Traffic[trace.ClassRERR][trace.Sent][2].Count
+	if rerrSent == 0 {
+		t.Error("no RERR originated at the break point")
+	}
+}
+
+func TestDuplicateRREQSuppression(t *testing.T) {
+	// Dense cluster: everyone hears everyone; each node must forward a
+	// given RREQ at most once.
+	cfg := DefaultConfig()
+	net := newLine(t, 3, cfg)
+	for _, h := range net.hosts {
+		h.mob.pos = geom.Vec{X: h.mob.pos.X / 10} // squeeze into one cell
+	}
+	net.start()
+	net.eng.At(1, func() { net.sendData(0, 2) })
+	net.run(t, 5)
+	for i, h := range net.hosts {
+		snap := h.collector.Snapshot(5, 0, 0)
+		if fwd := snap.Traffic[trace.ClassRREQ][trace.Forwarded][2].Count; fwd > 1 {
+			t.Errorf("node %d forwarded the flood %d times", i, fwd)
+		}
+	}
+}
+
+func TestExpandingRingTTL(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TTLStart = 1
+	cfg.TTLIncrement = 2
+	cfg.TTLThreshold = 7
+	net := newLine(t, 4, cfg)
+	net.start()
+	// Destination 3 is 3 hops away: the first TTL=1 ring cannot reach it,
+	// so discovery must retry with a wider ring and still succeed.
+	net.eng.At(1, func() { net.sendData(0, 3) })
+	net.run(t, 20)
+	if len(net.hosts[3].delivered) != 1 {
+		t.Error("expanding-ring discovery failed to reach a 3-hop destination")
+	}
+}
+
+func TestIntermediateCachedReply(t *testing.T) {
+	net := newLine(t, 4, DefaultConfig())
+	net.start()
+	// Prime node 1 with a fresh route to 3 via traffic 1->3.
+	net.eng.At(1, func() { net.sendData(1, 3) })
+	// Then 0 discovers 3; node 1 can answer from its table.
+	net.eng.At(3, func() { net.sendData(0, 3) })
+	net.run(t, 8)
+	if got := len(net.hosts[3].delivered); got != 2 {
+		t.Fatalf("delivered %d of 2", got)
+	}
+	snap := net.hosts[1].collector.Snapshot(8, 0, 0)
+	if snap.RouteCounts[trace.RouteFind] == 0 {
+		t.Error("intermediate never answered from its table (no RouteFind)")
+	}
+}
+
+func TestAvgRouteLength(t *testing.T) {
+	net := newLine(t, 4, DefaultConfig())
+	net.start()
+	net.eng.At(1, func() { net.sendData(0, 3) })
+	net.run(t, 5)
+	if got := net.hosts[0].router.AvgRouteLength(); got <= 0 {
+		t.Errorf("avg route length = %v after discovery", got)
+	}
+}
+
+func TestDropFilterDiscardsForwardedData(t *testing.T) {
+	net := newLine(t, 3, DefaultConfig())
+	net.hosts[1].router.SetDropFilter(func(p *packet.Packet) bool {
+		return p.Type == packet.Data
+	})
+	net.start()
+	net.eng.At(1, func() { net.sendData(0, 2) })
+	net.run(t, 10)
+	if len(net.hosts[2].delivered) != 0 {
+		t.Error("drop filter did not discard relayed data")
+	}
+	snap := net.hosts[1].collector.Snapshot(10, 0, 0)
+	if snap.Traffic[trace.ClassRouteAll][trace.Dropped][2].Count == 0 {
+		t.Error("malicious drop not recorded in the audit trail")
+	}
+}
+
+func TestBlackHolePoisonsRoutesIrreversibly(t *testing.T) {
+	net := newLine(t, 4, DefaultConfig())
+	attacker := net.hosts[1]
+	victimIDs := []packet.NodeID{net.hosts[0].id, net.hosts[2].id, net.hosts[3].id}
+	attacker.router.SetBlackHoleTargets(victimIDs)
+	net.start()
+	// Legitimate route first: 3 -> 0 via 2, 1.
+	net.eng.At(1, func() { net.sendData(3, 0) })
+	net.run(t, 5)
+	if len(net.hosts[0].delivered) != 1 {
+		t.Fatal("baseline delivery failed")
+	}
+	// Poison: the attacker claims max-sequence routes to everyone.
+	net.eng.At(6, func() { attacker.router.AdvertiseBlackHole() })
+	net.run(t, 8)
+	// Node 3's route to 0 must now carry the maximum sequence number.
+	e := net.hosts[3].router.routes[net.hosts[0].id]
+	if e == nil || e.seq != MaxSeq {
+		t.Fatalf("node 3 not poisoned: %+v", e)
+	}
+	// Legitimate fresh information cannot displace the poison.
+	net.hosts[3].router.updateRoute(net.hosts[0].id, net.hosts[2].id, 3, 17, true)
+	if e := net.hosts[3].router.routes[net.hosts[0].id]; e.seq != MaxSeq {
+		t.Error("legitimate update displaced a max-sequence route")
+	}
+}
+
+func TestInvalidateDoesNotWrapMaxSeq(t *testing.T) {
+	net := newLine(t, 2, DefaultConfig())
+	r := net.hosts[0].router
+	r.updateRoute(net.hosts[1].id, net.hosts[1].id, 1, MaxSeq, true)
+	r.invalidate(net.hosts[1].id)
+	if e := r.routes[net.hosts[1].id]; e.seq != MaxSeq {
+		t.Errorf("invalidate wrapped the sequence number to %d", e.seq)
+	}
+}
+
+func TestRREQRateLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RREQRateLimit = 2
+	net := newLine(t, 2, cfg)
+	// Node 1 unreachable so every discovery keeps emitting RREQs.
+	net.hosts[1].mob.pos = geom.Vec{X: 10000}
+	net.start()
+	// Ask for many distinct unreachable destinations at once.
+	net.eng.At(1, func() {
+		for d := 0; d < 10; d++ {
+			h := net.hosts[0]
+			p := h.alloc.New(packet.Data, h.id, packet.NodeID(100+d), packet.DataSize)
+			h.router.SendData(p)
+		}
+	})
+	net.run(t, 1.5)
+	snap := net.hosts[0].collector.Snapshot(1.5, 0, 0)
+	if sent := snap.Traffic[trace.ClassRREQ][trace.Sent][2].Count; sent > 2 {
+		t.Errorf("%d RREQs originated within the first second, limit is 2", sent)
+	}
+}

@@ -1,0 +1,212 @@
+// Package attack implements the paper's intrusion scripts (Table 6): the
+// black-hole attack (bogus shortest-route advertisements that absorb all
+// nearby traffic) and selective packet dropping (discarding packets to a
+// specific destination), both driven by an on-off session model where
+// intrusion sessions of a fixed duration are inserted periodically.
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"crossfeature/internal/packet"
+	"crossfeature/internal/routing"
+)
+
+// Kind enumerates implemented intrusions.
+type Kind int
+
+const (
+	// BlackHole advertises bogus shortest routes to all nodes and drops the
+	// traffic it attracts.
+	BlackHole Kind = iota + 1
+	// SelectiveDrop drops packets destined to a specific node.
+	SelectiveDrop
+	// UpdateStorm floods the network with meaningless route discovery
+	// messages to exhaust bandwidth (the paper's section 2.3 "update
+	// storm" routing attack).
+	UpdateStorm
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case BlackHole:
+		return "blackhole"
+	case SelectiveDrop:
+		return "selective-drop"
+	case UpdateStorm:
+		return "update-storm"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Session is one on-interval of an intrusion.
+type Session struct {
+	Start    float64
+	Duration float64
+}
+
+// End is the session's off time.
+func (s Session) End() float64 { return s.Start + s.Duration }
+
+// Spec describes one intrusion deployment on one compromised node.
+type Spec struct {
+	Kind     Kind
+	Node     packet.NodeID // the compromised host
+	Target   packet.NodeID // SelectiveDrop: destination whose packets die
+	Sessions []Session
+	// AdvertiseEvery is the interval between bogus-advertisement rounds
+	// while a black-hole session is active; defaults to 5 s.
+	AdvertiseEvery float64
+	// StormRate is the bogus-flood origination rate (floods/second) while
+	// an update-storm session is active. The paper's storm aims to
+	// "exhaust the network bandwidth and effectively paralyze the
+	// network", so the default is 50/s — each flood is rebroadcast
+	// network-wide, which saturates interface queues.
+	StormRate float64
+}
+
+// Sessions builds the paper's periodic on-off schedule: sessions of the
+// given duration starting at each start time.
+func Sessions(duration float64, starts ...float64) []Session {
+	out := make([]Session, 0, len(starts))
+	for _, s := range starts {
+		out = append(out, Session{Start: s, Duration: duration})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Host is what an attack needs from the node runtime to arm itself.
+type Host interface {
+	ID() packet.NodeID
+	Schedule(delay float64, fn func())
+	Now() float64
+}
+
+// Behavior is an installed intrusion.
+type Behavior struct {
+	spec   Spec
+	active bool
+}
+
+// Active reports whether an intrusion session is currently on.
+func (b *Behavior) Active() bool { return b.active }
+
+// Spec returns the deployment description.
+func (b *Behavior) Spec() Spec { return b.spec }
+
+// Install arms spec on the compromised node: it installs the protocol drop
+// filter and schedules session on/off transitions plus black-hole
+// advertisement rounds. The supplied protocol must belong to host.
+func Install(host Host, proto routing.Protocol, spec Spec) (*Behavior, error) {
+	if spec.Node != host.ID() {
+		return nil, fmt.Errorf("attack: spec targets node %d but installing on node %d", spec.Node, host.ID())
+	}
+	b := &Behavior{spec: spec}
+	switch spec.Kind {
+	case BlackHole:
+		adv, ok := proto.(routing.BlackHoleAdvertiser)
+		if !ok {
+			return nil, fmt.Errorf("attack: protocol %s cannot advertise black holes", proto.Name())
+		}
+		// Absorb everything routed through us while active.
+		proto.SetDropFilter(func(p *packet.Packet) bool {
+			return b.active && p.Type == packet.Data && p.Src != host.ID()
+		})
+		every := spec.AdvertiseEvery
+		if every <= 0 {
+			every = 5
+		}
+		for _, s := range spec.Sessions {
+			s := s
+			host.Schedule(s.Start, func() {
+				b.active = true
+				var round func()
+				round = func() {
+					if !b.active {
+						return
+					}
+					adv.AdvertiseBlackHole()
+					host.Schedule(every, round)
+				}
+				round()
+			})
+			host.Schedule(s.End(), func() { b.active = false })
+		}
+	case SelectiveDrop:
+		proto.SetDropFilter(func(p *packet.Packet) bool {
+			return b.active && p.Type == packet.Data && p.Dst == spec.Target
+		})
+		for _, s := range spec.Sessions {
+			s := s
+			host.Schedule(s.Start, func() { b.active = true })
+			host.Schedule(s.End(), func() { b.active = false })
+		}
+	case UpdateStorm:
+		flooder, ok := proto.(routing.StormFlooder)
+		if !ok {
+			return nil, fmt.Errorf("attack: protocol %s cannot originate storm floods", proto.Name())
+		}
+		rate := spec.StormRate
+		if rate <= 0 {
+			rate = 50
+		}
+		for _, s := range spec.Sessions {
+			s := s
+			host.Schedule(s.Start, func() {
+				b.active = true
+				var round func()
+				round = func() {
+					if !b.active {
+						return
+					}
+					flooder.FloodBogusDiscovery()
+					host.Schedule(1/rate, round)
+				}
+				round()
+			})
+			host.Schedule(s.End(), func() { b.active = false })
+		}
+	default:
+		return nil, fmt.Errorf("attack: unknown kind %d", int(spec.Kind))
+	}
+	return b, nil
+}
+
+// Plan is the full intrusion schedule of a scenario, used both to arm the
+// attacks and to derive ground-truth labels for evaluation.
+type Plan struct {
+	Specs []Spec
+}
+
+// Empty reports whether no intrusion is scheduled.
+func (p Plan) Empty() bool { return len(p.Specs) == 0 }
+
+// FirstOnset returns the earliest session start across all specs, or -1 if
+// the plan is empty.
+func (p Plan) FirstOnset() float64 {
+	first := -1.0
+	for _, spec := range p.Specs {
+		for _, s := range spec.Sessions {
+			if first < 0 || s.Start < first {
+				first = s.Start
+			}
+		}
+	}
+	return first
+}
+
+// ActiveAt reports whether any intrusion session covers time t.
+func (p Plan) ActiveAt(t float64) bool {
+	for _, spec := range p.Specs {
+		for _, s := range spec.Sessions {
+			if t >= s.Start && t < s.End() {
+				return true
+			}
+		}
+	}
+	return false
+}

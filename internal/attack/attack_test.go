@@ -1,0 +1,245 @@
+package attack
+
+import (
+	"testing"
+
+	"crossfeature/internal/packet"
+	"crossfeature/internal/routing"
+)
+
+// fakeHost implements Host with an immediate scheduler substitute.
+type fakeHost struct {
+	id    packet.NodeID
+	now   float64
+	queue []scheduled
+}
+
+type scheduled struct {
+	at float64
+	fn func()
+}
+
+func (h *fakeHost) ID() packet.NodeID { return h.id }
+func (h *fakeHost) Now() float64      { return h.now }
+
+func (h *fakeHost) Schedule(delay float64, fn func()) {
+	h.queue = append(h.queue, scheduled{at: h.now + delay, fn: fn})
+}
+
+// runUntil fires queued callbacks in time order up to t.
+func (h *fakeHost) runUntil(t float64) {
+	for {
+		best := -1
+		for i, s := range h.queue {
+			if s.at <= t && (best < 0 || s.at < h.queue[best].at) {
+				best = i
+			}
+		}
+		if best < 0 {
+			h.now = t
+			return
+		}
+		s := h.queue[best]
+		h.queue = append(h.queue[:best], h.queue[best+1:]...)
+		h.now = s.at
+		s.fn()
+	}
+}
+
+// fakeProto records drop-filter installation and advertisement calls.
+type fakeProto struct {
+	filter     routing.DropFilter
+	advertised int
+}
+
+func (p *fakeProto) Name() string                                { return "fake" }
+func (p *fakeProto) Start()                                      {}
+func (p *fakeProto) SendData(*packet.Packet)                     {}
+func (p *fakeProto) HandleFrame(*packet.Packet, packet.NodeID)   {}
+func (p *fakeProto) OverhearFrame(*packet.Packet, packet.NodeID) {}
+func (p *fakeProto) Promiscuous() bool                           { return false }
+func (p *fakeProto) AvgRouteLength() float64                     { return 0 }
+func (p *fakeProto) SetDropFilter(f routing.DropFilter)          { p.filter = f }
+
+type advProto struct {
+	fakeProto
+}
+
+func (p *advProto) AdvertiseBlackHole() { p.advertised++ }
+
+func TestSessionsHelper(t *testing.T) {
+	s := Sessions(100, 5000, 2500)
+	if len(s) != 2 || s[0].Start != 2500 || s[1].Start != 5000 {
+		t.Errorf("Sessions = %v (must sort by start)", s)
+	}
+	if s[0].End() != 2600 {
+		t.Errorf("End = %v", s[0].End())
+	}
+}
+
+func TestPlanActiveAt(t *testing.T) {
+	p := Plan{Specs: []Spec{{
+		Kind:     SelectiveDrop,
+		Sessions: Sessions(100, 1000, 3000),
+	}}}
+	cases := map[float64]bool{
+		999: false, 1000: true, 1099: true, 1100: false,
+		2999: false, 3050: true, 3100: false,
+	}
+	for at, want := range cases {
+		if got := p.ActiveAt(at); got != want {
+			t.Errorf("ActiveAt(%v) = %v, want %v", at, got, want)
+		}
+	}
+	if p.FirstOnset() != 1000 {
+		t.Errorf("FirstOnset = %v", p.FirstOnset())
+	}
+	if (Plan{}).FirstOnset() != -1 {
+		t.Error("empty plan FirstOnset should be -1")
+	}
+	if (Plan{}).ActiveAt(0) {
+		t.Error("empty plan should never be active")
+	}
+}
+
+func TestInstallSelectiveDropTogglesWithSessions(t *testing.T) {
+	h := &fakeHost{id: 3}
+	p := &fakeProto{}
+	spec := Spec{
+		Kind:     SelectiveDrop,
+		Node:     3,
+		Target:   7,
+		Sessions: Sessions(50, 100),
+	}
+	b, err := Install(h, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := &packet.Packet{Type: packet.Data, Dst: 7}
+	other := &packet.Packet{Type: packet.Data, Dst: 8}
+	ctrl := &packet.Packet{Type: packet.RouteRequest, Dst: 7}
+
+	h.runUntil(50) // before the session
+	if p.filter(victim) {
+		t.Error("dropping before session start")
+	}
+	h.runUntil(120) // inside the session
+	if !b.Active() {
+		t.Error("behaviour not active inside session")
+	}
+	if !p.filter(victim) {
+		t.Error("victim packet not dropped during session")
+	}
+	if p.filter(other) {
+		t.Error("non-target packet dropped")
+	}
+	if p.filter(ctrl) {
+		t.Error("control packet dropped by selective dropping")
+	}
+	h.runUntil(200) // after the session
+	if b.Active() || p.filter(victim) {
+		t.Error("dropping continued after session end")
+	}
+}
+
+func TestInstallBlackHoleAdvertisesPeriodically(t *testing.T) {
+	h := &fakeHost{id: 2}
+	p := &advProto{}
+	spec := Spec{
+		Kind:           BlackHole,
+		Node:           2,
+		Sessions:       []Session{{Start: 10, Duration: 20}},
+		AdvertiseEvery: 5,
+	}
+	b, err := Install(h, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.runUntil(5)
+	if p.advertised != 0 {
+		t.Error("advertised before session start")
+	}
+	h.runUntil(29)
+	// Rounds at t=10, 15, 20, 25 -> 4 advertisements.
+	if p.advertised != 4 {
+		t.Errorf("advertised %d times during the session, want 4", p.advertised)
+	}
+	if !p.filter(&packet.Packet{Type: packet.Data, Src: 9}) {
+		t.Error("black hole not absorbing during session")
+	}
+	if p.filter(&packet.Packet{Type: packet.Data, Src: 2}) {
+		t.Error("black hole dropped its own traffic")
+	}
+	h.runUntil(100)
+	got := p.advertised
+	h.runUntil(200)
+	if p.advertised != got {
+		t.Error("advertisement rounds continued after session end")
+	}
+	if b.Active() {
+		t.Error("still active after session")
+	}
+}
+
+type stormProto struct {
+	fakeProto
+	floods int
+}
+
+func (p *stormProto) FloodBogusDiscovery() { p.floods++ }
+
+func TestInstallUpdateStorm(t *testing.T) {
+	h := &fakeHost{id: 4}
+	p := &stormProto{}
+	spec := Spec{
+		Kind:      UpdateStorm,
+		Node:      4,
+		Sessions:  []Session{{Start: 10, Duration: 5}},
+		StormRate: 2, // floods at t=10, 10.5, ..., 14.5
+	}
+	b, err := Install(h, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.runUntil(9)
+	if p.floods != 0 {
+		t.Error("flooded before session start")
+	}
+	h.runUntil(14.9)
+	if p.floods != 10 {
+		t.Errorf("flooded %d times during a 5s session at 2/s, want 10", p.floods)
+	}
+	h.runUntil(100)
+	if p.floods != 10 {
+		t.Error("flooding continued after session end")
+	}
+	if b.Active() {
+		t.Error("still active after session")
+	}
+}
+
+func TestInstallUpdateStormRequiresFlooder(t *testing.T) {
+	h := &fakeHost{id: 1}
+	if _, err := Install(h, &fakeProto{}, Spec{Kind: UpdateStorm, Node: 1}); err == nil {
+		t.Error("update storm on a protocol without flooding accepted")
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	h := &fakeHost{id: 1}
+	if _, err := Install(h, &fakeProto{}, Spec{Kind: BlackHole, Node: 2}); err == nil {
+		t.Error("node mismatch accepted")
+	}
+	if _, err := Install(h, &fakeProto{}, Spec{Kind: BlackHole, Node: 1}); err == nil {
+		t.Error("black hole on a protocol without advertisement accepted")
+	}
+	if _, err := Install(h, &fakeProto{}, Spec{Kind: Kind(99), Node: 1}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if BlackHole.String() != "blackhole" || SelectiveDrop.String() != "selective-drop" {
+		t.Error("kind stringers wrong")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"crossfeature/internal/ml/linreg"
+)
+
+// ContinuousAnalyzer is the paper's generalisation of cross-feature
+// analysis to continuous features (section 3): one multiple linear
+// regression per feature predicts it from the remaining features, and the
+// deviation of an event is the average log distance |log(C_i(x)/f_i(x))|
+// across the sub-models. Unlike the nominal Analyzer, HIGHER scores mean
+// MORE anomalous.
+type ContinuousAnalyzer struct {
+	Names  []string
+	Models []*linreg.Model
+}
+
+// ContinuousOptions tunes continuous training.
+type ContinuousOptions struct {
+	// Lambda is the ridge regulariser keeping collinear or constant
+	// feature columns harmless; <= 0 uses a small default.
+	Lambda float64
+	// Parallelism bounds concurrent sub-model fits; <= 0 uses GOMAXPROCS.
+	Parallelism int
+}
+
+// TrainContinuous fits one regression per feature on normal-only rows.
+func TrainContinuous(rows [][]float64, names []string, opts ContinuousOptions) (*ContinuousAnalyzer, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: empty continuous training set")
+	}
+	d := len(rows[0])
+	if len(names) != d {
+		return nil, fmt.Errorf("core: %d names for %d feature columns", len(names), d)
+	}
+	lambda := opts.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	a := &ContinuousAnalyzer{
+		Names:  append([]string(nil), names...),
+		Models: make([]*linreg.Model, d),
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d {
+		workers = d
+	}
+	targets := make(chan int)
+	errs := make([]error, d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range targets {
+				m, err := linreg.Fit(rows, j, lambda)
+				if err != nil {
+					errs[j] = fmt.Errorf("core: regression for %q: %w", names[j], err)
+					continue
+				}
+				a.Models[j] = m
+			}
+		}()
+	}
+	for j := 0; j < d; j++ {
+		targets <- j
+	}
+	close(targets)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// AvgLogDistance scores one continuous event: the mean log distance of
+// the true feature values from the sub-model predictions. Zero means the
+// event lies exactly on every learned relationship.
+func (a *ContinuousAnalyzer) AvgLogDistance(row []float64) float64 {
+	var sum float64
+	var n int
+	for _, m := range a.Models {
+		if m == nil {
+			continue
+		}
+		sum += m.LogDistance(row)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ScoreAll scores a batch of continuous events.
+func (a *ContinuousAnalyzer) ScoreAll(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = a.AvgLogDistance(r)
+	}
+	return out
+}
+
+// ContinuousThreshold calibrates the alarm threshold from normal-data
+// distances: the upper quantile at the given false-alarm rate (distances
+// ABOVE the threshold raise alarms).
+func ContinuousThreshold(normalDistances []float64, falseAlarmRate float64) float64 {
+	if len(normalDistances) == 0 {
+		return 0
+	}
+	if falseAlarmRate < 0 {
+		falseAlarmRate = 0
+	}
+	if falseAlarmRate > 1 {
+		falseAlarmRate = 1
+	}
+	sorted := append([]float64(nil), normalDistances...)
+	sort.Float64s(sorted)
+	idx := int((1 - falseAlarmRate) * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ContinuousDetector couples a continuous analyzer with its threshold.
+type ContinuousDetector struct {
+	Analyzer  *ContinuousAnalyzer
+	Threshold float64
+}
+
+// NewContinuousDetector calibrates on normal rows at a false-alarm rate.
+func NewContinuousDetector(a *ContinuousAnalyzer, normalRows [][]float64, falseAlarmRate float64) *ContinuousDetector {
+	return &ContinuousDetector{
+		Analyzer:  a,
+		Threshold: ContinuousThreshold(a.ScoreAll(normalRows), falseAlarmRate),
+	}
+}
+
+// IsAnomaly classifies one continuous event.
+func (d *ContinuousDetector) IsAnomaly(row []float64) bool {
+	return d.Analyzer.AvgLogDistance(row) > d.Threshold
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// continuousRows builds normal data where f1 = 2*f0 + noise and f2 is an
+// independent channel.
+func continuousRows(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		x := rng.Float64() * 10
+		rows[i] = []float64{x, 2*x + rng.Float64()*0.1, rng.Float64() * 5}
+	}
+	return rows
+}
+
+func TestContinuousSeparatesBrokenCorrelation(t *testing.T) {
+	rows := continuousRows(300, 1)
+	a, err := TrainContinuous(rows, []string{"f0", "f1", "f2"}, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal := a.AvgLogDistance([]float64{5, 10.05, 2})
+	broken := a.AvgLogDistance([]float64{5, 0.1, 2}) // f1 should be ~10
+	if broken <= normal {
+		t.Errorf("broken correlation distance %v not above normal %v", broken, normal)
+	}
+}
+
+func TestContinuousDetectorEndToEnd(t *testing.T) {
+	rows := continuousRows(500, 2)
+	a, err := TrainContinuous(rows, []string{"f0", "f1", "f2"}, ContinuousOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewContinuousDetector(a, rows, 0.05)
+	rng := rand.New(rand.NewSource(3))
+	normalFlagged, anomFlagged := 0, 0
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 10
+		if det.IsAnomaly([]float64{x, 2*x + rng.Float64()*0.1, rng.Float64() * 5}) {
+			normalFlagged++
+		}
+		if det.IsAnomaly([]float64{x, 2*x + 8 + rng.Float64(), rng.Float64() * 5}) {
+			anomFlagged++
+		}
+	}
+	if normalFlagged > 15 {
+		t.Errorf("%d/100 normal rows flagged", normalFlagged)
+	}
+	if anomFlagged < 85 {
+		t.Errorf("only %d/100 anomalous rows flagged", anomFlagged)
+	}
+}
+
+func TestContinuousParallelEquivalence(t *testing.T) {
+	rows := continuousRows(200, 4)
+	names := []string{"f0", "f1", "f2"}
+	seq, err := TrainContinuous(rows, names, ContinuousOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := TrainContinuous(rows, names, ContinuousOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows[:50] {
+		if seq.AvgLogDistance(r) != par.AvgLogDistance(r) {
+			t.Fatalf("row %d: parallel training changed the model", i)
+		}
+	}
+}
+
+func TestContinuousTrainErrors(t *testing.T) {
+	if _, err := TrainContinuous(nil, nil, ContinuousOptions{}); err == nil {
+		t.Error("empty training accepted")
+	}
+	if _, err := TrainContinuous([][]float64{{1, 2}}, []string{"a"}, ContinuousOptions{}); err == nil {
+		t.Error("name mismatch accepted")
+	}
+}
+
+func TestContinuousThresholdQuantile(t *testing.T) {
+	dists := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	// 20% FAR: threshold at the 80th percentile.
+	if got := ContinuousThreshold(dists, 0.2); got != 0.9 {
+		t.Errorf("threshold = %v, want 0.9", got)
+	}
+	if got := ContinuousThreshold(nil, 0.1); got != 0 {
+		t.Errorf("empty threshold = %v", got)
+	}
+}
+
+func TestContinuousConstantColumnTolerated(t *testing.T) {
+	rows := make([][]float64, 100)
+	rng := rand.New(rand.NewSource(5))
+	for i := range rows {
+		x := rng.Float64()
+		rows[i] = []float64{x, 3 * x, 7} // constant third column
+	}
+	a, err := TrainContinuous(rows, []string{"a", "b", "const"}, ContinuousOptions{})
+	if err != nil {
+		t.Fatalf("constant column broke training: %v", err)
+	}
+	if d := a.AvgLogDistance(rows[0]); d > 0.5 {
+		t.Errorf("in-sample distance %v unexpectedly large", d)
+	}
+}

@@ -1,0 +1,241 @@
+// Package core implements the paper's primary contribution: cross-feature
+// analysis for anomaly detection.
+//
+// Given normal-only training vectors over features {f_1..f_L}, the
+// training procedure (Algorithm 1) fits one sub-model per feature,
+// C_i: {f_1..f_L}\{f_i} -> f_i. At test time an event is scored either by
+// the average match count (Algorithm 2) — the fraction of sub-models whose
+// prediction equals the feature's true value — or by the average
+// probability (Algorithm 3) — the mean probability the sub-models assign
+// to the true values. Normal events score high because normal inter-
+// feature correlations hold; anomalies break those correlations and score
+// low. An event is flagged as an anomaly when its score falls below a
+// decision threshold calibrated on normal data at a chosen confidence
+// level (one minus the acceptable false-alarm rate).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"crossfeature/internal/ml"
+)
+
+// Scorer selects the combination rule applied over the sub-models.
+type Scorer int
+
+const (
+	// MatchCount is Algorithm 2: average 0/1 prediction matches.
+	MatchCount Scorer = iota + 1
+	// Probability is Algorithm 3: average probability of the true values.
+	Probability
+)
+
+// String implements fmt.Stringer.
+func (s Scorer) String() string {
+	switch s {
+	case MatchCount:
+		return "avg-match-count"
+	case Probability:
+		return "avg-probability"
+	default:
+		return fmt.Sprintf("Scorer(%d)", int(s))
+	}
+}
+
+// TrainOptions tunes Algorithm 1.
+type TrainOptions struct {
+	// Parallelism bounds concurrent sub-model fits; <=0 uses GOMAXPROCS.
+	Parallelism int
+	// SkipConstant omits sub-models for features that take a single value
+	// in training. Such models trivially predict that value with
+	// probability one, diluting scores equally for all events; the paper
+	// keeps all L features, so the default is false.
+	SkipConstant bool
+}
+
+// Analyzer is the trained cross-feature model: one classifier per
+// (retained) feature.
+type Analyzer struct {
+	// Attrs is the nominal feature schema.
+	Attrs []ml.Attr
+	// Models holds one classifier per feature; nil when skipped.
+	Models []ml.Classifier
+	// LearnerName records which base learner produced the sub-models.
+	LearnerName string
+}
+
+// Train runs Algorithm 1: fit classifier C_i for every feature f_i on the
+// normal-only dataset ds. Sub-model training is embarrassingly parallel
+// and runs on a bounded worker pool.
+func Train(ds *ml.Dataset, learner ml.Learner, opts TrainOptions) (*Analyzer, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	if learner == nil {
+		return nil, fmt.Errorf("core: nil learner")
+	}
+	l := len(ds.Attrs)
+	a := &Analyzer{
+		Attrs:       append([]ml.Attr(nil), ds.Attrs...),
+		Models:      make([]ml.Classifier, l),
+		LearnerName: learner.Name(),
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > l {
+		workers = l
+	}
+
+	targets := make(chan int)
+	errs := make([]error, l)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range targets {
+				c, err := learner.Fit(ds, i)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: sub-model for %q: %w", ds.Attrs[i].Name, err)
+					continue
+				}
+				a.Models[i] = c
+			}
+		}()
+	}
+	for i := 0; i < l; i++ {
+		if opts.SkipConstant && ds.Attrs[i].Card < 2 {
+			continue
+		}
+		targets <- i
+	}
+	close(targets)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if a.NumModels() == 0 {
+		return nil, fmt.Errorf("core: no sub-models trained")
+	}
+	return a, nil
+}
+
+// NumModels reports how many sub-models were retained.
+func (a *Analyzer) NumModels() int {
+	n := 0
+	for _, m := range a.Models {
+		if m != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgMatchCount implements Algorithm 2 for one event.
+func (a *Analyzer) AvgMatchCount(x []int) float64 {
+	var matches, total float64
+	for i, m := range a.Models {
+		if m == nil {
+			continue
+		}
+		total++
+		if ml.Predict(m, x) == x[i] {
+			matches++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return matches / total
+}
+
+// AvgProbability implements Algorithm 3 for one event: the mean estimated
+// probability p(f_i(x) | x) of the true feature values.
+func (a *Analyzer) AvgProbability(x []int) float64 {
+	var sum, total float64
+	for i, m := range a.Models {
+		if m == nil {
+			continue
+		}
+		total++
+		p := m.PredictProba(x)
+		if v := x[i]; v >= 0 && v < len(p) {
+			sum += p[v]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / total
+}
+
+// Score applies the selected combination rule.
+func (a *Analyzer) Score(x []int, s Scorer) float64 {
+	if s == MatchCount {
+		return a.AvgMatchCount(x)
+	}
+	return a.AvgProbability(x)
+}
+
+// ScoreAll scores a batch of events.
+func (a *Analyzer) ScoreAll(xs [][]int, s Scorer) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = a.Score(x, s)
+	}
+	return out
+}
+
+// Threshold calibrates the decision threshold from normal-data scores: the
+// lower quantile at the given false-alarm rate, so that a fraction
+// (1 - falseAlarmRate) of normal events score at or above it — the
+// paper's "lower bound of output values with certain confidence level".
+func Threshold(normalScores []float64, falseAlarmRate float64) float64 {
+	if len(normalScores) == 0 {
+		return 0
+	}
+	if falseAlarmRate < 0 {
+		falseAlarmRate = 0
+	}
+	if falseAlarmRate > 1 {
+		falseAlarmRate = 1
+	}
+	sorted := append([]float64(nil), normalScores...)
+	sort.Float64s(sorted)
+	idx := int(falseAlarmRate * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Detector couples an analyzer with a scorer and calibrated threshold
+// (Algorithms 2/3 end-to-end).
+type Detector struct {
+	Analyzer  *Analyzer
+	Scorer    Scorer
+	Threshold float64
+}
+
+// NewDetector calibrates a detector on normal calibration events at the
+// given false-alarm rate.
+func NewDetector(a *Analyzer, s Scorer, normalEvents [][]int, falseAlarmRate float64) *Detector {
+	scores := a.ScoreAll(normalEvents, s)
+	return &Detector{Analyzer: a, Scorer: s, Threshold: Threshold(scores, falseAlarmRate)}
+}
+
+// IsAnomaly classifies one event: true when the score falls below the
+// threshold.
+func (d *Detector) IsAnomaly(x []int) bool {
+	return d.Analyzer.Score(x, d.Scorer) < d.Threshold
+}
+
+// Score exposes the detector's raw score for an event.
+func (d *Detector) Score(x []int) float64 { return d.Analyzer.Score(x, d.Scorer) }

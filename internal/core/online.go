@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// OnlineDetector wraps a Detector for streaming deployment on a live
+// audit feed: scores are smoothed with an exponentially weighted moving
+// average and an alarm requires several consecutive sub-threshold records
+// before raising, so single noisy snapshots do not page anyone. The alarm
+// clears symmetrically after enough consecutive normal records.
+//
+// This is the operational layer the paper's introduction motivates ("an
+// alert on intrusion then triggers a response") on top of Algorithms 2/3.
+type OnlineDetector struct {
+	det *Detector
+
+	// Smoothing is the EWMA weight of the newest score in (0,1]; 1 means
+	// no smoothing.
+	Smoothing float64
+	// RaiseAfter is how many consecutive anomalous records raise an alarm.
+	RaiseAfter int
+	// ClearAfter is how many consecutive normal records clear it.
+	ClearAfter int
+
+	initialized bool
+	ewma        float64
+	anomRun     int
+	normRun     int
+	alarm       bool
+	records     uint64
+	alarms      uint64
+}
+
+// NewOnlineDetector wraps det with default smoothing (0.5) and 3-record
+// raise / 5-record clear hysteresis.
+func NewOnlineDetector(det *Detector) *OnlineDetector {
+	return &OnlineDetector{det: det, Smoothing: 0.5, RaiseAfter: 3, ClearAfter: 5}
+}
+
+// State is the detector's externally visible condition after a record.
+type State struct {
+	Score    float64 // raw score of the record
+	Smoothed float64 // EWMA-smoothed score
+	Alarm    bool    // current alarm condition
+	Raised   bool    // this record raised the alarm
+	Cleared  bool    // this record cleared the alarm
+}
+
+// Observe consumes one discretised audit record and returns the updated
+// state.
+func (o *OnlineDetector) Observe(x []int) State {
+	o.records++
+	raw := o.det.Score(x)
+	alpha := o.Smoothing
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	if !o.initialized {
+		o.ewma = raw
+		o.initialized = true
+	} else {
+		o.ewma = alpha*raw + (1-alpha)*o.ewma
+	}
+	st := State{Score: raw, Smoothed: o.ewma, Alarm: o.alarm}
+
+	// Hysteresis counts raw per-record decisions: a single deep outlier
+	// must not satisfy the "consecutive anomalous records" requirement by
+	// dragging the smoothed score under the threshold for several steps.
+	if raw < o.det.Threshold {
+		o.anomRun++
+		o.normRun = 0
+	} else {
+		o.normRun++
+		o.anomRun = 0
+	}
+	raiseAfter := o.RaiseAfter
+	if raiseAfter < 1 {
+		raiseAfter = 1
+	}
+	clearAfter := o.ClearAfter
+	if clearAfter < 1 {
+		clearAfter = 1
+	}
+	switch {
+	case !o.alarm && o.anomRun >= raiseAfter:
+		o.alarm = true
+		o.alarms++
+		st.Raised = true
+	case o.alarm && o.normRun >= clearAfter:
+		o.alarm = false
+		st.Cleared = true
+	}
+	st.Alarm = o.alarm
+	return st
+}
+
+// Alarm reports the current alarm condition.
+func (o *OnlineDetector) Alarm() bool { return o.alarm }
+
+// Stats reports (records observed, alarms raised).
+func (o *OnlineDetector) Stats() (records, alarms uint64) { return o.records, o.alarms }
+
+// Reset returns the detector to its initial state.
+func (o *OnlineDetector) Reset() {
+	o.initialized = false
+	o.ewma = 0
+	o.anomRun = 0
+	o.normRun = 0
+	o.alarm = false
+}
+
+// String aids logging.
+func (o *OnlineDetector) String() string {
+	return fmt.Sprintf("OnlineDetector(alarm=%v, ewma=%.3f, threshold=%.3f)",
+		o.alarm, o.ewma, o.det.Threshold)
+}

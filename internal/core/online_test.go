@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"crossfeature/internal/ml/nbayes"
+)
+
+// onlineFixture trains a detector on correlated data and returns it with
+// generators for normal and anomalous events.
+func onlineFixture(t *testing.T) (*OnlineDetector, func() []int, func() []int) {
+	t.Helper()
+	ds := correlatedDataset(t, 400, 21)
+	a, err := Train(ds, nbayes.NewLearner(), TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(a, Probability, ds.X, 0.02)
+	rng := rand.New(rand.NewSource(22))
+	normal := func() []int {
+		v := rng.Intn(3)
+		return []int{v, v, rng.Intn(3)}
+	}
+	anomalous := func() []int {
+		v := rng.Intn(3)
+		return []int{v, (v + 1) % 3, rng.Intn(3)}
+	}
+	return NewOnlineDetector(det), normal, anomalous
+}
+
+func TestOnlineRaisesOnSustainedAnomaly(t *testing.T) {
+	o, normal, anomalous := onlineFixture(t)
+	for i := 0; i < 30; i++ {
+		if st := o.Observe(normal()); st.Alarm {
+			t.Fatalf("alarm on normal stream at record %d", i)
+		}
+	}
+	raised := false
+	for i := 0; i < 20; i++ {
+		st := o.Observe(anomalous())
+		if st.Raised {
+			raised = true
+			if i < o.RaiseAfter-1 {
+				t.Errorf("raised after only %d records, hysteresis is %d", i+1, o.RaiseAfter)
+			}
+			break
+		}
+	}
+	if !raised {
+		t.Fatal("sustained anomaly never raised the alarm")
+	}
+	if !o.Alarm() {
+		t.Fatal("alarm state not sticky")
+	}
+}
+
+func TestOnlineClearsAfterRecovery(t *testing.T) {
+	o, normal, anomalous := onlineFixture(t)
+	for i := 0; i < 20; i++ {
+		o.Observe(anomalous())
+	}
+	if !o.Alarm() {
+		t.Fatal("setup: alarm not raised")
+	}
+	cleared := false
+	for i := 0; i < 40; i++ {
+		if st := o.Observe(normal()); st.Cleared {
+			cleared = true
+			break
+		}
+	}
+	if !cleared {
+		t.Fatal("alarm never cleared after recovery")
+	}
+	if o.Alarm() {
+		t.Fatal("alarm state did not reset")
+	}
+	_, alarms := o.Stats()
+	if alarms != 1 {
+		t.Errorf("alarms = %d, want 1", alarms)
+	}
+}
+
+func TestOnlineSingleBlipDoesNotAlarm(t *testing.T) {
+	o, normal, anomalous := onlineFixture(t)
+	for i := 0; i < 10; i++ {
+		o.Observe(normal())
+	}
+	// One isolated anomalous record: smoothing + hysteresis absorb it.
+	if st := o.Observe(anomalous()); st.Raised {
+		t.Error("single blip raised the alarm")
+	}
+	for i := 0; i < 10; i++ {
+		if st := o.Observe(normal()); st.Alarm {
+			t.Fatal("blip left a lingering alarm")
+		}
+	}
+}
+
+func TestOnlineReset(t *testing.T) {
+	o, _, anomalous := onlineFixture(t)
+	for i := 0; i < 20; i++ {
+		o.Observe(anomalous())
+	}
+	o.Reset()
+	if o.Alarm() {
+		t.Error("Reset did not clear the alarm")
+	}
+}
+
+func TestOnlineSmoothingTracksRaw(t *testing.T) {
+	o, normal, _ := onlineFixture(t)
+	o.Smoothing = 1 // no smoothing: EWMA equals raw
+	for i := 0; i < 5; i++ {
+		st := o.Observe(normal())
+		if st.Score != st.Smoothed {
+			t.Fatalf("smoothing=1 but smoothed %v != raw %v", st.Smoothed, st.Score)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"crossfeature/internal/ml/c45"
+	"crossfeature/internal/ml/nbayes"
+	"crossfeature/internal/ml/ripper"
+)
+
+// RegisterGobModels makes the concrete classifier types gob-encodable
+// behind the ml.Classifier interface. Save/Load call it automatically;
+// callers embedding an Analyzer in their own gob streams must call it
+// before encoding or decoding.
+func RegisterGobModels() {
+	gob.Register(&c45.Tree{})
+	gob.Register(&ripper.RuleSet{})
+	gob.Register(&nbayes.Model{})
+}
+
+// Save serialises the analyzer with encoding/gob.
+func (a *Analyzer) Save(w io.Writer) error {
+	RegisterGobModels()
+	if err := gob.NewEncoder(w).Encode(a); err != nil {
+		return fmt.Errorf("core: encode analyzer: %w", err)
+	}
+	return nil
+}
+
+// Load deserialises an analyzer written by Save.
+func Load(r io.Reader) (*Analyzer, error) {
+	RegisterGobModels()
+	var a Analyzer
+	if err := gob.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("core: decode analyzer: %w", err)
+	}
+	return &a, nil
+}
+
+// SaveFile writes the analyzer to path.
+func (a *Analyzer) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create model file: %w", err)
+	}
+	defer f.Close()
+	if err := a.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an analyzer from path.
+func LoadFile(path string) (*Analyzer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open model file: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

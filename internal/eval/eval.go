@@ -1,0 +1,263 @@
+// Package eval provides the evaluation machinery behind the paper's
+// figures: recall-precision curves obtained by sweeping the decision
+// threshold, area-under-curve relative to the random-guess diagonal,
+// optimal operating points, score density distributions and time-series
+// aggregation across traces.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one operating point of a detector.
+type Point struct {
+	Threshold float64
+	Recall    float64 // p(alarm | intrusion)
+	Precision float64 // p(intrusion | alarm)
+}
+
+// Scored is a labelled detector output: the score of one event and whether
+// it truly belongs to an intrusion.
+type Scored struct {
+	Score     float64
+	Intrusion bool
+}
+
+// Curve computes the recall-precision curve by sweeping the decision
+// threshold over the distinct scores. An event is an alarm when its score
+// is strictly below the threshold (low score = anomalous), so raising the
+// threshold raises recall and typically lowers precision.
+func Curve(events []Scored) []Point {
+	if len(events) == 0 {
+		return nil
+	}
+	sorted := append([]Scored(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score < sorted[j].Score })
+
+	var totalPos int
+	for _, e := range sorted {
+		if e.Intrusion {
+			totalPos++
+		}
+	}
+	var points []Point
+	tp, fp := 0, 0
+	i := 0
+	for i < len(sorted) {
+		// Advance over a block of equal scores; the threshold just above
+		// this block alarms on everything up to and including it.
+		s := sorted[i].Score
+		for i < len(sorted) && sorted[i].Score == s {
+			if sorted[i].Intrusion {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		p := Point{Threshold: nextAfter(s)}
+		if totalPos > 0 {
+			p.Recall = float64(tp) / float64(totalPos)
+		}
+		if tp+fp > 0 {
+			p.Precision = float64(tp) / float64(tp+fp)
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// nextAfter nudges a threshold just above a score so "score < threshold"
+// includes the score itself.
+func nextAfter(s float64) float64 { return math.Nextafter(s, math.Inf(1)) }
+
+// AUC integrates precision over recall with the trapezoid rule, anchored
+// at (0, 1): the paper's accuracy summary for a recall-precision curve
+// hugging the top-left borders. A perfect detector scores 1; the 45-degree
+// random-guess diagonal scores 0.5.
+func AUC(points []Point) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	pts := append([]Point(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Recall < pts[j].Recall })
+	var area, prevR, prevP float64
+	prevP = 1 // anchor: zero recall at perfect precision
+	for _, p := range pts {
+		area += (p.Recall - prevR) * (p.Precision + prevP) / 2
+		prevR, prevP = p.Recall, p.Precision
+	}
+	// Extend flat to recall 1 if the curve stops early.
+	if prevR < 1 {
+		area += (1 - prevR) * prevP
+	}
+	return area
+}
+
+// AUCAboveDiagonal is the paper's "area between the curve and the random
+// guess diagonal" measure.
+func AUCAboveDiagonal(points []Point) float64 { return AUC(points) - 0.5 }
+
+// OptimalPoint returns the operating point closest to the ideal (1,1), the
+// simplified criterion the paper uses to report optimal points.
+func OptimalPoint(points []Point) Point {
+	best := Point{}
+	bestDist := math.Inf(1)
+	for _, p := range points {
+		d := math.Hypot(1-p.Recall, 1-p.Precision)
+		if d < bestDist {
+			bestDist = d
+			best = p
+		}
+	}
+	return best
+}
+
+// Confusion summarises detector decisions at a fixed threshold.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// At evaluates the confusion matrix for the given threshold (alarm when
+// score < threshold).
+func At(events []Scored, threshold float64) Confusion {
+	var c Confusion
+	for _, e := range events {
+		alarm := e.Score < threshold
+		switch {
+		case alarm && e.Intrusion:
+			c.TP++
+		case alarm && !e.Intrusion:
+			c.FP++
+		case !alarm && e.Intrusion:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Recall is p(alarm | intrusion).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Precision is p(intrusion | alarm).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// FalseAlarmRate is p(alarm | normal).
+func (c Confusion) FalseAlarmRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// F1 is the harmonic mean of recall and precision.
+func (c Confusion) F1() float64 {
+	r, p := c.Recall(), c.Precision()
+	if r+p == 0 {
+		return 0
+	}
+	return 2 * r * p / (r + p)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d recall=%.3f precision=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Recall(), c.Precision())
+}
+
+// --- densities --------------------------------------------------------------
+
+// DensityBin is one bin of a score density histogram.
+type DensityBin struct {
+	Low, High float64
+	Density   float64 // fraction of scores in the bin
+}
+
+// Density histograms scores over [0,1] into the given number of bins, the
+// representation behind the paper's density-distribution figures.
+func Density(scores []float64, bins int) []DensityBin {
+	if bins <= 0 {
+		bins = 20
+	}
+	out := make([]DensityBin, bins)
+	width := 1.0 / float64(bins)
+	for i := range out {
+		out[i].Low = float64(i) * width
+		out[i].High = out[i].Low + width
+	}
+	if len(scores) == 0 {
+		return out
+	}
+	for _, s := range scores {
+		i := int(s / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		out[i].Density++
+	}
+	for i := range out {
+		out[i].Density /= float64(len(scores))
+	}
+	return out
+}
+
+// --- time series ------------------------------------------------------------
+
+// SeriesPoint is one averaged time-series sample.
+type SeriesPoint struct {
+	Time  float64
+	Score float64
+}
+
+// AverageSeries averages several equally-sampled score series point-wise,
+// as the paper does when plotting "the averaged outcome of the same test
+// condition". Times are taken from the first series; shorter series are
+// averaged over their available prefix.
+func AverageSeries(times []float64, series [][]float64) []SeriesPoint {
+	out := make([]SeriesPoint, 0, len(times))
+	for i, t := range times {
+		var sum float64
+		var n int
+		for _, s := range series {
+			if i < len(s) {
+				sum += s[i]
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+		out = append(out, SeriesPoint{Time: t, Score: sum / float64(n)})
+	}
+	return out
+}
+
+// Downsample keeps every k-th point of a series (k >= 1), for compact
+// textual rendering of long runs.
+func Downsample(points []SeriesPoint, k int) []SeriesPoint {
+	if k <= 1 {
+		return points
+	}
+	out := make([]SeriesPoint, 0, len(points)/k+1)
+	for i := 0; i < len(points); i += k {
+		out = append(out, points[i])
+	}
+	return out
+}

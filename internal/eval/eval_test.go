@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurvePerfectSeparation(t *testing.T) {
+	var events []Scored
+	for i := 0; i < 50; i++ {
+		events = append(events, Scored{Score: 0.1 + float64(i)*0.001, Intrusion: true})
+		events = append(events, Scored{Score: 0.8 + float64(i)*0.001, Intrusion: false})
+	}
+	pts := Curve(events)
+	auc := AUC(pts)
+	if auc < 0.99 {
+		t.Errorf("perfect separation AUC = %v", auc)
+	}
+	opt := OptimalPoint(pts)
+	if opt.Recall < 0.99 || opt.Precision < 0.99 {
+		t.Errorf("perfect separation optimal = (%v,%v)", opt.Recall, opt.Precision)
+	}
+}
+
+func TestCurveRandomScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var events []Scored
+	for i := 0; i < 2000; i++ {
+		events = append(events, Scored{Score: rng.Float64(), Intrusion: i%2 == 0})
+	}
+	auc := AUC(Curve(events))
+	if auc < 0.45 || auc > 0.55 {
+		t.Errorf("random-guess AUC = %v, want about 0.5", auc)
+	}
+	if d := AUCAboveDiagonal(Curve(events)); math.Abs(d) > 0.05 {
+		t.Errorf("random-guess AUC above diagonal = %v", d)
+	}
+}
+
+func TestCurveMonotoneRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var events []Scored
+	for i := 0; i < 500; i++ {
+		events = append(events, Scored{Score: rng.Float64(), Intrusion: rng.Intn(3) == 0})
+	}
+	pts := Curve(events)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Recall < pts[i-1].Recall {
+			t.Fatal("recall not monotone in threshold")
+		}
+		if pts[i].Threshold <= pts[i-1].Threshold {
+			t.Fatal("thresholds not strictly increasing")
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Recall != 1 {
+		t.Errorf("final recall = %v, want 1", last.Recall)
+	}
+}
+
+func TestCurveEmpty(t *testing.T) {
+	if pts := Curve(nil); pts != nil {
+		t.Error("empty events produced points")
+	}
+	if auc := AUC(nil); auc != 0 {
+		t.Errorf("empty AUC = %v", auc)
+	}
+}
+
+func TestConfusionAt(t *testing.T) {
+	events := []Scored{
+		{Score: 0.1, Intrusion: true},  // alarm, TP
+		{Score: 0.2, Intrusion: false}, // alarm, FP
+		{Score: 0.9, Intrusion: true},  // no alarm, FN
+		{Score: 0.8, Intrusion: false}, // no alarm, TN
+	}
+	c := At(events, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	if c.Recall() != 0.5 || c.Precision() != 0.5 || c.FalseAlarmRate() != 0.5 {
+		t.Errorf("rates wrong: %v", c)
+	}
+	if math.Abs(c.F1()-0.5) > 1e-12 {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestConfusionZeroDivision(t *testing.T) {
+	var c Confusion
+	if c.Recall() != 0 || c.Precision() != 0 || c.FalseAlarmRate() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should report zero rates")
+	}
+}
+
+func TestDensitySumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	scores := make([]float64, 500)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	bins := Density(scores, 20)
+	if len(bins) != 20 {
+		t.Fatalf("got %d bins", len(bins))
+	}
+	var sum float64
+	for _, b := range bins {
+		sum += b.Density
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("densities sum to %v", sum)
+	}
+}
+
+func TestDensityEdgeValues(t *testing.T) {
+	bins := Density([]float64{0, 1, 1.5, -0.5}, 10)
+	var sum float64
+	for _, b := range bins {
+		sum += b.Density
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("out-of-range scores lost mass: %v", sum)
+	}
+	if bins[0].Density != 0.5 { // 0 and -0.5 clamp into the first bin
+		t.Errorf("first bin = %v, want 0.5", bins[0].Density)
+	}
+	if bins[9].Density != 0.5 { // 1 and 1.5 clamp into the last bin
+		t.Errorf("last bin = %v, want 0.5", bins[9].Density)
+	}
+}
+
+func TestAverageSeries(t *testing.T) {
+	times := []float64{0, 5, 10}
+	series := [][]float64{{1, 2, 3}, {3, 4, 5}}
+	avg := AverageSeries(times, series)
+	want := []float64{2, 3, 4}
+	for i, p := range avg {
+		if p.Score != want[i] || p.Time != times[i] {
+			t.Errorf("avg[%d] = %+v", i, p)
+		}
+	}
+}
+
+func TestAverageSeriesRaggedPrefix(t *testing.T) {
+	times := []float64{0, 5, 10}
+	series := [][]float64{{1, 2, 3}, {3}}
+	avg := AverageSeries(times, series)
+	if len(avg) != 3 {
+		t.Fatalf("len = %d", len(avg))
+	}
+	if avg[0].Score != 2 || avg[1].Score != 2 || avg[2].Score != 3 {
+		t.Errorf("ragged average = %v", avg)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	pts := make([]SeriesPoint, 10)
+	for i := range pts {
+		pts[i].Time = float64(i)
+	}
+	ds := Downsample(pts, 3)
+	if len(ds) != 4 || ds[1].Time != 3 || ds[3].Time != 9 {
+		t.Errorf("downsample = %v", ds)
+	}
+	if got := Downsample(pts, 1); len(got) != 10 {
+		t.Error("k=1 should be identity")
+	}
+}
+
+// Property: AUC is always within [0, 1] and precision/recall in range.
+func TestQuickCurveBounds(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		events := make([]Scored, len(raw))
+		for i, v := range raw {
+			events[i] = Scored{Score: float64(v) / 65535, Intrusion: rng.Intn(2) == 0}
+		}
+		pts := Curve(events)
+		for _, p := range pts {
+			if p.Recall < 0 || p.Recall > 1 || p.Precision < 0 || p.Precision > 1 {
+				return false
+			}
+		}
+		auc := AUC(pts)
+		return auc >= 0 && auc <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifting every anomaly score strictly below every normal score
+// always yields AUC near 1 (any mixture proportions).
+func TestQuickSeparatedScoresPerfectAUC(t *testing.T) {
+	f := func(nPos, nNeg uint8) bool {
+		if nPos == 0 || nNeg == 0 {
+			return true
+		}
+		var events []Scored
+		for i := 0; i < int(nPos); i++ {
+			events = append(events, Scored{Score: 0.1 + float64(i)/1000, Intrusion: true})
+		}
+		for i := 0; i < int(nNeg); i++ {
+			events = append(events, Scored{Score: 0.9 + float64(i)/1000, Intrusion: false})
+		}
+		return AUC(Curve(events)) > 0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// tinyPreset is small enough for ablation tests to run in seconds.
+func tinyPreset() Preset {
+	p := QuickPreset()
+	p.Nodes = 12
+	p.Connections = 8
+	p.Duration = 400
+	p.Warmup = 100
+	p.TrainSeed = 11
+	p.NormalSeeds = []int64{21}
+	p.AttackSeeds = []int64{31}
+	p.BlackHoleStart = 150
+	p.DropStart = 250
+	p.SessionDuration = 40
+	p.SingleStarts = []float64{150, 250, 350}
+	p.SingleSessionDuration = 25
+	p.PrefilterSize = 0
+	return p
+}
+
+func TestAblationBuckets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	lab, err := NewLab(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := lab.AblationBuckets(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("%d bucket variants, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if r.AUC <= 0 || r.AUC > 1 {
+			t.Errorf("%s: AUC %v out of range", r.Variant, r.AUC)
+		}
+	}
+}
+
+func TestAblationPeriodsAndReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	lab, err := NewLab(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := lab.AblationPeriods(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("%d period variants, want 4", len(rs))
+	}
+	rs, err = lab.AblationModelReduction(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("%d reduction variants, want 4", len(rs))
+	}
+	// The full-model variant must match having all sub-models.
+	full := rs[len(rs)-1]
+	if full.AUC <= 0 {
+		t.Error("full-model reduction variant has no AUC")
+	}
+}
+
+func TestAblationContinuous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	lab, err := NewLab(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := lab.AblationContinuous(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("%d continuous variants, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if r.AUC < 0.3 {
+			t.Errorf("%s: AUC %v suspiciously low", r.Variant, r.AUC)
+		}
+	}
+}
+
+func TestFeatureSubset(t *testing.T) {
+	all := featureSubset("all")
+	if all != nil {
+		t.Error("all should keep everything (nil mask)")
+	}
+	only5 := featureSubset("5s")
+	count := 0
+	for range only5 {
+		count++
+	}
+	// 8 route features + 22 combos * 2 measures for one period = 52.
+	if count != 52 {
+		t.Errorf("5s subset keeps %d features, want 52", count)
+	}
+}
+
+func TestAblationFactorAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	lab, err := NewLab(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := lab.AblationFactorAnalysis(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("%d factor variants, want 3", len(rs))
+	}
+	for _, r := range rs {
+		t.Logf("%s: AUC=%.3f", r.Variant, r.AUC)
+		if r.AUC < 0.4 {
+			t.Errorf("%s: AUC %v below chance margin", r.Variant, r.AUC)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/eval"
+	"crossfeature/internal/ml"
+	"crossfeature/internal/netsim"
+)
+
+// CurveResult is one recall-precision curve with its summary statistics.
+type CurveResult struct {
+	Scenario Scenario
+	Learner  string
+	Scorer   core.Scorer
+	Points   []eval.Point
+	AUC      float64
+	Optimal  eval.Point
+}
+
+// runCurve trains one detector configuration and evaluates its
+// recall-precision curve on the scenario's normal and mixed test traces.
+func (l *Lab) runCurve(sc Scenario, learner ml.Learner, scorer core.Scorer) (CurveResult, error) {
+	a, d, err := l.Train(sc, learner)
+	if err != nil {
+		return CurveResult{}, err
+	}
+	var events []eval.Scored
+	normals, err := LabelledScores(a, d.Disc, d.Normal, scorer, l.Preset.Warmup)
+	if err != nil {
+		return CurveResult{}, err
+	}
+	events = append(events, normals...)
+	attacks, err := LabelledScores(a, d.Disc, d.Mixed, scorer, l.Preset.Warmup)
+	if err != nil {
+		return CurveResult{}, err
+	}
+	events = append(events, attacks...)
+	pts := eval.Curve(events)
+	return CurveResult{
+		Scenario: sc,
+		Learner:  learner.Name(),
+		Scorer:   scorer,
+		Points:   pts,
+		AUC:      eval.AUC(pts),
+		Optimal:  eval.OptimalPoint(pts),
+	}, nil
+}
+
+// Figure1 reproduces the paper's Figure 1: recall-precision curves using
+// average probability for C4.5, RIPPER and NBC over the four scenarios.
+func (l *Lab) Figure1(w io.Writer) ([]CurveResult, error) {
+	fmt.Fprintln(w, "Figure 1: Recall-Precision curves (average probability)")
+	var results []CurveResult
+	for _, sc := range FourScenarios() {
+		for _, learner := range Learners() {
+			r, err := l.runCurve(sc, learner, core.Probability)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, r)
+			printCurve(w, r)
+		}
+	}
+	return results, nil
+}
+
+// Figure2 reproduces Figure 2: average match count versus average
+// probability with RIPPER on the four scenarios.
+func (l *Lab) Figure2(w io.Writer) ([]CurveResult, error) {
+	fmt.Fprintln(w, "Figure 2: match count vs probability (RIPPER)")
+	learner, err := LearnerByName("RIPPER")
+	if err != nil {
+		return nil, err
+	}
+	var results []CurveResult
+	for _, sc := range FourScenarios() {
+		for _, scorer := range []core.Scorer{core.MatchCount, core.Probability} {
+			r, err := l.runCurve(sc, learner, scorer)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, r)
+			printCurve(w, r)
+		}
+	}
+	return results, nil
+}
+
+// printCurve renders a curve summary plus a compact point list.
+func printCurve(w io.Writer, r CurveResult) {
+	fmt.Fprintf(w, "%s %s %s: AUC=%.3f AUC-above-diagonal=%.3f optimal=(recall=%.2f, precision=%.2f)\n",
+		r.Scenario.Name(), r.Learner, r.Scorer, r.AUC, eval.AUCAboveDiagonal(r.Points),
+		r.Optimal.Recall, r.Optimal.Precision)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  recall\tprecision\tthreshold")
+	step := len(r.Points) / 12
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Points); i += step {
+		p := r.Points[i]
+		fmt.Fprintf(tw, "  %.3f\t%.3f\t%.4f\n", p.Recall, p.Precision, p.Threshold)
+	}
+	tw.Flush()
+}
+
+// SeriesResult is one averaged score time series for a test condition.
+type SeriesResult struct {
+	Scenario  Scenario
+	Learner   string
+	Condition AttackMix
+	Points    []eval.SeriesPoint
+	Threshold float64
+}
+
+// runSeries scores traces of one condition and averages them point-wise.
+func (l *Lab) runSeries(sc Scenario, learner ml.Learner, mix AttackMix, seeds []int64) (SeriesResult, error) {
+	a, d, err := l.Train(sc, learner)
+	if err != nil {
+		return SeriesResult{}, err
+	}
+	var series [][]float64
+	var times []float64
+	for _, seed := range seeds {
+		t, err := l.RunTrace(sc, mix, seed)
+		if err != nil {
+			return SeriesResult{}, err
+		}
+		scores, err := ScoreTrace(a, d.Disc, t, core.Probability)
+		if err != nil {
+			return SeriesResult{}, err
+		}
+		series = append(series, scores)
+		if times == nil {
+			times = make([]float64, len(t.Vectors))
+			for i, v := range t.Vectors {
+				times[i] = v.Time
+			}
+		}
+	}
+	trainScores := a.ScoreAll(d.TrainEvents, core.Probability)
+	return SeriesResult{
+		Scenario:  sc,
+		Learner:   learner.Name(),
+		Condition: mix,
+		Points:    eval.AverageSeries(times, series),
+		Threshold: core.Threshold(trainScores, l.Preset.FalseAlarmRate),
+	}, nil
+}
+
+// Figure3 reproduces Figure 3: average-probability time series for normal
+// versus (mixed) abnormal traces with C4.5 on all four scenarios.
+func (l *Lab) Figure3(w io.Writer) ([]SeriesResult, error) {
+	fmt.Fprintln(w, "Figure 3: average probability over time, normal vs abnormal (C4.5)")
+	learner, err := LearnerByName("C4.5")
+	if err != nil {
+		return nil, err
+	}
+	var results []SeriesResult
+	for _, sc := range FourScenarios() {
+		normal, err := l.runSeries(sc, learner, NoAttack, l.Preset.NormalSeeds)
+		if err != nil {
+			return nil, err
+		}
+		abnormal, err := l.runSeries(sc, learner, Mixed, l.Preset.AttackSeeds)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, normal, abnormal)
+		printSeriesPair(w, sc.Name(), normal, abnormal)
+	}
+	return results, nil
+}
+
+// Figure5 reproduces Figure 5: time series for single-intrusion traces
+// (black hole only, dropping only) with AODV/UDP and C4.5.
+func (l *Lab) Figure5(w io.Writer) ([]SeriesResult, error) {
+	fmt.Fprintln(w, "Figure 5: per-intrusion time series (AODV/UDP, C4.5)")
+	learner, err := LearnerByName("C4.5")
+	if err != nil {
+		return nil, err
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+	var results []SeriesResult
+	normal, err := l.runSeries(sc, learner, NoAttack, l.Preset.NormalSeeds)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, normal)
+	for _, mix := range []AttackMix{BlackHoleOnly, DropOnly} {
+		r, err := l.runSeries(sc, learner, mix, l.Preset.AttackSeeds)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+		printSeriesPair(w, fmt.Sprintf("%s (%s)", sc.Name(), mix), normal, r)
+	}
+	return results, nil
+}
+
+// printSeriesPair renders normal and abnormal series side by side.
+func printSeriesPair(w io.Writer, label string, normal, abnormal SeriesResult) {
+	fmt.Fprintf(w, "%s (threshold %.3f)\n", label, normal.Threshold)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  time\tnormal\tabnormal")
+	k := len(normal.Points) / 20
+	if k < 1 {
+		k = 1
+	}
+	np := eval.Downsample(normal.Points, k)
+	ap := eval.Downsample(abnormal.Points, k)
+	for i := range np {
+		ab := ""
+		if i < len(ap) {
+			ab = fmt.Sprintf("%.3f", ap[i].Score)
+		}
+		fmt.Fprintf(tw, "  %.0f\t%.3f\t%s\n", np[i].Time, np[i].Score, ab)
+	}
+	tw.Flush()
+}
+
+// DensityResult is one score density distribution for a test condition.
+type DensityResult struct {
+	Scenario  Scenario
+	Condition AttackMix
+	Bins      []eval.DensityBin
+	Threshold float64
+}
+
+// runDensity computes the score density over all traces of a condition.
+func (l *Lab) runDensity(sc Scenario, learner ml.Learner, mix AttackMix, seeds []int64) (DensityResult, error) {
+	a, d, err := l.Train(sc, learner)
+	if err != nil {
+		return DensityResult{}, err
+	}
+	var scores []float64
+	for _, seed := range seeds {
+		t, err := l.RunTrace(sc, mix, seed)
+		if err != nil {
+			return DensityResult{}, err
+		}
+		s, err := ScoreTrace(a, d.Disc, t, core.Probability)
+		if err != nil {
+			return DensityResult{}, err
+		}
+		// For attack traces, only post-onset records characterise the
+		// abnormal distribution (pre-onset behaviour is normal by design).
+		if mix == NoAttack {
+			scores = append(scores, s...)
+		} else {
+			labels := t.Labels()
+			for i, v := range s {
+				if labels[i] {
+					scores = append(scores, v)
+				}
+			}
+		}
+	}
+	trainScores := a.ScoreAll(d.TrainEvents, core.Probability)
+	return DensityResult{
+		Scenario:  sc,
+		Condition: mix,
+		Bins:      eval.Density(scores, 20),
+		Threshold: core.Threshold(trainScores, l.Preset.FalseAlarmRate),
+	}, nil
+}
+
+// Figure4 reproduces Figure 4: average-probability density distributions,
+// normal versus abnormal, with C4.5 on all four scenarios.
+func (l *Lab) Figure4(w io.Writer) ([]DensityResult, error) {
+	fmt.Fprintln(w, "Figure 4: score density, normal vs abnormal (C4.5)")
+	learner, err := LearnerByName("C4.5")
+	if err != nil {
+		return nil, err
+	}
+	var results []DensityResult
+	for _, sc := range FourScenarios() {
+		normal, err := l.runDensity(sc, learner, NoAttack, l.Preset.NormalSeeds)
+		if err != nil {
+			return nil, err
+		}
+		abnormal, err := l.runDensity(sc, learner, Mixed, l.Preset.AttackSeeds)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, normal, abnormal)
+		printDensityPair(w, sc.Name(), normal, abnormal)
+	}
+	return results, nil
+}
+
+// Figure6 reproduces Figure 6: density distributions per intrusion type
+// with AODV/UDP and C4.5.
+func (l *Lab) Figure6(w io.Writer) ([]DensityResult, error) {
+	fmt.Fprintln(w, "Figure 6: score density per intrusion type (AODV/UDP, C4.5)")
+	learner, err := LearnerByName("C4.5")
+	if err != nil {
+		return nil, err
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+	normal, err := l.runDensity(sc, learner, NoAttack, l.Preset.NormalSeeds)
+	if err != nil {
+		return nil, err
+	}
+	results := []DensityResult{normal}
+	for _, mix := range []AttackMix{BlackHoleOnly, DropOnly} {
+		r, err := l.runDensity(sc, learner, mix, l.Preset.AttackSeeds)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+		printDensityPair(w, fmt.Sprintf("%s (%s)", sc.Name(), mix), normal, r)
+	}
+	return results, nil
+}
+
+// printDensityPair renders two densities with the threshold marked.
+func printDensityPair(w io.Writer, label string, normal, abnormal DensityResult) {
+	fmt.Fprintf(w, "%s (threshold %.3f; alarms fire left of it)\n", label, normal.Threshold)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  score bin\tnormal\tabnormal")
+	for i := range normal.Bins {
+		mark := " "
+		if normal.Bins[i].Low <= normal.Threshold && normal.Threshold < normal.Bins[i].High {
+			mark = "*"
+		}
+		fmt.Fprintf(tw, "%s [%.2f,%.2f)\t%.3f\t%.3f\n",
+			mark, normal.Bins[i].Low, normal.Bins[i].High,
+			normal.Bins[i].Density, abnormal.Bins[i].Density)
+	}
+	tw.Flush()
+}

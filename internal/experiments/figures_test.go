@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFiguresTinyScale drives every figure pipeline end-to-end at a tiny
+// scale, checking result shapes and that the printed output carries the
+// expected structure.
+func TestFiguresTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure pipelines in -short mode")
+	}
+	lab, err := NewLab(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+
+	f2, err := lab.Figure2(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2) != 8 { // 4 scenarios x 2 scorers
+		t.Errorf("figure 2 has %d curves, want 8", len(f2))
+	}
+	for _, r := range f2 {
+		if r.Learner != "RIPPER" {
+			t.Errorf("figure 2 used learner %s", r.Learner)
+		}
+	}
+
+	f3, err := lab.Figure3(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3) != 8 { // 4 scenarios x {normal, abnormal}
+		t.Errorf("figure 3 has %d series, want 8", len(f3))
+	}
+	for _, r := range f3 {
+		if len(r.Points) == 0 {
+			t.Errorf("figure 3 %s/%s series empty", r.Scenario.Name(), r.Condition)
+		}
+		if r.Threshold <= 0 || r.Threshold >= 1 {
+			t.Errorf("threshold %v out of range", r.Threshold)
+		}
+	}
+
+	f4, err := lab.Figure4(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4) != 8 {
+		t.Errorf("figure 4 has %d densities, want 8", len(f4))
+	}
+	for _, r := range f4 {
+		var sum float64
+		for _, b := range r.Bins {
+			sum += b.Density
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("figure 4 %s/%s density sums to %v", r.Scenario.Name(), r.Condition, sum)
+		}
+	}
+
+	f5, err := lab.Figure5(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5) != 3 { // normal + blackhole-only + dropping-only
+		t.Errorf("figure 5 has %d series, want 3", len(f5))
+	}
+	conditions := map[AttackMix]bool{}
+	for _, r := range f5 {
+		conditions[r.Condition] = true
+	}
+	if !conditions[NoAttack] || !conditions[BlackHoleOnly] || !conditions[DropOnly] {
+		t.Errorf("figure 5 conditions: %v", conditions)
+	}
+
+	f6, err := lab.Figure6(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6) != 3 {
+		t.Errorf("figure 6 has %d densities, want 3", len(f6))
+	}
+
+	s := out.String()
+	for _, needle := range []string{"Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "recall", "score bin"} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("figure output missing %q", needle)
+		}
+	}
+}
+
+// TestFigure3AbnormalBelowNormal is the paper's core Figure 3 claim at
+// tiny scale: after the intrusion onset, the abnormal trace's average
+// probability falls below the normal trace's.
+func TestFigure3AbnormalBelowNormal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure pipeline in -short mode")
+	}
+	p := tinyPreset()
+	lab, err := NewLab(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := lab.Figure3(discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the AODV/UDP pair.
+	var normal, abnormal *SeriesResult
+	for i := range f3 {
+		r := &f3[i]
+		if r.Scenario.Name() != "AODV/UDP" {
+			continue
+		}
+		if r.Condition == NoAttack {
+			normal = r
+		} else {
+			abnormal = r
+		}
+	}
+	if normal == nil || abnormal == nil {
+		t.Fatal("missing AODV/UDP series")
+	}
+	var nSum, aSum float64
+	var n int
+	for i := range normal.Points {
+		if normal.Points[i].Time < p.BlackHoleStart || i >= len(abnormal.Points) {
+			continue
+		}
+		nSum += normal.Points[i].Score
+		aSum += abnormal.Points[i].Score
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no post-onset points")
+	}
+	if aSum/float64(n) >= nSum/float64(n) {
+		t.Errorf("post-onset abnormal mean %.3f not below normal %.3f",
+			aSum/float64(n), nSum/float64(n))
+	}
+}
+
+// discard is an io.Writer black hole without importing io in this file.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

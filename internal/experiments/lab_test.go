@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"testing"
+
+	"crossfeature/internal/attack"
+	"crossfeature/internal/features"
+	"crossfeature/internal/netsim"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	if err := PaperPreset().Validate(); err != nil {
+		t.Errorf("paper preset invalid: %v", err)
+	}
+	if err := QuickPreset().Validate(); err != nil {
+		t.Errorf("quick preset invalid: %v", err)
+	}
+}
+
+func TestPresetValidationRejects(t *testing.T) {
+	cases := []func(*Preset){
+		func(p *Preset) { p.Nodes = 2 },
+		func(p *Preset) { p.Duration = 0 },
+		func(p *Preset) { p.AttackerNode = 0 }, // must not be the monitored node
+		func(p *Preset) { p.BlackHoleStart = p.Duration + 1 },
+		func(p *Preset) { p.NormalSeeds = nil },
+	}
+	for i, mut := range cases {
+		p := QuickPreset()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestFourScenarios(t *testing.T) {
+	scs := FourScenarios()
+	if len(scs) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(scs))
+	}
+	names := map[string]bool{}
+	for _, sc := range scs {
+		names[sc.Name()] = true
+	}
+	for _, want := range []string{"AODV/TCP", "AODV/UDP", "DSR/TCP", "DSR/UDP"} {
+		if !names[want] {
+			t.Errorf("missing scenario %s", want)
+		}
+	}
+}
+
+func TestLearnersMatchPaper(t *testing.T) {
+	names := map[string]bool{}
+	for _, l := range Learners() {
+		names[l.Name()] = true
+	}
+	for _, want := range []string{"C4.5", "RIPPER", "NBC"} {
+		if !names[want] {
+			t.Errorf("missing learner %s", want)
+		}
+	}
+	if _, err := LearnerByName("C4.5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LearnerByName("J48"); err == nil {
+		t.Error("unknown learner accepted")
+	}
+}
+
+func TestTraceLabelsFromOnset(t *testing.T) {
+	tr := Trace{
+		Vectors: []features.Vector{{Time: 100}, {Time: 499}, {Time: 500}, {Time: 900}},
+		Plan: attack.Plan{Specs: []attack.Spec{{
+			Kind:     attack.BlackHole,
+			Sessions: attack.Sessions(100, 500),
+		}}},
+	}
+	labels := tr.Labels()
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("label[%d] = %v, want %v", i, labels[i], want[i])
+		}
+	}
+	clean := Trace{Vectors: tr.Vectors}
+	for i, l := range clean.Labels() {
+		if l {
+			t.Errorf("clean trace labelled intrusive at %d", i)
+		}
+	}
+}
+
+func TestTrimWarmup(t *testing.T) {
+	vs := []features.Vector{{Time: 5}, {Time: 250}, {Time: 255}}
+	out := trimWarmup(vs, 250)
+	if len(out) != 2 || out[0].Time != 250 {
+		t.Errorf("trimWarmup = %v", out)
+	}
+	if got := trimWarmup(vs, 0); len(got) != 3 {
+		t.Error("zero warmup should keep everything")
+	}
+}
+
+func TestAttackSpecsComposition(t *testing.T) {
+	p := QuickPreset()
+	lab, err := NewLab(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := lab.attackSpecs(Mixed)
+	if len(mixed) != 2 {
+		t.Fatalf("mixed has %d specs", len(mixed))
+	}
+	if mixed[0].Kind != attack.BlackHole || mixed[1].Kind != attack.SelectiveDrop {
+		t.Error("mixed spec kinds wrong")
+	}
+	if mixed[0].Sessions[0].Start != p.BlackHoleStart {
+		t.Errorf("black hole starts at %v", mixed[0].Sessions[0].Start)
+	}
+	// Sessions alternate on/off with equal duration and gap.
+	s := mixed[0].Sessions
+	if len(s) < 2 {
+		t.Fatal("expected periodic sessions")
+	}
+	if gap := s[1].Start - s[0].End(); gap != p.SessionDuration {
+		t.Errorf("gap = %v, want %v (equal to duration)", gap, p.SessionDuration)
+	}
+
+	single := lab.attackSpecs(BlackHoleOnly)
+	if len(single) != 1 || len(single[0].Sessions) != len(p.SingleStarts) {
+		t.Error("single-intrusion schedule wrong")
+	}
+	if specs := lab.attackSpecs(NoAttack); specs != nil {
+		t.Error("no-attack mix produced specs")
+	}
+}
+
+func TestRunTraceMemoised(t *testing.T) {
+	p := QuickPreset()
+	p.Nodes = 12
+	p.Connections = 8
+	p.Duration = 100
+	p.Warmup = 20
+	p.BlackHoleStart = 30
+	p.DropStart = 50
+	p.SessionDuration = 10
+	p.SingleStarts = []float64{30, 50, 70}
+	lab, err := NewLab(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+	a, err := lab.RunTrace(sc, NoAttack, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab.RunTrace(sc, NoAttack, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical trace request was not memoised")
+	}
+	c, err := lab.RunTrace(sc, NoAttack, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds shared a memoised trace")
+	}
+}
+
+func TestScenarioDataShapes(t *testing.T) {
+	p := QuickPreset()
+	p.Nodes = 12
+	p.Connections = 8
+	p.Duration = 200
+	p.Warmup = 50
+	p.BlackHoleStart = 60
+	p.DropStart = 100
+	p.SessionDuration = 20
+	p.SingleStarts = []float64{60, 100, 150}
+	p.NormalSeeds = p.NormalSeeds[:1]
+	p.AttackSeeds = p.AttackSeeds[:1]
+	lab, err := NewLab(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+	d, err := lab.Data(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TrainDS.Len() == 0 {
+		t.Fatal("empty training dataset")
+	}
+	if len(d.TrainDS.Attrs) != features.NumFeatures {
+		t.Errorf("training schema has %d attributes, want %d", len(d.TrainDS.Attrs), features.NumFeatures)
+	}
+	if len(d.Normal) != 1 || len(d.Mixed) != 1 {
+		t.Errorf("test trace counts: %d normal, %d mixed", len(d.Normal), len(d.Mixed))
+	}
+	// Training rows all start at/after warmup.
+	wantRows := int((p.Duration - p.Warmup) / p.Sample)
+	if d.TrainDS.Len() < wantRows-1 || d.TrainDS.Len() > wantRows+1 {
+		t.Errorf("training rows = %d, want about %d", d.TrainDS.Len(), wantRows)
+	}
+}

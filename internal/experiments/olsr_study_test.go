@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestOLSRStudyDetects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("OLSR study in -short mode")
+	}
+	lab, err := NewLab(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := lab.OLSRStudy(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("%d results", len(rs))
+	}
+	t.Logf("OLSR AUC=%.3f optimal=(%.2f,%.2f)", rs[0].AUC, rs[0].Optimal.Recall, rs[0].Optimal.Precision)
+	// At this tiny scale the OLSR signal is marginal (the protocol heals
+	// within a TC interval and the black hole only captures traffic near
+	// the attacker); the pipeline must still run and stay above chaos.
+	if rs[0].AUC < 0.3 || rs[0].AUC > 1 {
+		t.Errorf("OLSR detection AUC %.3f out of sane range", rs[0].AUC)
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/netsim"
+)
+
+// TestPaperScaleAODVUDP validates the headline result at the paper's full
+// scale (10 000 s, 50 nodes, 100 connections): a C4.5 cross-feature
+// detector on AODV/UDP must reach near-perfect recall-precision, in line
+// with the paper's reported optimal points. The run takes a couple of
+// minutes, so it is opt-in via CROSSFEATURE_PAPER=1.
+func TestPaperScaleAODVUDP(t *testing.T) {
+	if os.Getenv("CROSSFEATURE_PAPER") == "" {
+		t.Skip("set CROSSFEATURE_PAPER=1 to run the full-scale validation")
+	}
+	p := PaperPreset()
+	p.NormalSeeds = p.NormalSeeds[:1]
+	p.AttackSeeds = p.AttackSeeds[:1]
+	lab, err := NewLab(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+	learner, err := LearnerByName("C4.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := lab.runCurve(sc, learner, core.Probability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("paper-scale AODV/UDP C4.5: AUC=%.3f optimal=(%.2f,%.2f)", r.AUC, r.Optimal.Recall, r.Optimal.Precision)
+	if r.AUC < 0.95 {
+		t.Errorf("AUC %.3f below 0.95 at paper scale", r.AUC)
+	}
+	if r.Optimal.Recall < 0.9 || r.Optimal.Precision < 0.9 {
+		t.Errorf("optimal point (%.2f,%.2f) below the paper's regime", r.Optimal.Recall, r.Optimal.Precision)
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"crossfeature/internal/packet"
+)
+
+func TestAblationFeatureReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("feature reduction in -short mode")
+	}
+	lab, err := NewLab(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := lab.AblationFeatureReduction(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("%d variants, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if r.AUC <= 0 || r.AUC > 1 {
+			t.Errorf("%s: AUC %v out of range", r.Variant, r.AUC)
+		}
+	}
+}
+
+func TestMultiNodeStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node study in -short mode")
+	}
+	lab, err := NewLab(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := lab.MultiNodeStudy(io.Discard, []packet.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("%d node results, want 3", len(rs))
+	}
+	for _, r := range rs {
+		t.Logf("node %d: AUC=%.3f", r.Node, r.AUC)
+		if r.AUC < 0.5 {
+			t.Errorf("node %d AUC %.3f below chance", r.Node, r.AUC)
+		}
+	}
+}

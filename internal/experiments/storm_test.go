@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"crossfeature/internal/attack"
+	"crossfeature/internal/features"
+)
+
+func TestStormStudyDetects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm study in -short mode")
+	}
+	lab, err := NewLab(tinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := lab.StormStudy(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("%d results", len(rs))
+	}
+	t.Logf("storm AUC=%.3f optimal=(%.2f,%.2f)", rs[0].AUC, rs[0].Optimal.Recall, rs[0].Optimal.Precision)
+	if rs[0].AUC < 0.7 {
+		t.Errorf("update storm AUC %.3f too low; the flood should be obvious", rs[0].AUC)
+	}
+}
+
+func TestSessionLabels(t *testing.T) {
+	tr := Trace{
+		Vectors: []features.Vector{
+			{Time: 95}, {Time: 100}, {Time: 145}, {Time: 150},
+			{Time: 200}, {Time: 215}, {Time: 500},
+		},
+		Plan: attack.Plan{Specs: []attack.Spec{{
+			Kind:     attack.UpdateStorm,
+			Sessions: attack.Sessions(50, 100),
+		}}},
+	}
+	// Session covers [100, 150); tail 60 extends labels to ~210.
+	labels := tr.SessionLabels(60)
+	want := []bool{false, true, true, true, true, false, false}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("label at t=%v is %v, want %v", tr.Vectors[i].Time, labels[i], want[i])
+		}
+	}
+}

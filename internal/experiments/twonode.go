@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// The two-node illustrative example of section 3: three binary features —
+// "Reachable?", "Delivered?", "Cached?" — with four normal events
+// (Table 1). The paper's illustrative classifier, per labelled feature,
+// maps each assignment of the other two features to a prediction:
+//
+//   - exactly one class seen among normal events -> that class, prob 1.0
+//   - both classes seen                          -> True, prob 0.5
+//   - combination never seen                     -> the label appearing
+//     more often in the other rules, prob 0.5
+//
+// The probability of the true class is the predicted probability when the
+// prediction matches and one minus it otherwise.
+
+// TwoNodeFeatureNames are the example's feature names in order.
+var TwoNodeFeatureNames = [3]string{"Reachable?", "Delivered?", "Cached?"}
+
+// TwoNodeEvent is one event of the example.
+type TwoNodeEvent [3]bool
+
+// TwoNodeNormalEvents reproduces Table 1: the complete set of normal
+// events in the 2-node network.
+func TwoNodeNormalEvents() []TwoNodeEvent {
+	return []TwoNodeEvent{
+		{true, true, true},
+		{true, false, false},
+		{false, false, true},
+		{false, false, false},
+	}
+}
+
+// TwoNodeAllEvents enumerates all 8 possible events in Table 3's order:
+// the four normal events followed by the four abnormal ones.
+func TwoNodeAllEvents() (events []TwoNodeEvent, normal []bool) {
+	norm := TwoNodeNormalEvents()
+	isNormal := func(e TwoNodeEvent) bool {
+		for _, n := range norm {
+			if n == e {
+				return true
+			}
+		}
+		return false
+	}
+	events = append(events, norm...)
+	normal = []bool{true, true, true, true}
+	for _, e := range []TwoNodeEvent{
+		{true, true, false},
+		{true, false, true},
+		{false, true, true},
+		{false, true, false},
+	} {
+		events = append(events, e)
+		normal = append(normal, isNormal(e))
+	}
+	return events, normal
+}
+
+// TwoNodeRule is one row of a sub-model table (Table 2): the values of the
+// two non-labelled features, the predicted class and its probability.
+type TwoNodeRule struct {
+	Others    [2]bool // values of the non-labelled features, in feature order
+	Predicted bool
+	Prob      float64
+}
+
+// TwoNodeSubModel is the illustrative sub-model with respect to one
+// labelled feature.
+type TwoNodeSubModel struct {
+	Labeled int // index of the labelled feature
+	Rules   [4]TwoNodeRule
+}
+
+// ruleIndex maps a pair of boolean inputs to a rule slot.
+func ruleIndex(a, b bool) int {
+	i := 0
+	if a {
+		i |= 2
+	}
+	if b {
+		i |= 1
+	}
+	return i
+}
+
+// others extracts the non-labelled feature values of an event.
+func others(e TwoNodeEvent, labeled int) (a, b bool) {
+	vals := make([]bool, 0, 2)
+	for i, v := range e {
+		if i != labeled {
+			vals = append(vals, v)
+		}
+	}
+	return vals[0], vals[1]
+}
+
+// BuildTwoNodeSubModel constructs the illustrative sub-model with respect
+// to the given labelled feature from the normal events (Table 2).
+func BuildTwoNodeSubModel(labeled int) TwoNodeSubModel {
+	m := TwoNodeSubModel{Labeled: labeled}
+	var seenTrue, seenFalse [4]bool
+	for _, e := range TwoNodeNormalEvents() {
+		a, b := others(e, labeled)
+		idx := ruleIndex(a, b)
+		if e[labeled] {
+			seenTrue[idx] = true
+		} else {
+			seenFalse[idx] = true
+		}
+	}
+	// First pass: rules backed by observations.
+	trueVotes, falseVotes := 0, 0
+	for idx := 0; idx < 4; idx++ {
+		r := &m.Rules[idx]
+		r.Others = [2]bool{idx&2 != 0, idx&1 != 0}
+		switch {
+		case seenTrue[idx] && seenFalse[idx]:
+			r.Predicted, r.Prob = true, 0.5
+		case seenTrue[idx]:
+			r.Predicted, r.Prob = true, 1.0
+		case seenFalse[idx]:
+			r.Predicted, r.Prob = false, 1.0
+		default:
+			continue // unseen; filled in the second pass
+		}
+		if r.Predicted {
+			trueVotes++
+		} else {
+			falseVotes++
+		}
+	}
+	// Second pass: unseen combinations take the majority label of the
+	// other rules.
+	for idx := 0; idx < 4; idx++ {
+		r := &m.Rules[idx]
+		if r.Prob != 0 {
+			continue
+		}
+		r.Predicted = trueVotes >= falseVotes
+		r.Prob = 0.5
+	}
+	return m
+}
+
+// Predict returns the predicted class and its probability for an event.
+func (m TwoNodeSubModel) Predict(e TwoNodeEvent) (bool, float64) {
+	a, b := others(e, m.Labeled)
+	r := m.Rules[ruleIndex(a, b)]
+	return r.Predicted, r.Prob
+}
+
+// TrueClassProb is the probability assigned to the event's true value of
+// the labelled feature.
+func (m TwoNodeSubModel) TrueClassProb(e TwoNodeEvent) float64 {
+	pred, prob := m.Predict(e)
+	if pred == e[m.Labeled] {
+		return prob
+	}
+	return 1 - prob
+}
+
+// TwoNodeScore is one row of Table 3.
+type TwoNodeScore struct {
+	Event         TwoNodeEvent
+	Normal        bool
+	AvgMatchCount float64
+	AvgProb       float64
+}
+
+// TwoNodeScores reproduces Table 3: average match count and average
+// probability for all eight possible events.
+func TwoNodeScores() []TwoNodeScore {
+	models := [3]TwoNodeSubModel{
+		BuildTwoNodeSubModel(0),
+		BuildTwoNodeSubModel(1),
+		BuildTwoNodeSubModel(2),
+	}
+	events, normal := TwoNodeAllEvents()
+	out := make([]TwoNodeScore, 0, len(events))
+	for i, e := range events {
+		var match, prob float64
+		for _, m := range models {
+			pred, _ := m.Predict(e)
+			if pred == e[m.Labeled] {
+				match++
+			}
+			prob += m.TrueClassProb(e)
+		}
+		out = append(out, TwoNodeScore{
+			Event:         e,
+			Normal:        normal[i],
+			AvgMatchCount: match / 3,
+			AvgProb:       prob / 3,
+		})
+	}
+	return out
+}
+
+// --- rendering ------------------------------------------------------------------
+
+func tf(b bool) string {
+	if b {
+		return "True"
+	}
+	return "False"
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Complete set of normal events in the 2-node network example")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Reachable?\tDelivered?\tCached?")
+	for _, e := range TwoNodeNormalEvents() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", tf(e[0]), tf(e[1]), tf(e[2]))
+	}
+	tw.Flush()
+}
+
+// PrintTable2 renders the three sub-models of Table 2.
+func PrintTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: Sub-models in the 2-node network example")
+	for labeled := 0; labeled < 3; labeled++ {
+		m := BuildTwoNodeSubModel(labeled)
+		fmt.Fprintf(w, "(%c) Sub-model with respect to %q\n", 'a'+labeled, TwoNodeFeatureNames[labeled])
+		var otherNames []string
+		for i, n := range TwoNodeFeatureNames {
+			if i != labeled {
+				otherNames = append(otherNames, n)
+			}
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "%s\t%s\t%s\tProbability\n", otherNames[0], otherNames[1], TwoNodeFeatureNames[labeled])
+		for _, r := range m.Rules {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\n", tf(r.Others[0]), tf(r.Others[1]), tf(r.Predicted), r.Prob)
+		}
+		tw.Flush()
+	}
+}
+
+// PrintTable3 renders Table 3.
+func PrintTable3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: Scores for all events in the 2-node network example")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Reachable?\tDelivered?\tCached?\tClass\tAvg match count\tAvg probability")
+	for _, s := range TwoNodeScores() {
+		cls := "Abnormal"
+		if s.Normal {
+			cls = "Normal"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2f\t%.2f\n",
+			tf(s.Event[0]), tf(s.Event[1]), tf(s.Event[2]), cls, s.AvgMatchCount, s.AvgProb)
+	}
+	tw.Flush()
+}

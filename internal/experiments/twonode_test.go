@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 0.005 }
+
+// TestTable3ExactReproduction asserts the paper's Table 3 numbers exactly:
+// average match count and average probability for all eight events of the
+// two-node example.
+func TestTable3ExactReproduction(t *testing.T) {
+	want := []struct {
+		event TwoNodeEvent
+		cls   bool // normal?
+		match float64
+		prob  float64
+	}{
+		{TwoNodeEvent{true, true, true}, true, 1, 1},
+		{TwoNodeEvent{true, false, false}, true, 1, 0.833},
+		{TwoNodeEvent{false, false, true}, true, 1, 0.833},
+		{TwoNodeEvent{false, false, false}, true, 1.0 / 3, 0.667},
+		{TwoNodeEvent{true, true, false}, false, 1.0 / 3, 0.167},
+		{TwoNodeEvent{true, false, true}, false, 0, 0},
+		{TwoNodeEvent{false, true, true}, false, 1.0 / 3, 0.167},
+		{TwoNodeEvent{false, true, false}, false, 0, 1.0 / 3},
+	}
+	got := TwoNodeScores()
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Event != w.event || g.Normal != w.cls {
+			t.Errorf("row %d is %v/%v, want %v/%v", i, g.Event, g.Normal, w.event, w.cls)
+		}
+		if !almost(g.AvgMatchCount, w.match) {
+			t.Errorf("row %d match count = %v, want %v", i, g.AvgMatchCount, w.match)
+		}
+		if !almost(g.AvgProb, w.prob) {
+			t.Errorf("row %d probability = %v, want %v", i, g.AvgProb, w.prob)
+		}
+	}
+}
+
+// TestTable3ThresholdSeparation reproduces the paper's observation: with a
+// threshold of 0.5, average probability separates normal from abnormal
+// perfectly, while average match count has exactly one false alarm (the
+// all-False normal event).
+func TestTable3ThresholdSeparation(t *testing.T) {
+	const threshold = 0.5
+	probErrors, matchErrors := 0, 0
+	for _, s := range TwoNodeScores() {
+		if (s.AvgProb >= threshold) != s.Normal {
+			probErrors++
+		}
+		if (s.AvgMatchCount >= threshold) != s.Normal {
+			matchErrors++
+		}
+	}
+	if probErrors != 0 {
+		t.Errorf("average probability misclassifies %d events, paper says 0", probErrors)
+	}
+	if matchErrors != 1 {
+		t.Errorf("average match count misclassifies %d events, paper says 1", matchErrors)
+	}
+}
+
+// TestTable2SubModels checks the sub-model rules against Table 2.
+func TestTable2SubModels(t *testing.T) {
+	// Sub-model (a) w.r.t. "Reachable?": rows keyed by (Delivered, Cached).
+	a := BuildTwoNodeSubModel(0)
+	checkRule := func(m TwoNodeSubModel, o1, o2, pred bool, prob float64) {
+		t.Helper()
+		r := m.Rules[ruleIndex(o1, o2)]
+		if r.Predicted != pred || !almost(r.Prob, prob) {
+			t.Errorf("model %d rule (%v,%v) = (%v,%v), want (%v,%v)",
+				m.Labeled, o1, o2, r.Predicted, r.Prob, pred, prob)
+		}
+	}
+	checkRule(a, true, true, true, 1.0)
+	checkRule(a, false, false, true, 0.5)
+	checkRule(a, false, true, false, 1.0)
+	checkRule(a, true, false, true, 0.5) // the unseen combination
+
+	// Sub-model (b) w.r.t. "Delivered?": keyed by (Reachable, Cached).
+	b := BuildTwoNodeSubModel(1)
+	checkRule(b, true, true, true, 1.0)
+	checkRule(b, true, false, false, 1.0)
+	checkRule(b, false, true, false, 1.0)
+	checkRule(b, false, false, false, 1.0)
+
+	// Sub-model (c) w.r.t. "Cached?": keyed by (Reachable, Delivered).
+	c := BuildTwoNodeSubModel(2)
+	checkRule(c, true, true, true, 1.0)
+	checkRule(c, true, false, false, 1.0)
+	checkRule(c, false, false, true, 0.5)
+	checkRule(c, false, true, true, 0.5) // the unseen combination
+}
+
+func TestTable1NormalEvents(t *testing.T) {
+	events := TwoNodeNormalEvents()
+	if len(events) != 4 {
+		t.Fatalf("%d normal events, want 4", len(events))
+	}
+	want := []TwoNodeEvent{
+		{true, true, true},
+		{true, false, false},
+		{false, false, true},
+		{false, false, false},
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestPrintersProduceTables(t *testing.T) {
+	var b strings.Builder
+	PrintTable1(&b)
+	PrintTable2(&b)
+	PrintTable3(&b)
+	out := b.String()
+	for _, needle := range []string{"Table 1", "Table 2", "Table 3", "Reachable?", "0.83", "Abnormal"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("printed tables missing %q", needle)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package features
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serialises a vector series as CSV with a header row of "time"
+// followed by the canonical feature names.
+func WriteCSV(w io.Writer, vs []Vector) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"time"}, Names()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("features: write csv header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, v := range vs {
+		if len(v.Values) != NumFeatures {
+			return fmt.Errorf("features: vector has %d values, want %d", len(v.Values), NumFeatures)
+		}
+		row[0] = strconv.FormatFloat(v.Time, 'g', -1, 64)
+		for j, x := range v.Values {
+			row[j+1] = strconv.FormatFloat(x, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("features: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a vector series written by WriteCSV. The header must
+// match the canonical feature names so stale traces fail loudly instead
+// of silently mis-mapping columns.
+func ReadCSV(r io.Reader) ([]Vector, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("features: read csv header: %w", err)
+	}
+	names := Names()
+	if len(header) != len(names)+1 || header[0] != "time" {
+		return nil, fmt.Errorf("features: csv header has %d columns, want %d", len(header), len(names)+1)
+	}
+	for j, n := range names {
+		if header[j+1] != n {
+			return nil, fmt.Errorf("features: csv column %d is %q, want %q", j+1, header[j+1], n)
+		}
+	}
+	var out []Vector
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("features: read csv: %w", err)
+		}
+		v := Vector{Values: make([]float64, len(names))}
+		if v.Time, err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("features: csv line %d time: %w", line, err)
+		}
+		for j := range names {
+			if v.Values[j], err = strconv.ParseFloat(rec[j+1], 64); err != nil {
+				return nil, fmt.Errorf("features: csv line %d column %q: %w", line, names[j], err)
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package features
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"crossfeature/internal/ml"
+)
+
+// DefaultBuckets is the paper's bucket count for equal-frequency
+// discretisation.
+const DefaultBuckets = 5
+
+// Discretizer maps continuous feature vectors to nominal values using the
+// paper's frequency-bucket scheme: each feature's value space is divided
+// into ranges with (approximately) equal occurrence frequency on normal
+// data, and a value is replaced by its bucket index. Features whose
+// observed values collapse to fewer distinct cut points get a
+// correspondingly smaller cardinality.
+//
+// Values outside the range observed on normal data map to two dedicated
+// out-of-range buckets with zero normal mass. This range guard implements
+// the paper's separability assumption — "a feature vector not related to
+// any normal events" must be distinguishable — which plain equal-frequency
+// bucketing violates: folding a pathological extreme into the top normal
+// bucket makes a saturated attack regime look like an ordinary busy
+// period.
+type Discretizer struct {
+	// Cuts[j] holds the ascending bucket boundaries of feature j; a value v
+	// maps to the number of cuts strictly below or equal to it.
+	Cuts [][]float64
+	// Min and Max are the value ranges observed on normal data; values
+	// strictly outside map to the out-of-range buckets.
+	Min, Max []float64
+	// FeatureNames records the schema for dataset construction.
+	FeatureNames []string
+}
+
+// FitOptions tunes discretiser fitting.
+type FitOptions struct {
+	Buckets int
+	// SampleSize, when positive, fits on a random subset of rows — the
+	// paper's "pre-filtering process using a small random subset".
+	SampleSize int
+	// Seed drives the sampling.
+	Seed int64
+}
+
+// Fit learns equal-frequency bucket boundaries from normal-data rows.
+func Fit(rows [][]float64, names []string, opts FitOptions) (*Discretizer, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("features: no rows to fit discretizer")
+	}
+	d := len(rows[0])
+	if len(names) != d {
+		return nil, fmt.Errorf("features: %d names for %d features", len(names), d)
+	}
+	buckets := opts.Buckets
+	if buckets <= 1 {
+		buckets = DefaultBuckets
+	}
+	sample := rows
+	if opts.SampleSize > 0 && opts.SampleSize < len(rows) {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		idx := rng.Perm(len(rows))[:opts.SampleSize]
+		sample = make([][]float64, 0, opts.SampleSize)
+		for _, i := range idx {
+			sample = append(sample, rows[i])
+		}
+	}
+	disc := &Discretizer{
+		Cuts:         make([][]float64, d),
+		Min:          make([]float64, d),
+		Max:          make([]float64, d),
+		FeatureNames: append([]string(nil), names...),
+	}
+	col := make([]float64, len(sample))
+	for j := 0; j < d; j++ {
+		for i, r := range sample {
+			if len(r) != d {
+				return nil, fmt.Errorf("features: ragged row with %d values, want %d", len(r), d)
+			}
+			col[i] = r[j]
+		}
+		disc.Cuts[j] = equalFrequencyCuts(col, buckets)
+	}
+	// Range guard boundaries come from the full normal data, not just the
+	// pre-filtering sample, so ordinary normal variation stays in range.
+	for j := 0; j < d; j++ {
+		lo, hi := rows[0][j], rows[0][j]
+		for _, r := range rows {
+			if r[j] < lo {
+				lo = r[j]
+			}
+			if r[j] > hi {
+				hi = r[j]
+			}
+		}
+		disc.Min[j], disc.Max[j] = lo, hi
+	}
+	return disc, nil
+}
+
+// equalFrequencyCuts returns deduplicated boundaries placed at the
+// quantiles that split values into `buckets` equally populated ranges.
+// Values equal to a cut fall into the lower bucket.
+func equalFrequencyCuts(values []float64, buckets int) []float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	cuts := make([]float64, 0, buckets-1)
+	for b := 1; b < buckets; b++ {
+		q := sorted[(n*b)/buckets]
+		if len(cuts) > 0 && q <= cuts[len(cuts)-1] {
+			continue // duplicate quantile: value mass is concentrated
+		}
+		// A cut equal to the maximum creates an always-empty top bucket.
+		if q >= sorted[n-1] {
+			break
+		}
+		cuts = append(cuts, q)
+	}
+	return cuts
+}
+
+// Cardinality reports the number of buckets feature j maps to: the
+// in-range buckets plus the two out-of-range buckets.
+func (d *Discretizer) Cardinality(j int) int { return len(d.Cuts[j]) + 3 }
+
+// TransformValue maps one continuous value of feature j to its bucket.
+// Values outside the normal-data range land in the dedicated below-range
+// and above-range buckets (the two highest indices).
+func (d *Discretizer) TransformValue(j int, v float64) int {
+	cuts := d.Cuts[j]
+	if v < d.Min[j] {
+		return len(cuts) + 1
+	}
+	if v > d.Max[j] {
+		return len(cuts) + 2
+	}
+	// First bucket whose upper boundary is >= v; values above all cuts go
+	// to the last in-range bucket.
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Transform maps a continuous row to bucket indices.
+func (d *Discretizer) Transform(row []float64) ([]int, error) {
+	if len(row) != len(d.Cuts) {
+		return nil, fmt.Errorf("features: row has %d values, discretizer has %d", len(row), len(d.Cuts))
+	}
+	out := make([]int, len(row))
+	for j, v := range row {
+		out[j] = d.TransformValue(j, v)
+	}
+	return out, nil
+}
+
+// Schema builds the nominal attribute schema induced by the fitted cuts.
+func (d *Discretizer) Schema() []ml.Attr {
+	attrs := make([]ml.Attr, len(d.Cuts))
+	for j := range d.Cuts {
+		attrs[j] = ml.Attr{Name: d.FeatureNames[j], Card: d.Cardinality(j)}
+	}
+	return attrs
+}
+
+// Dataset discretises a matrix of continuous rows into an ml.Dataset.
+func (d *Discretizer) Dataset(rows [][]float64) (*ml.Dataset, error) {
+	ds := ml.NewDataset(d.Schema())
+	for _, r := range rows {
+		x, err := d.Transform(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.Add(x); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}

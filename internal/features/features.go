@@ -1,0 +1,117 @@
+// Package features constructs the paper's feature vectors from audit
+// snapshots.
+//
+// Feature Set I (Table 4) covers topology and route-fabric measures:
+// absolute velocity, the five route-event counts (add, removal, find,
+// notice, repair), total route change and average route length. Time is
+// recorded but excluded from classification, exactly as the paper notes.
+//
+// Feature Set II (Table 5) covers traffic: for each valid combination of
+// packet type (data, route-all, RREQ, RREP, RERR, HELLO) and flow
+// direction (received, sent, forwarded, dropped) — excluding data
+// forwarded/dropped — sampled over 5 s, 60 s and 900 s windows, two
+// statistics: packet count and the standard deviation of inter-packet
+// intervals. That is (6*4-2)*3*2 = 132 traffic features, 140 in total.
+//
+// Continuous values are discretised with the paper's equal-frequency
+// bucket scheme (5 buckets) fitted on normal data.
+package features
+
+import (
+	"fmt"
+
+	"crossfeature/internal/trace"
+)
+
+// NumRouteFeatures is the size of Feature Set I as used for classification.
+const NumRouteFeatures = 8
+
+// NumTrafficFeatures is the size of Feature Set II.
+const NumTrafficFeatures = (trace.NumClasses*trace.NumDirections - 2) * trace.NumPeriods * 2
+
+// NumFeatures is the total feature count (140).
+const NumFeatures = NumRouteFeatures + NumTrafficFeatures
+
+// Vector is one continuous feature vector plus its timestamp (the
+// timestamp is reference-only, never classified).
+type Vector struct {
+	Time   float64
+	Values []float64
+}
+
+// Names returns the canonical feature names in vector order. Traffic
+// feature names follow the paper's <type, direction, period, measure>
+// encoding, e.g. "rreq.recv.5s.ipistd".
+func Names() []string {
+	names := make([]string, 0, NumFeatures)
+	names = append(names,
+		"velocity",
+		"route_add_count",
+		"route_removal_count",
+		"route_find_count",
+		"route_notice_count",
+		"route_repair_count",
+		"total_route_change",
+		"avg_route_length",
+	)
+	measures := [2]string{"count", "ipistd"}
+	for cls := trace.Class(0); cls < trace.NumClasses; cls++ {
+		for dir := trace.Direction(0); dir < trace.NumDirections; dir++ {
+			if !trace.ValidCombo(cls, dir) {
+				continue
+			}
+			for pi := 0; pi < trace.NumPeriods; pi++ {
+				for _, meas := range measures {
+					names = append(names, fmt.Sprintf("%s.%s.%ds.%s",
+						cls, dir, int(trace.Periods[pi]), meas))
+				}
+			}
+		}
+	}
+	return names
+}
+
+// FromSnapshot flattens one audit snapshot into a continuous vector.
+func FromSnapshot(s trace.Snapshot) Vector {
+	v := Vector{Time: s.Time, Values: make([]float64, 0, NumFeatures)}
+	v.Values = append(v.Values,
+		s.Velocity,
+		float64(s.RouteCounts[trace.RouteAdd]),
+		float64(s.RouteCounts[trace.RouteRemoval]),
+		float64(s.RouteCounts[trace.RouteFind]),
+		float64(s.RouteCounts[trace.RouteNotice]),
+		float64(s.RouteCounts[trace.RouteRepair]),
+		float64(s.TotalRouteChange),
+		s.AvgRouteLength,
+	)
+	for cls := trace.Class(0); cls < trace.NumClasses; cls++ {
+		for dir := trace.Direction(0); dir < trace.NumDirections; dir++ {
+			if !trace.ValidCombo(cls, dir) {
+				continue
+			}
+			for pi := 0; pi < trace.NumPeriods; pi++ {
+				st := s.Traffic[cls][dir][pi]
+				v.Values = append(v.Values, float64(st.Count), st.IPIStdDev)
+			}
+		}
+	}
+	return v
+}
+
+// FromSnapshots converts a snapshot series.
+func FromSnapshots(snaps []trace.Snapshot) []Vector {
+	out := make([]Vector, 0, len(snaps))
+	for _, s := range snaps {
+		out = append(out, FromSnapshot(s))
+	}
+	return out
+}
+
+// Matrix extracts the raw value rows of a vector series.
+func Matrix(vs []Vector) [][]float64 {
+	out := make([][]float64, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v.Values)
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package features
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crossfeature/internal/packet"
+	"crossfeature/internal/trace"
+)
+
+func TestFeatureCount(t *testing.T) {
+	// The paper's arithmetic: (6*4-2)*3*2 = 132 traffic features, plus the
+	// 8 classified topology/route features of Table 4.
+	if NumTrafficFeatures != 132 {
+		t.Errorf("traffic features = %d, want 132", NumTrafficFeatures)
+	}
+	if NumFeatures != 140 {
+		t.Errorf("total features = %d, want 140", NumFeatures)
+	}
+	names := Names()
+	if len(names) != NumFeatures {
+		t.Fatalf("Names() has %d entries", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestNoExcludedComboNames(t *testing.T) {
+	for _, n := range Names() {
+		if strings.HasPrefix(n, "data.fwd") || strings.HasPrefix(n, "data.drop") {
+			t.Errorf("excluded combination leaked into features: %q", n)
+		}
+	}
+}
+
+func TestFromSnapshotMapping(t *testing.T) {
+	col := trace.NewCollector()
+	col.RecordPacket(4, packet.RouteRequest, trace.Received)
+	col.RecordRoute(trace.RouteAdd)
+	col.RecordRoute(trace.RouteNotice)
+	snap := col.Snapshot(5, 7.5, 2.5)
+	v := FromSnapshot(snap)
+	if v.Time != 5 {
+		t.Errorf("time = %v", v.Time)
+	}
+	if len(v.Values) != NumFeatures {
+		t.Fatalf("vector has %d values", len(v.Values))
+	}
+	idx := indexByName(t, "velocity")
+	if v.Values[idx] != 7.5 {
+		t.Errorf("velocity = %v", v.Values[idx])
+	}
+	idx = indexByName(t, "route_add_count")
+	if v.Values[idx] != 1 {
+		t.Errorf("route_add = %v", v.Values[idx])
+	}
+	idx = indexByName(t, "route_notice_count")
+	if v.Values[idx] != 1 {
+		t.Errorf("route_notice = %v", v.Values[idx])
+	}
+	idx = indexByName(t, "avg_route_length")
+	if v.Values[idx] != 2.5 {
+		t.Errorf("avg_route_length = %v", v.Values[idx])
+	}
+	idx = indexByName(t, "rreq.recv.5s.count")
+	if v.Values[idx] != 1 {
+		t.Errorf("rreq.recv.5s.count = %v", v.Values[idx])
+	}
+	idx = indexByName(t, "route.recv.5s.count")
+	if v.Values[idx] != 1 {
+		t.Errorf("route.recv.5s.count = %v (aggregate)", v.Values[idx])
+	}
+}
+
+func indexByName(t *testing.T, name string) int {
+	t.Helper()
+	for i, n := range Names() {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("no feature named %q", name)
+	return -1
+}
+
+func TestDiscretizerEqualFrequency(t *testing.T) {
+	// 100 uniform values in [0,100): five buckets of ~20 values each.
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{float64(i)}
+	}
+	d, err := Fit(rows, []string{"x"}, FitOptions{Buckets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, d.Cardinality(0))
+	for _, r := range rows {
+		counts[d.TransformValue(0, r[0])]++
+	}
+	for b := 0; b < 5; b++ {
+		if counts[b] < 15 || counts[b] > 25 {
+			t.Errorf("bucket %d holds %d of 100 values, want about 20", b, counts[b])
+		}
+	}
+	// Out-of-range buckets are empty on training data.
+	if counts[5] != 0 || counts[6] != 0 {
+		t.Errorf("training values landed out of range: %v", counts)
+	}
+}
+
+func TestDiscretizerZeroHeavyFeature(t *testing.T) {
+	// 90% zeros: quantile cuts collapse, cardinality shrinks but transform
+	// stays total.
+	rows := make([][]float64, 100)
+	for i := range rows {
+		v := 0.0
+		if i >= 90 {
+			v = float64(i)
+		}
+		rows[i] = []float64{v}
+	}
+	d, err := Fit(rows, []string{"x"}, FitOptions{Buckets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cardinality(0) >= 8 {
+		t.Errorf("cardinality = %d for a near-constant feature", d.Cardinality(0))
+	}
+	for _, r := range rows {
+		b := d.TransformValue(0, r[0])
+		if b < 0 || b >= d.Cardinality(0) {
+			t.Fatalf("bucket %d outside cardinality %d", b, d.Cardinality(0))
+		}
+	}
+}
+
+func TestOutOfRangeBuckets(t *testing.T) {
+	rows := make([][]float64, 50)
+	for i := range rows {
+		rows[i] = []float64{float64(10 + i)} // range [10, 59]
+	}
+	d, err := Fit(rows, []string{"x"}, FitOptions{Buckets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := d.TransformValue(0, 5)
+	hi := d.TransformValue(0, 100)
+	inRange := d.TransformValue(0, 30)
+	if lo == hi {
+		t.Error("below-range and above-range buckets collide")
+	}
+	if lo < len(d.Cuts[0])+1 || hi < len(d.Cuts[0])+1 {
+		t.Errorf("out-of-range values mapped to in-range buckets: lo=%d hi=%d", lo, hi)
+	}
+	if inRange >= len(d.Cuts[0])+1 {
+		t.Errorf("in-range value mapped out of range: %d", inRange)
+	}
+	// Boundary values stay in range.
+	if b := d.TransformValue(0, 10); b >= len(d.Cuts[0])+1 {
+		t.Errorf("minimum mapped out of range: %d", b)
+	}
+	if b := d.TransformValue(0, 59); b >= len(d.Cuts[0])+1 {
+		t.Errorf("maximum mapped out of range: %d", b)
+	}
+}
+
+func TestDiscretizerSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 1000)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64()}
+	}
+	d, err := Fit(rows, []string{"x"}, FitOptions{Buckets: 5, SampleSize: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range guard must still come from the full data: no training value
+	// may land out of range.
+	for _, r := range rows {
+		if b := d.TransformValue(0, r[0]); b > len(d.Cuts[0]) {
+			t.Fatalf("training value %v out of range (bucket %d)", r[0], b)
+		}
+	}
+}
+
+func TestDatasetConstruction(t *testing.T) {
+	rows := [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}}
+	d, err := Fit(rows, []string{"a", "b"}, FitOptions{Buckets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := d.Dataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 5 || len(ds.Attrs) != 2 {
+		t.Errorf("dataset %dx%d", ds.Len(), len(ds.Attrs))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Errorf("constructed dataset invalid: %v", err)
+	}
+}
+
+func TestTransformShapeErrors(t *testing.T) {
+	d, err := Fit([][]float64{{1, 2}}, []string{"a", "b"}, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Transform([]float64{1}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, FitOptions{}); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []string{"a", "b"}, FitOptions{}); err == nil {
+		t.Error("name/width mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, []string{"a", "b"}, FitOptions{}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var vs []Vector
+	for i := 0; i < 20; i++ {
+		v := Vector{Time: float64(i) * 5, Values: make([]float64, NumFeatures)}
+		for j := range v.Values {
+			v.Values[j] = rng.Float64() * 100
+		}
+		vs = append(vs, v)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, vs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(vs) {
+		t.Fatalf("round trip length %d != %d", len(back), len(vs))
+	}
+	for i := range vs {
+		if back[i].Time != vs[i].Time {
+			t.Fatalf("row %d time differs", i)
+		}
+		for j := range vs[i].Values {
+			if back[i].Values[j] != vs[i].Values[j] {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVRejectsWrongHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("foreign CSV accepted")
+	}
+}
+
+// Property: TransformValue is total and within cardinality for any input,
+// and monotone in the value.
+func TestQuickTransformTotalAndMonotone(t *testing.T) {
+	rows := make([][]float64, 200)
+	rng := rand.New(rand.NewSource(5))
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 50}
+	}
+	d, err := Fit(rows, []string{"x"}, FitOptions{Buckets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRangeBuckets := len(d.Cuts[0]) + 1
+	f := func(v float64) bool {
+		if v != v { // NaN
+			return true
+		}
+		b := d.TransformValue(0, v)
+		if b < 0 || b >= d.Cardinality(0) {
+			return false
+		}
+		// In-range values get in-range buckets.
+		if v >= d.Min[0] && v <= d.Max[0] && b >= inRangeBuckets {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

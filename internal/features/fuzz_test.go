@@ -1,0 +1,43 @@
+package features
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the trace parser —
+// it must either parse or return an error.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	good := []Vector{{Time: 5, Values: make([]float64, NumFeatures)}}
+	if err := WriteCSV(&buf, good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("time,velocity\n1,2\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = ReadCSV(strings.NewReader(s))
+	})
+}
+
+// FuzzTransformValue ensures discretisation is total over float inputs.
+func FuzzTransformValue(f *testing.F) {
+	rows := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}}
+	d, err := Fit(rows, []string{"x"}, FitOptions{Buckets: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(0.0)
+	f.Add(5.5)
+	f.Add(-1e300)
+	f.Add(1e300)
+	f.Fuzz(func(t *testing.T, v float64) {
+		b := d.TransformValue(0, v)
+		if b < 0 || b >= d.Cardinality(0) {
+			t.Fatalf("value %v mapped to bucket %d of %d", v, b, d.Cardinality(0))
+		}
+	})
+}

@@ -1,0 +1,45 @@
+// Package geom provides the 2-D vector math used by the mobility and radio
+// models.
+package geom
+
+import "math"
+
+// Vec is a point or displacement in the simulation plane, in metres.
+type Vec struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
+
+// Len returns the Euclidean norm of v.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Len() }
+
+// Unit returns the unit vector in v's direction, or the zero vector if v is
+// (numerically) zero.
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l < 1e-12 {
+		return Vec{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Lerp linearly interpolates from v to w by fraction f in [0,1].
+func (v Vec) Lerp(w Vec, f float64) Vec {
+	return Vec{v.X + (w.X-v.X)*f, v.Y + (w.Y-v.Y)*f}
+}
+
+// Clamp restricts v to the axis-aligned rectangle [0,w] x [0,h].
+func (v Vec) Clamp(w, h float64) Vec {
+	return Vec{math.Min(math.Max(v.X, 0), w), math.Min(math.Max(v.Y, 0), h)}
+}

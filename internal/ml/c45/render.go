@@ -1,0 +1,54 @@
+package c45
+
+import (
+	"fmt"
+	"strings"
+
+	"crossfeature/internal/ml"
+)
+
+// Render pretty-prints the tree for human inspection — the paper's point
+// that cross-feature sub-models "can be examined by human experts".
+// attrName maps attribute indices to names (nil falls back to f<i>);
+// maxDepth caps the printed depth (0 = everything).
+func (t *Tree) Render(attrName func(int) string, maxDepth int) string {
+	if attrName == nil {
+		attrName = func(i int) string { return fmt.Sprintf("f%d", i) }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tree for target %s (%d nodes, depth %d)\n",
+		attrName(t.Target), t.Size(), t.Depth())
+	renderNode(&b, t.Root, attrName, 0, maxDepth)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, attrName func(int) string, depth, maxDepth int) {
+	if n == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	if n.Attr < 0 || (maxDepth > 0 && depth >= maxDepth) {
+		probs := ml.Laplace(n.Counts)
+		best := ml.ArgMax(probs)
+		fmt.Fprintf(b, "%s-> class %d (p=%.2f, n=%d)\n", indent, best, probs[best], sum(n.Counts))
+		return
+	}
+	for v, ch := range n.Children {
+		fmt.Fprintf(b, "%s%s = %d:\n", indent, attrName(n.Attr), v)
+		if ch == nil {
+			probs := ml.Laplace(n.Counts)
+			best := ml.ArgMax(probs)
+			fmt.Fprintf(b, "%s  -> class %d (fallback, p=%.2f)\n", indent, best, probs[best])
+			continue
+		}
+		renderNode(b, ch, attrName, depth+1, maxDepth)
+	}
+}
+
+func sum(counts []int) int {
+	s := 0
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}

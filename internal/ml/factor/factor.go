@@ -1,0 +1,253 @@
+// Package factor implements principal-component factor analysis, the
+// second cost-reduction direction named in the paper's future work
+// ("approaches based on both correlation analysis and factor analysis").
+// Feature vectors are standardised, the correlation matrix is
+// eigendecomposed (cyclic Jacobi), and the top-k components define a
+// normal subspace. The reconstruction residual of an event — how far it
+// lies outside the subspace spanned by normal variation — serves both as
+// a feature-compression tool and as an anomaly score in its own right.
+package factor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Model is a fitted factor model.
+type Model struct {
+	// Mean and Std standardise inputs per feature (Std floors at a small
+	// epsilon so constant features are harmless).
+	Mean, Std []float64
+	// Components holds the top-k eigenvectors (rows, unit length) of the
+	// standardised correlation matrix, by descending eigenvalue.
+	Components [][]float64
+	// Eigenvalues are the corresponding variances.
+	Eigenvalues []float64
+}
+
+// Fit computes the top-k factor model from rows. k is clamped to the
+// feature count.
+func Fit(rows [][]float64, k int) (*Model, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("factor: empty data")
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return nil, fmt.Errorf("factor: zero-width rows")
+	}
+	if k <= 0 || k > d {
+		k = d
+	}
+	m := &Model{Mean: make([]float64, d), Std: make([]float64, d)}
+	n := float64(len(rows))
+	for _, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("factor: ragged row of %d values, want %d", len(r), d)
+		}
+		for j, v := range r {
+			m.Mean[j] += v
+		}
+	}
+	for j := range m.Mean {
+		m.Mean[j] /= n
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			dv := v - m.Mean[j]
+			m.Std[j] += dv * dv
+		}
+	}
+	const eps = 1e-9
+	for j := range m.Std {
+		m.Std[j] = math.Sqrt(m.Std[j] / n)
+		if m.Std[j] < eps {
+			m.Std[j] = 1 // constant feature: standardises to zero
+		}
+	}
+
+	// Correlation matrix of the standardised data.
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	z := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			z[j] = (v - m.Mean[j]) / m.Std[j]
+		}
+		for a := 0; a < d; a++ {
+			za := z[a]
+			if za == 0 {
+				continue
+			}
+			row := cov[a]
+			for b := a; b < d; b++ {
+				row[b] += za * z[b]
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			cov[a][b] /= n
+			cov[b][a] = cov[a][b]
+		}
+	}
+
+	vals, vecs := jacobiEigen(cov)
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] > vals[order[j]] })
+	m.Components = make([][]float64, k)
+	m.Eigenvalues = make([]float64, k)
+	for r := 0; r < k; r++ {
+		col := order[r]
+		m.Eigenvalues[r] = vals[col]
+		vec := make([]float64, d)
+		for i := 0; i < d; i++ {
+			vec[i] = vecs[i][col]
+		}
+		m.Components[r] = vec
+	}
+	return m, nil
+}
+
+// standardise maps a raw row into z-score space.
+func (m *Model) standardise(row []float64) []float64 {
+	z := make([]float64, len(m.Mean))
+	for j := range z {
+		v := 0.0
+		if j < len(row) {
+			v = row[j]
+		}
+		z[j] = (v - m.Mean[j]) / m.Std[j]
+	}
+	return z
+}
+
+// Transform projects a row onto the k factors.
+func (m *Model) Transform(row []float64) []float64 {
+	z := m.standardise(row)
+	out := make([]float64, len(m.Components))
+	for r, comp := range m.Components {
+		var s float64
+		for j, c := range comp {
+			s += c * z[j]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// ReconstructionError is the squared distance (in standardised space)
+// between a row and its projection onto the factor subspace, normalised
+// by the feature count — the classic subspace anomaly score: normal
+// events lie near the subspace of normal variation, anomalies do not.
+func (m *Model) ReconstructionError(row []float64) float64 {
+	z := m.standardise(row)
+	// Residual = z - sum_r (z . c_r) c_r; components are orthonormal.
+	proj := make([]float64, len(z))
+	for _, comp := range m.Components {
+		var s float64
+		for j, c := range comp {
+			s += c * z[j]
+		}
+		for j, c := range comp {
+			proj[j] += s * c
+		}
+	}
+	var errSum float64
+	for j := range z {
+		dv := z[j] - proj[j]
+		errSum += dv * dv
+	}
+	return errSum / float64(len(z))
+}
+
+// ExplainedVariance reports the fraction of total standardised variance
+// captured by the retained components.
+func (m *Model) ExplainedVariance() float64 {
+	var kept float64
+	for _, v := range m.Eigenvalues {
+		kept += v
+	}
+	total := float64(len(m.Mean)) // trace of a correlation matrix
+	if total == 0 {
+		return 0
+	}
+	f := kept / total
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// jacobiEigen diagonalises a symmetric matrix with the cyclic Jacobi
+// method, returning eigenvalues and the eigenvector matrix (columns).
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	d := len(a)
+	// Work on a copy.
+	m := make([][]float64, d)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := make([][]float64, d)
+	for i := range v {
+		v[i] = make([]float64, d)
+		v[i][i] = 1
+	}
+	const maxSweeps = 50
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < d-1; p++ {
+			for q := p + 1; q < d; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s, d)
+			}
+		}
+	}
+	vals := make([]float64, d)
+	for i := 0; i < d; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, v
+}
+
+// rotate applies the Jacobi rotation G(p,q,c,s) to m (two-sided) and
+// accumulates it into v.
+func rotate(m, v [][]float64, p, q int, c, s float64, d int) {
+	for i := 0; i < d; i++ {
+		mip, miq := m[i][p], m[i][q]
+		m[i][p] = c*mip - s*miq
+		m[i][q] = s*mip + c*miq
+	}
+	for j := 0; j < d; j++ {
+		mpj, mqj := m[p][j], m[q][j]
+		m[p][j] = c*mpj - s*mqj
+		m[q][j] = s*mpj + c*mqj
+	}
+	for i := 0; i < d; i++ {
+		vip, viq := v[i][p], v[i][q]
+		v[i][p] = c*vip - s*viq
+		v[i][q] = s*vip + c*viq
+	}
+}

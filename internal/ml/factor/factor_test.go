@@ -1,0 +1,153 @@
+package factor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// planarRows generates data living on a 2-D subspace of R^4 plus noise:
+// f2 = f0+f1, f3 = f0-f1.
+func planarRows(n int, noise float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		rows[i] = []float64{
+			a + noise*rng.NormFloat64(),
+			b + noise*rng.NormFloat64(),
+			a + b + noise*rng.NormFloat64(),
+			a - b + noise*rng.NormFloat64(),
+		}
+	}
+	return rows
+}
+
+func TestJacobiEigenOnKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs := jacobiEigen([][]float64{{2, 1}, {1, 2}})
+	got := []float64{vals[0], vals[1]}
+	if got[0] < got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-3) > 1e-9 || math.Abs(got[1]-1) > 1e-9 {
+		t.Errorf("eigenvalues = %v, want [3 1]", got)
+	}
+	// Eigenvectors are orthonormal.
+	dot := vecs[0][0]*vecs[0][1] + vecs[1][0]*vecs[1][1]
+	if math.Abs(dot) > 1e-9 {
+		t.Errorf("eigenvectors not orthogonal: %v", dot)
+	}
+}
+
+func TestExplainedVarianceOnSubspaceData(t *testing.T) {
+	rows := planarRows(500, 0.01, 1)
+	m, err := Fit(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := m.ExplainedVariance(); ev < 0.95 {
+		t.Errorf("2 components explain %.3f of planar data, want > 0.95", ev)
+	}
+}
+
+func TestReconstructionErrorSeparates(t *testing.T) {
+	rows := planarRows(500, 0.05, 2)
+	m, err := Fit(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var normalErr float64
+	for _, r := range rows[:100] {
+		normalErr += m.ReconstructionError(r)
+	}
+	normalErr /= 100
+	// An off-subspace event: f2 violating f0+f1.
+	anomaly := []float64{1, 1, -5, 0}
+	if e := m.ReconstructionError(anomaly); e < 10*normalErr {
+		t.Errorf("anomaly residual %v not well above normal %v", e, normalErr)
+	}
+}
+
+func TestConstantFeatureTolerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 200)
+	for i := range rows {
+		a := rng.NormFloat64()
+		rows[i] = []float64{a, 2 * a, 7}
+	}
+	m, err := Fit(rows, 2)
+	if err != nil {
+		t.Fatalf("constant feature broke fitting: %v", err)
+	}
+	if e := m.ReconstructionError(rows[0]); math.IsNaN(e) || math.IsInf(e, 0) {
+		t.Errorf("residual on training row = %v", e)
+	}
+}
+
+func TestTransformDimensions(t *testing.T) {
+	rows := planarRows(100, 0.1, 4)
+	m, err := Fit(rows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Transform(rows[0])); got != 3 {
+		t.Errorf("transform emits %d factors, want 3", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 2); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, 1); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+// Property: reconstruction error is non-negative and finite for any
+// finite input.
+func TestQuickResidualNonNegative(t *testing.T) {
+	rows := planarRows(200, 0.1, 5)
+	m, err := Fit(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c, d float64) bool {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		e := m.ReconstructionError([]float64{a, b, c, d})
+		return e >= 0 && !math.IsNaN(e) && !math.IsInf(e, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: retained components are orthonormal.
+func TestComponentsOrthonormal(t *testing.T) {
+	rows := planarRows(300, 0.2, 6)
+	m, err := Fit(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Components {
+		for j := i; j < len(m.Components); j++ {
+			var dot float64
+			for k := range m.Components[i] {
+				dot += m.Components[i][k] * m.Components[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Errorf("components %d.%d dot = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package linreg implements multiple linear regression with ridge
+// regularisation, the paper's proposed extension of cross-feature analysis
+// to continuous features (section 3): predict feature f_i from the
+// remaining features and measure deviation by the log distance
+// |log(C_i(x) / f_i(x))|.
+package linreg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear predictor y = Weights . x + Bias for one target
+// column of a continuous feature matrix.
+type Model struct {
+	Target  int
+	Weights []float64 // one per input column; Weights[Target] is zero
+	Bias    float64
+}
+
+// Fit solves the ridge-regularised least squares problem predicting column
+// target of rows from the remaining columns. lambda > 0 keeps the normal
+// equations well conditioned when features are collinear or constant.
+func Fit(rows [][]float64, target int, lambda float64) (*Model, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("linreg: empty data")
+	}
+	d := len(rows[0])
+	if target < 0 || target >= d {
+		return nil, fmt.Errorf("linreg: target %d outside %d columns", target, d)
+	}
+	if lambda <= 0 {
+		lambda = 1e-6
+	}
+	// Design matrix columns: all features except target, plus intercept.
+	cols := make([]int, 0, d-1)
+	for j := 0; j < d; j++ {
+		if j != target {
+			cols = append(cols, j)
+		}
+	}
+	p := len(cols) + 1 // + intercept
+
+	// Normal equations: (X'X + lambda I) w = X'y, built incrementally.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	xi := make([]float64, p)
+	for _, row := range rows {
+		if len(row) != d {
+			return nil, fmt.Errorf("linreg: ragged row of %d values, want %d", len(row), d)
+		}
+		for k, j := range cols {
+			xi[k] = row[j]
+		}
+		xi[p-1] = 1
+		y := row[target]
+		for a := 0; a < p; a++ {
+			xty[a] += xi[a] * y
+			for b := a; b < p; b++ {
+				xtx[a][b] += xi[a] * xi[b]
+			}
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+		if a < p-1 { // do not penalise the intercept
+			xtx[a][a] += lambda
+		}
+	}
+	w, err := solve(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Target: target, Weights: make([]float64, d)}
+	for k, j := range cols {
+		m.Weights[j] = w[k]
+	}
+	m.Bias = w[p-1]
+	return m, nil
+}
+
+// Predict evaluates the linear model on a full feature row (the target
+// column is ignored).
+func (m *Model) Predict(row []float64) float64 {
+	y := m.Bias
+	for j, w := range m.Weights {
+		if j == m.Target || j >= len(row) {
+			continue
+		}
+		y += w * row[j]
+	}
+	return y
+}
+
+// LogDistance is the paper's deviation measure |log(pred/actual)|. Both
+// values are shifted by one to tolerate the zero-heavy count features; the
+// result is capped to keep a single wild feature from dominating a score.
+func (m *Model) LogDistance(row []float64) float64 {
+	pred := m.Predict(row)
+	actual := row[m.Target]
+	const maxDist = 10.0
+	p := math.Abs(pred) + 1
+	a := math.Abs(actual) + 1
+	d := math.Abs(math.Log(p / a))
+	if d > maxDist {
+		return maxDist
+	}
+	return d
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// the inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("linreg: singular system at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := m[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x, nil
+}

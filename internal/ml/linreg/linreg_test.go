@@ -1,0 +1,115 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecoversLinearFunction(t *testing.T) {
+	// y = 2*x0 - 3*x1 + 5, exactly.
+	rng := rand.New(rand.NewSource(1))
+	var rows [][]float64
+	for i := 0; i < 200; i++ {
+		x0, x1 := rng.Float64()*10, rng.Float64()*10
+		rows = append(rows, []float64{x0, x1, 2*x0 - 3*x1 + 5})
+	}
+	m, err := Fit(rows, 2, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-2) > 1e-4 || math.Abs(m.Weights[1]+3) > 1e-4 || math.Abs(m.Bias-5) > 1e-3 {
+		t.Errorf("recovered w=%v b=%v, want [2 -3] 5", m.Weights, m.Bias)
+	}
+	row := []float64{4, 2, 0}
+	want := 2*4.0 - 3*2.0 + 5
+	if got := m.Predict(row); math.Abs(got-want) > 1e-3 {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestTargetColumnExcluded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var rows [][]float64
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()
+		rows = append(rows, []float64{x, 3 * x})
+	}
+	m, err := Fit(rows, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weights[1] != 0 {
+		t.Errorf("target weight = %v, want 0", m.Weights[1])
+	}
+	// Changing the target slot of the input must not change the output.
+	if m.Predict([]float64{2, 0}) != m.Predict([]float64{2, 999}) {
+		t.Error("prediction depends on the target column")
+	}
+}
+
+func TestRidgeHandlesConstantColumn(t *testing.T) {
+	// A constant input column makes plain least squares singular; ridge
+	// must still fit.
+	rng := rand.New(rand.NewSource(3))
+	var rows [][]float64
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 10
+		rows = append(rows, []float64{x, 7, 4 * x})
+	}
+	m, err := Fit(rows, 2, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-4) > 1e-2 {
+		t.Errorf("weight on informative column = %v, want 4", m.Weights[0])
+	}
+}
+
+func TestLogDistance(t *testing.T) {
+	m := &Model{Target: 1, Weights: []float64{1, 0}}
+	// Perfect prediction: distance 0.
+	if d := m.LogDistance([]float64{3, 3}); math.Abs(d) > 1e-12 {
+		t.Errorf("perfect prediction distance = %v", d)
+	}
+	// Off prediction: positive, capped.
+	if d := m.LogDistance([]float64{1e9, 0}); d != 10 {
+		t.Errorf("extreme distance = %v, want capped 10", d)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 0, 1); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, 5, 1); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, 0, 1); err == nil {
+		t.Error("ragged data accepted")
+	}
+}
+
+// Property: log distance is always non-negative and bounded by the cap.
+func TestQuickLogDistanceBounds(t *testing.T) {
+	m := &Model{Target: 0, Weights: []float64{0, 1.5}, Bias: 0.5}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		d := m.LogDistance([]float64{a, b})
+		return d >= 0 && d <= 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSingularErrors(t *testing.T) {
+	a := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{1, 2}
+	if _, err := solve(a, b); err == nil {
+		t.Error("singular system solved without error")
+	}
+}

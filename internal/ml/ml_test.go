@@ -1,0 +1,148 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatasetAddValidates(t *testing.T) {
+	ds := NewDataset([]Attr{{Name: "a", Card: 2}, {Name: "b", Card: 3}})
+	if err := ds.Add([]int{1, 2}); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	if err := ds.Add([]int{1}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := ds.Add([]int{2, 0}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if err := ds.Add([]int{0, -1}); err == nil {
+		t.Error("negative value accepted")
+	}
+	if ds.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ds.Len())
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	ds := NewDataset([]Attr{{Name: "a", Card: 2}})
+	ds.X = append(ds.X, []int{5}) // corrupt directly
+	if err := ds.Validate(); err == nil {
+		t.Error("Validate accepted a corrupt row")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	ds := NewDataset([]Attr{{Name: "a", Card: 2}, {Name: "y", Card: 3}})
+	for _, r := range [][]int{{0, 0}, {1, 2}, {0, 2}, {1, 1}} {
+		if err := ds.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ds.ClassCounts(1)
+	want := []int{1, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ClassCounts = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := Entropy([]int{5, 0}); e != 0 {
+		t.Errorf("pure entropy = %v", e)
+	}
+	if e := Entropy([]int{4, 4}); math.Abs(e-1) > 1e-12 {
+		t.Errorf("balanced binary entropy = %v, want 1", e)
+	}
+	if e := Entropy(nil); e != 0 {
+		t.Errorf("empty entropy = %v", e)
+	}
+	if e := Entropy([]int{2, 2, 2, 2}); math.Abs(e-2) > 1e-12 {
+		t.Errorf("uniform 4-class entropy = %v, want 2", e)
+	}
+}
+
+func TestLaplace(t *testing.T) {
+	p := Laplace([]int{3, 0})
+	if math.Abs(p[0]-0.8) > 1e-12 || math.Abs(p[1]-0.2) > 1e-12 {
+		t.Errorf("Laplace([3 0]) = %v", p)
+	}
+}
+
+func TestArgMaxAndMajority(t *testing.T) {
+	if ArgMax([]float64{0.1, 0.7, 0.2}) != 1 {
+		t.Error("ArgMax wrong")
+	}
+	if ArgMax([]float64{0.5, 0.5}) != 0 {
+		t.Error("ArgMax tie should pick first")
+	}
+	if Majority([]int{1, 5, 2}) != 1 {
+		t.Error("Majority wrong")
+	}
+}
+
+func TestSubsetSharesRows(t *testing.T) {
+	ds := NewDataset([]Attr{{Name: "a", Card: 3}})
+	for i := 0; i < 3; i++ {
+		if err := ds.Add([]int{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub := ds.Subset([]int{2, 0})
+	if sub.Len() != 2 || sub.X[0][0] != 2 || sub.X[1][0] != 0 {
+		t.Errorf("Subset = %v", sub.X)
+	}
+}
+
+// Property: Laplace output is a probability distribution.
+func TestQuickLaplaceIsDistribution(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = int(v)
+		}
+		p := Laplace(counts)
+		var sum float64
+		for _, v := range p {
+			if v <= 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: entropy is bounded by log2(k) and non-negative.
+func TestQuickEntropyBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int, len(raw))
+		nonzero := 0
+		for i, v := range raw {
+			counts[i] = int(v)
+			if v > 0 {
+				nonzero++
+			}
+		}
+		e := Entropy(counts)
+		if e < 0 {
+			return false
+		}
+		if nonzero == 0 {
+			return e == 0
+		}
+		return e <= math.Log2(float64(nonzero))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package nbayes implements the Naive Bayes classifier (NBC in the paper):
+// class score n(l|x) = p(l) * prod_j p(a_j | l) with Laplace smoothing,
+// normalised into a posterior p(l|x) = n(l|x) / sum_k n(k|x), exactly as
+// section 3 of the paper describes.
+package nbayes
+
+import (
+	"fmt"
+	"math"
+
+	"crossfeature/internal/ml"
+)
+
+// Learner configures Naive Bayes fitting.
+type Learner struct {
+	// Alpha is the additive smoothing constant (1 = Laplace).
+	Alpha float64
+}
+
+// NewLearner returns a Laplace-smoothed learner.
+func NewLearner() *Learner { return &Learner{Alpha: 1} }
+
+// Name implements ml.Learner.
+func (l *Learner) Name() string { return "NBC" }
+
+// Model is a fitted Naive Bayes classifier for one target attribute. All
+// fields are exported so models serialise with encoding/gob.
+type Model struct {
+	Target int
+	// LogPrior[c] is log p(c) with smoothing.
+	LogPrior []float64
+	// LogCond[a][c][v] is log p(attr a = v | class c); nil for the target
+	// attribute itself.
+	LogCond [][][]float64
+}
+
+var _ ml.Classifier = (*Model)(nil)
+
+// Fit implements ml.Learner.
+func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
+	if target < 0 || target >= len(ds.Attrs) {
+		return nil, fmt.Errorf("nbayes: target %d outside schema of %d attributes", target, len(ds.Attrs))
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("nbayes: empty dataset")
+	}
+	alpha := l.Alpha
+	if alpha <= 0 {
+		alpha = 1
+	}
+	classes := ds.Attrs[target].Card
+	m := &Model{
+		Target:   target,
+		LogPrior: make([]float64, classes),
+		LogCond:  make([][][]float64, len(ds.Attrs)),
+	}
+
+	classCounts := ds.ClassCounts(target)
+	total := float64(ds.Len())
+	for c := 0; c < classes; c++ {
+		m.LogPrior[c] = math.Log((float64(classCounts[c]) + alpha) / (total + alpha*float64(classes)))
+	}
+
+	for a := range ds.Attrs {
+		if a == target {
+			continue
+		}
+		card := ds.Attrs[a].Card
+		counts := make([][]int, classes)
+		for c := range counts {
+			counts[c] = make([]int, card)
+		}
+		for _, row := range ds.X {
+			counts[row[target]][row[a]]++
+		}
+		tab := make([][]float64, classes)
+		for c := 0; c < classes; c++ {
+			tab[c] = make([]float64, card)
+			den := float64(classCounts[c]) + alpha*float64(card)
+			for v := 0; v < card; v++ {
+				tab[c][v] = math.Log((float64(counts[c][v]) + alpha) / den)
+			}
+		}
+		m.LogCond[a] = tab
+	}
+	return m, nil
+}
+
+// PredictProba implements ml.Classifier.
+func (m *Model) PredictProba(x []int) []float64 {
+	classes := len(m.LogPrior)
+	logs := make([]float64, classes)
+	for c := 0; c < classes; c++ {
+		s := m.LogPrior[c]
+		for a, tab := range m.LogCond {
+			if tab == nil || a >= len(x) {
+				continue
+			}
+			v := x[a]
+			if v < 0 || v >= len(tab[c]) {
+				continue // unseen value: contributes nothing
+			}
+			s += tab[c][v]
+		}
+		logs[c] = s
+	}
+	// Softmax-normalise in log space.
+	maxLog := math.Inf(-1)
+	for _, v := range logs {
+		if v > maxLog {
+			maxLog = v
+		}
+	}
+	out := make([]float64, classes)
+	var sum float64
+	for c, v := range logs {
+		out[c] = math.Exp(v - maxLog)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package ripper
+
+import (
+	"fmt"
+	"strings"
+
+	"crossfeature/internal/ml"
+)
+
+// Render pretty-prints the ordered rule list for human inspection.
+// attrName maps attribute indices to names (nil falls back to f<i>).
+func (rs *RuleSet) Render(attrName func(int) string) string {
+	if attrName == nil {
+		attrName = func(i int) string { return fmt.Sprintf("f%d", i) }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule set for target %s (%d rules + default)\n", attrName(rs.Target), len(rs.Rules))
+	for i, r := range rs.Rules {
+		conds := make([]string, 0, len(r.Conds))
+		for _, c := range r.Conds {
+			conds = append(conds, fmt.Sprintf("%s=%d", attrName(c.Attr), c.Val))
+		}
+		cond := "TRUE"
+		if len(conds) > 0 {
+			cond = strings.Join(conds, " AND ")
+		}
+		probs := ml.Laplace(r.Counts)
+		fmt.Fprintf(&b, "  %2d. IF %s THEN class %d (p=%.2f, n=%d)\n",
+			i+1, cond, r.Class, probs[r.Class], sumCounts(r.Counts))
+	}
+	def := ml.ArgMax(ml.Laplace(rs.Default))
+	fmt.Fprintf(&b, "  default: class %d (n=%d)\n", def, sumCounts(rs.Default))
+	return b.String()
+}
+
+func sumCounts(counts []int) int {
+	s := 0
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}

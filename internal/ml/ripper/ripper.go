@@ -1,0 +1,378 @@
+// Package ripper implements a RIPPER-style ordered rule learner (Cohen,
+// "Fast Effective Rule Induction", ICML 1995): classes are handled from
+// least to most frequent, rules are grown condition-by-condition to
+// maximise FOIL information gain on a growing set, then pruned greedily
+// against a separate pruning set, and rule addition stops when a new rule's
+// error on the pruning set exceeds one half. The most frequent class
+// becomes the default rule. Each rule retains its training-coverage class
+// histogram so the classifier can emit calibrated probabilities for
+// Algorithm 3.
+package ripper
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crossfeature/internal/ml"
+)
+
+// Learner configures rule induction.
+type Learner struct {
+	// GrowFrac is the fraction of data used for growing (the rest prunes);
+	// Cohen's default is 2/3.
+	GrowFrac float64
+	// MaxConds caps conditions per rule; 0 means unbounded.
+	MaxConds int
+	// MaxRulesPerClass caps the rule count per class; 0 means unbounded.
+	MaxRulesPerClass int
+	// Seed drives the grow/prune shuffle, keeping training deterministic.
+	Seed int64
+}
+
+// NewLearner returns a learner with Cohen's defaults.
+func NewLearner() *Learner {
+	return &Learner{GrowFrac: 2.0 / 3.0, Seed: 1}
+}
+
+// Name implements ml.Learner.
+func (l *Learner) Name() string { return "RIPPER" }
+
+// Cond is one equality test attr == val.
+type Cond struct {
+	Attr int
+	Val  int
+}
+
+// Rule is a conjunction of conditions predicting Class, with the class
+// histogram of the training instances it covers.
+type Rule struct {
+	Conds  []Cond
+	Class  int
+	Counts []int
+}
+
+// Matches reports whether the rule covers instance x.
+func (r *Rule) Matches(x []int) bool {
+	for _, c := range r.Conds {
+		if c.Attr >= len(x) || x[c.Attr] != c.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// RuleSet is a fitted ordered rule list for one target attribute.
+type RuleSet struct {
+	Rules   []Rule
+	Default []int // class histogram backing the default rule
+	Target  int
+	Classes int
+}
+
+var _ ml.Classifier = (*RuleSet)(nil)
+
+// Fit implements ml.Learner.
+func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
+	if target < 0 || target >= len(ds.Attrs) {
+		return nil, fmt.Errorf("ripper: target %d outside schema of %d attributes", target, len(ds.Attrs))
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("ripper: empty dataset")
+	}
+	growFrac := l.GrowFrac
+	if growFrac <= 0 || growFrac >= 1 {
+		growFrac = 2.0 / 3.0
+	}
+	classes := ds.Attrs[target].Card
+	rs := &RuleSet{Target: target, Classes: classes}
+
+	// Order classes by ascending frequency; the most frequent is default.
+	counts := ds.ClassCounts(target)
+	order := make([]int, classes)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < classes; i++ {
+		for j := i; j > 0 && counts[order[j]] < counts[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	remaining := make([]int, ds.Len())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	rng := rand.New(rand.NewSource(l.Seed))
+
+	for oi := 0; oi < classes-1; oi++ {
+		cls := order[oi]
+		if counts[cls] == 0 {
+			continue
+		}
+		remaining = l.coverClass(ds, target, cls, remaining, rs, rng)
+	}
+
+	// Default rule: histogram of the leftovers (or global counts if empty).
+	def := make([]int, classes)
+	for _, i := range remaining {
+		def[ds.X[i][target]]++
+	}
+	empty := true
+	for _, c := range def {
+		if c > 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		def = counts
+	}
+	rs.Default = def
+
+	// Final pass: refresh every rule's coverage histogram against the full
+	// ordered list semantics (first-match) on the whole training set.
+	rs.recount(ds)
+	return rs, nil
+}
+
+// coverClass induces rules for cls until the positives among remaining are
+// covered or rule quality degrades; it returns the uncovered instances.
+func (l *Learner) coverClass(ds *ml.Dataset, target, cls int, remaining []int, rs *RuleSet, rng *rand.Rand) []int {
+	added := 0
+	for {
+		pos := 0
+		for _, i := range remaining {
+			if ds.X[i][target] == cls {
+				pos++
+			}
+		}
+		if pos == 0 {
+			return remaining
+		}
+		if l.MaxRulesPerClass > 0 && added >= l.MaxRulesPerClass {
+			return remaining
+		}
+		grow, prune := split(remaining, l.GrowFrac, rng)
+		rule := l.growRule(ds, target, cls, grow)
+		if rule == nil {
+			return remaining
+		}
+		pruneRule(ds, target, cls, rule, prune)
+		// Accept only if the rule is better than chance on the prune set
+		// (Cohen's stopping criterion: error rate <= 50%).
+		p, n := coverage(ds, target, cls, rule, prune)
+		if p+n > 0 && float64(n)/float64(p+n) > 0.5 {
+			return remaining
+		}
+		if p+n == 0 {
+			// No prune data matched; fall back to the grow set estimate.
+			gp, gn := coverage(ds, target, cls, rule, grow)
+			if gp == 0 || float64(gn)/float64(gp+gn) > 0.5 {
+				return remaining
+			}
+		}
+		rs.Rules = append(rs.Rules, *rule)
+		added++
+		// Remove covered instances from remaining.
+		out := remaining[:0]
+		for _, i := range remaining {
+			if !rule.Matches(ds.X[i]) {
+				out = append(out, i)
+			}
+		}
+		if len(out) == len(remaining) {
+			return remaining // defensive: rule covered nothing
+		}
+		remaining = out
+	}
+}
+
+// growRule adds the condition with the best FOIL gain until the rule is
+// pure on the grow set or no condition helps.
+func (l *Learner) growRule(ds *ml.Dataset, target, cls int, grow []int) *Rule {
+	rule := &Rule{Class: cls}
+	covered := append([]int(nil), grow...)
+	for {
+		p0, n0 := 0, 0
+		for _, i := range covered {
+			if ds.X[i][target] == cls {
+				p0++
+			} else {
+				n0++
+			}
+		}
+		if p0 == 0 {
+			return nil
+		}
+		if n0 == 0 {
+			break // pure
+		}
+		if l.MaxConds > 0 && len(rule.Conds) >= l.MaxConds {
+			break
+		}
+		bestGain := 0.0
+		var best Cond
+		found := false
+		base := math.Log2(float64(p0) / float64(p0+n0))
+		// Candidate conditions: every (attr,value) not already fixed.
+		fixed := make(map[int]bool, len(rule.Conds))
+		for _, c := range rule.Conds {
+			fixed[c.Attr] = true
+		}
+		for a := range ds.Attrs {
+			if a == target || fixed[a] || ds.Attrs[a].Card < 2 {
+				continue
+			}
+			// Count p,n per value of a in one pass.
+			card := ds.Attrs[a].Card
+			pv := make([]int, card)
+			nv := make([]int, card)
+			for _, i := range covered {
+				v := ds.X[i][a]
+				if ds.X[i][target] == cls {
+					pv[v]++
+				} else {
+					nv[v]++
+				}
+			}
+			for v := 0; v < card; v++ {
+				p, n := pv[v], nv[v]
+				if p == 0 {
+					continue
+				}
+				gain := float64(p) * (math.Log2(float64(p)/float64(p+n)) - base)
+				if gain > bestGain+1e-12 {
+					bestGain = gain
+					best = Cond{Attr: a, Val: v}
+					found = true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		rule.Conds = append(rule.Conds, best)
+		out := covered[:0]
+		for _, i := range covered {
+			if ds.X[i][best.Attr] == best.Val {
+				out = append(out, i)
+			}
+		}
+		covered = out
+	}
+	if len(rule.Conds) == 0 {
+		return nil
+	}
+	return rule
+}
+
+// pruneRule greedily deletes trailing conditions while the pruning metric
+// v = (p - n) / (p + n) on the prune set does not decrease.
+func pruneRule(ds *ml.Dataset, target, cls int, rule *Rule, prune []int) {
+	if len(prune) == 0 {
+		return
+	}
+	metric := func(conds []Cond) float64 {
+		p, n := 0, 0
+	outer:
+		for _, i := range prune {
+			for _, c := range conds {
+				if ds.X[i][c.Attr] != c.Val {
+					continue outer
+				}
+			}
+			if ds.X[i][target] == cls {
+				p++
+			} else {
+				n++
+			}
+		}
+		if p+n == 0 {
+			return math.Inf(-1)
+		}
+		return float64(p-n) / float64(p+n)
+	}
+	for len(rule.Conds) > 1 {
+		cur := metric(rule.Conds)
+		trimmed := rule.Conds[:len(rule.Conds)-1]
+		if metric(trimmed) >= cur {
+			rule.Conds = trimmed
+			continue
+		}
+		break
+	}
+}
+
+// coverage counts positives and negatives the rule matches within rows.
+func coverage(ds *ml.Dataset, target, cls int, rule *Rule, rows []int) (p, n int) {
+	for _, i := range rows {
+		if !rule.Matches(ds.X[i]) {
+			continue
+		}
+		if ds.X[i][target] == cls {
+			p++
+		} else {
+			n++
+		}
+	}
+	return p, n
+}
+
+// split partitions rows into grow and prune subsets after a shuffle.
+func split(rows []int, growFrac float64, rng *rand.Rand) (grow, prune []int) {
+	shuffled := append([]int(nil), rows...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	cut := int(float64(len(shuffled)) * growFrac)
+	if cut < 1 {
+		cut = len(shuffled)
+	}
+	return shuffled[:cut], shuffled[cut:]
+}
+
+// recount rebuilds per-rule class histograms under first-match semantics on
+// the full training set, so probabilities reflect deployment behaviour.
+func (rs *RuleSet) recount(ds *ml.Dataset) {
+	for r := range rs.Rules {
+		rs.Rules[r].Counts = make([]int, rs.Classes)
+	}
+	def := make([]int, rs.Classes)
+	for _, x := range ds.X {
+		cls := x[rs.Target]
+		hit := false
+		for r := range rs.Rules {
+			if rs.Rules[r].Matches(x) {
+				rs.Rules[r].Counts[cls]++
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			def[cls]++
+		}
+	}
+	empty := true
+	for _, c := range def {
+		if c > 0 {
+			empty = false
+			break
+		}
+	}
+	if !empty {
+		rs.Default = def
+	}
+}
+
+// PredictProba implements ml.Classifier: the first matching rule's
+// Laplace-smoothed coverage distribution, or the default rule's.
+func (rs *RuleSet) PredictProba(x []int) []float64 {
+	for i := range rs.Rules {
+		if rs.Rules[i].Matches(x) {
+			return ml.Laplace(rs.Rules[i].Counts)
+		}
+	}
+	return ml.Laplace(rs.Default)
+}
+
+// NumRules reports the number of induced rules (excluding the default).
+func (rs *RuleSet) NumRules() int { return len(rs.Rules) }

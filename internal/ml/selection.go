@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the correlation-analysis direction of the paper's
+// future work ("fewer number of models ... each model could be simplified
+// with a reduced feature set ... approaches based on both correlation
+// analysis and factor analysis"): information-theoretic measures between
+// nominal features and a ranking that selects the most inter-correlated
+// subset.
+
+// MutualInformation computes I(f_i; f_j) in bits between two nominal
+// attributes over the dataset.
+func (d *Dataset) MutualInformation(i, j int) float64 {
+	if i == j {
+		return Entropy(d.ClassCounts(i))
+	}
+	ci, cj := d.Attrs[i].Card, d.Attrs[j].Card
+	joint := make([]int, ci*cj)
+	mi := make([]int, ci)
+	mj := make([]int, cj)
+	for _, row := range d.X {
+		a, b := row[i], row[j]
+		joint[a*cj+b]++
+		mi[a]++
+		mj[b]++
+	}
+	n := float64(d.Len())
+	if n == 0 {
+		return 0
+	}
+	var info float64
+	for a := 0; a < ci; a++ {
+		for b := 0; b < cj; b++ {
+			c := joint[a*cj+b]
+			if c == 0 {
+				continue
+			}
+			pab := float64(c) / n
+			pa := float64(mi[a]) / n
+			pb := float64(mj[b]) / n
+			info += pab * math.Log2(pab/(pa*pb))
+		}
+	}
+	if info < 0 {
+		return 0 // numerical noise
+	}
+	return info
+}
+
+// SymmetricUncertainty is the normalised mutual information
+// 2*I(i;j) / (H(i)+H(j)) in [0,1]; 1 means the features determine each
+// other, 0 means independence.
+func (d *Dataset) SymmetricUncertainty(i, j int) float64 {
+	hi := Entropy(d.ClassCounts(i))
+	hj := Entropy(d.ClassCounts(j))
+	if hi+hj == 0 {
+		return 0
+	}
+	u := 2 * d.MutualInformation(i, j) / (hi + hj)
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// FeatureScore is one entry of a correlation ranking.
+type FeatureScore struct {
+	Index int
+	Name  string
+	Score float64
+}
+
+// RankByCorrelation ranks every feature by its mean symmetric uncertainty
+// with all other features: features that are strongly predictable from
+// (and predictive of) the rest of the vector rank high, exactly the
+// features cross-feature analysis exploits. sample bounds the number of
+// partner features examined per feature (0 = all), keeping the O(L^2)
+// computation tractable for wide schemas.
+func (d *Dataset) RankByCorrelation(sample int) []FeatureScore {
+	l := len(d.Attrs)
+	out := make([]FeatureScore, 0, l)
+	for i := 0; i < l; i++ {
+		partners := 0
+		var sum float64
+		step := 1
+		if sample > 0 && l-1 > sample {
+			step = (l - 1) / sample
+			if step < 1 {
+				step = 1
+			}
+		}
+		for j := 0; j < l; j += step {
+			if j == i {
+				continue
+			}
+			sum += d.SymmetricUncertainty(i, j)
+			partners++
+		}
+		score := 0.0
+		if partners > 0 {
+			score = sum / float64(partners)
+		}
+		out = append(out, FeatureScore{Index: i, Name: d.Attrs[i].Name, Score: score})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// SelectColumns builds a new dataset containing only the given attribute
+// indices (in the given order).
+func (d *Dataset) SelectColumns(idx []int) *Dataset {
+	attrs := make([]Attr, len(idx))
+	for k, i := range idx {
+		attrs[k] = d.Attrs[i]
+	}
+	out := NewDataset(attrs)
+	out.X = make([][]int, 0, d.Len())
+	for _, row := range d.X {
+		nr := make([]int, len(idx))
+		for k, i := range idx {
+			nr[k] = row[i]
+		}
+		out.X = append(out.X, nr)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// correlatedPairDataset: f0 and f1 are identical, f2 independent noise.
+func correlatedPairDataset(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := NewDataset([]Attr{
+		{Name: "a", Card: 4}, {Name: "b", Card: 4}, {Name: "noise", Card: 4},
+	})
+	for i := 0; i < n; i++ {
+		v := rng.Intn(4)
+		_ = ds.Add([]int{v, v, rng.Intn(4)})
+	}
+	return ds
+}
+
+func TestMutualInformationIdenticalFeatures(t *testing.T) {
+	ds := correlatedPairDataset(1000, 1)
+	mi := ds.MutualInformation(0, 1)
+	h := Entropy(ds.ClassCounts(0))
+	if math.Abs(mi-h) > 0.05 {
+		t.Errorf("I(a;b) = %v for identical features, want about H(a) = %v", mi, h)
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	ds := correlatedPairDataset(2000, 2)
+	mi := ds.MutualInformation(0, 2)
+	if mi > 0.05 {
+		t.Errorf("I(a;noise) = %v, want about 0", mi)
+	}
+}
+
+func TestMutualInformationSymmetry(t *testing.T) {
+	ds := correlatedPairDataset(500, 3)
+	if a, b := ds.MutualInformation(0, 1), ds.MutualInformation(1, 0); math.Abs(a-b) > 1e-9 {
+		t.Errorf("MI not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestSymmetricUncertaintyRange(t *testing.T) {
+	ds := correlatedPairDataset(800, 4)
+	identical := ds.SymmetricUncertainty(0, 1)
+	indep := ds.SymmetricUncertainty(0, 2)
+	if identical < 0.9 || identical > 1 {
+		t.Errorf("SU of identical features = %v, want near 1", identical)
+	}
+	if indep > 0.1 {
+		t.Errorf("SU of independent features = %v, want near 0", indep)
+	}
+	if su := ds.SymmetricUncertainty(0, 0); math.Abs(su-1) > 1e-9 {
+		t.Errorf("SU of a feature with itself = %v", su)
+	}
+}
+
+func TestRankByCorrelation(t *testing.T) {
+	ds := correlatedPairDataset(1000, 5)
+	ranking := ds.RankByCorrelation(0)
+	if len(ranking) != 3 {
+		t.Fatalf("%d ranked features", len(ranking))
+	}
+	// The correlated pair must outrank the noise channel.
+	if ranking[2].Name != "noise" {
+		t.Errorf("noise ranked above correlated features: %+v", ranking)
+	}
+	if ranking[0].Score <= ranking[2].Score {
+		t.Error("ranking not descending")
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	ds := correlatedPairDataset(10, 6)
+	sub := ds.SelectColumns([]int{2, 0})
+	if len(sub.Attrs) != 2 || sub.Attrs[0].Name != "noise" || sub.Attrs[1].Name != "a" {
+		t.Errorf("selected schema %v", sub.Attrs)
+	}
+	if sub.Len() != 10 {
+		t.Errorf("selected %d rows", sub.Len())
+	}
+	for i, row := range sub.X {
+		if row[0] != ds.X[i][2] || row[1] != ds.X[i][0] {
+			t.Fatalf("row %d mis-selected", i)
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankByCorrelationSampled(t *testing.T) {
+	ds := correlatedPairDataset(300, 7)
+	full := ds.RankByCorrelation(0)
+	sampled := ds.RankByCorrelation(1)
+	if len(full) != len(sampled) {
+		t.Fatal("sampling changed the ranking length")
+	}
+}

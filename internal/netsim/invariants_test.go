@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crossfeature/internal/aodv"
+	"crossfeature/internal/dsr"
+	"crossfeature/internal/olsr"
+	"crossfeature/internal/trace"
+)
+
+// TestQuickConservationInvariants runs randomised small scenarios across
+// all protocols and checks conservation laws that must hold regardless of
+// topology, workload or protocol dynamics:
+//
+//   - delivered <= originated (no packet materialises out of thin air)
+//   - the monitored node's audit snapshots are strictly time-ordered
+//   - window statistics are internally monotone (5s <= 60s <= 900s counts)
+func TestQuickConservationInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomised scenarios in -short mode")
+	}
+	f := func(seed int64, nNodes, nConns uint8, routing uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Seed = int64(seed%1000) + 1
+		cfg.Nodes = 5 + int(nNodes%12)
+		cfg.Connections = 2 + int(nConns%10)
+		cfg.Duration = 90
+		switch routing % 3 {
+		case 0:
+			cfg.Routing = AODV
+		case 1:
+			cfg.Routing = DSR
+		default:
+			cfg.Routing = OLSR
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Logf("construction failed: %v", err)
+			return false
+		}
+		if err := n.Run(); err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		var orig, del uint64
+		for _, node := range n.nodes {
+			switch p := node.proto.(type) {
+			case *aodv.Router:
+				o, d, _, _ := p.Stats()
+				orig += o
+				del += d
+			case *dsr.Router:
+				o, d, _, _, _ := p.Stats()
+				orig += o
+				del += d
+			case *olsr.Router:
+				o, d, _, _ := p.Stats()
+				orig += o
+				del += d
+			}
+		}
+		if del > orig {
+			t.Logf("delivered %d > originated %d", del, orig)
+			return false
+		}
+		last := -1.0
+		for _, s := range n.Snapshots(0) {
+			if s.Time <= last {
+				t.Logf("snapshot times not increasing at %v", s.Time)
+				return false
+			}
+			last = s.Time
+			for cls := trace.Class(0); cls < trace.NumClasses; cls++ {
+				for dir := trace.Direction(0); dir < trace.NumDirections; dir++ {
+					if !trace.ValidCombo(cls, dir) {
+						continue
+					}
+					w := s.Traffic[cls][dir]
+					if w[0].Count > w[1].Count || w[1].Count > w[2].Count {
+						t.Logf("window counts not monotone for %v/%v: %v", cls, dir, w)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package netsim assembles the simulation substrates — engine, mobility,
+// radio, routing protocol, transport agents, attacks and audit collectors —
+// into runnable MANET scenarios matching the paper's experiment setup.
+package netsim
+
+import (
+	"math/rand"
+
+	"crossfeature/internal/mobility"
+	"crossfeature/internal/packet"
+	"crossfeature/internal/radio"
+	"crossfeature/internal/routing"
+	"crossfeature/internal/sim"
+	"crossfeature/internal/trace"
+	"crossfeature/internal/traffic"
+)
+
+// Node is one mobile host: it wires the routing protocol to the radio
+// medium, dispatches delivered data packets to transport agents and feeds
+// the audit sink. It implements routing.Env, traffic.Host and
+// radio.Handler.
+type Node struct {
+	id     packet.NodeID
+	eng    *sim.Engine
+	medium *radio.Medium
+	mob    mobility.Model
+	alloc  *packet.Allocator
+	sink   trace.Sink
+	proto  routing.Protocol
+	flows  map[uint32]traffic.SegmentHandler
+	agents []traffic.Agent
+}
+
+var (
+	_ routing.Env   = (*Node)(nil)
+	_ traffic.Host  = (*Node)(nil)
+	_ radio.Handler = (*Node)(nil)
+)
+
+// ID implements routing.Env and traffic.Host.
+func (n *Node) ID() packet.NodeID { return n.id }
+
+// Now implements routing.Env and traffic.Host.
+func (n *Node) Now() float64 { return n.eng.Now() }
+
+// Schedule implements routing.Env and traffic.Host.
+func (n *Node) Schedule(delay float64, fn func()) { n.eng.Schedule(delay, fn) }
+
+// AfterFunc implements routing.Env and traffic.Host.
+func (n *Node) AfterFunc(delay float64, fn func()) *sim.Timer { return n.eng.AfterFunc(delay, fn) }
+
+// Tick implements routing.Env and traffic.Host.
+func (n *Node) Tick(interval, jitterFrac float64, fn func()) *sim.Ticker {
+	return n.eng.Tick(interval, jitterFrac, fn)
+}
+
+// Rand implements routing.Env and traffic.Host.
+func (n *Node) Rand() *rand.Rand { return n.eng.Rand() }
+
+// NewPacket implements routing.Env and traffic.Host.
+func (n *Node) NewPacket(t packet.Type, src, dst packet.NodeID, size int) *packet.Packet {
+	return n.alloc.New(t, src, dst, size)
+}
+
+// Broadcast implements routing.Env.
+func (n *Node) Broadcast(p *packet.Packet) { n.medium.Broadcast(n.id, p) }
+
+// Unicast implements routing.Env.
+func (n *Node) Unicast(to packet.NodeID, p *packet.Packet, onFail func()) {
+	n.medium.Unicast(n.id, to, p, onFail)
+}
+
+// Audit implements routing.Env.
+func (n *Node) Audit() trace.Sink { return n.sink }
+
+// DeliverUp implements routing.Env: dispatch a delivered data packet to the
+// transport agent registered for its flow.
+func (n *Node) DeliverUp(p *packet.Packet) {
+	seg, ok := p.Payload.(traffic.Segment)
+	if !ok {
+		return
+	}
+	if h := n.flows[seg.Flow]; h != nil {
+		h(seg, p)
+	}
+}
+
+// SendData implements traffic.Host: hand a data packet to the router.
+func (n *Node) SendData(p *packet.Packet) { n.proto.SendData(p) }
+
+// RegisterFlow implements traffic.Host.
+func (n *Node) RegisterFlow(flow uint32, h traffic.SegmentHandler) { n.flows[flow] = h }
+
+// HandleFrame implements radio.Handler.
+func (n *Node) HandleFrame(p *packet.Packet, from packet.NodeID) { n.proto.HandleFrame(p, from) }
+
+// OverhearFrame implements radio.Handler.
+func (n *Node) OverhearFrame(p *packet.Packet, from packet.NodeID) { n.proto.OverhearFrame(p, from) }
+
+// Protocol exposes the node's router (for tests and attack installation).
+func (n *Node) Protocol() routing.Protocol { return n.proto }
+
+// Mobility exposes the node's movement model.
+func (n *Node) Mobility() mobility.Model { return n.mob }

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"testing"
+
+	"crossfeature/internal/aodv"
+	"crossfeature/internal/dsr"
+	"crossfeature/internal/olsr"
+	"crossfeature/internal/trace"
+)
+
+// smokeConfig is a short scenario for quick end-to-end checks.
+func smokeConfig(routing RoutingKind, transport TransportKind) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 30
+	cfg.Connections = 20
+	cfg.Duration = 300
+	cfg.Routing = routing
+	cfg.Transport = transport
+	return cfg
+}
+
+func runSmoke(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return n
+}
+
+func deliveryStats(t *testing.T, n *Network) (originated, delivered uint64) {
+	t.Helper()
+	for _, node := range n.nodes {
+		switch p := node.proto.(type) {
+		case *aodv.Router:
+			o, d, _, _ := p.Stats()
+			originated += o
+			delivered += d
+		case *dsr.Router:
+			o, d, _, _, _ := p.Stats()
+			originated += o
+			delivered += d
+		case *olsr.Router:
+			o, d, _, _ := p.Stats()
+			originated += o
+			delivered += d
+		}
+	}
+	return originated, delivered
+}
+
+func TestSmokeDelivery(t *testing.T) {
+	for _, rk := range []RoutingKind{AODV, DSR, OLSR} {
+		for _, tk := range []TransportKind{CBR, TCP} {
+			rk, tk := rk, tk
+			t.Run(rk.String()+"_"+tk.String(), func(t *testing.T) {
+				n := runSmoke(t, smokeConfig(rk, tk))
+				orig, del := deliveryStats(t, n)
+				if orig == 0 {
+					t.Fatal("no data packets originated")
+				}
+				ratio := float64(del) / float64(orig)
+				t.Logf("%s/%s: originated=%d delivered=%d ratio=%.2f events=%d",
+					rk, tk, orig, del, ratio, n.Engine().Processed())
+				if ratio < 0.3 {
+					t.Errorf("delivery ratio %.2f too low; routing is not working", ratio)
+				}
+				snaps := n.Snapshots(0)
+				if len(snaps) != int(n.cfg.Duration/n.cfg.SampleInterval) {
+					t.Errorf("got %d snapshots, want %d", len(snaps), int(n.cfg.Duration/n.cfg.SampleInterval))
+				}
+				var sawTraffic bool
+				for _, s := range snaps {
+					if s.Traffic[trace.ClassData][trace.Sent][0].Count > 0 ||
+						s.Traffic[trace.ClassData][trace.Received][0].Count > 0 {
+						sawTraffic = true
+						break
+					}
+				}
+				if !sawTraffic {
+					t.Error("node 0 never observed data traffic")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,572 @@
+// Package olsr implements a simplified Optimized Link State Routing
+// protocol (RFC 3626) — the proactive MANET protocol the paper names
+// alongside AODV and DSR (section 2). It provides an extension test bed
+// for cross-feature analysis on a protocol with a fundamentally different
+// audit signature: periodic HELLO and TC control traffic instead of
+// on-demand discovery floods.
+//
+// Implemented machinery: HELLO-based link sensing with symmetric-link
+// confirmation, greedy MPR (multipoint relay) selection covering the
+// two-hop neighbourhood, TC (topology control) messages advertising MPR
+// selectors flooded through MPRs only, and shortest-path routing-table
+// computation over the learned topology.
+//
+// Packet-type mapping onto the paper's audit taxonomy (Table 5): HELLO
+// beacons map to HELLO; TC messages map to ROUTE REQUEST (the protocol's
+// only network-wide route control flood). The "route (all)" aggregate
+// captures both either way.
+package olsr
+
+import (
+	"crossfeature/internal/packet"
+	"crossfeature/internal/routing"
+	"crossfeature/internal/trace"
+)
+
+// Config holds OLSR protocol constants.
+type Config struct {
+	HelloInterval float64 // link-sensing beacon period (RFC: 2 s)
+	TCInterval    float64 // topology advertisement period (RFC: 5 s)
+	NeighborHold  float64 // neighbour expiry without HELLOs (RFC: 3x hello)
+	TopologyHold  float64 // topology tuple expiry (RFC: 3x TC)
+	RecalcEvery   float64 // routing-table recomputation period
+}
+
+// DefaultConfig mirrors RFC 3626 defaults.
+func DefaultConfig() Config {
+	return Config{
+		HelloInterval: 2,
+		TCInterval:    5,
+		NeighborHold:  6,
+		TopologyHold:  15,
+		RecalcEvery:   1,
+	}
+}
+
+// helloHeader advertises the sender's neighbourhood. Sym lists neighbours
+// heard bidirectionally, Heard those heard only one way; MPRs lists the
+// sender's chosen multipoint relays.
+type helloHeader struct {
+	Sym   []packet.NodeID
+	Heard []packet.NodeID
+	MPRs  []packet.NodeID
+}
+
+// tcHeader advertises that Origin can reach its MPR selectors directly.
+type tcHeader struct {
+	Origin    packet.NodeID
+	ANSN      uint32
+	Selectors []packet.NodeID
+}
+
+// neighbor is one link-sensing record.
+type neighbor struct {
+	sym     bool
+	expires float64
+	twoHop  map[packet.NodeID]struct{} // sym neighbours it advertises
+	choseUs bool                       // it lists us among its MPRs
+}
+
+// topoTuple records "lastHop can reach dst", learned from TC floods.
+type topoTuple struct {
+	ansn    uint32
+	expires float64
+}
+
+// routeEntry is one row of the computed routing table.
+type routeEntry struct {
+	next packet.NodeID
+	hops int
+}
+
+// Router is one OLSR instance.
+type Router struct {
+	env routing.Env
+	cfg Config
+
+	neighbors map[packet.NodeID]*neighbor
+	mprs      map[packet.NodeID]struct{}                     // our chosen relays
+	topology  map[packet.NodeID]map[packet.NodeID]*topoTuple // lastHop -> dst
+	routes    map[packet.NodeID]routeEntry
+
+	ansn       uint32
+	seenTC     map[tcKey]struct{}
+	msgSeq     uint32
+	dropFilter routing.DropFilter
+
+	// black-hole / storm attack state
+	bhTargets []packet.NodeID
+	// suppressLegitUntil silences honest TC emission while the black hole
+	// is lying: an attacker does not correct its own fabrications.
+	suppressLegitUntil float64
+
+	dataOriginated uint64
+	dataDelivered  uint64
+	dataForwarded  uint64
+	dataDropped    uint64
+}
+
+type tcKey struct {
+	origin packet.NodeID
+	seq    uint32
+}
+
+// New creates an OLSR router bound to env.
+func New(env routing.Env, cfg Config) *Router {
+	return &Router{
+		env:       env,
+		cfg:       cfg,
+		neighbors: make(map[packet.NodeID]*neighbor),
+		mprs:      make(map[packet.NodeID]struct{}),
+		topology:  make(map[packet.NodeID]map[packet.NodeID]*topoTuple),
+		routes:    make(map[packet.NodeID]routeEntry),
+		seenTC:    make(map[tcKey]struct{}),
+	}
+}
+
+var (
+	_ routing.Protocol            = (*Router)(nil)
+	_ routing.BlackHoleAdvertiser = (*Router)(nil)
+	_ routing.StormFlooder        = (*Router)(nil)
+)
+
+// Name implements routing.Protocol.
+func (r *Router) Name() string { return "OLSR" }
+
+// Promiscuous implements routing.Protocol; OLSR control is broadcast, so
+// nothing extra is gained by overhearing.
+func (r *Router) Promiscuous() bool { return false }
+
+// SetDropFilter implements routing.Protocol.
+func (r *Router) SetDropFilter(f routing.DropFilter) { r.dropFilter = f }
+
+// Start arms the periodic beacons and table recomputation.
+func (r *Router) Start() {
+	r.env.Tick(r.cfg.HelloInterval, 1.0, r.sendHello)
+	r.env.Tick(r.cfg.TCInterval, 1.0, r.sendTC)
+	r.env.Tick(r.cfg.RecalcEvery, 1.0, r.recompute)
+}
+
+// Stats reports cumulative data-plane counters.
+func (r *Router) Stats() (originated, delivered, forwarded, dropped uint64) {
+	return r.dataOriginated, r.dataDelivered, r.dataForwarded, r.dataDropped
+}
+
+// AvgRouteLength implements routing.Protocol.
+func (r *Router) AvgRouteLength() float64 {
+	if len(r.routes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range r.routes {
+		sum += float64(e.hops)
+	}
+	return sum / float64(len(r.routes))
+}
+
+// RouteTo exposes the computed next hop (for tests).
+func (r *Router) RouteTo(dst packet.NodeID) (packet.NodeID, int, bool) {
+	e, ok := r.routes[dst]
+	return e.next, e.hops, ok
+}
+
+// --- link sensing ---------------------------------------------------------------
+
+func (r *Router) sendHello() {
+	r.expireNeighbors()
+	hdr := helloHeader{}
+	for id, nb := range r.neighbors {
+		if nb.sym {
+			hdr.Sym = append(hdr.Sym, id)
+		} else {
+			hdr.Heard = append(hdr.Heard, id)
+		}
+	}
+	for id := range r.mprs {
+		hdr.MPRs = append(hdr.MPRs, id)
+	}
+	p := r.env.NewPacket(packet.Hello, r.env.ID(), packet.Broadcast, packet.ControlSize)
+	p.TTL = 1
+	p.Header = hdr
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Hello, trace.Sent)
+	r.env.Broadcast(p)
+}
+
+func (r *Router) handleHello(p *packet.Packet, from packet.NodeID) {
+	hdr, ok := p.Header.(helloHeader)
+	if !ok {
+		return
+	}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Hello, trace.Received)
+	me := r.env.ID()
+	nb := r.neighbors[from]
+	if nb == nil {
+		nb = &neighbor{twoHop: make(map[packet.NodeID]struct{})}
+		r.neighbors[from] = nb
+		r.env.Audit().RecordRoute(trace.RouteNotice)
+	}
+	nb.expires = r.env.Now() + r.cfg.NeighborHold
+	// Symmetric once the peer lists us (in either state).
+	nb.sym = contains(hdr.Sym, me) || contains(hdr.Heard, me)
+	nb.choseUs = contains(hdr.MPRs, me)
+	nb.twoHop = make(map[packet.NodeID]struct{}, len(hdr.Sym))
+	for _, id := range hdr.Sym {
+		if id != me {
+			nb.twoHop[id] = struct{}{}
+		}
+	}
+	r.selectMPRs()
+}
+
+// expireNeighbors drops silent neighbours.
+func (r *Router) expireNeighbors() {
+	now := r.env.Now()
+	for id, nb := range r.neighbors {
+		if nb.expires < now {
+			delete(r.neighbors, id)
+			delete(r.mprs, id)
+		}
+	}
+}
+
+// selectMPRs greedily covers the 2-hop neighbourhood.
+func (r *Router) selectMPRs() {
+	// Universe: strict 2-hop neighbours.
+	twoHop := make(map[packet.NodeID]struct{})
+	for _, nb := range r.neighbors {
+		if !nb.sym {
+			continue
+		}
+		for id := range nb.twoHop {
+			if id == r.env.ID() {
+				continue
+			}
+			if n, direct := r.neighbors[id]; direct && n.sym {
+				continue
+			}
+			twoHop[id] = struct{}{}
+		}
+	}
+	mprs := make(map[packet.NodeID]struct{})
+	uncovered := twoHop
+	for len(uncovered) > 0 {
+		var best packet.NodeID
+		bestCover := 0
+		for id, nb := range r.neighbors {
+			if !nb.sym {
+				continue
+			}
+			if _, chosen := mprs[id]; chosen {
+				continue
+			}
+			cover := 0
+			for t := range nb.twoHop {
+				if _, u := uncovered[t]; u {
+					cover++
+				}
+			}
+			if cover > bestCover || (cover == bestCover && cover > 0 && id < best) {
+				best, bestCover = id, cover
+			}
+		}
+		if bestCover == 0 {
+			break // remaining 2-hop nodes unreachable via any neighbour
+		}
+		mprs[best] = struct{}{}
+		for t := range r.neighbors[best].twoHop {
+			delete(uncovered, t)
+		}
+	}
+	r.mprs = mprs
+}
+
+// --- topology dissemination --------------------------------------------------------
+
+func (r *Router) sendTC() {
+	if r.env.Now() < r.suppressLegitUntil {
+		return // the black hole keeps its lie on the wire
+	}
+	// Only nodes someone selected as MPR originate TCs (RFC 3626 8.3).
+	var selectors []packet.NodeID
+	for id, nb := range r.neighbors {
+		if nb.sym && nb.choseUs {
+			selectors = append(selectors, id)
+		}
+	}
+	if len(selectors) == 0 {
+		return
+	}
+	r.ansn++
+	r.broadcastTC(tcHeader{Origin: r.env.ID(), ANSN: r.ansn, Selectors: selectors}, packet.DefaultTTL)
+}
+
+// broadcastTC emits a TC flood message.
+func (r *Router) broadcastTC(hdr tcHeader, ttl int) {
+	r.msgSeq++
+	p := r.env.NewPacket(packet.RouteRequest, hdr.Origin, packet.Broadcast, packet.ControlSize)
+	p.TTL = ttl
+	p.Header = hdr
+	r.seenTC[tcKey{origin: hdr.Origin, seq: hdr.ANSN}] = struct{}{}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteRequest, trace.Sent)
+	r.env.Broadcast(p)
+}
+
+func (r *Router) handleTC(p *packet.Packet, from packet.NodeID) {
+	hdr, ok := p.Header.(tcHeader)
+	if !ok {
+		return
+	}
+	r.env.Audit().RecordPacket(r.env.Now(), packet.RouteRequest, trace.Received)
+	me := r.env.ID()
+	if hdr.Origin == me {
+		return
+	}
+	key := tcKey{origin: hdr.Origin, seq: hdr.ANSN}
+	if _, seen := r.seenTC[key]; seen {
+		return
+	}
+	r.seenTC[key] = struct{}{}
+
+	// Record topology tuples: Origin reaches each selector.
+	links := r.topology[hdr.Origin]
+	if links == nil {
+		links = make(map[packet.NodeID]*topoTuple)
+		r.topology[hdr.Origin] = links
+	}
+	expires := r.env.Now() + r.cfg.TopologyHold
+	for _, sel := range hdr.Selectors {
+		if t := links[sel]; t == nil {
+			links[sel] = &topoTuple{ansn: hdr.ANSN, expires: expires}
+			r.env.Audit().RecordRoute(trace.RouteNotice)
+		} else {
+			t.ansn = hdr.ANSN
+			t.expires = expires
+		}
+	}
+	// Drop tuples older than this ANSN (RFC: purge outdated advertisements).
+	for sel, t := range links {
+		if t.ansn < hdr.ANSN {
+			delete(links, sel)
+		}
+	}
+
+	// MPR forwarding rule: relay only if the transmitter chose us as MPR.
+	if nb := r.neighbors[from]; nb != nil && nb.choseUs && p.TTL > 0 {
+		fwd := p.Clone()
+		fwd.TTL--
+		fwd.Hops++
+		r.env.Audit().RecordPacket(r.env.Now(), packet.RouteRequest, trace.Forwarded)
+		r.env.Broadcast(fwd)
+	}
+}
+
+// --- routing table -----------------------------------------------------------------
+
+// recompute rebuilds the routing table with a BFS over symmetric links and
+// advertised topology, emitting add/removal audit events for the diff.
+func (r *Router) recompute() {
+	r.expireNeighbors()
+	now := r.env.Now()
+	for origin, links := range r.topology {
+		for sel, t := range links {
+			if t.expires < now {
+				delete(links, sel)
+			}
+		}
+		if len(links) == 0 {
+			delete(r.topology, origin)
+		}
+	}
+
+	me := r.env.ID()
+	next := make(map[packet.NodeID]routeEntry)
+	// BFS frontier: symmetric one-hop neighbours.
+	type qe struct {
+		node packet.NodeID
+		via  packet.NodeID
+		hops int
+	}
+	var queue []qe
+	for id, nb := range r.neighbors {
+		if nb.sym {
+			next[id] = routeEntry{next: id, hops: 1}
+			queue = append(queue, qe{node: id, via: id, hops: 1})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Expand: links advertised by cur.node (TC) plus its HELLO 2-hop set.
+		var adj []packet.NodeID
+		if links, ok := r.topology[cur.node]; ok {
+			for sel := range links {
+				adj = append(adj, sel)
+			}
+		}
+		if nb, ok := r.neighbors[cur.node]; ok {
+			for id := range nb.twoHop {
+				adj = append(adj, id)
+			}
+		}
+		for _, dst := range adj {
+			if dst == me {
+				continue
+			}
+			if _, known := next[dst]; known {
+				continue
+			}
+			next[dst] = routeEntry{next: cur.via, hops: cur.hops + 1}
+			queue = append(queue, qe{node: dst, via: cur.via, hops: cur.hops + 1})
+		}
+	}
+
+	// Audit the diff.
+	for dst := range next {
+		if _, had := r.routes[dst]; !had {
+			r.env.Audit().RecordRoute(trace.RouteAdd)
+		}
+	}
+	for dst := range r.routes {
+		if _, have := next[dst]; !have {
+			r.env.Audit().RecordRoute(trace.RouteRemoval)
+		}
+	}
+	r.routes = next
+}
+
+// --- data plane ----------------------------------------------------------------------
+
+// SendData implements routing.Protocol.
+func (r *Router) SendData(p *packet.Packet) {
+	r.dataOriginated++
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Data, trace.Sent)
+	if p.Dst == r.env.ID() {
+		r.deliver(p)
+		return
+	}
+	e, ok := r.routes[p.Dst]
+	if !ok {
+		// Proactive protocol: no route means the topology genuinely lacks
+		// one right now. Drop (no discovery to fall back on).
+		r.dropData(p)
+		return
+	}
+	r.env.Audit().RecordRoute(trace.RouteFind)
+	next := e.next
+	r.env.Unicast(next, p, func() { r.linkBreak(next, p) })
+}
+
+func (r *Router) deliver(p *packet.Packet) {
+	if r.dropFilter != nil && r.dropFilter(p) {
+		r.dropData(p)
+		return
+	}
+	r.dataDelivered++
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Data, trace.Received)
+	r.env.DeliverUp(p)
+}
+
+func (r *Router) dropData(p *packet.Packet) {
+	r.dataDropped++
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Data, trace.Dropped)
+}
+
+func (r *Router) forwardData(p *packet.Packet) {
+	if r.dropFilter != nil && r.dropFilter(p) {
+		r.dropData(p)
+		return
+	}
+	if p.TTL <= 0 {
+		r.dropData(p)
+		return
+	}
+	e, ok := r.routes[p.Dst]
+	if !ok {
+		r.dropData(p)
+		return
+	}
+	fwd := p.Clone()
+	fwd.TTL--
+	fwd.Hops++
+	r.dataForwarded++
+	r.env.Audit().RecordPacket(r.env.Now(), packet.Data, trace.Forwarded)
+	next := e.next
+	r.env.Unicast(next, fwd, func() { r.linkBreak(next, fwd) })
+}
+
+// linkBreak reacts to MAC failure: drop the neighbour, recompute, count a
+// repair (the proactive protocol's self-healing step), and drop the packet
+// (retransmission is the transport's job).
+func (r *Router) linkBreak(next packet.NodeID, p *packet.Packet) {
+	delete(r.neighbors, next)
+	delete(r.mprs, next)
+	r.env.Audit().RecordRoute(trace.RouteRepair)
+	r.recompute()
+	r.dropData(p)
+}
+
+// HandleFrame implements routing.Protocol.
+func (r *Router) HandleFrame(p *packet.Packet, from packet.NodeID) {
+	switch p.Type {
+	case packet.Data:
+		if p.Dst == r.env.ID() {
+			r.deliver(p)
+			return
+		}
+		r.forwardData(p)
+	case packet.Hello:
+		r.handleHello(p, from)
+	case packet.RouteRequest:
+		r.handleTC(p, from)
+	}
+}
+
+// OverhearFrame implements routing.Protocol; unused.
+func (r *Router) OverhearFrame(*packet.Packet, packet.NodeID) {}
+
+// --- attacks ----------------------------------------------------------------------------
+
+// SetBlackHoleTargets configures AdvertiseBlackHole's victim set.
+func (r *Router) SetBlackHoleTargets(targets []packet.NodeID) {
+	r.bhTargets = append([]packet.NodeID(nil), targets...)
+}
+
+// AdvertiseBlackHole implements the OLSR analogue of the paper's black
+// hole: a fabricated TC message with a huge ANSN claiming every node is
+// this router's MPR selector, i.e. directly reachable through it. Every
+// recipient's shortest-path computation then funnels traffic toward the
+// attacker.
+func (r *Router) AdvertiseBlackHole() {
+	targets := r.bhTargets
+	if len(targets) == 0 {
+		for id := range r.routes {
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	r.ansn += 1000 // leap ahead so stale legitimate TCs cannot displace the lie
+	r.suppressLegitUntil = r.env.Now() + 2*r.cfg.TCInterval
+	r.broadcastTC(tcHeader{Origin: r.env.ID(), ANSN: r.ansn, Selectors: targets}, packet.DefaultTTL)
+}
+
+// FloodBogusDiscovery implements the update storm for OLSR: meaningless
+// TC floods from a nonexistent origin.
+func (r *Router) FloodBogusDiscovery() {
+	r.msgSeq++
+	r.broadcastTC(tcHeader{
+		Origin:    packet.NodeID(1 << 30),
+		ANSN:      r.msgSeq,
+		Selectors: []packet.NodeID{r.env.ID()},
+	}, packet.DefaultTTL)
+}
+
+func contains(ids []packet.NodeID, id packet.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package packet
+
+import "testing"
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		Data:         "DATA",
+		RouteRequest: "RREQ",
+		RouteReply:   "RREP",
+		RouteError:   "RERR",
+		Hello:        "HELLO",
+		Type(99):     "Type(99)",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(ty), got, want)
+		}
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	if Data.IsControl() {
+		t.Error("Data should not be control")
+	}
+	for _, ty := range []Type{RouteRequest, RouteReply, RouteError, Hello} {
+		if !ty.IsControl() {
+			t.Errorf("%v should be control", ty)
+		}
+	}
+}
+
+func TestAllocatorUniqueIDs(t *testing.T) {
+	var a Allocator
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		p := a.New(Data, 1, 2, DataSize)
+		if seen[p.ID] {
+			t.Fatalf("duplicate packet ID %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestAllocatorDefaults(t *testing.T) {
+	var a Allocator
+	p := a.New(RouteRequest, 3, Broadcast, ControlSize)
+	if p.TTL != DefaultTTL {
+		t.Errorf("TTL = %d, want %d", p.TTL, DefaultTTL)
+	}
+	if p.Src != 3 || p.Dst != Broadcast || p.Size != ControlSize || p.Type != RouteRequest {
+		t.Errorf("allocator mis-set fields: %+v", p)
+	}
+}
+
+func TestCloneIsShallowCopy(t *testing.T) {
+	var a Allocator
+	p := a.New(Data, 1, 2, DataSize)
+	p.Header = "header"
+	q := p.Clone()
+	q.TTL--
+	q.Hops++
+	if p.TTL != DefaultTTL || p.Hops != 0 {
+		t.Error("mutating the clone changed the original")
+	}
+	if q.Header != p.Header {
+		t.Error("clone should share the header")
+	}
+}

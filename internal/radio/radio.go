@@ -1,0 +1,262 @@
+// Package radio models the shared wireless medium. It provides the two
+// link-layer services MANET routing protocols rely on: broadcast within
+// transmission range, and unicast with MAC-level failure feedback (the
+// signal AODV and DSR use to detect broken links). Nodes that enable
+// promiscuous mode additionally overhear frames addressed to others, which
+// DSR exploits for route learning and the black-hole attack exploits for
+// poisoning.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crossfeature/internal/mobility"
+	"crossfeature/internal/packet"
+	"crossfeature/internal/sim"
+)
+
+// Config describes the physical and MAC layer model.
+type Config struct {
+	Range           float64 // transmission range in metres
+	Bandwidth       float64 // channel rate in bits/s
+	PropDelay       float64 // propagation delay in seconds
+	BroadcastJitter float64 // max random extra delay on broadcast receive, seconds
+	LossRate        float64 // independent per-frame loss probability in [0,1)
+	MACTimeout      float64 // delay before a failed unicast reports the break
+	// QueueLimit bounds each node's interface queue in frames (ns-2's
+	// ifq len, default 50): transmissions serialise on the air interface
+	// and frames arriving at a full queue are dropped. This is what lets a
+	// black hole that attracts the whole network's traffic stay damaging
+	// even when it stops actively dropping. Zero disables queueing.
+	QueueLimit int
+}
+
+// DefaultConfig uses the classical ns-2 wireless defaults: 250 m range and
+// a 2 Mb/s channel.
+func DefaultConfig() Config {
+	return Config{
+		Range:           250,
+		Bandwidth:       2e6,
+		PropDelay:       2e-6,
+		BroadcastJitter: 0.01,
+		LossRate:        0,
+		MACTimeout:      0.05,
+		QueueLimit:      50,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Range <= 0:
+		return fmt.Errorf("radio: range %g must be positive", c.Range)
+	case c.Bandwidth <= 0:
+		return fmt.Errorf("radio: bandwidth %g must be positive", c.Bandwidth)
+	case c.LossRate < 0 || c.LossRate >= 1:
+		return fmt.Errorf("radio: loss rate %g outside [0,1)", c.LossRate)
+	}
+	return nil
+}
+
+// Handler receives frames from the medium.
+type Handler interface {
+	// HandleFrame delivers a frame addressed to this node (or broadcast).
+	HandleFrame(p *packet.Packet, from packet.NodeID)
+	// OverhearFrame delivers a frame addressed to another node; called only
+	// when the station registered with promiscuous mode.
+	OverhearFrame(p *packet.Packet, from packet.NodeID)
+}
+
+// station is one attachment to the medium.
+type station struct {
+	mob         mobility.Model
+	handler     Handler
+	promiscuous bool
+	// busyUntil is when the station's air interface frees up; frames queue
+	// behind it up to the configured queue limit.
+	busyUntil float64
+}
+
+// Medium is the shared channel. It is single-threaded, driven by the
+// simulation engine.
+type Medium struct {
+	eng      *sim.Engine
+	cfg      Config
+	rng      *rand.Rand
+	stations []*station
+	sent     uint64
+	lost     uint64
+	qdrops   uint64
+}
+
+// NewMedium creates a medium on the given engine.
+func NewMedium(eng *sim.Engine, cfg Config) *Medium {
+	return &Medium{eng: eng, cfg: cfg, rng: eng.Rand()}
+}
+
+// Attach registers a node. IDs must be assigned densely from zero in
+// registration order; Attach returns the assigned ID.
+func (m *Medium) Attach(mob mobility.Model, h Handler, promiscuous bool) packet.NodeID {
+	m.stations = append(m.stations, &station{mob: mob, handler: h, promiscuous: promiscuous})
+	return packet.NodeID(len(m.stations) - 1)
+}
+
+// Stations reports the number of attached nodes.
+func (m *Medium) Stations() int { return len(m.stations) }
+
+// FramesSent reports total transmission attempts.
+func (m *Medium) FramesSent() uint64 { return m.sent }
+
+// FramesLost reports frames dropped by the random-loss model.
+func (m *Medium) FramesLost() uint64 { return m.lost }
+
+// QueueDrops reports frames dropped at full interface queues.
+func (m *Medium) QueueDrops() uint64 { return m.qdrops }
+
+// txDelay is the serialisation delay for a frame.
+func (m *Medium) txDelay(size int) float64 {
+	return float64(size*8) / m.cfg.Bandwidth
+}
+
+// position refreshes and returns a station's position at the current time.
+func (m *Medium) position(id packet.NodeID) (x, y float64) {
+	st := m.stations[id]
+	st.mob.Update(m.eng.Now())
+	p := st.mob.Position()
+	return p.X, p.Y
+}
+
+// InRange reports whether two nodes can currently hear each other.
+func (m *Medium) InRange(a, b packet.NodeID) bool {
+	if !m.valid(a) || !m.valid(b) || a == b {
+		return false
+	}
+	ax, ay := m.position(a)
+	bx, by := m.position(b)
+	dx, dy := ax-bx, ay-by
+	return dx*dx+dy*dy <= m.cfg.Range*m.cfg.Range
+}
+
+// Neighbors returns the IDs currently within range of id.
+func (m *Medium) Neighbors(id packet.NodeID) []packet.NodeID {
+	if !m.valid(id) {
+		return nil
+	}
+	var out []packet.NodeID
+	for other := range m.stations {
+		oid := packet.NodeID(other)
+		if oid != id && m.InRange(id, oid) {
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+func (m *Medium) valid(id packet.NodeID) bool {
+	return id >= 0 && int(id) < len(m.stations)
+}
+
+// acquire reserves the sender's air interface for one frame, returning the
+// serialisation start time. It reports false — a congestion (interface
+// queue) drop — when the backlog exceeds the queue limit.
+func (m *Medium) acquire(from packet.NodeID, size int) (float64, bool) {
+	st := m.stations[from]
+	now := m.eng.Now()
+	start := now
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	tx := m.txDelay(size)
+	if m.cfg.QueueLimit > 0 && (start-now) > tx*float64(m.cfg.QueueLimit) {
+		m.qdrops++
+		return 0, false
+	}
+	st.busyUntil = start + tx
+	return start, true
+}
+
+// Broadcast transmits p to every station in range of from at transmission
+// time. Each receiver gets an independent jitter so flood retransmissions
+// desynchronise, matching ns-2's broadcast jitter. Frames arriving at a
+// full interface queue are dropped silently (an ns-2 IFQ drop).
+func (m *Medium) Broadcast(from packet.NodeID, p *packet.Packet) {
+	if !m.valid(from) {
+		return
+	}
+	start, ok := m.acquire(from, p.Size)
+	if !ok {
+		return
+	}
+	m.sent++
+	m.eng.At(start, func() {
+		base := m.txDelay(p.Size) + m.cfg.PropDelay
+		for other := range m.stations {
+			oid := packet.NodeID(other)
+			if oid == from || !m.InRange(from, oid) {
+				continue
+			}
+			if m.cfg.LossRate > 0 && m.rng.Float64() < m.cfg.LossRate {
+				m.lost++
+				continue
+			}
+			st := m.stations[oid]
+			delay := base
+			if m.cfg.BroadcastJitter > 0 {
+				delay += m.rng.Float64() * m.cfg.BroadcastJitter
+			}
+			pc := p.Clone()
+			m.eng.Schedule(delay, func() { st.handler.HandleFrame(pc, from) })
+		}
+	})
+}
+
+// Unicast transmits p from one node to a specific next hop. If at
+// transmission time the next hop is out of range or the frame is lost,
+// onFail runs after the MAC timeout, modelling a missing link-layer
+// acknowledgement. Congestion drops at a full interface queue are silent,
+// as in ns-2: the routing layer sees no link break, the packet just dies.
+// Promiscuous stations in range overhear successful transmissions.
+func (m *Medium) Unicast(from, to packet.NodeID, p *packet.Packet, onFail func()) {
+	if !m.valid(from) || !m.valid(to) || from == to {
+		if onFail != nil {
+			m.eng.Schedule(m.cfg.MACTimeout, onFail)
+		}
+		return
+	}
+	start, qok := m.acquire(from, p.Size)
+	if !qok {
+		return
+	}
+	m.sent++
+	m.eng.At(start, func() {
+		ok := m.InRange(from, to)
+		if ok && m.cfg.LossRate > 0 && m.rng.Float64() < m.cfg.LossRate {
+			m.lost++
+			ok = false
+		}
+		if !ok {
+			if onFail != nil {
+				m.eng.Schedule(m.cfg.MACTimeout, onFail)
+			}
+			return
+		}
+		delay := m.txDelay(p.Size) + m.cfg.PropDelay
+		dst := m.stations[to]
+		pc := p.Clone()
+		m.eng.Schedule(delay, func() { dst.handler.HandleFrame(pc, from) })
+		// Promiscuous delivery to bystanders within range of the sender.
+		for other := range m.stations {
+			oid := packet.NodeID(other)
+			if oid == from || oid == to {
+				continue
+			}
+			st := m.stations[oid]
+			if !st.promiscuous || !m.InRange(from, oid) {
+				continue
+			}
+			oc := p.Clone()
+			m.eng.Schedule(delay, func() { st.handler.OverhearFrame(oc, from) })
+		}
+	})
+}

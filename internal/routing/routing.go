@@ -1,0 +1,85 @@
+// Package routing defines the contracts between the node runtime and the
+// concrete MANET routing protocols (AODV, DSR), plus the hooks that attack
+// behaviours use to compromise a node.
+package routing
+
+import (
+	"math/rand"
+
+	"crossfeature/internal/packet"
+	"crossfeature/internal/sim"
+	"crossfeature/internal/trace"
+)
+
+// Env is the node-side environment a protocol instance runs in. It bundles
+// identity, the virtual clock, the link layer and the audit sink. The node
+// runtime (internal/netsim) provides the implementation.
+type Env interface {
+	// ID is this node's address.
+	ID() packet.NodeID
+	// Now is the current virtual time in seconds.
+	Now() float64
+	// Schedule runs fn after delay seconds.
+	Schedule(delay float64, fn func())
+	// AfterFunc schedules a cancellable callback.
+	AfterFunc(delay float64, fn func()) *sim.Timer
+	// Tick schedules a periodic callback with start jitter.
+	Tick(interval, jitterFrac float64, fn func()) *sim.Ticker
+	// Rand is the deterministic random stream.
+	Rand() *rand.Rand
+	// NewPacket allocates a packet with a fresh network-unique ID.
+	NewPacket(t packet.Type, src, dst packet.NodeID, size int) *packet.Packet
+	// Broadcast transmits on the shared medium to all nodes in range.
+	Broadcast(p *packet.Packet)
+	// Unicast transmits to a specific next hop; onFail fires on a MAC-level
+	// delivery failure (the link-break signal).
+	Unicast(to packet.NodeID, p *packet.Packet, onFail func())
+	// DeliverUp hands a data packet that reached its destination to the
+	// transport layer.
+	DeliverUp(p *packet.Packet)
+	// Audit is the node-local audit sink.
+	Audit() trace.Sink
+}
+
+// Protocol is a routing protocol instance bound to one node.
+type Protocol interface {
+	// Name identifies the protocol ("AODV" or "DSR").
+	Name() string
+	// Start arms periodic timers; called once before the simulation runs.
+	Start()
+	// SendData routes and transmits a data packet originated at this node.
+	SendData(p *packet.Packet)
+	// HandleFrame processes a frame addressed to this node (or broadcast).
+	HandleFrame(p *packet.Packet, from packet.NodeID)
+	// OverhearFrame processes a promiscuously overheard frame.
+	OverhearFrame(p *packet.Packet, from packet.NodeID)
+	// Promiscuous reports whether the protocol wants to overhear.
+	Promiscuous() bool
+	// AvgRouteLength is the mean hop count of currently valid routes, the
+	// "average route length" feature of Table 4. Zero when no routes.
+	AvgRouteLength() float64
+	// SetDropFilter installs an attack hook consulted before this node
+	// forwards or delivers packets; a true return discards the packet.
+	SetDropFilter(f DropFilter)
+}
+
+// DropFilter decides whether a compromised node maliciously drops a packet
+// it would otherwise forward or deliver.
+type DropFilter func(p *packet.Packet) bool
+
+// BlackHoleAdvertiser is implemented by protocols that can emit the bogus
+// route advertisements of the paper's black-hole attack. Each call floods
+// one round of poisoned routing messages claiming this node is the best
+// next hop toward (up to) everyone.
+type BlackHoleAdvertiser interface {
+	AdvertiseBlackHole()
+}
+
+// StormFlooder is implemented by protocols that can originate meaningless
+// route-discovery floods — the paper's "update storm" attack, which
+// exhausts network bandwidth with pointless ROUTE REQUESTs.
+type StormFlooder interface {
+	// FloodBogusDiscovery broadcasts one meaningless network-wide route
+	// request (for a destination that does not exist).
+	FloodBogusDiscovery()
+}

@@ -1,0 +1,71 @@
+package sim
+
+// Timer is a cancellable scheduled callback. Protocol layers use timers for
+// retransmissions, route lifetimes and periodic beacons; cancelling marks
+// the event dead rather than removing it from the heap, which keeps
+// scheduling O(log n).
+type Timer struct {
+	cancelled bool
+	fired     bool
+}
+
+// AfterFunc schedules fn to run after delay seconds and returns a handle
+// that can cancel it before it fires.
+func (e *Engine) AfterFunc(delay float64, fn func()) *Timer {
+	t := &Timer{}
+	e.Schedule(delay, func() {
+		if t.cancelled {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
+// Cancel prevents the timer's callback from running. It reports whether the
+// call actually stopped the timer (false if it already fired or was already
+// cancelled).
+func (t *Timer) Cancel() bool {
+	if t.fired || t.cancelled {
+		return false
+	}
+	t.cancelled = true
+	return true
+}
+
+// Fired reports whether the callback has run.
+func (t *Timer) Fired() bool { return t.fired }
+
+// Ticker invokes fn every interval seconds until cancelled. The first tick
+// fires after one full interval plus the optional jitter drawn once at
+// creation (jitterFrac of the interval), which prevents network-wide beacon
+// synchronisation just as ns-2 staggers HELLO timers.
+type Ticker struct {
+	cancelled bool
+}
+
+// Tick schedules a periodic callback and returns a cancellation handle.
+func (e *Engine) Tick(interval, jitterFrac float64, fn func()) *Ticker {
+	tk := &Ticker{}
+	first := interval
+	if jitterFrac > 0 {
+		first += interval * jitterFrac * e.rng.Float64()
+	}
+	var loop func()
+	loop = func() {
+		if tk.cancelled {
+			return
+		}
+		fn()
+		if tk.cancelled {
+			return
+		}
+		e.Schedule(interval, loop)
+	}
+	e.Schedule(first, loop)
+	return tk
+}
+
+// Cancel stops future ticks. Safe to call multiple times.
+func (t *Ticker) Cancel() { t.cancelled = true }

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"crossfeature/internal/packet"
+)
+
+// EventLog is a Sink that writes one line per audit observation in an
+// ns-2-inspired textual format — useful for debugging protocol behaviour
+// and for external tooling. It usually wraps the real Collector via Tee.
+//
+// Line formats:
+//
+//	p <time> <node> <dir> <type>     packet observation
+//	r <time> <node> <event>          route-fabric observation
+type EventLog struct {
+	node packet.NodeID
+	w    *bufio.Writer
+	// clock supplies timestamps for route events, which carry none of
+	// their own.
+	clock func() float64
+	lines uint64
+}
+
+// NewEventLog creates a log for one node's observations. clock may be nil
+// when route-event timestamps are not needed (they then print as the last
+// packet time seen).
+func NewEventLog(node packet.NodeID, w io.Writer, clock func() float64) *EventLog {
+	return &EventLog{node: node, w: bufio.NewWriter(w), clock: clock}
+}
+
+var _ Sink = (*EventLog)(nil)
+
+// RecordPacket implements Sink.
+func (l *EventLog) RecordPacket(now float64, t packet.Type, dir Direction) {
+	l.lines++
+	l.w.WriteString("p ")
+	l.w.WriteString(strconv.FormatFloat(now, 'f', 6, 64))
+	l.w.WriteByte(' ')
+	l.w.WriteString(strconv.Itoa(int(l.node)))
+	l.w.WriteByte(' ')
+	l.w.WriteString(dir.String())
+	l.w.WriteByte(' ')
+	l.w.WriteString(t.String())
+	l.w.WriteByte('\n')
+}
+
+// RecordRoute implements Sink.
+func (l *EventLog) RecordRoute(ev RouteEvent) {
+	l.lines++
+	now := 0.0
+	if l.clock != nil {
+		now = l.clock()
+	}
+	fmt.Fprintf(l.w, "r %.6f %d %s\n", now, int(l.node), ev)
+}
+
+// Flush drains buffered lines to the underlying writer.
+func (l *EventLog) Flush() error { return l.w.Flush() }
+
+// Lines reports how many observations were logged.
+func (l *EventLog) Lines() uint64 { return l.lines }
+
+// Tee fans one observation stream out to several sinks (e.g. the feature
+// Collector plus an EventLog).
+type Tee struct {
+	Sinks []Sink
+}
+
+var _ Sink = Tee{}
+
+// RecordPacket implements Sink.
+func (t Tee) RecordPacket(now float64, ty packet.Type, dir Direction) {
+	for _, s := range t.Sinks {
+		s.RecordPacket(now, ty, dir)
+	}
+}
+
+// RecordRoute implements Sink.
+func (t Tee) RecordRoute(ev RouteEvent) {
+	for _, s := range t.Sinks {
+		s.RecordRoute(ev)
+	}
+}

@@ -1,0 +1,24 @@
+package trace
+
+import "crossfeature/internal/packet"
+
+// Sink receives audit observations. The full Collector implements Sink;
+// nodes that are not being monitored use Nop to avoid retaining history.
+type Sink interface {
+	RecordPacket(now float64, t packet.Type, dir Direction)
+	RecordRoute(ev RouteEvent)
+}
+
+// Nop is a Sink that discards everything.
+type Nop struct{}
+
+// RecordPacket discards the observation.
+func (Nop) RecordPacket(float64, packet.Type, Direction) {}
+
+// RecordRoute discards the observation.
+func (Nop) RecordRoute(RouteEvent) {}
+
+var (
+	_ Sink = (*Collector)(nil)
+	_ Sink = Nop{}
+)

@@ -1,0 +1,308 @@
+// Package trace implements the node-local audit trail. In a MANET there is
+// no traffic-concentration point, so each node records only what it can
+// observe locally: its own packet events (by type and flow direction) and
+// its routing-fabric updates. A Collector accumulates those observations
+// and emits a Snapshot every sampling interval (5 s in the paper), from
+// which the feature extractor builds Feature Sets I and II.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"crossfeature/internal/packet"
+)
+
+// Direction is the flow direction of a packet observation (Table 5).
+type Direction int
+
+const (
+	// Received: the packet terminated at this node (it is the destination).
+	Received Direction = iota
+	// Sent: the packet originated at this node (it is the source).
+	Sent
+	// Forwarded: the node relayed the packet as an intermediate router.
+	Forwarded
+	// Dropped: the node discarded the packet (no route, TTL, attack, ...).
+	Dropped
+)
+
+// NumDirections is the number of flow directions.
+const NumDirections = 4
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Received:
+		return "recv"
+	case Sent:
+		return "sent"
+	case Forwarded:
+		return "fwd"
+	case Dropped:
+		return "drop"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// RouteEvent enumerates routing-fabric updates (Table 4).
+type RouteEvent int
+
+const (
+	// RouteAdd: a route newly added by route discovery.
+	RouteAdd RouteEvent = iota
+	// RouteRemoval: a stale route being removed.
+	RouteRemoval
+	// RouteFind: a route found in table/cache without re-discovery.
+	RouteFind
+	// RouteNotice: a route learned by eavesdropping on neighbours.
+	RouteNotice
+	// RouteRepair: a broken route currently under repair.
+	RouteRepair
+)
+
+// NumRouteEvents is the number of route event kinds.
+const NumRouteEvents = 5
+
+// String implements fmt.Stringer.
+func (e RouteEvent) String() string {
+	switch e {
+	case RouteAdd:
+		return "route-add"
+	case RouteRemoval:
+		return "route-removal"
+	case RouteFind:
+		return "route-find"
+	case RouteNotice:
+		return "route-notice"
+	case RouteRepair:
+		return "route-repair"
+	default:
+		return fmt.Sprintf("RouteEvent(%d)", int(e))
+	}
+}
+
+// Class is the packet-type dimension of Table 5. RouteAll aggregates every
+// control message plus in-transit (forwarded/dropped) packets, reflecting
+// the paper's observation that routing protocols encapsulate data packets
+// in route packets during transmission.
+type Class int
+
+const (
+	// ClassData is application data observed at its source or destination.
+	ClassData Class = iota
+	// ClassRouteAll is the "route (all)" aggregate.
+	ClassRouteAll
+	// ClassRREQ is ROUTE REQUEST traffic.
+	ClassRREQ
+	// ClassRREP is ROUTE REPLY traffic.
+	ClassRREP
+	// ClassRERR is ROUTE ERROR traffic.
+	ClassRERR
+	// ClassHello is HELLO beacon traffic.
+	ClassHello
+)
+
+// NumClasses is the number of packet-type classes.
+const NumClasses = 6
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassRouteAll:
+		return "route"
+	case ClassRREQ:
+		return "rreq"
+	case ClassRREP:
+		return "rrep"
+	case ClassRERR:
+		return "rerr"
+	case ClassHello:
+		return "hello"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// classOf maps a concrete packet type to its specific class.
+func classOf(t packet.Type) Class {
+	switch t {
+	case packet.Data:
+		return ClassData
+	case packet.RouteRequest:
+		return ClassRREQ
+	case packet.RouteReply:
+		return ClassRREP
+	case packet.RouteError:
+		return ClassRERR
+	case packet.Hello:
+		return ClassHello
+	default:
+		return ClassData
+	}
+}
+
+// ValidCombo reports whether (class, direction) is one of the paper's 22
+// observable combinations: data packets are never seen forwarded or
+// dropped because transit handling happens on encapsulating route packets.
+func ValidCombo(c Class, d Direction) bool {
+	if c == ClassData && (d == Forwarded || d == Dropped) {
+		return false
+	}
+	return true
+}
+
+// Periods are the paper's three sampling windows in seconds.
+var Periods = [3]float64{5, 60, 900}
+
+// NumPeriods is the number of sampling windows.
+const NumPeriods = 3
+
+// WindowStat is the pair of statistics measured per (class, direction,
+// period): the packet count and the standard deviation of inter-packet
+// intervals within the window.
+type WindowStat struct {
+	Count     int
+	IPIStdDev float64
+}
+
+// Snapshot is one audit record, emitted every sampling interval.
+type Snapshot struct {
+	Time     float64
+	Velocity float64
+
+	RouteCounts      [NumRouteEvents]int // events in the last interval
+	TotalRouteChange int
+	AvgRouteLength   float64
+
+	Traffic [NumClasses][NumDirections][NumPeriods]WindowStat
+}
+
+// stream holds the timestamp history for one (class, direction) pair. The
+// slice is append-only in time order with a moving head; entries older than
+// the longest window are evicted at snapshot time.
+type stream struct {
+	ts   []float64
+	head int
+}
+
+func (s *stream) add(t float64) { s.ts = append(s.ts, t) }
+
+// evict drops timestamps at or before cutoff and compacts storage when the
+// dead prefix dominates.
+func (s *stream) evict(cutoff float64) {
+	for s.head < len(s.ts) && s.ts[s.head] <= cutoff {
+		s.head++
+	}
+	if s.head > 4096 && s.head*2 > len(s.ts) {
+		s.ts = append(s.ts[:0:0], s.ts[s.head:]...)
+		s.head = 0
+	}
+}
+
+// window computes the count and inter-packet-interval stddev for packets
+// with timestamp in (now-period, now].
+func (s *stream) window(now, period float64) WindowStat {
+	cutoff := now - period
+	// Binary search for the first live index within this window.
+	lo, hi := s.head, len(s.ts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.ts[mid] <= cutoff {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	n := len(s.ts) - lo
+	if n <= 0 {
+		return WindowStat{}
+	}
+	st := WindowStat{Count: n}
+	if n >= 3 {
+		// Two-pass stddev over the n-1 intervals for numerical stability.
+		var sum float64
+		for i := lo + 1; i < len(s.ts); i++ {
+			sum += s.ts[i] - s.ts[i-1]
+		}
+		mean := sum / float64(n-1)
+		var ss float64
+		for i := lo + 1; i < len(s.ts); i++ {
+			d := s.ts[i] - s.ts[i-1] - mean
+			ss += d * d
+		}
+		st.IPIStdDev = math.Sqrt(ss / float64(n-1))
+	}
+	return st
+}
+
+// Collector is the per-node audit sink. It is not safe for concurrent use;
+// the simulation engine is single-threaded by design.
+type Collector struct {
+	streams     [NumClasses][NumDirections]stream
+	routeCounts [NumRouteEvents]int
+	packets     uint64
+}
+
+// NewCollector returns an empty audit collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Packets reports the total number of packet observations recorded.
+func (c *Collector) Packets() uint64 { return c.packets }
+
+// RecordPacket logs one packet observation at virtual time now. Concrete
+// control types are recorded both under their own class and under the
+// "route (all)" aggregate; data packets in transit (forwarded/dropped)
+// count only toward the aggregate.
+func (c *Collector) RecordPacket(now float64, t packet.Type, dir Direction) {
+	c.packets++
+	cls := classOf(t)
+	if cls == ClassData {
+		if dir == Forwarded || dir == Dropped {
+			c.streams[ClassRouteAll][dir].add(now)
+			return
+		}
+		c.streams[ClassData][dir].add(now)
+		return
+	}
+	c.streams[cls][dir].add(now)
+	c.streams[ClassRouteAll][dir].add(now)
+}
+
+// RecordRoute logs one routing-fabric event.
+func (c *Collector) RecordRoute(ev RouteEvent) {
+	if ev >= 0 && int(ev) < NumRouteEvents {
+		c.routeCounts[ev]++
+	}
+}
+
+// Snapshot emits the audit record for the interval ending at now. Velocity
+// and average route length are supplied by the caller (mobility model and
+// routing protocol respectively). Interval-scoped route counters reset;
+// traffic windows slide.
+func (c *Collector) Snapshot(now, velocity, avgRouteLen float64) Snapshot {
+	s := Snapshot{Time: now, Velocity: velocity, AvgRouteLength: avgRouteLen}
+	s.RouteCounts = c.routeCounts
+	// "Total route change" aggregates fabric mutations: additions, removals
+	// and repairs (finds and notices do not change installed state).
+	s.TotalRouteChange = c.routeCounts[RouteAdd] + c.routeCounts[RouteRemoval] + c.routeCounts[RouteRepair]
+	c.routeCounts = [NumRouteEvents]int{}
+
+	maxPeriod := Periods[NumPeriods-1]
+	for cls := Class(0); cls < NumClasses; cls++ {
+		for dir := Direction(0); dir < NumDirections; dir++ {
+			if !ValidCombo(cls, dir) {
+				continue
+			}
+			st := &c.streams[cls][dir]
+			st.evict(now - maxPeriod)
+			for pi, period := range Periods {
+				s.Traffic[cls][dir][pi] = st.window(now, period)
+			}
+		}
+	}
+	return s
+}

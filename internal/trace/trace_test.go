@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crossfeature/internal/packet"
+)
+
+func TestValidComboCount(t *testing.T) {
+	// Table 5: (6 types x 4 directions - 2) = 22 observable combinations.
+	n := 0
+	for c := Class(0); c < NumClasses; c++ {
+		for d := Direction(0); d < NumDirections; d++ {
+			if ValidCombo(c, d) {
+				n++
+			}
+		}
+	}
+	if n != 22 {
+		t.Errorf("valid combos = %d, want 22", n)
+	}
+	if ValidCombo(ClassData, Forwarded) || ValidCombo(ClassData, Dropped) {
+		t.Error("data forwarded/dropped must be excluded")
+	}
+}
+
+func TestControlCountsTowardOwnClassAndAggregate(t *testing.T) {
+	c := NewCollector()
+	c.RecordPacket(1, packet.RouteRequest, Received)
+	s := c.Snapshot(5, 0, 0)
+	if got := s.Traffic[ClassRREQ][Received][0].Count; got != 1 {
+		t.Errorf("rreq recv count = %d, want 1", got)
+	}
+	if got := s.Traffic[ClassRouteAll][Received][0].Count; got != 1 {
+		t.Errorf("route-all recv count = %d, want 1", got)
+	}
+	if got := s.Traffic[ClassData][Received][0].Count; got != 0 {
+		t.Errorf("data recv count = %d, want 0", got)
+	}
+}
+
+func TestDataInTransitCountsAsRouteAllOnly(t *testing.T) {
+	c := NewCollector()
+	c.RecordPacket(1, packet.Data, Forwarded)
+	c.RecordPacket(2, packet.Data, Dropped)
+	s := c.Snapshot(5, 0, 0)
+	if got := s.Traffic[ClassRouteAll][Forwarded][0].Count; got != 1 {
+		t.Errorf("route-all fwd = %d, want 1", got)
+	}
+	if got := s.Traffic[ClassRouteAll][Dropped][0].Count; got != 1 {
+		t.Errorf("route-all drop = %d, want 1", got)
+	}
+	// The excluded combos stay untouched (zero) by construction.
+	if got := s.Traffic[ClassData][Forwarded][0].Count; got != 0 {
+		t.Errorf("data fwd = %d, want 0", got)
+	}
+}
+
+func TestDataEndpointCountsAsData(t *testing.T) {
+	c := NewCollector()
+	c.RecordPacket(1, packet.Data, Sent)
+	c.RecordPacket(2, packet.Data, Received)
+	s := c.Snapshot(5, 0, 0)
+	if got := s.Traffic[ClassData][Sent][0].Count; got != 1 {
+		t.Errorf("data sent = %d, want 1", got)
+	}
+	if got := s.Traffic[ClassData][Received][0].Count; got != 1 {
+		t.Errorf("data recv = %d, want 1", got)
+	}
+	if got := s.Traffic[ClassRouteAll][Sent][0].Count; got != 0 {
+		t.Errorf("data sent leaked into route-all: %d", got)
+	}
+}
+
+func TestWindowScoping(t *testing.T) {
+	c := NewCollector()
+	// At t=100: t=1 is only inside the 900s window, t=50 inside 60s and
+	// 900s, t=97 inside all three.
+	c.RecordPacket(1, packet.Hello, Received)
+	c.RecordPacket(50, packet.Hello, Received)
+	c.RecordPacket(97, packet.Hello, Received)
+	s := c.Snapshot(100, 0, 0)
+	h := s.Traffic[ClassHello][Received]
+	if h[0].Count != 1 {
+		t.Errorf("5s count = %d, want 1", h[0].Count)
+	}
+	if h[1].Count != 2 || h[2].Count != 3 {
+		t.Errorf("60s/900s counts = %d/%d, want 2/3", h[1].Count, h[2].Count)
+	}
+}
+
+func TestEvictionBeyondLongestWindow(t *testing.T) {
+	c := NewCollector()
+	c.RecordPacket(1, packet.Hello, Received)
+	s := c.Snapshot(950, 0, 0)
+	if got := s.Traffic[ClassHello][Received][2].Count; got != 0 {
+		t.Errorf("packet older than 900s still counted: %d", got)
+	}
+}
+
+func TestIPIStdDev(t *testing.T) {
+	c := NewCollector()
+	// Perfectly regular arrivals: stddev of intervals = 0.
+	for ti := 1.0; ti <= 4; ti++ {
+		c.RecordPacket(ti, packet.Hello, Received)
+	}
+	s := c.Snapshot(5, 0, 0)
+	if got := s.Traffic[ClassHello][Received][0].IPIStdDev; got != 0 {
+		t.Errorf("regular IPI stddev = %v, want 0", got)
+	}
+
+	// Known irregular arrivals: t=0.5,1.5,4.5 -> intervals 1,3: mean 2,
+	// sample stddev sqrt(((1-2)^2+(3-2)^2)/2) = 1.
+	c2 := NewCollector()
+	c2.RecordPacket(0.5, packet.Hello, Received)
+	c2.RecordPacket(1.5, packet.Hello, Received)
+	c2.RecordPacket(4.5, packet.Hello, Received)
+	s2 := c2.Snapshot(5, 0, 0)
+	if got := s2.Traffic[ClassHello][Received][0].IPIStdDev; math.Abs(got-1) > 1e-9 {
+		t.Errorf("IPI stddev = %v, want 1", got)
+	}
+}
+
+func TestIPIStdDevNeedsThreePackets(t *testing.T) {
+	c := NewCollector()
+	c.RecordPacket(1, packet.Hello, Received)
+	c.RecordPacket(3, packet.Hello, Received)
+	s := c.Snapshot(5, 0, 0)
+	if got := s.Traffic[ClassHello][Received][0].IPIStdDev; got != 0 {
+		t.Errorf("stddev with one interval = %v, want 0", got)
+	}
+}
+
+func TestRouteCountersResetPerSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.RecordRoute(RouteAdd)
+	c.RecordRoute(RouteAdd)
+	c.RecordRoute(RouteRemoval)
+	c.RecordRoute(RouteRepair)
+	s := c.Snapshot(5, 0, 0)
+	if s.RouteCounts[RouteAdd] != 2 || s.RouteCounts[RouteRemoval] != 1 || s.RouteCounts[RouteRepair] != 1 {
+		t.Errorf("route counts = %v", s.RouteCounts)
+	}
+	if s.TotalRouteChange != 4 { // add + removal + repair
+		t.Errorf("total route change = %d, want 4", s.TotalRouteChange)
+	}
+	s2 := c.Snapshot(10, 0, 0)
+	for ev, n := range s2.RouteCounts {
+		if n != 0 {
+			t.Errorf("route counter %v did not reset: %d", RouteEvent(ev), n)
+		}
+	}
+}
+
+func TestFindAndNoticeExcludedFromTotalChange(t *testing.T) {
+	c := NewCollector()
+	c.RecordRoute(RouteFind)
+	c.RecordRoute(RouteNotice)
+	s := c.Snapshot(5, 0, 0)
+	if s.TotalRouteChange != 0 {
+		t.Errorf("find/notice counted as route change: %d", s.TotalRouteChange)
+	}
+}
+
+func TestSnapshotCarriesVelocityAndRouteLength(t *testing.T) {
+	c := NewCollector()
+	s := c.Snapshot(5, 12.5, 3.25)
+	if s.Velocity != 12.5 || s.AvgRouteLength != 3.25 || s.Time != 5 {
+		t.Errorf("snapshot header wrong: %+v", s)
+	}
+}
+
+func TestNopSink(t *testing.T) {
+	var s Sink = Nop{}
+	s.RecordPacket(1, packet.Data, Sent) // must not panic
+	s.RecordRoute(RouteAdd)
+}
+
+func TestTrafficWindowsSlideAcrossSnapshots(t *testing.T) {
+	c := NewCollector()
+	c.RecordPacket(2, packet.Hello, Sent)
+	s1 := c.Snapshot(5, 0, 0)
+	if s1.Traffic[ClassHello][Sent][0].Count != 1 {
+		t.Fatal("packet missing from first 5s window")
+	}
+	s2 := c.Snapshot(10, 0, 0)
+	if s2.Traffic[ClassHello][Sent][0].Count != 0 {
+		t.Error("packet leaked into second 5s window")
+	}
+	if s2.Traffic[ClassHello][Sent][1].Count != 1 {
+		t.Error("packet missing from 60s window on second snapshot")
+	}
+}
+
+// Property: counts are monotone in window length and never exceed the
+// number of recorded packets.
+func TestQuickWindowMonotonicity(t *testing.T) {
+	f := func(offsets []uint8) bool {
+		c := NewCollector()
+		now := 0.0
+		for _, o := range offsets {
+			now += float64(o) / 10
+			c.RecordPacket(now, packet.Hello, Received)
+		}
+		s := c.Snapshot(now, 0, 0)
+		st := s.Traffic[ClassHello][Received]
+		if st[0].Count > st[1].Count || st[1].Count > st[2].Count {
+			return false
+		}
+		return st[2].Count <= len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Received.String() != "recv" || Dropped.String() != "drop" {
+		t.Error("direction stringers wrong")
+	}
+	if RouteAdd.String() != "route-add" || RouteRepair.String() != "route-repair" {
+		t.Error("route event stringers wrong")
+	}
+	if ClassRouteAll.String() != "route" || ClassHello.String() != "hello" {
+		t.Error("class stringers wrong")
+	}
+}
+
+func TestEventLogFormat(t *testing.T) {
+	var buf bytes.Buffer
+	clock := func() float64 { return 12.5 }
+	el := NewEventLog(3, &buf, clock)
+	el.RecordPacket(1.25, packet.RouteRequest, Forwarded)
+	el.RecordRoute(RouteAdd)
+	if err := el.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p 1.250000 3 fwd RREQ") {
+		t.Errorf("packet line wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "r 12.500000 3 route-add") {
+		t.Errorf("route line wrong:\n%s", out)
+	}
+	if el.Lines() != 2 {
+		t.Errorf("lines = %d", el.Lines())
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	tee := Tee{Sinks: []Sink{a, b}}
+	tee.RecordPacket(1, packet.Data, Sent)
+	tee.RecordRoute(RouteFind)
+	if a.Packets() != 1 || b.Packets() != 1 {
+		t.Error("packet observation not fanned out")
+	}
+	sa := a.Snapshot(5, 0, 0)
+	sb := b.Snapshot(5, 0, 0)
+	if sa.RouteCounts[RouteFind] != 1 || sb.RouteCounts[RouteFind] != 1 {
+		t.Error("route observation not fanned out")
+	}
+}

@@ -1,0 +1,312 @@
+// Package traffic provides the transport-layer workload generators used in
+// the paper's four scenarios: an open-loop UDP/CBR source (constant bit
+// rate) and a closed-loop window-based reliable transport standing in for
+// TCP. Both ride on the routing layer as ordinary data packets; the
+// feature extractor never inspects payloads, only packet events, so what
+// matters is the traffic *shape* each produces.
+package traffic
+
+import (
+	"math/rand"
+
+	"crossfeature/internal/packet"
+	"crossfeature/internal/sim"
+)
+
+// Host is the node-side environment a traffic agent runs on; implemented
+// by the node runtime.
+type Host interface {
+	ID() packet.NodeID
+	Now() float64
+	Schedule(delay float64, fn func())
+	AfterFunc(delay float64, fn func()) *sim.Timer
+	Tick(interval, jitterFrac float64, fn func()) *sim.Ticker
+	Rand() *rand.Rand
+	NewPacket(t packet.Type, src, dst packet.NodeID, size int) *packet.Packet
+	// SendData hands a data packet to the routing layer.
+	SendData(p *packet.Packet)
+	// RegisterFlow installs the handler for segments of a flow arriving at
+	// this node.
+	RegisterFlow(flow uint32, h SegmentHandler)
+}
+
+// Segment is the transport payload carried in data packets.
+type Segment struct {
+	Flow  uint32
+	Seq   uint32
+	Ack   bool
+	AckNo uint32
+}
+
+// SegmentHandler consumes a segment delivered to this node.
+type SegmentHandler func(seg Segment, p *packet.Packet)
+
+// Agent is a traffic endpoint that arms its timers on Start.
+type Agent interface {
+	Start()
+}
+
+// --- CBR ---------------------------------------------------------------------
+
+// CBR is a constant-bit-rate source: one data packet every 1/rate seconds
+// from Start until the simulation ends. The paper's "traffic rate 0.25"
+// maps to one 512-byte packet every four seconds per connection.
+type CBR struct {
+	host     Host
+	dst      packet.NodeID
+	flow     uint32
+	interval float64
+	startAt  float64
+	seq      uint32
+	sent     uint64
+}
+
+// NewCBR builds a CBR source on host toward dst. rate is packets/second.
+func NewCBR(host Host, dst packet.NodeID, flow uint32, rate, startAt float64) *CBR {
+	if rate <= 0 {
+		rate = 0.25
+	}
+	return &CBR{host: host, dst: dst, flow: flow, interval: 1 / rate, startAt: startAt}
+}
+
+// Start implements Agent.
+func (c *CBR) Start() {
+	c.host.Schedule(c.startAt, func() {
+		c.emit()
+		c.host.Tick(c.interval, 0, c.emit)
+	})
+}
+
+// Sent reports packets originated so far.
+func (c *CBR) Sent() uint64 { return c.sent }
+
+func (c *CBR) emit() {
+	c.seq++
+	c.sent++
+	p := c.host.NewPacket(packet.Data, c.host.ID(), c.dst, packet.DataSize)
+	p.Payload = Segment{Flow: c.flow, Seq: c.seq}
+	c.host.SendData(p)
+}
+
+// CBRSink counts received CBR packets at the destination.
+type CBRSink struct {
+	host     Host
+	flow     uint32
+	received uint64
+}
+
+// NewCBRSink registers a counting sink for flow on host.
+func NewCBRSink(host Host, flow uint32) *CBRSink {
+	s := &CBRSink{host: host, flow: flow}
+	host.RegisterFlow(flow, func(Segment, *packet.Packet) { s.received++ })
+	return s
+}
+
+// Start implements Agent; sinks are passive.
+func (s *CBRSink) Start() {}
+
+// Received reports packets delivered to the sink.
+func (s *CBRSink) Received() uint64 { return s.received }
+
+// --- TCP-like reliable transport ----------------------------------------------
+
+// TCPConfig tunes the simplified reliable transport.
+type TCPConfig struct {
+	InitialWindow float64 // initial congestion window, packets
+	MaxWindow     float64 // window cap, packets
+	SSThresh      float64 // initial slow-start threshold
+	RTO           float64 // initial retransmission timeout, seconds
+	MaxRTO        float64 // retransmission timeout cap
+	PacketRate    float64 // pacing: max packets/second injected
+}
+
+// DefaultTCPConfig provides sane defaults; pacing defaults to the paper's
+// 0.25 pkt/s so the aggregate load matches the CBR scenarios while keeping
+// closed-loop dynamics.
+func DefaultTCPConfig() TCPConfig {
+	return TCPConfig{
+		InitialWindow: 2,
+		MaxWindow:     16,
+		SSThresh:      8,
+		RTO:           2,
+		MaxRTO:        64,
+		PacketRate:    0.25,
+	}
+}
+
+// TCPSender is the sending endpoint of a flow: window-limited, ACK-clocked,
+// with exponential-backoff retransmission. An always-backlogged (FTP-like)
+// application keeps it busy for the whole run.
+type TCPSender struct {
+	host    Host
+	dst     packet.NodeID
+	flow    uint32
+	cfg     TCPConfig
+	startAt float64
+
+	cwnd     float64
+	ssthresh float64
+	rto      float64
+	nextSeq  uint32
+	inflight map[uint32]float64 // seq -> send time
+	rtxTimer *sim.Timer
+
+	sent   uint64
+	acked  uint64
+	rtx    uint64
+	paceOK float64 // earliest time the pacer allows another injection
+}
+
+// NewTCPSender builds the sending endpoint and registers its ACK handler.
+func NewTCPSender(host Host, dst packet.NodeID, flow uint32, cfg TCPConfig, startAt float64) *TCPSender {
+	s := &TCPSender{
+		host:     host,
+		dst:      dst,
+		flow:     flow,
+		cfg:      cfg,
+		startAt:  startAt,
+		cwnd:     cfg.InitialWindow,
+		ssthresh: cfg.SSThresh,
+		rto:      cfg.RTO,
+		inflight: make(map[uint32]float64),
+	}
+	host.RegisterFlow(flow, s.onSegment)
+	return s
+}
+
+// Start implements Agent.
+func (s *TCPSender) Start() {
+	s.host.Schedule(s.startAt, s.pump)
+}
+
+// Stats reports (sent, acked, retransmitted) packet counts.
+func (s *TCPSender) Stats() (sent, acked, rtx uint64) { return s.sent, s.acked, s.rtx }
+
+// pump injects new segments while the window and pacer allow.
+func (s *TCPSender) pump() {
+	now := s.host.Now()
+	for float64(len(s.inflight)) < s.cwnd {
+		if s.cfg.PacketRate > 0 && now < s.paceOK {
+			s.host.Schedule(s.paceOK-now, s.pump)
+			return
+		}
+		s.nextSeq++
+		s.transmit(s.nextSeq)
+		if s.cfg.PacketRate > 0 {
+			s.paceOK = now + 1/s.cfg.PacketRate
+		}
+	}
+}
+
+func (s *TCPSender) transmit(seq uint32) {
+	s.sent++
+	s.inflight[seq] = s.host.Now()
+	p := s.host.NewPacket(packet.Data, s.host.ID(), s.dst, packet.DataSize)
+	p.Payload = Segment{Flow: s.flow, Seq: seq}
+	s.host.SendData(p)
+	s.armRTO()
+}
+
+// armRTO (re)starts the retransmission timer if anything is outstanding.
+func (s *TCPSender) armRTO() {
+	if s.rtxTimer != nil {
+		s.rtxTimer.Cancel()
+	}
+	if len(s.inflight) == 0 {
+		return
+	}
+	s.rtxTimer = s.host.AfterFunc(s.rto, s.onTimeout)
+}
+
+// onTimeout retransmits the oldest outstanding segment with multiplicative
+// backoff and window collapse.
+func (s *TCPSender) onTimeout() {
+	if len(s.inflight) == 0 {
+		return
+	}
+	var oldest uint32
+	oldestAt := -1.0
+	for seq, at := range s.inflight {
+		if oldestAt < 0 || at < oldestAt || (at == oldestAt && seq < oldest) {
+			oldest, oldestAt = seq, at
+		}
+	}
+	s.ssthresh = maxf(s.cwnd/2, 1)
+	s.cwnd = s.cfg.InitialWindow
+	s.rto = minf(s.rto*2, s.cfg.MaxRTO)
+	s.rtx++
+	s.transmit(oldest)
+}
+
+// onSegment consumes ACKs.
+func (s *TCPSender) onSegment(seg Segment, _ *packet.Packet) {
+	if !seg.Ack {
+		return
+	}
+	if _, ok := s.inflight[seg.AckNo]; !ok {
+		return // duplicate or spurious ACK
+	}
+	delete(s.inflight, seg.AckNo)
+	s.acked++
+	s.rto = s.cfg.RTO // fresh feedback resets the backoff
+	if s.cwnd < s.ssthresh {
+		s.cwnd++
+	} else {
+		s.cwnd += 1 / s.cwnd
+	}
+	s.cwnd = minf(s.cwnd, s.cfg.MaxWindow)
+	s.armRTO()
+	s.pump()
+}
+
+// TCPReceiver acknowledges every received segment.
+type TCPReceiver struct {
+	host     Host
+	src      packet.NodeID
+	flow     uint32
+	received uint64
+}
+
+// NewTCPReceiver builds the receiving endpoint and registers its handler.
+func NewTCPReceiver(host Host, src packet.NodeID, flow uint32) *TCPReceiver {
+	r := &TCPReceiver{host: host, src: src, flow: flow}
+	host.RegisterFlow(flow, r.onSegment)
+	return r
+}
+
+// Start implements Agent; receivers are passive.
+func (r *TCPReceiver) Start() {}
+
+// Received reports delivered data segments.
+func (r *TCPReceiver) Received() uint64 { return r.received }
+
+func (r *TCPReceiver) onSegment(seg Segment, _ *packet.Packet) {
+	if seg.Ack {
+		return
+	}
+	r.received++
+	ack := r.host.NewPacket(packet.Data, r.host.ID(), r.src, packet.AckSize)
+	ack.Payload = Segment{Flow: r.flow, Seq: seg.Seq, Ack: true, AckNo: seg.Seq}
+	r.host.SendData(ack)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var (
+	_ Agent = (*CBR)(nil)
+	_ Agent = (*CBRSink)(nil)
+	_ Agent = (*TCPSender)(nil)
+	_ Agent = (*TCPReceiver)(nil)
+)
