@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci build test vet race short fuzz
+
+# ci is the full gate: static analysis, a clean build of every package and
+# the test suite under the race detector.
+ci: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector. The experiment studies
+# dominate the runtime; use `make short` for a quick pass.
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+# fuzz gives each fuzz target a brief budget beyond its seed corpus.
+fuzz:
+	$(GO) test ./internal/features/ -fuzz FuzzTransformValue -fuzztime 10s
+	$(GO) test ./internal/features/ -fuzz FuzzReadCSV -fuzztime 10s

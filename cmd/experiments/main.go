@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-preset paper|quick] [-only tables,figure1..figure6,ablations,storm,multinode,olsr,all] [-parallel N]
+//	experiments [-preset paper|quick] [-only tables,figure1..figure6,ablations,storm,faults,multinode,olsr,all] [-parallel N]
 //
 // Each experiment prints the rows/series the paper reports: the two-node
 // example tables (1-3), the recall-precision curves of Figures 1-2, the
@@ -32,7 +32,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	preset := fs.String("preset", "quick", "experiment scale: quick or paper")
-	only := fs.String("only", "all", "comma-separated experiments: tables, figure1..figure6, ablations, storm, multinode, olsr, all")
+	only := fs.String("only", "all", "comma-separated experiments: tables, figure1..figure6, ablations, storm, faults, multinode, olsr, all")
 	parallel := fs.Int("parallel", 0, "sub-model training parallelism (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +82,7 @@ func run(args []string, w io.Writer) error {
 		{"figure6", func() error { _, err := lab.Figure6(w); return err }},
 		{"ablations", func() error { _, err := lab.Ablations(w); return err }},
 		{"storm", func() error { _, err := lab.StormStudy(w); return err }},
+		{"faults", func() error { _, err := lab.FaultRobustness(w); return err }},
 		{"multinode", func() error { _, err := lab.MultiNodeStudy(w, nil); return err }},
 		{"olsr", func() error { _, err := lab.OLSRStudy(w); return err }},
 	}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	manetsim -routing aodv -transport udp -duration 10000 -seed 1 \
-//	         -attack none|mixed|blackhole|dropping -out trace.csv
+//	         -attack none|mixed|blackhole|dropping \
+//	         -faults none|crash|flap|noise|sampler|env -out trace.csv
 //
 // The emitted CSV feeds cmd/cfa for training and detection.
 package main
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"crossfeature/internal/attack"
+	"crossfeature/internal/faults"
 	"crossfeature/internal/features"
 	"crossfeature/internal/netsim"
 	"crossfeature/internal/packet"
@@ -41,6 +43,8 @@ func run(args []string) error {
 	attackMode := fs.String("attack", "none", "intrusion mix: none, mixed, blackhole, dropping or storm")
 	attacker := fs.Int("attacker", 5, "compromised node id")
 	dropTarget := fs.Int("drop-target", 0, "selective-dropping destination node id")
+	faultMode := fs.String("faults", "none", "benign fault mix: none, crash, flap, noise, sampler or env")
+	faultNode := fs.Int("fault-node", 1, "node hit by crash faults (flap/sampler faults target -monitor)")
 	monitor := fs.Int("monitor", 0, "node whose audit trail is recorded")
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	events := fs.String("events", "", "optional per-observation event log path")
@@ -81,6 +85,12 @@ func run(args []string) error {
 		return err
 	}
 	cfg.Attacks = specs
+
+	fspecs, err := faultSpecs(*faultMode, packet.NodeID(*faultNode), packet.NodeID(*monitor), *duration)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = fspecs
 
 	if *events != "" {
 		ef, err := os.Create(*events)
@@ -150,5 +160,58 @@ func attackSpecs(mode string, attacker, dropTarget packet.NodeID, duration float
 			Sessions: attack.Sessions(duration/100, starts...)}}, nil
 	default:
 		return nil, fmt.Errorf("unknown attack mode %q", mode)
+	}
+}
+
+// faultSpecs builds benign environmental-fault campaigns scaled to duration.
+// Single-kind modes run three sessions (duration/50 each) at 1/4, 1/2 and
+// 3/4 of the run; env combines every kind on a staggered schedule. Crash
+// faults hit faultNode, link flapping and sampler faults hit the monitored
+// node — its audit trail is what degrades.
+func faultSpecs(mode string, faultNode, monitor packet.NodeID, duration float64) ([]faults.Spec, error) {
+	session := duration / 50
+	starts := []float64{duration / 4, duration / 2, 3 * duration / 4}
+	peer := monitor + 1
+	if peer == faultNode {
+		peer++
+	}
+	switch strings.ToLower(mode) {
+	case "none", "":
+		return nil, nil
+	case "crash":
+		return []faults.Spec{{Kind: faults.NodeCrash, Node: faultNode,
+			Sessions: faults.Sessions(session, starts...)}}, nil
+	case "flap":
+		return []faults.Spec{{Kind: faults.LinkFlap, Node: monitor, Peer: peer,
+			Sessions: faults.Sessions(session, starts...)}}, nil
+	case "noise":
+		return []faults.Spec{{Kind: faults.NoiseBurst, NoiseLoss: 0.1,
+			Sessions: faults.Sessions(session, starts...)}}, nil
+	case "sampler":
+		return []faults.Spec{
+			{Kind: faults.SamplerDrop, Node: monitor,
+				Sessions: faults.Sessions(session, duration/4)},
+			{Kind: faults.SamplerTruncate, Node: monitor,
+				Sessions: faults.Sessions(session, duration/2)},
+			{Kind: faults.SamplerJitter, Node: monitor,
+				Sessions: faults.Sessions(session, 3*duration/4)},
+		}, nil
+	case "env":
+		return []faults.Spec{
+			{Kind: faults.NodeCrash, Node: faultNode,
+				Sessions: faults.Sessions(session, duration/8, 5*duration/8)},
+			{Kind: faults.LinkFlap, Node: monitor, Peer: peer,
+				Sessions: faults.Sessions(2*session, duration/4)},
+			{Kind: faults.NoiseBurst, NoiseLoss: 0.1,
+				Sessions: faults.Sessions(session, 3*duration/8)},
+			{Kind: faults.SamplerDrop, Node: monitor,
+				Sessions: faults.Sessions(session/2, 11*duration/16)},
+			{Kind: faults.SamplerTruncate, Node: monitor,
+				Sessions: faults.Sessions(session, 3*duration/4)},
+			{Kind: faults.SamplerJitter, Node: monitor,
+				Sessions: faults.Sessions(session, 7*duration/8)},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown fault mode %q", mode)
 	}
 }

@@ -2,6 +2,7 @@ package crossfeature_test
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -72,6 +73,103 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 			t.Errorf("%s: public-API pipeline AUC %.3f", learner.Name(), auc)
 		}
 	}
+}
+
+// TestThresholdEdgeCases pins the calibration behaviour on degenerate
+// score distributions: the result is always a finite number, an empty (or
+// all-non-finite) input disables alarming, and identical normal scores are
+// never flagged under the strict "score < threshold" rule.
+func TestThresholdEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		scores []float64
+		rate   float64
+		want   float64
+	}{
+		{"empty", nil, 0.02, 0},
+		{"all NaN", []float64{math.NaN(), math.NaN()}, 0.02, 0},
+		{"all Inf", []float64{math.Inf(1), math.Inf(-1)}, 0.02, 0},
+		{"all identical", []float64{0.7, 0.7, 0.7, 0.7}, 0.02, 0.7},
+		{"single score", []float64{0.5}, 0.02, 0.5},
+		{"NaN mixed in", []float64{math.NaN(), 0.4, 0.6}, 0, 0.4},
+		{"rate NaN", []float64{0.4, 0.6}, math.NaN(), 0.4},
+		{"rate negative", []float64{0.4, 0.6}, -1, 0.4},
+		{"rate above one", []float64{0.4, 0.6}, 7, 0.6},
+	}
+	for _, c := range cases {
+		got := crossfeature.Threshold(c.scores, c.rate)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: threshold %v is not finite", c.name, got)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: threshold %v, want %v", c.name, got, c.want)
+		}
+	}
+	// All-identical normal scores must not alarm on those same scores.
+	thr := crossfeature.Threshold([]float64{0.7, 0.7, 0.7}, 0.02)
+	if 0.7 < thr {
+		t.Error("identical normal scores fall below their own threshold")
+	}
+}
+
+// TestMalformedAuditDataNoPanic drives the full public pipeline with
+// hostile audit rows — NaN, ±Inf, wildly out-of-range values, rows that are
+// entirely unknown — and demands finite scores and boolean verdicts, never
+// a panic or error.
+func TestMalformedAuditDataNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	names := []string{"a", "b", "c"}
+	var rows [][]float64
+	for i := 0; i < 300; i++ {
+		v := rng.Float64() * 10
+		rows = append(rows, []float64{v, 2 * v, rng.Float64()})
+	}
+	disc, err := crossfeature.FitDiscretizer(rows, names, crossfeature.FitOptions{Buckets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := disc.Dataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := crossfeature.Train(ds, crossfeature.NewC45(), crossfeature.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := crossfeature.NewDetector(a, crossfeature.Probability, ds.X, 0.02)
+
+	hostile := [][]float64{
+		{math.NaN(), math.NaN(), math.NaN()},
+		{math.Inf(1), math.Inf(-1), math.NaN()},
+		{-1e300, 1e300, 0.5},
+		{5, math.NaN(), 0.5},
+		{math.NaN(), 10, math.Inf(1)},
+	}
+	for _, row := range hostile {
+		x, err := disc.Transform(row)
+		if err != nil {
+			t.Fatalf("Transform(%v): %v", row, err)
+		}
+		for _, s := range []crossfeature.Scorer{crossfeature.MatchCount, crossfeature.Probability} {
+			score := a.Score(x, s)
+			if math.IsNaN(score) || math.IsInf(score, 0) || score < 0 || score > 1 {
+				t.Errorf("Score(%v, %v) = %v, want finite in [0,1]", row, s, score)
+			}
+		}
+		_ = det.IsAnomaly(x) // must not panic
+	}
+
+	// Truncated vectors (audit records cut short) score too: missing tail
+	// features are treated as unknown.
+	short := []int{0}
+	for _, s := range []crossfeature.Scorer{crossfeature.MatchCount, crossfeature.Probability} {
+		score := a.Score(short, s)
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			t.Errorf("truncated vector score %v not finite", score)
+		}
+	}
+	_ = det.IsAnomaly(nil) // fully empty record: no panic either
 }
 
 func TestPublicAPIPersistence(t *testing.T) {

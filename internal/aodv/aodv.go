@@ -184,6 +184,25 @@ func (r *Router) Stats() (originated, delivered, forwarded, dropped uint64) {
 	return r.dataOriginated, r.dataDelivered, r.dataForwarded, r.dataDropped
 }
 
+// Reset implements routing.Protocol: discard the route table, RREQ dedup
+// cache, buffered packets and in-flight discoveries, as after a crash and
+// cold restart. Sequence numbers keep counting up (monotonicity across
+// reboots is the safe choice in AODV) and cumulative stats survive.
+func (r *Router) Reset() {
+	for _, d := range r.pending {
+		if d.timer != nil {
+			d.timer.Cancel()
+		}
+	}
+	r.routes = make(map[packet.NodeID]*routeEntry)
+	r.seenRREQ = make(map[rreqKey]float64)
+	r.buffer = make(map[packet.NodeID][]*packet.Packet)
+	r.pending = make(map[packet.NodeID]*discovery)
+	r.lastHello = make(map[packet.NodeID]float64)
+	r.rreqWindowAt = 0
+	r.rreqInWindow = 0
+}
+
 // RouteTo exposes the current next hop for dst (for tests and attacks).
 func (r *Router) RouteTo(dst packet.NodeID) (next packet.NodeID, hops int, ok bool) {
 	e := r.routes[dst]

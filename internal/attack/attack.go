@@ -79,6 +79,32 @@ func Sessions(duration float64, starts ...float64) []Session {
 	return out
 }
 
+// ValidateSessions rejects empty schedules, non-positive durations,
+// negative starts and mutually overlapping sessions. Overlapping sessions
+// of one behaviour toggle its shared on/off state incoherently (the first
+// session's end switches the attack off while the second is still
+// running), so they are configuration errors, not schedules.
+func ValidateSessions(sessions []Session) error {
+	if len(sessions) == 0 {
+		return fmt.Errorf("no sessions scheduled")
+	}
+	sorted := append([]Session(nil), sessions...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	for i, s := range sorted {
+		if s.Duration <= 0 {
+			return fmt.Errorf("session at %g has non-positive duration %g", s.Start, s.Duration)
+		}
+		if s.Start < 0 {
+			return fmt.Errorf("session start %g is negative", s.Start)
+		}
+		if i > 0 && s.Start < sorted[i-1].End() {
+			return fmt.Errorf("session at %g overlaps session [%g,%g)",
+				s.Start, sorted[i-1].Start, sorted[i-1].End())
+		}
+	}
+	return nil
+}
+
 // Host is what an attack needs from the node runtime to arm itself.
 type Host interface {
 	ID() packet.NodeID
@@ -104,6 +130,9 @@ func (b *Behavior) Spec() Spec { return b.spec }
 func Install(host Host, proto routing.Protocol, spec Spec) (*Behavior, error) {
 	if spec.Node != host.ID() {
 		return nil, fmt.Errorf("attack: spec targets node %d but installing on node %d", spec.Node, host.ID())
+	}
+	if err := ValidateSessions(spec.Sessions); err != nil {
+		return nil, fmt.Errorf("attack: %s on node %d: %w", spec.Kind, spec.Node, err)
 	}
 	b := &Behavior{spec: spec}
 	switch spec.Kind {
@@ -184,6 +213,35 @@ type Plan struct {
 
 // Empty reports whether no intrusion is scheduled.
 func (p Plan) Empty() bool { return len(p.Specs) == 0 }
+
+// Validate checks every spec's schedule and rejects overlapping sessions
+// of the same attack kind on the same node across specs (two behaviours of
+// one kind on one host fight over the same protocol hooks). Different
+// kinds may overlap — the paper's mixed traces run black hole and
+// selective dropping on one compromised node concurrently.
+func (p Plan) Validate(nodes int) error {
+	type groupKey struct {
+		kind Kind
+		node packet.NodeID
+	}
+	merged := make(map[groupKey][]Session)
+	for _, spec := range p.Specs {
+		if int(spec.Node) < 0 || int(spec.Node) >= nodes {
+			return fmt.Errorf("attack: %s node %d outside [0,%d)", spec.Kind, spec.Node, nodes)
+		}
+		if err := ValidateSessions(spec.Sessions); err != nil {
+			return fmt.Errorf("attack: %s on node %d: %w", spec.Kind, spec.Node, err)
+		}
+		k := groupKey{spec.Kind, spec.Node}
+		merged[k] = append(merged[k], spec.Sessions...)
+	}
+	for k, sessions := range merged {
+		if err := ValidateSessions(sessions); err != nil {
+			return fmt.Errorf("attack: %s on node %d across specs: %w", k.kind, k.node, err)
+		}
+	}
+	return nil
+}
 
 // FirstOnset returns the earliest session start across all specs, or -1 if
 // the plan is empty.

@@ -59,6 +59,7 @@ func (p *fakeProto) HandleFrame(*packet.Packet, packet.NodeID)   {}
 func (p *fakeProto) OverhearFrame(*packet.Packet, packet.NodeID) {}
 func (p *fakeProto) Promiscuous() bool                           { return false }
 func (p *fakeProto) AvgRouteLength() float64                     { return 0 }
+func (p *fakeProto) Reset()                                      {}
 func (p *fakeProto) SetDropFilter(f routing.DropFilter)          { p.filter = f }
 
 type advProto struct {

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -65,6 +66,15 @@ type Analyzer struct {
 	Models []ml.Classifier
 	// LearnerName records which base learner produced the sub-models.
 	LearnerName string
+	// NormalMatch and NormalProb record each sub-model's mean match rate
+	// and mean true-value probability on the normal training data. Sub-
+	// models differ widely in how predictable their target feature is, so
+	// an event scored over a subset of models (degraded audit records with
+	// missing features) is biased by whichever subset survived; these
+	// levels let scoring debias such partial averages. Empty on analyzers
+	// built without Train (scores then fall back to plain averages).
+	NormalMatch []float64
+	NormalProb  []float64
 }
 
 // Train runs Algorithm 1: fit classifier C_i for every feature f_i on the
@@ -124,7 +134,36 @@ func Train(ds *ml.Dataset, learner ml.Learner, opts TrainOptions) (*Analyzer, er
 	if a.NumModels() == 0 {
 		return nil, fmt.Errorf("core: no sub-models trained")
 	}
+	a.fitNormalLevels(ds)
 	return a, nil
+}
+
+// fitNormalLevels measures every sub-model's in-sample score level — its
+// mean 0/1 match rate and mean true-value probability over the normal
+// training rows. Scoring uses these to keep partial averages (events with
+// missing features) on the same scale as full ones.
+func (a *Analyzer) fitNormalLevels(ds *ml.Dataset) {
+	l := len(a.Models)
+	a.NormalMatch = make([]float64, l)
+	a.NormalProb = make([]float64, l)
+	n := float64(ds.Len())
+	for i, m := range a.Models {
+		if m == nil {
+			continue
+		}
+		var match, prob float64
+		for _, x := range ds.X {
+			if ml.Predict(m, x) == x[i] {
+				match++
+			}
+			p := m.PredictProba(x)
+			if v := x[i]; v >= 0 && v < len(p) {
+				prob += p[v]
+			}
+		}
+		a.NormalMatch[i] = match / n
+		a.NormalProb[i] = prob / n
+	}
 }
 
 // NumModels reports how many sub-models were retained.
@@ -138,14 +177,36 @@ func (a *Analyzer) NumModels() int {
 	return n
 }
 
-// AvgMatchCount implements Algorithm 2 for one event.
+// missing reports whether event value x[i] is unusable as the true value
+// of feature i: absent from the vector, outside the attribute's range, or
+// the attribute's dedicated unknown class. Such features are skipped by
+// the combination rules — the remaining sub-models still yield a usable
+// (if lower-confidence) score, so a degraded audit record never errors.
+func (a *Analyzer) missing(x []int, i int) bool {
+	if i >= len(x) {
+		return true
+	}
+	return a.Attrs[i].Missing(x[i])
+}
+
+// AvgMatchCount implements Algorithm 2 for one event. Features with a
+// missing true value are excluded from the average, and the partial
+// average is debiased back to the full-model scale.
 func (a *Analyzer) AvgMatchCount(x []int) float64 {
-	var matches, total float64
+	var matches, total, availLevel float64
+	anyMissing := false
 	for i, m := range a.Models {
 		if m == nil {
 			continue
 		}
+		if a.missing(x, i) {
+			anyMissing = true
+			continue
+		}
 		total++
+		if len(a.NormalMatch) == len(a.Models) {
+			availLevel += a.NormalMatch[i]
+		}
 		if ml.Predict(m, x) == x[i] {
 			matches++
 		}
@@ -153,18 +214,28 @@ func (a *Analyzer) AvgMatchCount(x []int) float64 {
 	if total == 0 {
 		return 0
 	}
-	return matches / total
+	return a.debias(matches/total, availLevel, total, anyMissing, a.NormalMatch)
 }
 
 // AvgProbability implements Algorithm 3 for one event: the mean estimated
-// probability p(f_i(x) | x) of the true feature values.
+// probability p(f_i(x) | x) of the true feature values. Features with a
+// missing true value are excluded from the average, and the partial
+// average is debiased back to the full-model scale.
 func (a *Analyzer) AvgProbability(x []int) float64 {
-	var sum, total float64
+	var sum, total, availLevel float64
+	anyMissing := false
 	for i, m := range a.Models {
 		if m == nil {
 			continue
 		}
+		if a.missing(x, i) {
+			anyMissing = true
+			continue
+		}
 		total++
+		if len(a.NormalProb) == len(a.Models) {
+			availLevel += a.NormalProb[i]
+		}
 		p := m.PredictProba(x)
 		if v := x[i]; v >= 0 && v < len(p) {
 			sum += p[v]
@@ -173,7 +244,48 @@ func (a *Analyzer) AvgProbability(x []int) float64 {
 	if total == 0 {
 		return 0
 	}
-	return sum / total
+	return a.debias(sum/total, availLevel, total, anyMissing, a.NormalProb)
+}
+
+// debias rescales the partial average of an event with missing features so
+// its expected value on normal data matches the full-model level, then
+// shrinks it toward that level in proportion to how much of the ensemble
+// is missing. Sub-models score their targets at very different normal
+// levels (a node's mobility is far less predictable than, say, its
+// control-traffic volume), so averaging whichever subset survives a
+// degraded audit record shifts the score for structural reasons unrelated
+// to anomaly; the rescale cancels the subset's level relative to the full
+// ensemble. The shrink accounts for the remaining estimator variance: a
+// mean over k of L sub-models swings sqrt(L/k) times wider than the full
+// average, so a degraded record is a lower-confidence observation and its
+// score moves proportionally less far from the normal level — it still
+// alarms under a real anomaly, but random excursions of a small surviving
+// subset do not cross the threshold. Events with no missing features, and
+// analyzers without recorded levels, pass through unchanged.
+func (a *Analyzer) debias(raw, availLevel, total float64, anyMissing bool, levels []float64) float64 {
+	if !anyMissing || len(levels) != len(a.Models) || availLevel <= 0 {
+		return raw
+	}
+	var fullSum, models float64
+	for i, m := range a.Models {
+		if m != nil {
+			fullSum += levels[i]
+			models++
+		}
+	}
+	if models == 0 || fullSum <= 0 {
+		return raw
+	}
+	level := fullSum / models
+	scaled := raw * level / (availLevel / total)
+	scaled = level + (scaled-level)*math.Sqrt(total/models)
+	if scaled > 1 {
+		scaled = 1
+	}
+	if scaled < 0 {
+		scaled = 0
+	}
+	return scaled
 }
 
 // Score applies the selected combination rule.
@@ -197,17 +309,29 @@ func (a *Analyzer) ScoreAll(xs [][]int, s Scorer) []float64 {
 // lower quantile at the given false-alarm rate, so that a fraction
 // (1 - falseAlarmRate) of normal events score at or above it — the
 // paper's "lower bound of output values with certain confidence level".
+//
+// The calibration is total: non-finite scores are ignored, an empty (or
+// all-non-finite) input yields threshold 0 (nothing is ever flagged, the
+// conservative default for an uncalibrated detector), and a degenerate
+// all-identical score distribution yields that score — combined with the
+// strict "score < threshold" alarm rule, identical normal scores are never
+// flagged. The returned threshold is always a finite number.
 func Threshold(normalScores []float64, falseAlarmRate float64) float64 {
-	if len(normalScores) == 0 {
+	sorted := make([]float64, 0, len(normalScores))
+	for _, s := range normalScores {
+		if !math.IsNaN(s) && !math.IsInf(s, 0) {
+			sorted = append(sorted, s)
+		}
+	}
+	if len(sorted) == 0 {
 		return 0
 	}
-	if falseAlarmRate < 0 {
+	if math.IsNaN(falseAlarmRate) || falseAlarmRate < 0 {
 		falseAlarmRate = 0
 	}
 	if falseAlarmRate > 1 {
 		falseAlarmRate = 1
 	}
-	sorted := append([]float64(nil), normalScores...)
 	sort.Float64s(sorted)
 	idx := int(falseAlarmRate * float64(len(sorted)))
 	if idx >= len(sorted) {

@@ -144,6 +144,21 @@ func (r *Router) Stats() (originated, delivered, forwarded, dropped, salvaged ui
 	return r.dataOriginated, r.dataDelivered, r.dataForwarded, r.dataDropped, r.salvaged
 }
 
+// Reset implements routing.Protocol: discard the route cache, RREQ dedup
+// set, buffered packets and in-flight discoveries, as after a crash and
+// cold restart. Cumulative stats survive.
+func (r *Router) Reset() {
+	for _, d := range r.pending {
+		if d.timer != nil {
+			d.timer.Cancel()
+		}
+	}
+	r.cache = make(map[packet.NodeID][]cachedRoute)
+	r.seenRREQ = make(map[rreqKey]struct{})
+	r.buffer = make(map[packet.NodeID][]*packet.Packet)
+	r.pending = make(map[packet.NodeID]*discovery)
+}
+
 // AvgRouteLength implements routing.Protocol: the mean length of the best
 // live cached route per destination.
 func (r *Router) AvgRouteLength() float64 {

@@ -57,6 +57,7 @@ type Trace struct {
 	Vectors []features.Vector
 	Plan    attack.Plan
 	Mix     AttackMix
+	Faults  FaultMix
 	Seed    int64
 }
 
@@ -110,6 +111,7 @@ type Lab struct {
 type traceKey struct {
 	sc   Scenario
 	mix  AttackMix
+	fmix FaultMix
 	seed int64
 }
 
@@ -126,7 +128,7 @@ func NewLab(p Preset) (*Lab, error) {
 }
 
 // config assembles the netsim configuration for one trace.
-func (l *Lab) config(sc Scenario, mix AttackMix, seed int64) netsim.Config {
+func (l *Lab) config(sc Scenario, mix AttackMix, fmix FaultMix, seed int64) netsim.Config {
 	p := l.Preset
 	cfg := netsim.DefaultConfig()
 	cfg.Nodes = p.Nodes
@@ -138,6 +140,7 @@ func (l *Lab) config(sc Scenario, mix AttackMix, seed int64) netsim.Config {
 	cfg.Routing = sc.Routing
 	cfg.Transport = sc.Transport
 	cfg.Attacks = l.attackSpecs(mix)
+	cfg.Faults = l.faultSpecs(fmix)
 	return cfg
 }
 
@@ -186,10 +189,16 @@ func (l *Lab) attackSpecs(mix AttackMix) []attack.Spec {
 	}
 }
 
-// RunTrace simulates (or returns the memoised) trace for one scenario,
-// mix and seed, extracting the monitored node's feature vectors.
+// RunTrace simulates (or returns the memoised) fault-free trace for one
+// scenario, mix and seed, extracting the monitored node's feature vectors.
 func (l *Lab) RunTrace(sc Scenario, mix AttackMix, seed int64) (*Trace, error) {
-	key := traceKey{sc: sc, mix: mix, seed: seed}
+	return l.RunFaultTrace(sc, mix, NoFaults, seed)
+}
+
+// RunFaultTrace simulates (or returns the memoised) trace for one scenario,
+// attack mix, environmental-fault mix and seed.
+func (l *Lab) RunFaultTrace(sc Scenario, mix AttackMix, fmix FaultMix, seed int64) (*Trace, error) {
+	key := traceKey{sc: sc, mix: mix, fmix: fmix, seed: seed}
 	l.mu.Lock()
 	if t, ok := l.traces[key]; ok {
 		l.mu.Unlock()
@@ -197,18 +206,19 @@ func (l *Lab) RunTrace(sc Scenario, mix AttackMix, seed int64) (*Trace, error) {
 	}
 	l.mu.Unlock()
 
-	cfg := l.config(sc, mix, seed)
+	cfg := l.config(sc, mix, fmix, seed)
 	net, err := netsim.New(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: build %s %s trace: %w", sc.Name(), mix, err)
+		return nil, fmt.Errorf("experiments: build %s %s/%s trace: %w", sc.Name(), mix, fmix, err)
 	}
 	if err := net.Run(); err != nil {
-		return nil, fmt.Errorf("experiments: run %s %s trace: %w", sc.Name(), mix, err)
+		return nil, fmt.Errorf("experiments: run %s %s/%s trace: %w", sc.Name(), mix, fmix, err)
 	}
 	t := &Trace{
 		Vectors: features.FromSnapshots(net.Snapshots(0)),
 		Plan:    net.Plan(),
 		Mix:     mix,
+		Faults:  fmix,
 		Seed:    seed,
 	}
 	l.mu.Lock()

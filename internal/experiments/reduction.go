@@ -116,7 +116,7 @@ func (l *Lab) MultiNodeStudy(w io.Writer, nodes []packet.NodeID) ([]MultiNodeRes
 		return nil, err
 	}
 	runMulti := func(mix AttackMix, seed int64) (map[packet.NodeID][]features.Vector, error) {
-		cfg := l.config(sc, mix, seed)
+		cfg := l.config(sc, mix, NoFaults, seed)
 		cfg.MonitorNodes = nodes
 		net, err := netsim.New(cfg)
 		if err != nil {

@@ -1,0 +1,398 @@
+// Package faults injects benign environmental faults into the simulator.
+// Where internal/attack models deliberate intrusions (black hole, selective
+// dropping, update storm), this package models the failures a production
+// anomaly detector must survive without drowning in false alarms: node
+// crash/restart cycles, link flapping, region-wide noise bursts and audit
+// sampler faults (dropped or truncated snapshots, sampler clock jitter).
+// It reuses the Spec/Session/Plan session-scheduling idiom of the attack
+// package so fault campaigns compose with intrusion schedules.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"crossfeature/internal/packet"
+)
+
+// Kind enumerates the implemented environmental faults.
+type Kind int
+
+const (
+	// NodeCrash silences a node for each session: it neither transmits nor
+	// receives, and on restart it has lost its route table and its audit
+	// counters (a cold reboot).
+	NodeCrash Kind = iota + 1
+	// LinkFlap degrades one link on a duty cycle: during the dead phase of
+	// each flap period the link's delivery probability drops to ~0.
+	LinkFlap
+	// NoiseBurst raises the frame loss probability network-wide for the
+	// duration of each session (a jamming-like interference event, benign
+	// in intent).
+	NoiseBurst
+	// SamplerDrop loses the monitored node's audit snapshots that fall
+	// inside a session, leaving gaps in the snapshot sequence.
+	SamplerDrop
+	// SamplerTruncate truncates snapshots inside a session: the traffic
+	// statistics table is lost and only Feature Set I survives.
+	SamplerTruncate
+	// SamplerJitter perturbs the sampler's clock during a session, so
+	// snapshots are taken late by a bounded random offset.
+	SamplerJitter
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case LinkFlap:
+		return "link-flap"
+	case NoiseBurst:
+		return "noise-burst"
+	case SamplerDrop:
+		return "sampler-drop"
+	case SamplerTruncate:
+		return "sampler-truncate"
+	case SamplerJitter:
+		return "sampler-jitter"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Session is one on-interval of a fault.
+type Session struct {
+	Start    float64
+	Duration float64
+}
+
+// End is the session's off time.
+func (s Session) End() float64 { return s.Start + s.Duration }
+
+// Sessions builds a schedule of equal-duration sessions at the given start
+// times, sorted by start.
+func Sessions(duration float64, starts ...float64) []Session {
+	out := make([]Session, 0, len(starts))
+	for _, s := range starts {
+		out = append(out, Session{Start: s, Duration: duration})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ValidateSessions rejects empty schedules, non-positive durations,
+// negative starts and overlapping sessions.
+func ValidateSessions(sessions []Session) error {
+	if len(sessions) == 0 {
+		return fmt.Errorf("no sessions scheduled")
+	}
+	sorted := append([]Session(nil), sessions...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	for i, s := range sorted {
+		if s.Duration <= 0 {
+			return fmt.Errorf("session at %g has non-positive duration %g", s.Start, s.Duration)
+		}
+		if s.Start < 0 {
+			return fmt.Errorf("session start %g is negative", s.Start)
+		}
+		if i > 0 && s.Start < sorted[i-1].End() {
+			return fmt.Errorf("session at %g overlaps session [%g,%g)",
+				s.Start, sorted[i-1].Start, sorted[i-1].End())
+		}
+	}
+	return nil
+}
+
+// Default fault-shape parameters, used when the corresponding Spec field is
+// zero.
+const (
+	// DefaultFlapPeriod is the link-flap duty-cycle period in seconds.
+	DefaultFlapPeriod = 4.0
+	// DefaultFlapDeadFrac is the fraction of each flap period the link is
+	// dead.
+	DefaultFlapDeadFrac = 0.5
+	// DefaultFlapLoss is the frame loss probability on a dead link — the
+	// link's delivery probability drops to ~0, not exactly 0, so a rare
+	// frame still sneaks through as on real flapping radios.
+	DefaultFlapLoss = 0.98
+	// DefaultNoiseLoss is the extra network-wide frame loss during a noise
+	// burst.
+	DefaultNoiseLoss = 0.3
+	// DefaultMaxJitter is the sampler clock jitter bound in seconds.
+	DefaultMaxJitter = 1.0
+)
+
+// Spec describes one fault deployment.
+type Spec struct {
+	Kind Kind
+	// Node is the crashing node (NodeCrash), one endpoint of the flapping
+	// link (LinkFlap) or the monitored node whose sampler misbehaves
+	// (Sampler* kinds). Unused for NoiseBurst.
+	Node packet.NodeID
+	// Peer is the other endpoint of the flapping link (LinkFlap only).
+	Peer     packet.NodeID
+	Sessions []Session
+
+	// FlapPeriod and FlapDeadFrac shape the LinkFlap duty cycle; FlapLoss
+	// is the loss probability during the dead phase. Zero values take the
+	// package defaults.
+	FlapPeriod   float64
+	FlapDeadFrac float64
+	FlapLoss     float64
+	// NoiseLoss is the extra loss probability during a NoiseBurst.
+	NoiseLoss float64
+	// MaxJitter bounds the SamplerJitter clock offset in seconds.
+	MaxJitter float64
+}
+
+// flapPeriod returns the effective duty-cycle period.
+func (s Spec) flapPeriod() float64 {
+	if s.FlapPeriod > 0 {
+		return s.FlapPeriod
+	}
+	return DefaultFlapPeriod
+}
+
+// flapDeadFrac returns the effective dead fraction.
+func (s Spec) flapDeadFrac() float64 {
+	if s.FlapDeadFrac > 0 {
+		return s.FlapDeadFrac
+	}
+	return DefaultFlapDeadFrac
+}
+
+// flapLoss returns the effective dead-phase loss probability.
+func (s Spec) flapLoss() float64 {
+	if s.FlapLoss > 0 {
+		return s.FlapLoss
+	}
+	return DefaultFlapLoss
+}
+
+// noiseLoss returns the effective noise-burst loss probability.
+func (s Spec) noiseLoss() float64 {
+	if s.NoiseLoss > 0 {
+		return s.NoiseLoss
+	}
+	return DefaultNoiseLoss
+}
+
+// maxJitter returns the effective sampler jitter bound.
+func (s Spec) maxJitter() float64 {
+	if s.MaxJitter > 0 {
+		return s.MaxJitter
+	}
+	return DefaultMaxJitter
+}
+
+// Validate reports structural errors in one spec for a network of the
+// given size.
+func (s Spec) Validate(nodes int) error {
+	if err := ValidateSessions(s.Sessions); err != nil {
+		return fmt.Errorf("faults: %s: %w", s.Kind, err)
+	}
+	switch s.Kind {
+	case NodeCrash, SamplerDrop, SamplerTruncate, SamplerJitter:
+		if int(s.Node) < 0 || int(s.Node) >= nodes {
+			return fmt.Errorf("faults: %s node %d outside [0,%d)", s.Kind, s.Node, nodes)
+		}
+	case LinkFlap:
+		if int(s.Node) < 0 || int(s.Node) >= nodes {
+			return fmt.Errorf("faults: %s node %d outside [0,%d)", s.Kind, s.Node, nodes)
+		}
+		if int(s.Peer) < 0 || int(s.Peer) >= nodes {
+			return fmt.Errorf("faults: %s peer %d outside [0,%d)", s.Kind, s.Peer, nodes)
+		}
+		if s.Peer == s.Node {
+			return fmt.Errorf("faults: %s endpoints are both node %d", s.Kind, s.Node)
+		}
+	case NoiseBurst:
+		// network-wide: no node constraints
+	default:
+		return fmt.Errorf("faults: unknown kind %d", int(s.Kind))
+	}
+	if s.FlapDeadFrac < 0 || s.FlapDeadFrac > 1 {
+		return fmt.Errorf("faults: flap dead fraction %g outside [0,1]", s.FlapDeadFrac)
+	}
+	if s.FlapLoss < 0 || s.FlapLoss > 1 {
+		return fmt.Errorf("faults: flap loss %g outside [0,1]", s.FlapLoss)
+	}
+	if s.NoiseLoss < 0 || s.NoiseLoss >= 1 {
+		return fmt.Errorf("faults: noise loss %g outside [0,1)", s.NoiseLoss)
+	}
+	if s.MaxJitter < 0 {
+		return fmt.Errorf("faults: negative sampler jitter %g", s.MaxJitter)
+	}
+	return nil
+}
+
+// Plan is the full fault schedule of a scenario.
+type Plan struct {
+	Specs []Spec
+}
+
+// Empty reports whether no fault is scheduled.
+func (p Plan) Empty() bool { return len(p.Specs) == 0 }
+
+// Validate checks every spec and rejects overlapping sessions of the same
+// kind on the same node across specs (two crash schedules fighting over one
+// node toggle each other's state incoherently).
+func (p Plan) Validate(nodes int) error {
+	for _, s := range p.Specs {
+		if err := s.Validate(nodes); err != nil {
+			return err
+		}
+	}
+	type groupKey struct {
+		kind Kind
+		node packet.NodeID
+	}
+	merged := make(map[groupKey][]Session)
+	for _, s := range p.Specs {
+		if s.Kind == NoiseBurst {
+			continue // network-wide bursts stack additively; overlap is legal
+		}
+		merged[groupKey{s.Kind, s.Node}] = append(merged[groupKey{s.Kind, s.Node}], s.Sessions...)
+	}
+	for k, sessions := range merged {
+		if err := ValidateSessions(sessions); err != nil {
+			return fmt.Errorf("faults: %s on node %d: %w", k.kind, k.node, err)
+		}
+	}
+	return nil
+}
+
+// activeAt reports whether any session of a spec covers time t.
+func activeAt(sessions []Session, t float64) bool {
+	for _, s := range sessions {
+		if t >= s.Start && t < s.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashedAt reports whether node is inside a crash session at time t.
+func (p Plan) CrashedAt(node packet.NodeID, t float64) bool {
+	for _, s := range p.Specs {
+		if s.Kind == NodeCrash && s.Node == node && activeAt(s.Sessions, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// SamplerDropAt reports whether node's snapshot at time t is lost.
+func (p Plan) SamplerDropAt(node packet.NodeID, t float64) bool {
+	for _, s := range p.Specs {
+		if s.Kind == SamplerDrop && s.Node == node && activeAt(s.Sessions, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// SamplerTruncateAt reports whether node's snapshot at time t is truncated.
+func (p Plan) SamplerTruncateAt(node packet.NodeID, t float64) bool {
+	for _, s := range p.Specs {
+		if s.Kind == SamplerTruncate && s.Node == node && activeAt(s.Sessions, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// SamplerJitterAt returns the clock jitter bound in force for node's
+// sampler at time t (zero when no jitter session is active).
+func (p Plan) SamplerJitterAt(node packet.NodeID, t float64) float64 {
+	for _, s := range p.Specs {
+		if s.Kind == SamplerJitter && s.Node == node && activeAt(s.Sessions, t) {
+			return s.maxJitter()
+		}
+	}
+	return 0
+}
+
+// HasSamplerFaults reports whether any sampler-level fault targets node;
+// the audit loop takes a slower, fault-aware path only when this is true.
+func (p Plan) HasSamplerFaults(node packet.NodeID) bool {
+	for _, s := range p.Specs {
+		switch s.Kind {
+		case SamplerDrop, SamplerTruncate, SamplerJitter:
+			if s.Node == node {
+				return true
+			}
+		case NodeCrash:
+			// A crashed node cannot snapshot either.
+			if s.Node == node {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Host is what fault injection needs from the network runtime: absolute-
+// time scheduling plus the radio and node hooks the faults toggle.
+type Host interface {
+	// At runs fn at absolute virtual time t.
+	At(t float64, fn func())
+	// SetNodeDown silences or revives a node's radio.
+	SetNodeDown(id packet.NodeID, down bool)
+	// RestartNode cold-boots a node: route table and audit counters reset.
+	RestartNode(id packet.NodeID)
+	// SetLinkLoss sets (or clears, with loss <= 0) an extra loss
+	// probability on the link between two nodes.
+	SetLinkLoss(a, b packet.NodeID, loss float64)
+	// AddNoise adds delta to the network-wide extra loss probability;
+	// negative deltas remove a previously added burst.
+	AddNoise(delta float64)
+}
+
+// Install schedules every radio-level fault of the plan on the host.
+// Sampler-level faults (SamplerDrop/SamplerTruncate/SamplerJitter) are not
+// scheduled here: the audit sampler queries the plan directly. The plan
+// must already be validated.
+func Install(h Host, p Plan) {
+	for _, spec := range p.Specs {
+		spec := spec
+		switch spec.Kind {
+		case NodeCrash:
+			for _, s := range spec.Sessions {
+				s := s
+				h.At(s.Start, func() { h.SetNodeDown(spec.Node, true) })
+				h.At(s.End(), func() {
+					h.SetNodeDown(spec.Node, false)
+					h.RestartNode(spec.Node)
+				})
+			}
+		case LinkFlap:
+			period := spec.flapPeriod()
+			dead := period * spec.flapDeadFrac()
+			loss := spec.flapLoss()
+			for _, s := range spec.Sessions {
+				s := s
+				for t := s.Start; t < s.End(); t += period {
+					t := t
+					h.At(t, func() { h.SetLinkLoss(spec.Node, spec.Peer, loss) })
+					up := t + dead
+					if up > s.End() {
+						up = s.End()
+					}
+					h.At(up, func() { h.SetLinkLoss(spec.Node, spec.Peer, 0) })
+				}
+				// Belt and braces: whatever phase the duty cycle ended in,
+				// the link is healthy after the session.
+				h.At(s.End(), func() { h.SetLinkLoss(spec.Node, spec.Peer, 0) })
+			}
+		case NoiseBurst:
+			loss := spec.noiseLoss()
+			for _, s := range spec.Sessions {
+				s := s
+				h.At(s.Start, func() { h.AddNoise(loss) })
+				h.At(s.End(), func() { h.AddNoise(-loss) })
+			}
+		}
+	}
+}

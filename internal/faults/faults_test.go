@@ -1,0 +1,266 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"crossfeature/internal/packet"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		NodeCrash:       "node-crash",
+		LinkFlap:        "link-flap",
+		NoiseBurst:      "noise-burst",
+		SamplerDrop:     "sampler-drop",
+		SamplerTruncate: "sampler-truncate",
+		SamplerJitter:   "sampler-jitter",
+		Kind(99):        "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestSessionsHelperSorts(t *testing.T) {
+	s := Sessions(50, 300, 100, 200)
+	if len(s) != 3 || s[0].Start != 100 || s[1].Start != 200 || s[2].Start != 300 {
+		t.Errorf("Sessions = %v (must sort by start)", s)
+	}
+	if s[0].End() != 150 {
+		t.Errorf("End = %v, want 150", s[0].End())
+	}
+}
+
+func TestValidateSessions(t *testing.T) {
+	cases := []struct {
+		name     string
+		sessions []Session
+		wantErr  string
+	}{
+		{"empty", nil, "no sessions"},
+		{"zero duration", []Session{{Start: 10, Duration: 0}}, "non-positive duration"},
+		{"negative duration", []Session{{Start: 10, Duration: -5}}, "non-positive duration"},
+		{"negative start", []Session{{Start: -1, Duration: 5}}, "negative"},
+		{"overlap", []Session{{Start: 0, Duration: 20}, {Start: 10, Duration: 5}}, "overlaps"},
+		{"touching ok", []Session{{Start: 0, Duration: 10}, {Start: 10, Duration: 5}}, ""},
+		{"disjoint ok", []Session{{Start: 0, Duration: 5}, {Start: 100, Duration: 5}}, ""},
+	}
+	for _, c := range cases {
+		err := ValidateSessions(c.sessions)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	ok := Sessions(10, 100)
+	cases := []struct {
+		name    string
+		spec    Spec
+		wantErr bool
+	}{
+		{"crash ok", Spec{Kind: NodeCrash, Node: 3, Sessions: ok}, false},
+		{"crash node high", Spec{Kind: NodeCrash, Node: 10, Sessions: ok}, true},
+		{"crash node negative", Spec{Kind: NodeCrash, Node: -1, Sessions: ok}, true},
+		{"flap ok", Spec{Kind: LinkFlap, Node: 0, Peer: 1, Sessions: ok}, false},
+		{"flap same endpoints", Spec{Kind: LinkFlap, Node: 2, Peer: 2, Sessions: ok}, true},
+		{"flap peer high", Spec{Kind: LinkFlap, Node: 0, Peer: 10, Sessions: ok}, true},
+		{"noise ok", Spec{Kind: NoiseBurst, Sessions: ok}, false},
+		{"sampler drop ok", Spec{Kind: SamplerDrop, Node: 0, Sessions: ok}, false},
+		{"unknown kind", Spec{Kind: Kind(42), Node: 0, Sessions: ok}, true},
+		{"no sessions", Spec{Kind: NodeCrash, Node: 0}, true},
+		{"bad dead frac", Spec{Kind: LinkFlap, Node: 0, Peer: 1, Sessions: ok, FlapDeadFrac: 1.5}, true},
+		{"bad flap loss", Spec{Kind: LinkFlap, Node: 0, Peer: 1, Sessions: ok, FlapLoss: -0.5}, true},
+		{"bad noise loss", Spec{Kind: NoiseBurst, Sessions: ok, NoiseLoss: 1.0}, true},
+		{"bad jitter", Spec{Kind: SamplerJitter, Node: 0, Sessions: ok, MaxJitter: -1}, true},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate(10)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: Validate = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestPlanValidateCrossSpecOverlap(t *testing.T) {
+	// Two crash specs on the same node with overlapping sessions: invalid.
+	p := Plan{Specs: []Spec{
+		{Kind: NodeCrash, Node: 3, Sessions: Sessions(100, 1000)},
+		{Kind: NodeCrash, Node: 3, Sessions: Sessions(100, 1050)},
+	}}
+	if err := p.Validate(10); err == nil {
+		t.Error("overlapping same-kind same-node sessions across specs accepted")
+	}
+	// Same schedule on different nodes: fine.
+	p.Specs[1].Node = 4
+	if err := p.Validate(10); err != nil {
+		t.Errorf("disjoint nodes rejected: %v", err)
+	}
+	// Different kinds on one node may overlap (a crash during a sampler
+	// jitter window is coherent).
+	p = Plan{Specs: []Spec{
+		{Kind: NodeCrash, Node: 3, Sessions: Sessions(100, 1000)},
+		{Kind: SamplerJitter, Node: 3, Sessions: Sessions(100, 1000)},
+	}}
+	if err := p.Validate(10); err != nil {
+		t.Errorf("different kinds on one node rejected: %v", err)
+	}
+	// Noise bursts stack additively; overlap is legal.
+	p = Plan{Specs: []Spec{
+		{Kind: NoiseBurst, Sessions: Sessions(100, 1000)},
+		{Kind: NoiseBurst, Sessions: Sessions(100, 1050)},
+	}}
+	if err := p.Validate(10); err != nil {
+		t.Errorf("overlapping noise bursts rejected: %v", err)
+	}
+}
+
+func TestPlanQueries(t *testing.T) {
+	p := Plan{Specs: []Spec{
+		{Kind: NodeCrash, Node: 2, Sessions: Sessions(50, 100)},
+		{Kind: SamplerDrop, Node: 0, Sessions: Sessions(50, 200)},
+		{Kind: SamplerTruncate, Node: 0, Sessions: Sessions(50, 300)},
+		{Kind: SamplerJitter, Node: 0, Sessions: Sessions(50, 400), MaxJitter: 2.5},
+	}}
+	if !p.CrashedAt(2, 120) || p.CrashedAt(2, 160) || p.CrashedAt(0, 120) {
+		t.Error("CrashedAt wrong")
+	}
+	if !p.SamplerDropAt(0, 220) || p.SamplerDropAt(0, 260) || p.SamplerDropAt(1, 220) {
+		t.Error("SamplerDropAt wrong")
+	}
+	if !p.SamplerTruncateAt(0, 320) || p.SamplerTruncateAt(0, 360) {
+		t.Error("SamplerTruncateAt wrong")
+	}
+	if j := p.SamplerJitterAt(0, 420); j != 2.5 {
+		t.Errorf("SamplerJitterAt = %v, want 2.5", j)
+	}
+	if j := p.SamplerJitterAt(0, 460); j != 0 {
+		t.Errorf("SamplerJitterAt outside session = %v, want 0", j)
+	}
+	if !p.HasSamplerFaults(0) {
+		t.Error("node 0 has sampler faults")
+	}
+	if !p.HasSamplerFaults(2) {
+		t.Error("a crashing node cannot snapshot: HasSamplerFaults must be true")
+	}
+	if p.HasSamplerFaults(1) {
+		t.Error("node 1 has no sampler faults")
+	}
+	if !(Plan{}).Empty() || p.Empty() {
+		t.Error("Empty wrong")
+	}
+}
+
+func TestDefaultJitter(t *testing.T) {
+	p := Plan{Specs: []Spec{
+		{Kind: SamplerJitter, Node: 0, Sessions: Sessions(50, 100)},
+	}}
+	if j := p.SamplerJitterAt(0, 120); j != DefaultMaxJitter {
+		t.Errorf("default jitter = %v, want %v", j, DefaultMaxJitter)
+	}
+}
+
+// fakeHost records fault actions against the virtual times they fire at.
+type fakeHost struct {
+	now   float64
+	queue []event
+	log   []string
+}
+
+type event struct {
+	at float64
+	fn func()
+}
+
+func (h *fakeHost) At(t float64, fn func()) {
+	h.queue = append(h.queue, event{at: t, fn: fn})
+}
+
+func (h *fakeHost) record(at float64, format string, args ...interface{}) {
+	h.log = append(h.log, fmt.Sprintf("%g: ", at)+fmt.Sprintf(format, args...))
+}
+
+// run fires queued events in time order, letting callbacks log with their
+// fire time.
+func (h *fakeHost) run() {
+	sort.SliceStable(h.queue, func(i, j int) bool { return h.queue[i].at < h.queue[j].at })
+	for i := 0; i < len(h.queue); i++ {
+		h.now = h.queue[i].at
+		h.queue[i].fn()
+	}
+}
+
+func (h *fakeHost) SetNodeDown(id packet.NodeID, down bool) {
+	h.record(h.now, "down(%d)=%v", id, down)
+}
+func (h *fakeHost) RestartNode(id packet.NodeID) { h.record(h.now, "restart(%d)", id) }
+func (h *fakeHost) SetLinkLoss(a, b packet.NodeID, loss float64) {
+	h.record(h.now, "link(%d,%d)=%g", a, b, loss)
+}
+func (h *fakeHost) AddNoise(delta float64) { h.record(h.now, "noise%+g", delta) }
+
+func TestInstallNodeCrash(t *testing.T) {
+	h := &fakeHost{}
+	Install(h, Plan{Specs: []Spec{
+		{Kind: NodeCrash, Node: 7, Sessions: Sessions(20, 100)},
+	}})
+	h.run()
+	want := []string{"100: down(7)=true", "120: down(7)=false", "120: restart(7)"}
+	if fmt.Sprint(h.log) != fmt.Sprint(want) {
+		t.Errorf("crash schedule:\n got %v\nwant %v", h.log, want)
+	}
+}
+
+func TestInstallLinkFlapDutyCycle(t *testing.T) {
+	h := &fakeHost{}
+	Install(h, Plan{Specs: []Spec{
+		{Kind: LinkFlap, Node: 1, Peer: 2, Sessions: []Session{{Start: 0, Duration: 10}},
+			FlapPeriod: 4, FlapDeadFrac: 0.5, FlapLoss: 0.9},
+	}})
+	h.run()
+	// Dead phases [0,2), [4,6), [8,10); session-end clears at 10.
+	want := []string{
+		"0: link(1,2)=0.9", "2: link(1,2)=0",
+		"4: link(1,2)=0.9", "6: link(1,2)=0",
+		"8: link(1,2)=0.9", "10: link(1,2)=0", "10: link(1,2)=0",
+	}
+	if fmt.Sprint(h.log) != fmt.Sprint(want) {
+		t.Errorf("flap schedule:\n got %v\nwant %v", h.log, want)
+	}
+}
+
+func TestInstallNoiseBurst(t *testing.T) {
+	h := &fakeHost{}
+	Install(h, Plan{Specs: []Spec{
+		{Kind: NoiseBurst, NoiseLoss: 0.25, Sessions: Sessions(30, 50)},
+	}})
+	h.run()
+	want := []string{"50: noise+0.25", "80: noise-0.25"}
+	if fmt.Sprint(h.log) != fmt.Sprint(want) {
+		t.Errorf("noise schedule:\n got %v\nwant %v", h.log, want)
+	}
+}
+
+func TestInstallSamplerFaultsScheduleNothing(t *testing.T) {
+	h := &fakeHost{}
+	Install(h, Plan{Specs: []Spec{
+		{Kind: SamplerDrop, Node: 0, Sessions: Sessions(10, 100)},
+		{Kind: SamplerTruncate, Node: 0, Sessions: Sessions(10, 200)},
+		{Kind: SamplerJitter, Node: 0, Sessions: Sessions(10, 300)},
+	}})
+	if len(h.queue) != 0 {
+		t.Errorf("sampler faults scheduled %d radio events; the sampler queries the plan instead", len(h.queue))
+	}
+}

@@ -2,6 +2,7 @@ package features
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -26,6 +27,12 @@ const DefaultBuckets = 5
 // bucketing violates: folding a pathological extreme into the top normal
 // bucket makes a saturated attack regime look like an ordinary busy
 // period.
+//
+// Hostile or degraded inputs are also total: NaN maps to a dedicated
+// unknown bucket (the highest index) that scoring treats as a missing
+// value, and ±Inf map to the below-/above-range guard buckets. Every
+// float64 therefore lands in exactly one deterministic bucket and no
+// input can panic the transform.
 type Discretizer struct {
 	// Cuts[j] holds the ascending bucket boundaries of feature j; a value v
 	// maps to the number of cuts strictly below or equal to it.
@@ -75,21 +82,31 @@ func Fit(rows [][]float64, names []string, opts FitOptions) (*Discretizer, error
 		Max:          make([]float64, d),
 		FeatureNames: append([]string(nil), names...),
 	}
-	col := make([]float64, len(sample))
+	for _, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("features: ragged row with %d values, want %d", len(r), d)
+		}
+	}
+	col := make([]float64, 0, len(sample))
 	for j := 0; j < d; j++ {
-		for i, r := range sample {
-			if len(r) != d {
-				return nil, fmt.Errorf("features: ragged row with %d values, want %d", len(r), d)
+		// Non-finite training values (a degraded audit trail) carry no
+		// boundary information; cuts come from the finite mass only.
+		col = col[:0]
+		for _, r := range sample {
+			if isFinite(r[j]) {
+				col = append(col, r[j])
 			}
-			col[i] = r[j]
 		}
 		disc.Cuts[j] = equalFrequencyCuts(col, buckets)
 	}
 	// Range guard boundaries come from the full normal data, not just the
 	// pre-filtering sample, so ordinary normal variation stays in range.
 	for j := 0; j < d; j++ {
-		lo, hi := rows[0][j], rows[0][j]
+		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, r := range rows {
+			if !isFinite(r[j]) {
+				continue
+			}
 			if r[j] < lo {
 				lo = r[j]
 			}
@@ -97,10 +114,18 @@ func Fit(rows [][]float64, names []string, opts FitOptions) (*Discretizer, error
 				hi = r[j]
 			}
 		}
+		if lo > hi {
+			// No finite observation at all: pin the range so transforms
+			// stay deterministic (everything finite is out-of-range).
+			lo, hi = 0, 0
+		}
 		disc.Min[j], disc.Max[j] = lo, hi
 	}
 	return disc, nil
 }
+
+// isFinite reports whether v is an ordinary float (not NaN, not ±Inf).
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // equalFrequencyCuts returns deduplicated boundaries placed at the
 // quantiles that split values into `buckets` equally populated ranges.
@@ -109,6 +134,9 @@ func equalFrequencyCuts(values []float64, buckets int) []float64 {
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
 	n := len(sorted)
+	if n == 0 {
+		return nil
+	}
 	cuts := make([]float64, 0, buckets-1)
 	for b := 1; b < buckets; b++ {
 		q := sorted[(n*b)/buckets]
@@ -125,14 +153,25 @@ func equalFrequencyCuts(values []float64, buckets int) []float64 {
 }
 
 // Cardinality reports the number of buckets feature j maps to: the
-// in-range buckets plus the two out-of-range buckets.
-func (d *Discretizer) Cardinality(j int) int { return len(d.Cuts[j]) + 3 }
+// in-range buckets, the two out-of-range guard buckets and the unknown
+// bucket.
+func (d *Discretizer) Cardinality(j int) int { return len(d.Cuts[j]) + 4 }
+
+// UnknownBucket is feature j's dedicated bucket for missing or undefined
+// values (NaN); it is the highest index and has zero normal mass. Scoring
+// in internal/core treats it as a missing value: the feature's sub-model
+// is skipped rather than scored against a fabricated value.
+func (d *Discretizer) UnknownBucket(j int) int { return len(d.Cuts[j]) + 3 }
 
 // TransformValue maps one continuous value of feature j to its bucket.
 // Values outside the normal-data range land in the dedicated below-range
-// and above-range buckets (the two highest indices).
+// and above-range guard buckets, NaN in the unknown bucket; the transform
+// is total over float64.
 func (d *Discretizer) TransformValue(j int, v float64) int {
 	cuts := d.Cuts[j]
+	if math.IsNaN(v) {
+		return len(cuts) + 3
+	}
 	if v < d.Min[j] {
 		return len(cuts) + 1
 	}
@@ -166,10 +205,12 @@ func (d *Discretizer) Transform(row []float64) ([]int, error) {
 }
 
 // Schema builds the nominal attribute schema induced by the fitted cuts.
+// Every attribute's top value is the unknown bucket, flagged so scoring
+// treats it as a missing reading rather than evidence.
 func (d *Discretizer) Schema() []ml.Attr {
 	attrs := make([]ml.Attr, len(d.Cuts))
 	for j := range d.Cuts {
-		attrs[j] = ml.Attr{Name: d.FeatureNames[j], Card: d.Cardinality(j)}
+		attrs[j] = ml.Attr{Name: d.FeatureNames[j], Card: d.Cardinality(j), HasUnknown: true}
 	}
 	return attrs
 }

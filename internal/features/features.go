@@ -19,6 +19,7 @@ package features
 
 import (
 	"fmt"
+	"math"
 
 	"crossfeature/internal/trace"
 )
@@ -71,7 +72,12 @@ func Names() []string {
 	return names
 }
 
-// FromSnapshot flattens one audit snapshot into a continuous vector.
+// FromSnapshot flattens one audit snapshot into a continuous vector. A
+// truncated snapshot (its traffic table lost to an audit sampler fault)
+// yields NaN for every traffic feature rather than fabricated zeros; the
+// discretiser maps NaN to its dedicated unknown bucket and scoring treats
+// the value as missing, so such records still get a (lower-confidence)
+// score.
 func FromSnapshot(s trace.Snapshot) Vector {
 	v := Vector{Time: s.Time, Values: make([]float64, 0, NumFeatures)}
 	v.Values = append(v.Values,
@@ -90,6 +96,10 @@ func FromSnapshot(s trace.Snapshot) Vector {
 				continue
 			}
 			for pi := 0; pi < trace.NumPeriods; pi++ {
+				if s.Truncated {
+					v.Values = append(v.Values, math.NaN(), math.NaN())
+					continue
+				}
 				st := s.Traffic[cls][dir][pi]
 				v.Values = append(v.Values, float64(st.Count), st.IPIStdDev)
 			}

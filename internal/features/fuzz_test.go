@@ -2,6 +2,7 @@ package features
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -40,4 +41,127 @@ func FuzzTransformValue(f *testing.F) {
 			t.Fatalf("value %v mapped to bucket %d of %d", v, b, d.Cardinality(0))
 		}
 	})
+}
+
+// TestTransformHostileValues pins the bucket each degraded reading lands
+// in: NaN in the unknown bucket, ±Inf and out-of-range values in the
+// below-/above-range guards — explicit classes, never a panic or a fold
+// into a normal bucket.
+func TestTransformHostileValues(t *testing.T) {
+	rows := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}}
+	d, err := Fit(rows, []string{"x"}, FitOptions{Buckets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := len(d.Cuts[0])
+	below, above, unknown := cuts+1, cuts+2, cuts+3
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{math.NaN(), unknown},
+		{math.Inf(-1), below},
+		{math.Inf(1), above},
+		{0.5, below},
+		{-1e300, below},
+		{10.5, above},
+		{1e300, above},
+		{1, 0},
+		{10, cuts},
+	}
+	for _, c := range cases {
+		if got := d.TransformValue(0, c.v); got != c.want {
+			t.Errorf("TransformValue(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if u := d.UnknownBucket(0); u != unknown || u != d.Cardinality(0)-1 {
+		t.Errorf("UnknownBucket = %d, want %d (Cardinality-1)", u, unknown)
+	}
+	// A full hostile row transforms without error and every bucket is in
+	// range.
+	x, err := d.Transform([]float64{math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != unknown {
+		t.Errorf("row transform mapped NaN to %d, want %d", x[0], unknown)
+	}
+}
+
+// TestTransformDeterministic feeds the same hostile values twice and
+// demands identical buckets: degraded audit data must not introduce
+// nondeterminism.
+func TestTransformDeterministic(t *testing.T) {
+	rows := [][]float64{{1, -5}, {2, 0}, {3, 5}, {4, 10}, {5, 15}, {6, 20}}
+	d, err := Fit(rows, []string{"x", "y"}, FitOptions{Buckets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := [][]float64{
+		{math.NaN(), math.Inf(1)},
+		{math.Inf(-1), math.NaN()},
+		{1e308, -1e308},
+		{3.5, 7.5},
+	}
+	for _, row := range hostile {
+		a, err := d.Transform(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Transform(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Errorf("row %v feature %d: buckets %d then %d", row, j, a[j], b[j])
+			}
+			if a[j] < 0 || a[j] >= d.Cardinality(j) {
+				t.Errorf("row %v feature %d: bucket %d outside [0,%d)", row, j, a[j], d.Cardinality(j))
+			}
+		}
+	}
+}
+
+// TestFitDegenerateInputs covers pathological training sets: no rows is an
+// error; all-non-finite and constant columns fit fine and stay total at
+// transform time.
+func TestFitDegenerateInputs(t *testing.T) {
+	if _, err := Fit(nil, nil, FitOptions{}); err == nil {
+		t.Error("Fit on zero rows must error")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, []string{"a", "b"}, FitOptions{}); err == nil {
+		t.Error("Fit on ragged rows must error")
+	}
+	if _, err := Fit([][]float64{{1}}, []string{"a", "b"}, FitOptions{}); err == nil {
+		t.Error("Fit with mismatched names must error")
+	}
+
+	// A column with no finite observation: the range is pinned and every
+	// finite value is out-of-range, NaN still maps to unknown.
+	d, err := Fit([][]float64{{math.NaN()}, {math.Inf(1)}}, []string{"x"}, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.TransformValue(0, math.NaN()); got != d.UnknownBucket(0) {
+		t.Errorf("NaN -> %d, want unknown %d", got, d.UnknownBucket(0))
+	}
+	if got := d.TransformValue(0, 0); got < 0 || got >= d.Cardinality(0) {
+		t.Errorf("finite value -> bucket %d outside schema", got)
+	}
+
+	// A constant column yields no cuts but stays total.
+	d, err = Fit([][]float64{{7}, {7}, {7}}, []string{"x"}, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cuts[0]) != 0 {
+		t.Errorf("constant column produced %d cuts", len(d.Cuts[0]))
+	}
+	if got := d.TransformValue(0, 7); got != 0 {
+		t.Errorf("the constant value -> bucket %d, want 0", got)
+	}
+	if got := d.TransformValue(0, 8); got != d.Cardinality(0)-2 {
+		t.Errorf("above-range value -> bucket %d, want above-guard %d", got, d.Cardinality(0)-2)
+	}
 }

@@ -15,6 +15,21 @@ import (
 type Attr struct {
 	Name string
 	Card int
+	// HasUnknown marks an attribute whose highest value (Card-1) encodes
+	// "value unknown" — e.g. the discretiser's bucket for NaN readings from
+	// a degraded audit trail. Scoring layers treat that value as missing
+	// (the attribute's sub-model is skipped) rather than as evidence.
+	HasUnknown bool
+}
+
+// Missing reports whether v encodes a missing/unknown reading of this
+// attribute: any out-of-range value, or the dedicated unknown class when
+// the attribute has one.
+func (a Attr) Missing(v int) bool {
+	if v < 0 || v >= a.Card {
+		return true
+	}
+	return a.HasUnknown && v == a.Card-1
 }
 
 // Dataset is a table of discrete-valued instances. Rows in X hold one

@@ -1,0 +1,278 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"crossfeature/internal/faults"
+	"crossfeature/internal/packet"
+	"crossfeature/internal/trace"
+)
+
+// faultyConfig is tinyConfig plus a representative fault campaign.
+func faultyConfig() Config {
+	cfg := tinyConfig()
+	cfg.Faults = []faults.Spec{
+		{Kind: faults.NodeCrash, Node: 3, Sessions: faults.Sessions(15, 30)},
+		{Kind: faults.LinkFlap, Node: 0, Peer: 1, Sessions: faults.Sessions(20, 50)},
+		{Kind: faults.NoiseBurst, NoiseLoss: 0.2, Sessions: faults.Sessions(15, 75)},
+		{Kind: faults.SamplerDrop, Node: 0, Sessions: faults.Sessions(12, 41)},
+		{Kind: faults.SamplerTruncate, Node: 0, Sessions: faults.Sessions(12, 61)},
+		{Kind: faults.SamplerJitter, Node: 0, Sessions: faults.Sessions(12, 91), MaxJitter: 2},
+	}
+	return cfg
+}
+
+// TestFaultDeterminism is the regression for reproducible fault injection:
+// two runs with the same seed and the same fault plan must produce
+// identical snapshot sequences.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() []trace.Snapshot {
+		cfg := faultyConfig()
+		cfg.Seed = 23
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return n.Snapshots(0)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("snapshot %d differs between identical fault runs", i)
+		}
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec faults.Spec
+	}{
+		{"node out of range", faults.Spec{Kind: faults.NodeCrash, Node: 99,
+			Sessions: faults.Sessions(10, 30)}},
+		{"no sessions", faults.Spec{Kind: faults.NodeCrash, Node: 3}},
+		{"zero duration", faults.Spec{Kind: faults.NoiseBurst,
+			Sessions: []faults.Session{{Start: 10, Duration: 0}}}},
+		{"flap self link", faults.Spec{Kind: faults.LinkFlap, Node: 2, Peer: 2,
+			Sessions: faults.Sessions(10, 30)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tinyConfig()
+			cfg.Faults = []faults.Spec{tc.spec}
+			if _, err := New(cfg); err == nil {
+				t.Error("want construction error")
+			}
+		})
+	}
+	t.Run("overlapping crash specs", func(t *testing.T) {
+		cfg := tinyConfig()
+		cfg.Faults = []faults.Spec{
+			{Kind: faults.NodeCrash, Node: 3, Sessions: faults.Sessions(20, 30)},
+			{Kind: faults.NodeCrash, Node: 3, Sessions: faults.Sessions(20, 40)},
+		}
+		if _, err := New(cfg); err == nil {
+			t.Error("overlapping same-kind sessions accepted")
+		}
+	})
+}
+
+// TestMonitoredNodeCrashGapsAudit crashes the monitored node itself: the
+// audit trail must have a gap over the crash window and resume afterwards
+// with reset counters, not error out.
+func TestMonitoredNodeCrashGapsAudit(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Faults = []faults.Spec{
+		{Kind: faults.NodeCrash, Node: 0, Sessions: []faults.Session{{Start: 41, Duration: 17}}},
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snaps := n.Snapshots(0)
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots at all")
+	}
+	for _, s := range snaps {
+		if s.Time >= 41 && s.Time < 58 {
+			t.Errorf("snapshot at %g inside the crash window", s.Time)
+		}
+	}
+	if g := trace.Gaps(snaps, cfg.SampleInterval); g != 3 {
+		t.Errorf("crash window lost %d records, want 3 (t=45,50,55)", g)
+	}
+	// The run continues after restart: records exist past the window.
+	last := snaps[len(snaps)-1].Time
+	if last < 100 {
+		t.Errorf("audit trail ends at %g; sampling did not resume after restart", last)
+	}
+}
+
+func TestSamplerDropLosesOnlyRecords(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Faults = []faults.Spec{
+		{Kind: faults.SamplerDrop, Node: 0, Sessions: []faults.Session{{Start: 41, Duration: 12}}},
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snaps := n.Snapshots(0)
+	for _, s := range snaps {
+		if s.Time >= 41 && s.Time < 53 {
+			t.Errorf("snapshot at %g inside the drop window", s.Time)
+		}
+	}
+	if g := trace.Gaps(snaps, cfg.SampleInterval); g != 2 {
+		t.Errorf("drop window lost %d records, want 2 (t=45,50)", g)
+	}
+	// The sampler itself kept running: the first record after the gap
+	// covers one interval, so its route counters are not inflated by the
+	// whole gap. Compare against a fault-free run of the same seed — the
+	// post-gap record must be identical.
+	clean, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var after, cleanAfter *trace.Snapshot
+	for i := range snaps {
+		if snaps[i].Time >= 53 {
+			after = &snaps[i]
+			break
+		}
+	}
+	for i, s := range clean.Snapshots(0) {
+		if s.Time >= 53 {
+			cleanAfter = &clean.Snapshots(0)[i]
+			break
+		}
+	}
+	if after == nil || cleanAfter == nil {
+		t.Fatal("no post-gap records to compare")
+	}
+	if *after != *cleanAfter {
+		t.Error("post-gap record differs from the fault-free run; dropped records must not leak into later ones")
+	}
+}
+
+func TestSamplerTruncateMarksRecords(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Faults = []faults.Spec{
+		{Kind: faults.SamplerTruncate, Node: 0, Sessions: []faults.Session{{Start: 41, Duration: 12}}},
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	truncated := 0
+	for _, s := range n.Snapshots(0) {
+		in := s.Time >= 41 && s.Time < 53
+		if s.Truncated != in {
+			t.Errorf("snapshot at %g: Truncated=%v, want %v", s.Time, s.Truncated, in)
+		}
+		if s.Truncated {
+			truncated++
+			if s.Traffic != (trace.Snapshot{}).Traffic {
+				t.Errorf("truncated snapshot at %g kept traffic statistics", s.Time)
+			}
+		}
+	}
+	if truncated != 2 {
+		t.Errorf("%d truncated records, want 2 (t=45,50)", truncated)
+	}
+}
+
+func TestSamplerJitterDelaysRecords(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Faults = []faults.Spec{
+		{Kind: faults.SamplerJitter, Node: 0, Sessions: []faults.Session{{Start: 41, Duration: 12}},
+			MaxJitter: 2},
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snaps := n.Snapshots(0)
+	jittered := 0
+	for i, s := range snaps {
+		if i > 0 && s.Time <= snaps[i-1].Time {
+			t.Fatalf("snapshots out of order at %g", s.Time)
+		}
+		onGrid := math.Mod(s.Time, cfg.SampleInterval) == 0
+		if s.Time >= 41 && s.Time < 53 {
+			if !onGrid {
+				jittered++
+			}
+		} else if !onGrid {
+			t.Errorf("snapshot at %g off the sampling grid outside the jitter window", s.Time)
+		}
+	}
+	if jittered == 0 {
+		t.Error("no snapshot was delayed inside the jitter window")
+	}
+}
+
+// TestRadioFaultsDropFrames runs link flapping and a noise burst and checks
+// the medium actually discarded frames on their account.
+func TestRadioFaultsDropFrames(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Faults = []faults.Spec{
+		{Kind: faults.LinkFlap, Node: 0, Peer: 1, Sessions: faults.Sessions(30, 20)},
+		{Kind: faults.NoiseBurst, NoiseLoss: 0.3, Sessions: faults.Sessions(30, 60)},
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Medium().FaultLost() == 0 {
+		t.Error("no frame was lost to injected radio faults")
+	}
+	if got := n.Medium().Noise(); got != 0 {
+		t.Errorf("noise %g left installed after the burst ended", got)
+	}
+}
+
+// TestCrashedNodeIsSilent crashes a node for the whole run and checks it
+// neither sends nor receives: the monitored node must never record a frame
+// from it.
+func TestCrashedNodeIsSilent(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Faults = []faults.Spec{
+		{Kind: faults.NodeCrash, Node: 3, Sessions: []faults.Session{{Start: 0.5, Duration: 119}}},
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if down := n.Medium().Down(packet.NodeID(3)); down {
+		t.Error("node 3 still marked down after its crash session ended")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"crossfeature/internal/aodv"
 	"crossfeature/internal/attack"
 	"crossfeature/internal/dsr"
+	"crossfeature/internal/faults"
 	"crossfeature/internal/mobility"
 	"crossfeature/internal/olsr"
 	"crossfeature/internal/packet"
@@ -107,6 +108,11 @@ type Config struct {
 	EventLog io.Writer
 
 	Attacks []attack.Spec
+
+	// Faults schedules benign environmental faults (node crash/restart,
+	// link flapping, noise bursts, audit sampler faults) alongside — or
+	// instead of — the intrusions, for robustness studies.
+	Faults []faults.Spec
 }
 
 // DefaultConfig returns the paper's experiment parameters: 1000 m x 1000 m
@@ -152,9 +158,14 @@ func (c Config) Validate() error {
 	case c.Rate <= 0:
 		return fmt.Errorf("netsim: rate %g must be positive", c.Rate)
 	}
-	for _, spec := range c.Attacks {
-		if int(spec.Node) < 0 || int(spec.Node) >= c.Nodes {
-			return fmt.Errorf("netsim: attack node %d outside [0,%d)", spec.Node, c.Nodes)
+	if len(c.Attacks) > 0 {
+		if err := (attack.Plan{Specs: c.Attacks}).Validate(c.Nodes); err != nil {
+			return fmt.Errorf("netsim: %w", err)
+		}
+	}
+	if len(c.Faults) > 0 {
+		if err := (faults.Plan{Specs: c.Faults}).Validate(c.Nodes); err != nil {
+			return fmt.Errorf("netsim: %w", err)
 		}
 	}
 	if err := c.Mobility.Validate(); err != nil {
@@ -181,6 +192,7 @@ type Network struct {
 	connections []Connection
 	behaviors   []*attack.Behavior
 	plan        attack.Plan
+	faultPlan   faults.Plan
 	eventLogs   []*trace.EventLog
 }
 
@@ -251,6 +263,7 @@ func New(cfg Config) (*Network, error) {
 	if err := n.installAttacks(); err != nil {
 		return nil, err
 	}
+	n.installFaults()
 	return n, nil
 }
 
@@ -341,6 +354,44 @@ func (n *Network) installAttacks() error {
 	return nil
 }
 
+// faultHost adapts the network runtime to the faults.Host contract.
+type faultHost struct {
+	n *Network
+}
+
+// At implements faults.Host.
+func (h faultHost) At(t float64, fn func()) { h.n.eng.At(t, fn) }
+
+// SetNodeDown implements faults.Host.
+func (h faultHost) SetNodeDown(id packet.NodeID, down bool) { h.n.medium.SetDown(id, down) }
+
+// RestartNode implements faults.Host: a cold reboot loses the route table
+// and, on monitored nodes, the accumulated audit state.
+func (h faultHost) RestartNode(id packet.NodeID) {
+	h.n.nodes[id].proto.Reset()
+	if col, ok := h.n.collectors[id]; ok {
+		col.Reset()
+	}
+}
+
+// SetLinkLoss implements faults.Host.
+func (h faultHost) SetLinkLoss(a, b packet.NodeID, loss float64) {
+	h.n.medium.SetLinkLoss(a, b, loss)
+}
+
+// AddNoise implements faults.Host.
+func (h faultHost) AddNoise(delta float64) { h.n.medium.AddNoise(delta) }
+
+// installFaults schedules the configured environmental faults. The config
+// was validated in New, so the plan is structurally sound.
+func (n *Network) installFaults() {
+	n.faultPlan = faults.Plan{Specs: n.cfg.Faults}
+	if n.faultPlan.Empty() {
+		return
+	}
+	faults.Install(faultHost{n: n}, n.faultPlan)
+}
+
 // Run executes the scenario to completion.
 func (n *Network) Run() error {
 	for _, node := range n.nodes {
@@ -350,13 +401,33 @@ func (n *Network) Run() error {
 		}
 	}
 	// Audit sampler: snapshot each monitored node every SampleInterval.
+	// Monitored nodes are visited in configuration order (not map order) so
+	// any randomness consumed on the fault path keeps runs reproducible.
 	n.eng.Tick(n.cfg.SampleInterval, 0, func() {
 		now := n.eng.Now()
-		for id, col := range n.collectors {
-			node := n.nodes[id]
-			node.mob.Update(now)
-			snap := col.Snapshot(now, node.mob.Speed(), node.proto.AvgRouteLength())
-			n.snapshots[id] = append(n.snapshots[id], snap)
+		for _, id := range n.cfg.MonitorNodes {
+			col, ok := n.collectors[id]
+			if !ok {
+				continue
+			}
+			if !n.faultPlan.Empty() && n.faultPlan.HasSamplerFaults(id) {
+				if n.faultPlan.CrashedAt(id, now) {
+					continue // a crashed node writes no audit records
+				}
+				if j := n.faultPlan.SamplerJitterAt(id, now); j > 0 {
+					// The sampler clock runs late by a bounded random
+					// offset; clamp below the interval so records stay
+					// ordered.
+					delay := n.eng.Rand().Float64() * j
+					if limit := 0.9 * n.cfg.SampleInterval; delay > limit {
+						delay = limit
+					}
+					id := id
+					n.eng.Schedule(delay, func() { n.sample(id, col) })
+					continue
+				}
+			}
+			n.sample(id, col)
 		}
 	})
 	err := n.eng.Run(n.cfg.Duration)
@@ -368,11 +439,36 @@ func (n *Network) Run() error {
 	return err
 }
 
+// sample takes one audit snapshot of a monitored node at the current
+// virtual time, applying any scheduled sampler faults. A dropped record is
+// lost on the audit path, not at the sampler: interval counters still reset
+// and windows still slide, so the record after a gap covers one interval,
+// not the whole gap.
+func (n *Network) sample(id packet.NodeID, col *trace.Collector) {
+	now := n.eng.Now()
+	node := n.nodes[id]
+	node.mob.Update(now)
+	snap := col.Snapshot(now, node.mob.Speed(), node.proto.AvgRouteLength())
+	if n.faultPlan.SamplerDropAt(id, now) {
+		return
+	}
+	if n.faultPlan.SamplerTruncateAt(id, now) {
+		snap.Truncate()
+	}
+	n.snapshots[id] = append(n.snapshots[id], snap)
+}
+
 // Snapshots returns the audit records of a monitored node in time order.
 func (n *Network) Snapshots(id packet.NodeID) []trace.Snapshot { return n.snapshots[id] }
 
 // Plan returns the scenario's intrusion schedule (ground truth).
 func (n *Network) Plan() attack.Plan { return n.plan }
+
+// FaultPlan returns the scenario's environmental-fault schedule.
+func (n *Network) FaultPlan() faults.Plan { return n.faultPlan }
+
+// Medium exposes the radio medium (for tests and diagnostics).
+func (n *Network) Medium() *radio.Medium { return n.medium }
 
 // Connections returns the generated workload.
 func (n *Network) Connections() []Connection {

@@ -152,6 +152,19 @@ func (r *Router) Stats() (originated, delivered, forwarded, dropped uint64) {
 	return r.dataOriginated, r.dataDelivered, r.dataForwarded, r.dataDropped
 }
 
+// Reset implements routing.Protocol: discard the neighbor set, MPR
+// selection, topology base and routing table, as after a crash and cold
+// restart. The ANSN keeps counting up so post-reboot TC messages supersede
+// pre-crash ones; cumulative stats survive.
+func (r *Router) Reset() {
+	r.neighbors = make(map[packet.NodeID]*neighbor)
+	r.mprs = make(map[packet.NodeID]struct{})
+	r.topology = make(map[packet.NodeID]map[packet.NodeID]*topoTuple)
+	r.routes = make(map[packet.NodeID]routeEntry)
+	r.seenTC = make(map[tcKey]struct{})
+	r.ansn++
+}
+
 // AvgRouteLength implements routing.Protocol.
 func (r *Router) AvgRouteLength() float64 {
 	if len(r.routes) == 0 {

@@ -76,6 +76,20 @@ type station struct {
 	// busyUntil is when the station's air interface frees up; frames queue
 	// behind it up to the configured queue limit.
 	busyUntil float64
+	// down marks a crashed node: it neither transmits nor receives.
+	down bool
+}
+
+// linkKey identifies an undirected link; endpoints are stored low-to-high.
+type linkKey struct {
+	a, b packet.NodeID
+}
+
+func newLinkKey(a, b packet.NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b}
 }
 
 // Medium is the shared channel. It is single-threaded, driven by the
@@ -88,6 +102,14 @@ type Medium struct {
 	sent     uint64
 	lost     uint64
 	qdrops   uint64
+
+	// Fault-injection state (internal/faults): per-link extra loss, a
+	// network-wide noise floor and per-station down flags. All zero in a
+	// healthy network, in which case no extra random draws happen and the
+	// medium's random stream is identical to a fault-free build.
+	linkLoss  map[linkKey]float64
+	noise     float64
+	faultLost uint64
 }
 
 // NewMedium creates a medium on the given engine.
@@ -113,6 +135,77 @@ func (m *Medium) FramesLost() uint64 { return m.lost }
 
 // QueueDrops reports frames dropped at full interface queues.
 func (m *Medium) QueueDrops() uint64 { return m.qdrops }
+
+// FaultLost reports frames dropped by injected faults (link flaps, noise
+// bursts and crashed receivers).
+func (m *Medium) FaultLost() uint64 { return m.faultLost }
+
+// SetDown silences (or revives) a station. A down station transmits
+// nothing and hears nothing; frames in flight toward it at crash time are
+// lost.
+func (m *Medium) SetDown(id packet.NodeID, down bool) {
+	if m.valid(id) {
+		m.stations[id].down = down
+	}
+}
+
+// Down reports whether a station is currently silenced.
+func (m *Medium) Down(id packet.NodeID) bool {
+	return m.valid(id) && m.stations[id].down
+}
+
+// SetLinkLoss installs an extra loss probability on the undirected link
+// between a and b; loss <= 0 clears it. Fault-injection hook for link
+// flapping.
+func (m *Medium) SetLinkLoss(a, b packet.NodeID, loss float64) {
+	if !m.valid(a) || !m.valid(b) || a == b {
+		return
+	}
+	if loss <= 0 {
+		delete(m.linkLoss, newLinkKey(a, b))
+		return
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	if m.linkLoss == nil {
+		m.linkLoss = make(map[linkKey]float64)
+	}
+	m.linkLoss[newLinkKey(a, b)] = loss
+}
+
+// AddNoise shifts the network-wide extra loss probability by delta
+// (clamped to [0, 1)). Fault-injection hook for noise bursts; bursts
+// stack additively and remove themselves with a negative delta.
+func (m *Medium) AddNoise(delta float64) {
+	m.noise += delta
+	if m.noise < 0 {
+		m.noise = 0
+	}
+	if m.noise >= 1 {
+		m.noise = 0.999
+	}
+}
+
+// Noise reports the current network-wide extra loss probability.
+func (m *Medium) Noise() float64 { return m.noise }
+
+// faultDropped draws the fault-loss processes for a frame from a to b and
+// reports whether one of them killed it. No randomness is consumed while
+// no fault is active, keeping fault-free runs bit-identical.
+func (m *Medium) faultDropped(a, b packet.NodeID) bool {
+	if m.noise > 0 && m.rng.Float64() < m.noise {
+		m.faultLost++
+		return true
+	}
+	if len(m.linkLoss) > 0 {
+		if loss, ok := m.linkLoss[newLinkKey(a, b)]; ok && m.rng.Float64() < loss {
+			m.faultLost++
+			return true
+		}
+	}
+	return false
+}
 
 // txDelay is the serialisation delay for a frame.
 func (m *Medium) txDelay(size int) float64 {
@@ -181,7 +274,7 @@ func (m *Medium) acquire(from packet.NodeID, size int) (float64, bool) {
 // desynchronise, matching ns-2's broadcast jitter. Frames arriving at a
 // full interface queue are dropped silently (an ns-2 IFQ drop).
 func (m *Medium) Broadcast(from packet.NodeID, p *packet.Packet) {
-	if !m.valid(from) {
+	if !m.valid(from) || m.stations[from].down {
 		return
 	}
 	start, ok := m.acquire(from, p.Size)
@@ -190,6 +283,9 @@ func (m *Medium) Broadcast(from packet.NodeID, p *packet.Packet) {
 	}
 	m.sent++
 	m.eng.At(start, func() {
+		if m.stations[from].down {
+			return // crashed between queueing and airtime
+		}
 		base := m.txDelay(p.Size) + m.cfg.PropDelay
 		for other := range m.stations {
 			oid := packet.NodeID(other)
@@ -200,13 +296,21 @@ func (m *Medium) Broadcast(from packet.NodeID, p *packet.Packet) {
 				m.lost++
 				continue
 			}
+			if m.faultDropped(from, oid) {
+				continue
+			}
 			st := m.stations[oid]
 			delay := base
 			if m.cfg.BroadcastJitter > 0 {
 				delay += m.rng.Float64() * m.cfg.BroadcastJitter
 			}
 			pc := p.Clone()
-			m.eng.Schedule(delay, func() { st.handler.HandleFrame(pc, from) })
+			m.eng.Schedule(delay, func() {
+				if st.down {
+					return
+				}
+				st.handler.HandleFrame(pc, from)
+			})
 		}
 	})
 }
@@ -224,15 +328,26 @@ func (m *Medium) Unicast(from, to packet.NodeID, p *packet.Packet, onFail func()
 		}
 		return
 	}
+	if m.stations[from].down {
+		return // a crashed sender transmits nothing and hears no timeout
+	}
 	start, qok := m.acquire(from, p.Size)
 	if !qok {
 		return
 	}
 	m.sent++
 	m.eng.At(start, func() {
-		ok := m.InRange(from, to)
+		if m.stations[from].down {
+			return
+		}
+		// A down receiver is indistinguishable from one out of range: the
+		// MAC never sees an acknowledgement.
+		ok := m.InRange(from, to) && !m.stations[to].down
 		if ok && m.cfg.LossRate > 0 && m.rng.Float64() < m.cfg.LossRate {
 			m.lost++
+			ok = false
+		}
+		if ok && m.faultDropped(from, to) {
 			ok = false
 		}
 		if !ok {
@@ -244,7 +359,12 @@ func (m *Medium) Unicast(from, to packet.NodeID, p *packet.Packet, onFail func()
 		delay := m.txDelay(p.Size) + m.cfg.PropDelay
 		dst := m.stations[to]
 		pc := p.Clone()
-		m.eng.Schedule(delay, func() { dst.handler.HandleFrame(pc, from) })
+		m.eng.Schedule(delay, func() {
+			if dst.down {
+				return
+			}
+			dst.handler.HandleFrame(pc, from)
+		})
 		// Promiscuous delivery to bystanders within range of the sender.
 		for other := range m.stations {
 			oid := packet.NodeID(other)
@@ -252,11 +372,16 @@ func (m *Medium) Unicast(from, to packet.NodeID, p *packet.Packet, onFail func()
 				continue
 			}
 			st := m.stations[oid]
-			if !st.promiscuous || !m.InRange(from, oid) {
+			if !st.promiscuous || st.down || !m.InRange(from, oid) {
 				continue
 			}
 			oc := p.Clone()
-			m.eng.Schedule(delay, func() { st.handler.OverhearFrame(oc, from) })
+			m.eng.Schedule(delay, func() {
+				if st.down {
+					return
+				}
+				st.handler.OverhearFrame(oc, from)
+			})
 		}
 	})
 }

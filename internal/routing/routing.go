@@ -58,6 +58,11 @@ type Protocol interface {
 	// AvgRouteLength is the mean hop count of currently valid routes, the
 	// "average route length" feature of Table 4. Zero when no routes.
 	AvgRouteLength() float64
+	// Reset cold-boots the protocol instance: the route table, caches and
+	// in-flight discoveries are discarded, as after a node crash/restart.
+	// Periodic timers armed by Start keep running; cumulative data-plane
+	// statistics survive (they are diagnostics, not protocol state).
+	Reset()
 	// SetDropFilter installs an attack hook consulted before this node
 	// forwards or delivers packets; a true return discards the packet.
 	SetDropFilter(f DropFilter)

@@ -179,6 +179,37 @@ type Snapshot struct {
 	AvgRouteLength   float64
 
 	Traffic [NumClasses][NumDirections][NumPeriods]WindowStat
+
+	// Truncated marks a record whose traffic table was lost to an audit
+	// sampler fault: only Feature Set I (the fields above) is usable, and
+	// downstream feature extraction emits not-a-number for the rest so the
+	// detector can degrade gracefully instead of scoring fabricated zeros.
+	Truncated bool
+}
+
+// Truncate discards the traffic statistics table and marks the record,
+// modelling an audit write that was cut short.
+func (s *Snapshot) Truncate() {
+	s.Traffic = [NumClasses][NumDirections][NumPeriods]WindowStat{}
+	s.Truncated = true
+}
+
+// Gaps counts missing records in a snapshot sequence nominally sampled
+// every interval seconds: each gap of more than 1.5 intervals between
+// consecutive snapshots contributes the number of records lost in it.
+// Consumers use it to report (not fail on) audit-trail holes.
+func Gaps(snaps []Snapshot, interval float64) int {
+	if interval <= 0 || len(snaps) < 2 {
+		return 0
+	}
+	missing := 0
+	for i := 1; i < len(snaps); i++ {
+		dt := snaps[i].Time - snaps[i-1].Time
+		if dt > 1.5*interval {
+			missing += int(dt/interval+0.5) - 1
+		}
+	}
+	return missing
 }
 
 // stream holds the timestamp history for one (class, direction) pair. The
@@ -249,6 +280,11 @@ type Collector struct {
 
 // NewCollector returns an empty audit collector.
 func NewCollector() *Collector { return &Collector{} }
+
+// Reset discards every accumulated observation — timestamp histories,
+// interval route counters and the packet total — as after the host node
+// crashes and cold-restarts with empty audit state.
+func (c *Collector) Reset() { *c = Collector{} }
 
 // Packets reports the total number of packet observations recorded.
 func (c *Collector) Packets() uint64 { return c.packets }
