@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build test vet race short fuzz
+.PHONY: ci build test vet race short fuzz bench
 
 # ci is the full gate: static analysis, a clean build of every package and
 # the test suite under the race detector.
@@ -22,6 +22,12 @@ race:
 
 short:
 	$(GO) test -short ./...
+
+# bench runs the root benchmark suite three times with allocation stats and
+# records the raw output in a dated BENCH_<date>.json next to this Makefile.
+# Compare runs with `benchstat` if available, or diff the ns/op columns.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 . | tee BENCH_$$(date +%Y%m%d).json
 
 # fuzz gives each fuzz target a brief budget beyond its seed corpus.
 fuzz:

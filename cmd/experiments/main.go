@@ -2,20 +2,30 @@
 //
 // Usage:
 //
-//	experiments [-preset paper|quick] [-only tables,figure1..figure6,ablations,storm,faults,multinode,olsr,all] [-parallel N]
+//	experiments [-preset paper|quick|smoke] [-only tables,figure1..figure6,ablations,storm,faults,multinode,olsr,all] [-parallel N] [-workers N] [-cpuprofile f] [-memprofile f]
 //
 // Each experiment prints the rows/series the paper reports: the two-node
 // example tables (1-3), the recall-precision curves of Figures 1-2, the
 // time series of Figures 3 and 5, and the density distributions of
 // Figures 4 and 6. Simulations are memoised across experiments within one
 // invocation, so "-only all" costs far less than the sum of its parts.
+//
+// Independent experiments run concurrently on -workers goroutines
+// (default GOMAXPROCS). Each experiment writes into its own buffer and
+// the buffers are flushed in declaration order, so the report is byte
+// for byte the same whatever the worker count; per-experiment wall-clock
+// timing goes to stderr, keeping nondeterministic durations out of the
+// report stream.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,9 +41,12 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	preset := fs.String("preset", "quick", "experiment scale: quick or paper")
+	preset := fs.String("preset", "quick", "experiment scale: quick, paper or smoke")
 	only := fs.String("only", "all", "comma-separated experiments: tables, figure1..figure6, ablations, storm, faults, multinode, olsr, all")
 	parallel := fs.Int("parallel", 0, "sub-model training parallelism (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "concurrent experiments and trace simulations (0 = GOMAXPROCS)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,10 +57,25 @@ func run(args []string, w io.Writer) error {
 		p = experiments.PaperPreset()
 	case "quick":
 		p = experiments.QuickPreset()
+	case "smoke":
+		p = experiments.SmokePreset()
 	default:
-		return fmt.Errorf("unknown preset %q (want paper or quick)", *preset)
+		return fmt.Errorf("unknown preset %q (want paper, quick or smoke)", *preset)
 	}
 	p.Parallelism = *parallel
+	p.Workers = *workers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	lab, err := experiments.NewLab(p)
 	if err != nil {
@@ -63,10 +91,10 @@ func run(args []string, w io.Writer) error {
 
 	type experiment struct {
 		name string
-		run  func() error
+		run  func(io.Writer) error
 	}
 	exps := []experiment{
-		{"tables", func() error {
+		{"tables", func(w io.Writer) error {
 			experiments.PrintTable1(w)
 			fmt.Fprintln(w)
 			experiments.PrintTable2(w)
@@ -74,33 +102,80 @@ func run(args []string, w io.Writer) error {
 			experiments.PrintTable3(w)
 			return nil
 		}},
-		{"figure1", func() error { _, err := lab.Figure1(w); return err }},
-		{"figure2", func() error { _, err := lab.Figure2(w); return err }},
-		{"figure3", func() error { _, err := lab.Figure3(w); return err }},
-		{"figure4", func() error { _, err := lab.Figure4(w); return err }},
-		{"figure5", func() error { _, err := lab.Figure5(w); return err }},
-		{"figure6", func() error { _, err := lab.Figure6(w); return err }},
-		{"ablations", func() error { _, err := lab.Ablations(w); return err }},
-		{"storm", func() error { _, err := lab.StormStudy(w); return err }},
-		{"faults", func() error { _, err := lab.FaultRobustness(w); return err }},
-		{"multinode", func() error { _, err := lab.MultiNodeStudy(w, nil); return err }},
-		{"olsr", func() error { _, err := lab.OLSRStudy(w); return err }},
+		{"figure1", func(w io.Writer) error { _, err := lab.Figure1(w); return err }},
+		{"figure2", func(w io.Writer) error { _, err := lab.Figure2(w); return err }},
+		{"figure3", func(w io.Writer) error { _, err := lab.Figure3(w); return err }},
+		{"figure4", func(w io.Writer) error { _, err := lab.Figure4(w); return err }},
+		{"figure5", func(w io.Writer) error { _, err := lab.Figure5(w); return err }},
+		{"figure6", func(w io.Writer) error { _, err := lab.Figure6(w); return err }},
+		{"ablations", func(w io.Writer) error { _, err := lab.Ablations(w); return err }},
+		{"storm", func(w io.Writer) error { _, err := lab.StormStudy(w); return err }},
+		{"faults", func(w io.Writer) error { _, err := lab.FaultRobustness(w); return err }},
+		{"multinode", func(w io.Writer) error { _, err := lab.MultiNodeStudy(w, nil); return err }},
+		{"olsr", func(w io.Writer) error { _, err := lab.OLSRStudy(w); return err }},
 	}
-	ran := 0
+	var picked []experiment
 	for _, e := range exps {
-		if !selected(e.name) {
-			continue
+		if selected(e.name) {
+			picked = append(picked, e)
 		}
-		start := time.Now()
-		fmt.Fprintf(w, "==== %s (preset=%s) ====\n", e.name, *preset)
-		if err := e.run(); err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
-		}
-		fmt.Fprintf(w, "---- %s done in %v ----\n\n", e.name, time.Since(start).Round(time.Millisecond))
-		ran++
 	}
-	if ran == 0 {
+	if len(picked) == 0 {
 		return fmt.Errorf("no experiment matches %q", *only)
+	}
+
+	// Run every selected experiment concurrently, each into its own
+	// buffer; the lab's caches coalesce shared traces, datasets and
+	// analyzers across them. Buffers flush in declaration order so the
+	// report is identical to a serial run.
+	nworkers := *workers
+	if nworkers <= 0 {
+		nworkers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, nworkers)
+	type outcome struct {
+		buf  bytes.Buffer
+		err  error
+		done chan struct{}
+	}
+	outs := make([]*outcome, len(picked))
+	for i, e := range picked {
+		o := &outcome{done: make(chan struct{})}
+		outs[i] = o
+		go func(e experiment, o *outcome) {
+			defer close(o.done)
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			fmt.Fprintf(&o.buf, "==== %s (preset=%s) ====\n", e.name, *preset)
+			if err := e.run(&o.buf); err != nil {
+				o.err = fmt.Errorf("%s: %w", e.name, err)
+				return
+			}
+			fmt.Fprintf(&o.buf, "---- %s done ----\n\n", e.name)
+			fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", e.name, time.Since(start).Round(time.Millisecond))
+		}(e, o)
+	}
+	for _, o := range outs {
+		<-o.done
+		if o.err != nil {
+			return o.err
+		}
+		if _, err := io.Copy(w, &o.buf); err != nil {
+			return err
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	return nil
 }

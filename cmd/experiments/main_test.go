@@ -28,3 +28,30 @@ func TestRejectsBadArgs(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+// TestWorkerCountInvariance is the determinism regression test for the
+// parallel engine: the smoke-preset report must be byte-identical whether
+// the experiments run on one worker or eight.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke preset run takes a few seconds")
+	}
+	sel := "figure1,figure3,figure5,ablations,faults"
+	var serial bytes.Buffer
+	if err := run([]string{"-preset", "smoke", "-only", sel, "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	var parallel bytes.Buffer
+	if err := run([]string{"-preset", "smoke", "-only", sel, "-workers", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		sl, pl := strings.Split(serial.String(), "\n"), strings.Split(parallel.String(), "\n")
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if sl[i] != pl[i] {
+				t.Fatalf("line %d differs:\n  workers=1: %q\n  workers=8: %q", i+1, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("reports differ in length: %d vs %d lines", len(sl), len(pl))
+	}
+}

@@ -147,16 +147,19 @@ func (a *Analyzer) fitNormalLevels(ds *ml.Dataset) {
 	a.NormalMatch = make([]float64, l)
 	a.NormalProb = make([]float64, l)
 	n := float64(ds.Len())
+	buf := make([]float64, a.maxCard())
 	for i, m := range a.Models {
 		if m == nil {
 			continue
 		}
 		var match, prob float64
 		for _, x := range ds.X {
-			if ml.Predict(m, x) == x[i] {
+			// One shared prediction serves both levels: the argmax of the
+			// distribution is exactly what ml.Predict computes.
+			p := ml.ProbaInto(m, x, buf)
+			if ml.ArgMax(p) == x[i] {
 				match++
 			}
-			p := m.PredictProba(x)
 			if v := x[i]; v >= 0 && v < len(p) {
 				prob += p[v]
 			}
@@ -164,6 +167,18 @@ func (a *Analyzer) fitNormalLevels(ds *ml.Dataset) {
 		a.NormalMatch[i] = match / n
 		a.NormalProb[i] = prob / n
 	}
+}
+
+// maxCard reports the largest attribute cardinality — the prediction
+// buffer size that fits every sub-model's class distribution.
+func (a *Analyzer) maxCard() int {
+	max := 1
+	for _, at := range a.Attrs {
+		if at.Card > max {
+			max = at.Card
+		}
+	}
+	return max
 }
 
 // NumModels reports how many sub-models were retained.
@@ -193,6 +208,10 @@ func (a *Analyzer) missing(x []int, i int) bool {
 // missing true value are excluded from the average, and the partial
 // average is debiased back to the full-model scale.
 func (a *Analyzer) AvgMatchCount(x []int) float64 {
+	return a.avgMatchCount(x, make([]float64, a.maxCard()))
+}
+
+func (a *Analyzer) avgMatchCount(x []int, buf []float64) float64 {
 	var matches, total, availLevel float64
 	anyMissing := false
 	for i, m := range a.Models {
@@ -207,7 +226,7 @@ func (a *Analyzer) AvgMatchCount(x []int) float64 {
 		if len(a.NormalMatch) == len(a.Models) {
 			availLevel += a.NormalMatch[i]
 		}
-		if ml.Predict(m, x) == x[i] {
+		if ml.ArgMax(ml.ProbaInto(m, x, buf)) == x[i] {
 			matches++
 		}
 	}
@@ -222,6 +241,10 @@ func (a *Analyzer) AvgMatchCount(x []int) float64 {
 // missing true value are excluded from the average, and the partial
 // average is debiased back to the full-model scale.
 func (a *Analyzer) AvgProbability(x []int) float64 {
+	return a.avgProbability(x, make([]float64, a.maxCard()))
+}
+
+func (a *Analyzer) avgProbability(x []int, buf []float64) float64 {
 	var sum, total, availLevel float64
 	anyMissing := false
 	for i, m := range a.Models {
@@ -236,7 +259,7 @@ func (a *Analyzer) AvgProbability(x []int) float64 {
 		if len(a.NormalProb) == len(a.Models) {
 			availLevel += a.NormalProb[i]
 		}
-		p := m.PredictProba(x)
+		p := ml.ProbaInto(m, x, buf)
 		if v := x[i]; v >= 0 && v < len(p) {
 			sum += p[v]
 		}
@@ -296,11 +319,17 @@ func (a *Analyzer) Score(x []int, s Scorer) float64 {
 	return a.AvgProbability(x)
 }
 
-// ScoreAll scores a batch of events.
+// ScoreAll scores a batch of events, sharing one prediction buffer
+// across the whole batch.
 func (a *Analyzer) ScoreAll(xs [][]int, s Scorer) []float64 {
 	out := make([]float64, len(xs))
+	buf := make([]float64, a.maxCard())
 	for i, x := range xs {
-		out[i] = a.Score(x, s)
+		if s == MatchCount {
+			out[i] = a.avgMatchCount(x, buf)
+		} else {
+			out[i] = a.avgProbability(x, buf)
+		}
 	}
 	return out
 }

@@ -79,28 +79,34 @@ func (l *Lab) AblationBuckets(w io.Writer) ([]AblationResult, error) {
 		return nil, err
 	}
 	rows := features.Matrix(trimWarmup(train.Vectors, l.Preset.Warmup))
-	var results []AblationResult
-	for _, buckets := range []int{3, 5, 8} {
+	bucketCounts := []int{3, 5, 8}
+	results := make([]AblationResult, len(bucketCounts))
+	err = forEach(len(bucketCounts), func(i int) error {
+		buckets := bucketCounts[i]
 		disc, err := features.Fit(rows, features.Names(), features.FitOptions{
 			Buckets: buckets, SampleSize: l.Preset.PrefilterSize, Seed: l.Preset.TrainSeed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ds, err := disc.Dataset(rows)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opt, auc, err := l.evaluateDiscrete(d, disc, ds, learner, core.Probability, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		results = append(results, AblationResult{
+		results[i] = AblationResult{
 			Study:   "buckets",
 			Variant: fmt.Sprintf("%d buckets", buckets),
 			AUC:     auc,
 			Optimal: opt,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	printAblation(w, "Ablation: equal-frequency bucket count (C4.5, AODV/UDP)", results)
 	return results, nil
@@ -118,32 +124,38 @@ func (l *Lab) AblationPeriods(w io.Writer) ([]AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var results []AblationResult
-	for _, variant := range []string{"all", "5s", "60s", "900s"} {
-		keepIdx := featureSubset(variant)
-		// Zero the contribution of dropped sub-models by masking them out
-		// of a fully trained analyzer; this isolates the combination
-		// effect without refitting the discretiser.
-		a, err := core.Train(d.TrainDS, learner, core.TrainOptions{Parallelism: l.Preset.Parallelism})
-		if err != nil {
-			return nil, err
-		}
-		masked := maskAnalyzer(a, keepIdx)
+	// All variants mask the same fully trained analyzer: dropped
+	// sub-models are zeroed out rather than refitted, which isolates the
+	// combination effect without refitting the discretiser — and means
+	// training happens once, not once per variant.
+	a, _, err := l.Train(sc, learner)
+	if err != nil {
+		return nil, err
+	}
+	variants := []string{"all", "5s", "60s", "900s"}
+	results := make([]AblationResult, len(variants))
+	err = forEach(len(variants), func(i int) error {
+		variant := variants[i]
+		masked := maskAnalyzer(a, featureSubset(variant))
 		var events []eval.Scored
 		for _, group := range [][]*Trace{d.Normal, d.Mixed} {
 			scored, err := LabelledScores(masked, d.Disc, group, core.Probability, l.Preset.Warmup)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			events = append(events, scored...)
 		}
 		pts := eval.Curve(events)
-		results = append(results, AblationResult{
+		results[i] = AblationResult{
 			Study:   "periods",
 			Variant: variant,
 			AUC:     eval.AUC(pts),
 			Optimal: eval.OptimalPoint(pts),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	printAblation(w, "Ablation: sampling-period subsets (C4.5, AODV/UDP)", results)
 	return results, nil
@@ -198,7 +210,7 @@ func (l *Lab) AblationModelReduction(w io.Writer) ([]AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	a, err := core.Train(d.TrainDS, learner, core.TrainOptions{Parallelism: l.Preset.Parallelism})
+	a, _, err := l.Train(sc, learner)
 	if err != nil {
 		return nil, err
 	}
@@ -228,8 +240,10 @@ func (l *Lab) AblationModelReduction(w io.Writer) ([]AblationResult, error) {
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].prob > order[j].prob })
 
-	var results []AblationResult
-	for _, k := range []int{20, 50, 100, len(order)} {
+	ks := []int{20, 50, 100, len(order)}
+	results := make([]AblationResult, len(ks))
+	err = forEach(len(ks), func(i int) error {
+		k := ks[i]
 		if k > len(order) {
 			k = len(order)
 		}
@@ -242,17 +256,21 @@ func (l *Lab) AblationModelReduction(w io.Writer) ([]AblationResult, error) {
 		for _, group := range [][]*Trace{d.Normal, d.Mixed} {
 			scored, err := LabelledScores(masked, d.Disc, group, core.Probability, l.Preset.Warmup)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			events = append(events, scored...)
 		}
 		pts := eval.Curve(events)
-		results = append(results, AblationResult{
+		results[i] = AblationResult{
 			Study:   "model-reduction",
 			Variant: fmt.Sprintf("top %d of %d sub-models", k, len(order)),
 			AUC:     eval.AUC(pts),
 			Optimal: eval.OptimalPoint(pts),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	printAblation(w, "Ablation: reduced sub-model count (C4.5, AODV/UDP)", results)
 	return results, nil
@@ -262,20 +280,32 @@ func (l *Lab) AblationModelReduction(w io.Writer) ([]AblationResult, error) {
 // rules for C4.5, RIPPER and NBC.
 func (l *Lab) AblationScorerMatrix(w io.Writer) ([]AblationResult, error) {
 	sc := ablationScenario()
-	var results []AblationResult
+	type unit struct {
+		learner ml.Learner
+		scorer  core.Scorer
+	}
+	var units []unit
 	for _, learner := range Learners() {
 		for _, scorer := range []core.Scorer{core.MatchCount, core.Probability} {
-			r, err := l.runCurve(sc, learner, scorer)
-			if err != nil {
-				return nil, err
-			}
-			results = append(results, AblationResult{
-				Study:   "scorer-matrix",
-				Variant: fmt.Sprintf("%s / %s", learner.Name(), scorer),
-				AUC:     r.AUC,
-				Optimal: r.Optimal,
-			})
+			units = append(units, unit{learner: learner, scorer: scorer})
 		}
+	}
+	results := make([]AblationResult, len(units))
+	err := forEach(len(units), func(i int) error {
+		r, err := l.runCurve(sc, units[i].learner, units[i].scorer)
+		if err != nil {
+			return err
+		}
+		results[i] = AblationResult{
+			Study:   "scorer-matrix",
+			Variant: fmt.Sprintf("%s / %s", units[i].learner.Name(), units[i].scorer),
+			AUC:     r.AUC,
+			Optimal: r.Optimal,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	printAblation(w, "Ablation: combining rule x learner (AODV/UDP)", results)
 	return results, nil

@@ -109,6 +109,24 @@ func (l *Lab) FaultRobustness(w io.Writer) (*FaultRobustnessResult, error) {
 	}
 	p := l.Preset
 
+	// Declare the study's full trace plan up front so the fault traces
+	// simulate concurrently on the lab's worker pool; the serial logic
+	// below then runs entirely against the cache.
+	var plan []TraceRequest
+	for _, seed := range p.NormalSeeds {
+		plan = append(plan,
+			TraceRequest{Scenario: sc, Mix: NoAttack, Seed: seed},
+			TraceRequest{Scenario: sc, Mix: NoAttack, Faults: EnvFaults, Seed: seed})
+	}
+	for _, seed := range p.AttackSeeds {
+		plan = append(plan,
+			TraceRequest{Scenario: sc, Mix: BlackHoleOnly, Seed: seed},
+			TraceRequest{Scenario: sc, Mix: BlackHoleOnly, Faults: EnvFaults, Seed: seed})
+	}
+	if err := l.Prefetch(plan); err != nil {
+		return nil, err
+	}
+
 	// normalScores flattens the post-warmup scores of normal-only traces.
 	normalScores := func(traces []*Trace) ([]float64, error) {
 		var out []float64

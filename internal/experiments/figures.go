@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"text/tabwriter"
 
 	"crossfeature/internal/core"
@@ -10,6 +11,33 @@ import (
 	"crossfeature/internal/ml"
 	"crossfeature/internal/netsim"
 )
+
+// forEach runs f(0..n-1) on n goroutines and returns the first error in
+// index order. Figure sweeps use it to evaluate independent work units
+// (scenario x learner cells, per-seed traces) concurrently while
+// collecting results into index-addressed slots, so output order — and
+// therefore the rendered report — is identical to the serial loops it
+// replaces. The heavy stages inside f are already bounded: simulations
+// by the Lab's worker semaphore and sub-model training by
+// TrainOptions.Parallelism.
+func forEach(n int, f func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // CurveResult is one recall-precision curve with its summary statistics.
 type CurveResult struct {
@@ -54,16 +82,27 @@ func (l *Lab) runCurve(sc Scenario, learner ml.Learner, scorer core.Scorer) (Cur
 // average probability for C4.5, RIPPER and NBC over the four scenarios.
 func (l *Lab) Figure1(w io.Writer) ([]CurveResult, error) {
 	fmt.Fprintln(w, "Figure 1: Recall-Precision curves (average probability)")
-	var results []CurveResult
+	type unit struct {
+		sc      Scenario
+		learner ml.Learner
+	}
+	var units []unit
 	for _, sc := range FourScenarios() {
 		for _, learner := range Learners() {
-			r, err := l.runCurve(sc, learner, core.Probability)
-			if err != nil {
-				return nil, err
-			}
-			results = append(results, r)
-			printCurve(w, r)
+			units = append(units, unit{sc: sc, learner: learner})
 		}
+	}
+	results := make([]CurveResult, len(units))
+	err := forEach(len(units), func(i int) error {
+		r, err := l.runCurve(units[i].sc, units[i].learner, core.Probability)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		printCurve(w, r)
 	}
 	return results, nil
 }
@@ -76,16 +115,27 @@ func (l *Lab) Figure2(w io.Writer) ([]CurveResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var results []CurveResult
+	type unit struct {
+		sc     Scenario
+		scorer core.Scorer
+	}
+	var units []unit
 	for _, sc := range FourScenarios() {
 		for _, scorer := range []core.Scorer{core.MatchCount, core.Probability} {
-			r, err := l.runCurve(sc, learner, scorer)
-			if err != nil {
-				return nil, err
-			}
-			results = append(results, r)
-			printCurve(w, r)
+			units = append(units, unit{sc: sc, scorer: scorer})
 		}
+	}
+	results := make([]CurveResult, len(units))
+	err = forEach(len(units), func(i int) error {
+		r, err := l.runCurve(units[i].sc, learner, units[i].scorer)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		printCurve(w, r)
 	}
 	return results, nil
 }
@@ -117,29 +167,51 @@ type SeriesResult struct {
 	Threshold float64
 }
 
+// traceRequests builds the prefetch plan for one condition's seed set.
+func traceRequests(sc Scenario, mix AttackMix, seeds []int64) []TraceRequest {
+	reqs := make([]TraceRequest, len(seeds))
+	for i, seed := range seeds {
+		reqs[i] = TraceRequest{Scenario: sc, Mix: mix, Seed: seed}
+	}
+	return reqs
+}
+
 // runSeries scores traces of one condition and averages them point-wise.
+// The condition's traces are prefetched as one plan and the per-seed
+// scoring runs concurrently, with scores collected in seed order.
 func (l *Lab) runSeries(sc Scenario, learner ml.Learner, mix AttackMix, seeds []int64) (SeriesResult, error) {
 	a, d, err := l.Train(sc, learner)
 	if err != nil {
 		return SeriesResult{}, err
 	}
-	var series [][]float64
-	var times []float64
-	for _, seed := range seeds {
-		t, err := l.RunTrace(sc, mix, seed)
+	if err := l.Prefetch(traceRequests(sc, mix, seeds)); err != nil {
+		return SeriesResult{}, err
+	}
+	series := make([][]float64, len(seeds))
+	err = forEach(len(seeds), func(i int) error {
+		t, err := l.RunTrace(sc, mix, seeds[i])
 		if err != nil {
-			return SeriesResult{}, err
+			return err
 		}
 		scores, err := ScoreTrace(a, d.Disc, t, core.Probability)
 		if err != nil {
+			return err
+		}
+		series[i] = scores
+		return nil
+	})
+	if err != nil {
+		return SeriesResult{}, err
+	}
+	var times []float64
+	if len(seeds) > 0 {
+		t, err := l.RunTrace(sc, mix, seeds[0]) // cached
+		if err != nil {
 			return SeriesResult{}, err
 		}
-		series = append(series, scores)
-		if times == nil {
-			times = make([]float64, len(t.Vectors))
-			for i, v := range t.Vectors {
-				times[i] = v.Time
-			}
+		times = make([]float64, len(t.Vectors))
+		for i, v := range t.Vectors {
+			times[i] = v.Time
 		}
 	}
 	trainScores := a.ScoreAll(d.TrainEvents, core.Probability)
@@ -160,18 +232,25 @@ func (l *Lab) Figure3(w io.Writer) ([]SeriesResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var results []SeriesResult
-	for _, sc := range FourScenarios() {
-		normal, err := l.runSeries(sc, learner, NoAttack, l.Preset.NormalSeeds)
-		if err != nil {
-			return nil, err
+	scenarios := FourScenarios()
+	results := make([]SeriesResult, 2*len(scenarios))
+	err = forEach(2*len(scenarios), func(i int) error {
+		sc := scenarios[i/2]
+		var r SeriesResult
+		var err error
+		if i%2 == 0 {
+			r, err = l.runSeries(sc, learner, NoAttack, l.Preset.NormalSeeds)
+		} else {
+			r, err = l.runSeries(sc, learner, Mixed, l.Preset.AttackSeeds)
 		}
-		abnormal, err := l.runSeries(sc, learner, Mixed, l.Preset.AttackSeeds)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, normal, abnormal)
-		printSeriesPair(w, sc.Name(), normal, abnormal)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(results); i += 2 {
+		printSeriesPair(w, scenarios[i/2].Name(), results[i], results[i+1])
 	}
 	return results, nil
 }
@@ -185,19 +264,25 @@ func (l *Lab) Figure5(w io.Writer) ([]SeriesResult, error) {
 		return nil, err
 	}
 	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
-	var results []SeriesResult
-	normal, err := l.runSeries(sc, learner, NoAttack, l.Preset.NormalSeeds)
+	conditions := []struct {
+		mix   AttackMix
+		seeds []int64
+	}{
+		{NoAttack, l.Preset.NormalSeeds},
+		{BlackHoleOnly, l.Preset.AttackSeeds},
+		{DropOnly, l.Preset.AttackSeeds},
+	}
+	results := make([]SeriesResult, len(conditions))
+	err = forEach(len(conditions), func(i int) error {
+		r, err := l.runSeries(sc, learner, conditions[i].mix, conditions[i].seeds)
+		results[i] = r
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	results = append(results, normal)
-	for _, mix := range []AttackMix{BlackHoleOnly, DropOnly} {
-		r, err := l.runSeries(sc, learner, mix, l.Preset.AttackSeeds)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, r)
-		printSeriesPair(w, fmt.Sprintf("%s (%s)", sc.Name(), mix), normal, r)
+	for _, r := range results[1:] {
+		printSeriesPair(w, fmt.Sprintf("%s (%s)", sc.Name(), r.Condition), results[0], r)
 	}
 	return results, nil
 }
@@ -232,33 +317,48 @@ type DensityResult struct {
 }
 
 // runDensity computes the score density over all traces of a condition.
+// Traces are prefetched as one plan and scored concurrently; per-seed
+// score blocks concatenate in seed order, matching the serial loop.
 func (l *Lab) runDensity(sc Scenario, learner ml.Learner, mix AttackMix, seeds []int64) (DensityResult, error) {
 	a, d, err := l.Train(sc, learner)
 	if err != nil {
 		return DensityResult{}, err
 	}
-	var scores []float64
-	for _, seed := range seeds {
-		t, err := l.RunTrace(sc, mix, seed)
+	if err := l.Prefetch(traceRequests(sc, mix, seeds)); err != nil {
+		return DensityResult{}, err
+	}
+	parts := make([][]float64, len(seeds))
+	err = forEach(len(seeds), func(i int) error {
+		t, err := l.RunTrace(sc, mix, seeds[i])
 		if err != nil {
-			return DensityResult{}, err
+			return err
 		}
 		s, err := ScoreTrace(a, d.Disc, t, core.Probability)
 		if err != nil {
-			return DensityResult{}, err
+			return err
 		}
 		// For attack traces, only post-onset records characterise the
 		// abnormal distribution (pre-onset behaviour is normal by design).
 		if mix == NoAttack {
-			scores = append(scores, s...)
-		} else {
-			labels := t.Labels()
-			for i, v := range s {
-				if labels[i] {
-					scores = append(scores, v)
-				}
+			parts[i] = s
+			return nil
+		}
+		labels := t.Labels()
+		kept := s[:0:0]
+		for j, v := range s {
+			if labels[j] {
+				kept = append(kept, v)
 			}
 		}
+		parts[i] = kept
+		return nil
+	})
+	if err != nil {
+		return DensityResult{}, err
+	}
+	var scores []float64
+	for _, part := range parts {
+		scores = append(scores, part...)
 	}
 	trainScores := a.ScoreAll(d.TrainEvents, core.Probability)
 	return DensityResult{
@@ -277,18 +377,25 @@ func (l *Lab) Figure4(w io.Writer) ([]DensityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var results []DensityResult
-	for _, sc := range FourScenarios() {
-		normal, err := l.runDensity(sc, learner, NoAttack, l.Preset.NormalSeeds)
-		if err != nil {
-			return nil, err
+	scenarios := FourScenarios()
+	results := make([]DensityResult, 2*len(scenarios))
+	err = forEach(2*len(scenarios), func(i int) error {
+		sc := scenarios[i/2]
+		var r DensityResult
+		var err error
+		if i%2 == 0 {
+			r, err = l.runDensity(sc, learner, NoAttack, l.Preset.NormalSeeds)
+		} else {
+			r, err = l.runDensity(sc, learner, Mixed, l.Preset.AttackSeeds)
 		}
-		abnormal, err := l.runDensity(sc, learner, Mixed, l.Preset.AttackSeeds)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, normal, abnormal)
-		printDensityPair(w, sc.Name(), normal, abnormal)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(results); i += 2 {
+		printDensityPair(w, scenarios[i/2].Name(), results[i], results[i+1])
 	}
 	return results, nil
 }
@@ -302,18 +409,25 @@ func (l *Lab) Figure6(w io.Writer) ([]DensityResult, error) {
 		return nil, err
 	}
 	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
-	normal, err := l.runDensity(sc, learner, NoAttack, l.Preset.NormalSeeds)
+	conditions := []struct {
+		mix   AttackMix
+		seeds []int64
+	}{
+		{NoAttack, l.Preset.NormalSeeds},
+		{BlackHoleOnly, l.Preset.AttackSeeds},
+		{DropOnly, l.Preset.AttackSeeds},
+	}
+	results := make([]DensityResult, len(conditions))
+	err = forEach(len(conditions), func(i int) error {
+		r, err := l.runDensity(sc, learner, conditions[i].mix, conditions[i].seeds)
+		results[i] = r
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	results := []DensityResult{normal}
-	for _, mix := range []AttackMix{BlackHoleOnly, DropOnly} {
-		r, err := l.runDensity(sc, learner, mix, l.Preset.AttackSeeds)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, r)
-		printDensityPair(w, fmt.Sprintf("%s (%s)", sc.Name(), mix), normal, r)
+	for _, r := range results[1:] {
+		printDensityPair(w, fmt.Sprintf("%s (%s)", sc.Name(), r.Condition), results[0], r)
 	}
 	return results, nil
 }

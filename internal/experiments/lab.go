@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"crossfeature/internal/attack"
 	"crossfeature/internal/core"
@@ -80,16 +82,24 @@ func (t Trace) Labels() []bool {
 
 // SessionLabels labels a record intrusive while any attack session is
 // active or within tail seconds after one — the right ground truth for
-// attacks without persistent damage (e.g. the update storm).
+// attacks without persistent damage (e.g. the update storm). The sessions
+// are precomputed into widened [Start, End+tail) intervals checked once
+// per record; on the 5 s sampling grid with the presets' >=5 s sessions
+// this labels exactly the records the old per-record probe loop
+// (ActiveAt at every 5 s offset up to tail) did, at a fraction of the
+// cost.
 func (t Trace) SessionLabels(tail float64) []bool {
+	type interval struct{ lo, hi float64 }
+	var ivs []interval
+	for _, spec := range t.Plan.Specs {
+		for _, s := range spec.Sessions {
+			ivs = append(ivs, interval{lo: s.Start, hi: s.End() + tail})
+		}
+	}
 	labels := make([]bool, len(t.Vectors))
 	for i, v := range t.Vectors {
-		if t.Plan.ActiveAt(v.Time) {
-			labels[i] = true
-			continue
-		}
-		for back := 0.0; back <= tail; back += 5 {
-			if t.Plan.ActiveAt(v.Time - back) {
+		for _, iv := range ivs {
+			if v.Time >= iv.lo && v.Time < iv.hi {
 				labels[i] = true
 				break
 			}
@@ -98,14 +108,24 @@ func (t Trace) SessionLabels(tail float64) []bool {
 	return labels
 }
 
-// Lab runs and memoises scenario traces and datasets so multiple figures
-// sharing a scenario pay for each simulation once.
+// Lab runs and memoises scenario traces, datasets and trained analyzers
+// so multiple figures sharing a scenario pay for each simulation and each
+// training run once. All entry points are safe for concurrent use: each
+// distinct trace/dataset/analyzer is computed exactly once (single
+// flight) no matter how many goroutines request it, with concurrent
+// duplicate callers blocking on the first caller's result. Simulations
+// run under a semaphore sized Preset.Workers (default GOMAXPROCS), so a
+// wide Prefetch cannot oversubscribe the machine.
 type Lab struct {
 	Preset Preset
 
-	mu     sync.Mutex
-	traces map[traceKey]*Trace
-	data   map[Scenario]*ScenarioData
+	mu        sync.Mutex
+	traces    map[traceKey]*call[*Trace]
+	data      map[Scenario]*call[*ScenarioData]
+	analyzers map[analyzerKey]*call[*core.Analyzer]
+
+	simSem      chan struct{}
+	simulations atomic.Int64
 }
 
 type traceKey struct {
@@ -115,16 +135,45 @@ type traceKey struct {
 	seed int64
 }
 
+type analyzerKey struct {
+	sc      Scenario
+	learner string
+}
+
+// call is a single-flight slot: the first goroutine to claim a key
+// computes the value and closes done; everyone else blocks on done and
+// reads the shared result.
+type call[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
 // NewLab creates a lab for a preset.
 func NewLab(p Preset) (*Lab, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return &Lab{
-		Preset: p,
-		traces: make(map[traceKey]*Trace),
-		data:   make(map[Scenario]*ScenarioData),
+		Preset:    p,
+		traces:    make(map[traceKey]*call[*Trace]),
+		data:      make(map[Scenario]*call[*ScenarioData]),
+		analyzers: make(map[analyzerKey]*call[*core.Analyzer]),
+		simSem:    make(chan struct{}, p.workers()),
 	}, nil
+}
+
+// Simulations reports how many traces the lab has actually simulated —
+// the number of cache misses, which concurrency tests compare against
+// the number of unique keys requested.
+func (l *Lab) Simulations() int64 { return l.simulations.Load() }
+
+// workers resolves the concurrency bound for trace simulation.
+func (p Preset) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // config assembles the netsim configuration for one trace.
@@ -196,15 +245,30 @@ func (l *Lab) RunTrace(sc Scenario, mix AttackMix, seed int64) (*Trace, error) {
 }
 
 // RunFaultTrace simulates (or returns the memoised) trace for one scenario,
-// attack mix, environmental-fault mix and seed.
+// attack mix, environmental-fault mix and seed. Concurrent callers with
+// the same key share one simulation: the first claims the key and runs
+// it, the rest block until it finishes and return the identical *Trace.
 func (l *Lab) RunFaultTrace(sc Scenario, mix AttackMix, fmix FaultMix, seed int64) (*Trace, error) {
 	key := traceKey{sc: sc, mix: mix, fmix: fmix, seed: seed}
 	l.mu.Lock()
-	if t, ok := l.traces[key]; ok {
+	if c, ok := l.traces[key]; ok {
 		l.mu.Unlock()
-		return t, nil
+		<-c.done
+		return c.val, c.err
 	}
+	c := &call[*Trace]{done: make(chan struct{})}
+	l.traces[key] = c
 	l.mu.Unlock()
+
+	c.val, c.err = l.simulate(sc, mix, fmix, seed)
+	close(c.done)
+	return c.val, c.err
+}
+
+// simulate runs one netsim trace under the lab's worker semaphore.
+func (l *Lab) simulate(sc Scenario, mix AttackMix, fmix FaultMix, seed int64) (*Trace, error) {
+	l.simSem <- struct{}{}
+	defer func() { <-l.simSem }()
 
 	cfg := l.config(sc, mix, fmix, seed)
 	net, err := netsim.New(cfg)
@@ -214,17 +278,64 @@ func (l *Lab) RunFaultTrace(sc Scenario, mix AttackMix, fmix FaultMix, seed int6
 	if err := net.Run(); err != nil {
 		return nil, fmt.Errorf("experiments: run %s %s/%s trace: %w", sc.Name(), mix, fmix, err)
 	}
-	t := &Trace{
+	l.simulations.Add(1)
+	return &Trace{
 		Vectors: features.FromSnapshots(net.Snapshots(0)),
 		Plan:    net.Plan(),
 		Mix:     mix,
 		Faults:  fmix,
 		Seed:    seed,
+	}, nil
+}
+
+// TraceRequest names one trace an experiment will need, the unit of the
+// Prefetch planning API.
+type TraceRequest struct {
+	Scenario Scenario
+	Mix      AttackMix
+	Faults   FaultMix
+	Seed     int64
+}
+
+// Prefetch simulates every requested trace on the lab's bounded worker
+// pool and blocks until all are cached. Duplicate requests, requests
+// already in flight from other figures and already-cached traces all
+// coalesce onto the same single-flight slot, so a plan may be declared
+// generously. The first error (in request order) is returned.
+func (l *Lab) Prefetch(reqs []TraceRequest) error {
+	if len(reqs) == 0 {
+		return nil
 	}
-	l.mu.Lock()
-	l.traces[key] = t
-	l.mu.Unlock()
-	return t, nil
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r TraceRequest) {
+			defer wg.Done()
+			_, errs[i] = l.RunFaultTrace(r.Scenario, r.Mix, r.Faults, r.Seed)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DataRequests enumerates the traces Data(sc) needs, so callers can fold
+// them into a larger Prefetch plan.
+func (l *Lab) DataRequests(sc Scenario) []TraceRequest {
+	p := l.Preset
+	reqs := []TraceRequest{{Scenario: sc, Mix: NoAttack, Seed: p.TrainSeed}}
+	for _, seed := range p.NormalSeeds {
+		reqs = append(reqs, TraceRequest{Scenario: sc, Mix: NoAttack, Seed: seed})
+	}
+	for _, seed := range p.AttackSeeds {
+		reqs = append(reqs, TraceRequest{Scenario: sc, Mix: Mixed, Seed: seed})
+	}
+	return reqs
 }
 
 // ScenarioData bundles everything needed to train and evaluate detectors
@@ -241,16 +352,30 @@ type ScenarioData struct {
 }
 
 // Data builds (or returns the memoised) scenario data for the mixed-
-// intrusion evaluation.
+// intrusion evaluation. Like RunFaultTrace it is single flight per
+// scenario, and the scenario's whole trace set is prefetched onto the
+// worker pool rather than simulated one by one.
 func (l *Lab) Data(sc Scenario) (*ScenarioData, error) {
 	l.mu.Lock()
-	if d, ok := l.data[sc]; ok {
+	if c, ok := l.data[sc]; ok {
 		l.mu.Unlock()
-		return d, nil
+		<-c.done
+		return c.val, c.err
 	}
+	c := &call[*ScenarioData]{done: make(chan struct{})}
+	l.data[sc] = c
 	l.mu.Unlock()
 
+	c.val, c.err = l.buildData(sc)
+	close(c.done)
+	return c.val, c.err
+}
+
+func (l *Lab) buildData(sc Scenario) (*ScenarioData, error) {
 	p := l.Preset
+	if err := l.Prefetch(l.DataRequests(sc)); err != nil {
+		return nil, err
+	}
 	train, err := l.RunTrace(sc, NoAttack, p.TrainSeed)
 	if err != nil {
 		return nil, err
@@ -283,9 +408,6 @@ func (l *Lab) Data(sc Scenario) (*ScenarioData, error) {
 		}
 		d.Mixed = append(d.Mixed, t)
 	}
-	l.mu.Lock()
-	l.data[sc] = d
-	l.mu.Unlock()
 	return d, nil
 }
 
@@ -311,50 +433,91 @@ func LearnerByName(name string) (ml.Learner, error) {
 	return nil, fmt.Errorf("experiments: unknown learner %q (want C4.5, RIPPER or NBC)", name)
 }
 
-// Train fits the cross-feature analyzer for a scenario with one learner.
+// Train fits (or returns the memoised) cross-feature analyzer for a
+// scenario with one learner. Training is deterministic — every learner
+// either is derandomised or seeds its own rng per fit — so sharing one
+// analyzer between the figures that request the same (scenario, learner)
+// pair produces byte-identical reports while skipping repeated 140-model
+// training runs. Keyed by learner name: callers must not mutate learner
+// hyper-parameters between calls.
 func (l *Lab) Train(sc Scenario, learner ml.Learner) (*core.Analyzer, *ScenarioData, error) {
 	d, err := l.Data(sc)
 	if err != nil {
 		return nil, nil, err
 	}
-	a, err := core.Train(d.TrainDS, learner, core.TrainOptions{Parallelism: l.Preset.Parallelism})
-	if err != nil {
-		return nil, nil, err
+	key := analyzerKey{sc: sc, learner: learner.Name()}
+	l.mu.Lock()
+	if c, ok := l.analyzers[key]; ok {
+		l.mu.Unlock()
+		<-c.done
+		return c.val, d, c.err
 	}
-	return a, d, nil
+	c := &call[*core.Analyzer]{done: make(chan struct{})}
+	l.analyzers[key] = c
+	l.mu.Unlock()
+
+	c.val, c.err = core.Train(d.TrainDS, learner, core.TrainOptions{Parallelism: l.Preset.Parallelism})
+	close(c.done)
+	return c.val, d, c.err
 }
 
-// ScoreTrace discretises and scores every vector of a trace.
+// ScoreTrace discretises and scores every vector of a trace. The batch
+// goes through ScoreAll so one prediction buffer serves the whole trace.
 func ScoreTrace(a *core.Analyzer, disc *features.Discretizer, t *Trace, s core.Scorer) ([]float64, error) {
-	out := make([]float64, len(t.Vectors))
+	xs := make([][]int, len(t.Vectors))
 	for i, v := range t.Vectors {
 		x, err := disc.Transform(v.Values)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = a.Score(x, s)
+		xs[i] = x
 	}
-	return out, nil
+	return a.ScoreAll(xs, s), nil
 }
 
 // LabelledScores scores a set of traces and pairs each score with its
 // ground-truth label, the input the recall-precision machinery consumes.
 // Records inside the warmup window (long statistics windows still filling)
-// are excluded, symmetrically with training.
+// are excluded, symmetrically with training. Traces are scored
+// concurrently (the analyzer and discretiser are read-only during
+// scoring) and the results concatenated in trace order, so the output is
+// identical to the old serial loop.
 func LabelledScores(a *core.Analyzer, disc *features.Discretizer, traces []*Trace, s core.Scorer, warmup float64) ([]eval.Scored, error) {
-	var out []eval.Scored
-	for _, t := range traces {
-		scores, err := ScoreTrace(a, disc, t, s)
+	parts := make([][]eval.Scored, len(traces))
+	errs := make([]error, len(traces))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, t := range traces {
+		wg.Add(1)
+		go func(i int, t *Trace) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			scores, err := ScoreTrace(a, disc, t, s)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			labels := t.Labels()
+			part := make([]eval.Scored, 0, len(scores))
+			for j, sc := range scores {
+				if t.Vectors[j].Time < warmup {
+					continue
+				}
+				part = append(part, eval.Scored{Score: sc, Intrusion: labels[j]})
+			}
+			parts[i] = part
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		labels := t.Labels()
-		for i, sc := range scores {
-			if t.Vectors[i].Time < warmup {
-				continue
-			}
-			out = append(out, eval.Scored{Score: sc, Intrusion: labels[i]})
-		}
+	}
+	var out []eval.Scored
+	for _, part := range parts {
+		out = append(out, part...)
 	}
 	return out, nil
 }

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"crossfeature/internal/attack"
+	"crossfeature/internal/core"
+	"crossfeature/internal/eval"
+	"crossfeature/internal/features"
+	"crossfeature/internal/netsim"
+)
+
+// microPreset is the smallest preset that exercises the full pipeline,
+// shared by the concurrency tests (simulations stay in the tens of
+// milliseconds).
+func microPreset() Preset {
+	p := QuickPreset()
+	p.Nodes = 12
+	p.Connections = 8
+	p.Duration = 100
+	p.Warmup = 20
+	p.BlackHoleStart = 30
+	p.DropStart = 50
+	p.SessionDuration = 10
+	p.SingleStarts = []float64{30, 50, 70}
+	p.SingleSessionDuration = 10
+	p.NormalSeeds = []int64{211}
+	p.AttackSeeds = []int64{311}
+	return p
+}
+
+// TestSingleFlightTrace is the dedicated regression test for the
+// duplicate-work race that used to live in RunFaultTrace's
+// check-unlock-simulate-store sequence: concurrent requests for one key
+// must share a single simulation and return the identical *Trace.
+func TestSingleFlightTrace(t *testing.T) {
+	lab, err := NewLab(microPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+
+	const goroutines = 16
+	traces := make([]*Trace, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			traces[g], errs[g] = lab.RunTrace(sc, NoAttack, 1)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if traces[g] != traces[0] {
+			t.Fatalf("goroutine %d got a different *Trace", g)
+		}
+	}
+	if n := lab.Simulations(); n != 1 {
+		t.Errorf("%d simulations for one key requested %d times, want 1", n, goroutines)
+	}
+}
+
+// TestConcurrentLabOverlappingKeys hammers the lab from many goroutines
+// with overlapping trace keys: per key all callers must observe the same
+// *Trace pointer, and the number of simulations must equal the number of
+// unique keys. Run with -race to check memory safety.
+func TestConcurrentLabOverlappingKeys(t *testing.T) {
+	lab, err := NewLab(microPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+	keys := []struct {
+		mix  AttackMix
+		seed int64
+	}{
+		{NoAttack, 1}, {NoAttack, 2}, {Mixed, 1}, {Mixed, 2}, {BlackHoleOnly, 1},
+	}
+
+	const rounds = 8
+	got := make([][]*Trace, len(keys))
+	for k := range keys {
+		got[k] = make([]*Trace, rounds)
+	}
+	var wg sync.WaitGroup
+	for k := range keys {
+		for r := 0; r < rounds; r++ {
+			wg.Add(1)
+			go func(k, r int) {
+				defer wg.Done()
+				tr, err := lab.RunTrace(sc, keys[k].mix, keys[k].seed)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[k][r] = tr
+			}(k, r)
+		}
+	}
+	wg.Wait()
+	for k := range keys {
+		for r := 1; r < rounds; r++ {
+			if got[k][r] != got[k][0] {
+				t.Errorf("key %d: round %d returned a different *Trace", k, r)
+			}
+		}
+	}
+	if n := lab.Simulations(); n != int64(len(keys)) {
+		t.Errorf("%d simulations, want %d (one per unique key)", n, len(keys))
+	}
+}
+
+// TestPrefetchCoalesces declares a plan with duplicates and checks the
+// cache afterwards serves every request without further simulations.
+func TestPrefetchCoalesces(t *testing.T) {
+	lab, err := NewLab(microPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+	plan := []TraceRequest{
+		{Scenario: sc, Mix: NoAttack, Seed: 1},
+		{Scenario: sc, Mix: NoAttack, Seed: 1}, // duplicate
+		{Scenario: sc, Mix: Mixed, Seed: 1},
+	}
+	if err := lab.Prefetch(plan); err != nil {
+		t.Fatal(err)
+	}
+	if n := lab.Simulations(); n != 2 {
+		t.Errorf("%d simulations after prefetch of 2 unique keys, want 2", n)
+	}
+	if _, err := lab.RunTrace(sc, NoAttack, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := lab.Simulations(); n != 2 {
+		t.Errorf("cache miss after prefetch: %d simulations", n)
+	}
+}
+
+// TestTrainMemoised verifies the analyzer cache: two Train calls for the
+// same (scenario, learner) return the identical *core.Analyzer.
+func TestTrainMemoised(t *testing.T) {
+	lab, err := NewLab(microPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+	learner, err := LearnerByName("NBC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _, err := lab.Train(sc, learner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := lab.Train(sc, learner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("same (scenario, learner) trained twice")
+	}
+}
+
+// TestLabelledScoresMatchesSerial compares the concurrent LabelledScores
+// against a straightforward serial reimplementation: same traces, same
+// order, same scores.
+func TestLabelledScoresMatchesSerial(t *testing.T) {
+	lab, err := NewLab(microPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Routing: netsim.AODV, Transport: netsim.CBR}
+	learner, err := LearnerByName("NBC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, d, err := lab.Train(sc, learner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := append(append([]*Trace(nil), d.Normal...), d.Mixed...)
+
+	got, err := LabelledScores(a, d.Disc, traces, core.Probability, lab.Preset.Warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want []eval.Scored
+	for _, tr := range traces {
+		scores, err := ScoreTrace(a, d.Disc, tr, core.Probability)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := tr.Labels()
+		for i, s := range scores {
+			if tr.Vectors[i].Time < lab.Preset.Warmup {
+				continue
+			}
+			want = append(want, eval.Scored{Score: s, Intrusion: labels[i]})
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("concurrent returned %d events, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: concurrent %+v, serial %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSessionLabelsIntervalEquivalence checks the precomputed-interval
+// SessionLabels against the probe-loop semantics it replaced: a record
+// is intrusive iff some 5 s-grid offset back <= tail hits an active
+// session.
+func TestSessionLabelsIntervalEquivalence(t *testing.T) {
+	probeLabels := func(tr Trace, tail float64) []bool {
+		labels := make([]bool, len(tr.Vectors))
+		for i, v := range tr.Vectors {
+			for back := 0.0; back <= tail; back += 5 {
+				if tr.Plan.ActiveAt(v.Time - back) {
+					labels[i] = true
+					break
+				}
+			}
+		}
+		return labels
+	}
+
+	var vectors []features.Vector
+	for ts := 0.0; ts <= 400; ts += 5 {
+		vectors = append(vectors, features.Vector{Time: ts})
+	}
+	tr := Trace{
+		Vectors: vectors,
+		Plan: attack.Plan{Specs: []attack.Spec{
+			{Kind: attack.UpdateStorm, Sessions: attack.Sessions(25, 100, 200, 300)},
+			{Kind: attack.BlackHole, Sessions: attack.Sessions(50, 150)},
+		}},
+	}
+	for _, tail := range []float64{0, 30, 60} {
+		got := tr.SessionLabels(tail)
+		want := probeLabels(tr, tail)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("tail %v: label[%d] (t=%v) = %v, probe loop says %v",
+					tail, i, tr.Vectors[i].Time, got[i], want[i])
+			}
+		}
+	}
+	// A trace without sessions labels nothing.
+	for i, l := range (Trace{Vectors: vectors}).SessionLabels(60) {
+		if l {
+			t.Fatalf("sessionless trace labelled intrusive at %d", i)
+		}
+	}
+}

@@ -81,6 +81,10 @@ type Preset struct {
 
 	// Parallelism bounds concurrent sub-model training (0 = GOMAXPROCS).
 	Parallelism int
+
+	// Workers bounds concurrent trace simulations in the Lab's worker
+	// pool (0 = GOMAXPROCS). Results are deterministic for any value.
+	Workers int
 }
 
 // PaperPreset is the paper's full-scale setup: 10 000 s runs sampled every
@@ -129,6 +133,29 @@ func QuickPreset() Preset {
 	p.SingleSessionDuration = 50
 	p.Warmup = 250
 	p.PrefilterSize = 200
+	return p
+}
+
+// SmokePreset is a minimal end-to-end configuration: the smallest
+// network and shortest runs that still exercise every stage (simulate,
+// discretise, train, score). It exists for fast golden/determinism tests
+// — e.g. diffing full-report output across worker counts — not for
+// meaningful detection accuracy.
+func SmokePreset() Preset {
+	p := PaperPreset()
+	p.Nodes = 12
+	p.Connections = 8
+	p.Duration = 400
+	p.TrainSeed = 121
+	p.NormalSeeds = []int64{221}
+	p.AttackSeeds = []int64{321}
+	p.BlackHoleStart = 100
+	p.DropStart = 200
+	p.SessionDuration = 50
+	p.SingleStarts = []float64{100, 200, 300}
+	p.SingleSessionDuration = 25
+	p.Warmup = 50
+	p.PrefilterSize = 100
 	return p
 }
 

@@ -60,7 +60,10 @@ type Tree struct {
 	Classes int
 }
 
-var _ ml.Classifier = (*Tree)(nil)
+var (
+	_ ml.Classifier = (*Tree)(nil)
+	_ ml.IntoProber = (*Tree)(nil)
+)
 
 // Fit implements ml.Learner.
 func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
@@ -430,6 +433,13 @@ func leafError(counts []int) (int, int) {
 // deepest reached node's counts when a branch is missing, and smooth with
 // Laplace's rule.
 func (t *Tree) PredictProba(x []int) []float64 {
+	return t.PredictProbaInto(x, make([]float64, len(t.Root.Counts)))
+}
+
+// PredictProbaInto implements ml.IntoProber: the tree walk is
+// allocation-free and the leaf's Laplace distribution is written into
+// out (length >= the target's cardinality).
+func (t *Tree) PredictProbaInto(x []int, out []float64) []float64 {
 	n := t.Root
 	for n.Attr >= 0 {
 		v := -1
@@ -441,7 +451,7 @@ func (t *Tree) PredictProba(x []int) []float64 {
 		}
 		n = n.Children[v]
 	}
-	return ml.Laplace(n.Counts)
+	return ml.LaplaceInto(n.Counts, out)
 }
 
 // Size reports the number of nodes in the tree (for tests and reports).

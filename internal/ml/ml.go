@@ -103,6 +103,26 @@ type Learner interface {
 	Name() string
 }
 
+// IntoProber is an optional Classifier extension for allocation-free
+// scoring: PredictProbaInto writes the class distribution into out —
+// which must have length >= the target attribute's cardinality — and
+// returns the filled prefix. The values must be identical to what
+// PredictProba returns. Cross-feature scoring evaluates ~L sub-models
+// per event, so the per-call allocation of PredictProba dominates the
+// hot path; all three base classifiers implement this.
+type IntoProber interface {
+	PredictProbaInto(x []int, out []float64) []float64
+}
+
+// ProbaInto calls c's PredictProbaInto when implemented, falling back to
+// the allocating PredictProba otherwise.
+func ProbaInto(c Classifier, x []int, out []float64) []float64 {
+	if p, ok := c.(IntoProber); ok {
+		return p.PredictProbaInto(x, out)
+	}
+	return c.PredictProba(x)
+}
+
 // Predict returns the argmax class of a classifier's distribution.
 func Predict(c Classifier, x []int) int {
 	return ArgMax(c.PredictProba(x))
@@ -141,12 +161,18 @@ func Entropy(counts []int) float64 {
 
 // Laplace converts a count vector to Laplace-smoothed probabilities.
 func Laplace(counts []int) []float64 {
+	return LaplaceInto(counts, make([]float64, len(counts)))
+}
+
+// LaplaceInto is Laplace writing into out, which must have length >=
+// len(counts); it returns the filled prefix.
+func LaplaceInto(counts []int, out []float64) []float64 {
 	k := len(counts)
 	var total int
 	for _, c := range counts {
 		total += c
 	}
-	out := make([]float64, k)
+	out = out[:k]
 	den := float64(total + k)
 	for i, c := range counts {
 		out[i] = (float64(c) + 1) / den

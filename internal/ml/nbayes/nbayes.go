@@ -34,7 +34,10 @@ type Model struct {
 	LogCond [][][]float64
 }
 
-var _ ml.Classifier = (*Model)(nil)
+var (
+	_ ml.Classifier = (*Model)(nil)
+	_ ml.IntoProber = (*Model)(nil)
+)
 
 // Fit implements ml.Learner.
 func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
@@ -88,32 +91,40 @@ func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
 
 // PredictProba implements ml.Classifier.
 func (m *Model) PredictProba(x []int) []float64 {
+	return m.PredictProbaInto(x, make([]float64, len(m.LogPrior)))
+}
+
+// PredictProbaInto implements ml.IntoProber, the allocation-free variant
+// of PredictProba. The attribute loop is on the outside so each
+// conditional table and event value is bounds-checked once rather than
+// once per class; every class still accumulates its log terms in
+// ascending attribute order, so the floating-point sums — and thus the
+// returned probabilities — are bit-identical to the class-outer loop.
+func (m *Model) PredictProbaInto(x []int, out []float64) []float64 {
 	classes := len(m.LogPrior)
-	logs := make([]float64, classes)
-	for c := 0; c < classes; c++ {
-		s := m.LogPrior[c]
-		for a, tab := range m.LogCond {
-			if tab == nil || a >= len(x) {
-				continue
-			}
-			v := x[a]
-			if v < 0 || v >= len(tab[c]) {
-				continue // unseen value: contributes nothing
-			}
-			s += tab[c][v]
+	out = out[:classes]
+	copy(out, m.LogPrior)
+	for a, tab := range m.LogCond {
+		if tab == nil || a >= len(x) {
+			continue
 		}
-		logs[c] = s
+		v := x[a]
+		if v < 0 || len(tab) == 0 || v >= len(tab[0]) {
+			continue // unseen value: contributes nothing
+		}
+		for c := 0; c < classes; c++ {
+			out[c] += tab[c][v]
+		}
 	}
 	// Softmax-normalise in log space.
 	maxLog := math.Inf(-1)
-	for _, v := range logs {
+	for _, v := range out {
 		if v > maxLog {
 			maxLog = v
 		}
 	}
-	out := make([]float64, classes)
 	var sum float64
-	for c, v := range logs {
+	for c, v := range out {
 		out[c] = math.Exp(v - maxLog)
 		sum += out[c]
 	}

@@ -70,7 +70,10 @@ type RuleSet struct {
 	Classes int
 }
 
-var _ ml.Classifier = (*RuleSet)(nil)
+var (
+	_ ml.Classifier = (*RuleSet)(nil)
+	_ ml.IntoProber = (*RuleSet)(nil)
+)
 
 // Fit implements ml.Learner.
 func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
@@ -366,12 +369,19 @@ func (rs *RuleSet) recount(ds *ml.Dataset) {
 // PredictProba implements ml.Classifier: the first matching rule's
 // Laplace-smoothed coverage distribution, or the default rule's.
 func (rs *RuleSet) PredictProba(x []int) []float64 {
+	return rs.PredictProbaInto(x, make([]float64, len(rs.Default)))
+}
+
+// PredictProbaInto implements ml.IntoProber: the first matching rule's
+// (or the default's) Laplace distribution is written into out (length
+// >= the target's cardinality) without allocating.
+func (rs *RuleSet) PredictProbaInto(x []int, out []float64) []float64 {
 	for i := range rs.Rules {
 		if rs.Rules[i].Matches(x) {
-			return ml.Laplace(rs.Rules[i].Counts)
+			return ml.LaplaceInto(rs.Rules[i].Counts, out)
 		}
 	}
-	return ml.Laplace(rs.Default)
+	return ml.LaplaceInto(rs.Default, out)
 }
 
 // NumRules reports the number of induced rules (excluding the default).

@@ -18,6 +18,8 @@
 package olsr
 
 import (
+	"sort"
+
 	"crossfeature/internal/packet"
 	"crossfeature/internal/routing"
 	"crossfeature/internal/trace"
@@ -399,9 +401,19 @@ func (r *Router) recompute() {
 		via  packet.NodeID
 		hops int
 	}
+	// The BFS must expand in a deterministic order: equal-length routes go
+	// to whichever via claims the destination first, so seeding or
+	// expanding in map-iteration order would give every run (and every
+	// process) a different routing table. Sort the frontier seeds and each
+	// adjacency expansion by node ID.
+	seeds := make([]packet.NodeID, 0, len(r.neighbors))
+	for id := range r.neighbors {
+		seeds = append(seeds, id)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
 	var queue []qe
-	for id, nb := range r.neighbors {
-		if nb.sym {
+	for _, id := range seeds {
+		if nb := r.neighbors[id]; nb.sym {
 			next[id] = routeEntry{next: id, hops: 1}
 			queue = append(queue, qe{node: id, via: id, hops: 1})
 		}
@@ -421,6 +433,7 @@ func (r *Router) recompute() {
 				adj = append(adj, id)
 			}
 		}
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
 		for _, dst := range adj {
 			if dst == me {
 				continue

@@ -9,6 +9,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"crossfeature/internal/mobility"
@@ -78,6 +79,16 @@ type station struct {
 	busyUntil float64
 	// down marks a crashed node: it neither transmits nor receives.
 	down bool
+
+	// Per-instant caches. Positions are constant within one simulated
+	// instant, so every frame handled at the same timestamp shares one
+	// mobility update (posTime) and one in-range scan (nbrTime) instead of
+	// recomputing geometry per receiver. Initialised to NaN, which is a
+	// valid "never" sentinel because NaN != t for every t.
+	posTime    float64
+	posX, posY float64
+	nbrTime    float64
+	nbrs       []packet.NodeID
 }
 
 // linkKey identifies an undirected link; endpoints are stored low-to-high.
@@ -120,7 +131,10 @@ func NewMedium(eng *sim.Engine, cfg Config) *Medium {
 // Attach registers a node. IDs must be assigned densely from zero in
 // registration order; Attach returns the assigned ID.
 func (m *Medium) Attach(mob mobility.Model, h Handler, promiscuous bool) packet.NodeID {
-	m.stations = append(m.stations, &station{mob: mob, handler: h, promiscuous: promiscuous})
+	m.stations = append(m.stations, &station{
+		mob: mob, handler: h, promiscuous: promiscuous,
+		posTime: math.NaN(), nbrTime: math.NaN(),
+	})
 	return packet.NodeID(len(m.stations) - 1)
 }
 
@@ -212,12 +226,46 @@ func (m *Medium) txDelay(size int) float64 {
 	return float64(size*8) / m.cfg.Bandwidth
 }
 
-// position refreshes and returns a station's position at the current time.
+// position refreshes and returns a station's position at the current time,
+// cached per simulated instant.
 func (m *Medium) position(id packet.NodeID) (x, y float64) {
 	st := m.stations[id]
-	st.mob.Update(m.eng.Now())
-	p := st.mob.Position()
-	return p.X, p.Y
+	now := m.eng.Now()
+	if st.posTime != now {
+		st.mob.Update(now)
+		p := st.mob.Position()
+		st.posTime, st.posX, st.posY = now, p.X, p.Y
+	}
+	return st.posX, st.posY
+}
+
+// neighbors returns the stations currently within range of id, in
+// ascending ID order, cached per simulated instant. The caller must not
+// retain or mutate the returned slice past the current event. Ascending
+// order matters: transmit paths draw per-receiver randomness while
+// iterating, so the order is part of the deterministic trace contract.
+func (m *Medium) neighbors(id packet.NodeID) []packet.NodeID {
+	st := m.stations[id]
+	now := m.eng.Now()
+	if st.nbrTime == now {
+		return st.nbrs
+	}
+	x, y := m.position(id)
+	r2 := m.cfg.Range * m.cfg.Range
+	st.nbrs = st.nbrs[:0]
+	for other := range m.stations {
+		oid := packet.NodeID(other)
+		if oid == id {
+			continue
+		}
+		ox, oy := m.position(oid)
+		dx, dy := x-ox, y-oy
+		if dx*dx+dy*dy <= r2 {
+			st.nbrs = append(st.nbrs, oid)
+		}
+	}
+	st.nbrTime = now
+	return st.nbrs
 }
 
 // InRange reports whether two nodes can currently hear each other.
@@ -231,19 +279,17 @@ func (m *Medium) InRange(a, b packet.NodeID) bool {
 	return dx*dx+dy*dy <= m.cfg.Range*m.cfg.Range
 }
 
-// Neighbors returns the IDs currently within range of id.
+// Neighbors returns the IDs currently within range of id. The result is
+// the caller's to keep; the per-tick cache stays internal.
 func (m *Medium) Neighbors(id packet.NodeID) []packet.NodeID {
 	if !m.valid(id) {
 		return nil
 	}
-	var out []packet.NodeID
-	for other := range m.stations {
-		oid := packet.NodeID(other)
-		if oid != id && m.InRange(id, oid) {
-			out = append(out, oid)
-		}
+	nbrs := m.neighbors(id)
+	if len(nbrs) == 0 {
+		return nil
 	}
-	return out
+	return append([]packet.NodeID(nil), nbrs...)
 }
 
 func (m *Medium) valid(id packet.NodeID) bool {
@@ -287,11 +333,7 @@ func (m *Medium) Broadcast(from packet.NodeID, p *packet.Packet) {
 			return // crashed between queueing and airtime
 		}
 		base := m.txDelay(p.Size) + m.cfg.PropDelay
-		for other := range m.stations {
-			oid := packet.NodeID(other)
-			if oid == from || !m.InRange(from, oid) {
-				continue
-			}
+		for _, oid := range m.neighbors(from) {
 			if m.cfg.LossRate > 0 && m.rng.Float64() < m.cfg.LossRate {
 				m.lost++
 				continue
@@ -366,13 +408,12 @@ func (m *Medium) Unicast(from, to packet.NodeID, p *packet.Packet, onFail func()
 			dst.handler.HandleFrame(pc, from)
 		})
 		// Promiscuous delivery to bystanders within range of the sender.
-		for other := range m.stations {
-			oid := packet.NodeID(other)
-			if oid == from || oid == to {
+		for _, oid := range m.neighbors(from) {
+			if oid == to {
 				continue
 			}
 			st := m.stations[oid]
-			if !st.promiscuous || st.down || !m.InRange(from, oid) {
+			if !st.promiscuous || st.down {
 				continue
 			}
 			oc := p.Clone()

@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,29 +24,62 @@ type event struct {
 	fn  func()
 }
 
-// eventQueue is a binary heap ordered by (time, sequence).
-type eventQueue []*event
+// eventQueue is a binary min-heap of event values ordered by (time,
+// sequence). It is hand-rolled rather than built on container/heap so
+// pushes and pops move plain struct values: no per-event heap allocation
+// and no boxing of events through the `any` interface, which together
+// account for one allocation per scheduled event on the simulator's
+// hottest path.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// push inserts ev and restores the heap invariant (sift-up).
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// pop removes and returns the earliest event (sift-down).
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = event{} // release the callback for GC
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top
 }
 
 // Engine is a single-threaded discrete-event scheduler with a virtual clock
@@ -100,7 +132,7 @@ func (e *Engine) At(t float64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Stop halts a Run in progress after the current event returns.
@@ -118,11 +150,10 @@ func (e *Engine) Run(until float64) error {
 		if e.stopped {
 			return ErrStopped
 		}
-		next := e.queue[0]
-		if next.at > until {
+		if e.queue[0].at > until {
 			break
 		}
-		heap.Pop(&e.queue)
+		next := e.queue.pop()
 		e.now = next.at
 		e.processed++
 		next.fn()

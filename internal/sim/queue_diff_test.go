@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// oldQueue replicates the pre-refactor container/heap implementation to
+// differentially test the hand-rolled value heap against it.
+type oldQueue []*event
+
+func (q oldQueue) Len() int { return len(q) }
+func (q oldQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q oldQueue) Swap(i, j int)  { q[i], q[j] = q[j], q[i] }
+func (q *oldQueue) Push(x any)    { *q = append(*q, x.(*event)) }
+func (q *oldQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+func TestQueueMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var nq eventQueue
+	var oq oldQueue
+	var seq uint64
+	for round := 0; round < 200000; round++ {
+		if len(nq) == 0 || rng.Intn(3) > 0 {
+			seq++
+			at := float64(rng.Intn(40)) + rng.Float64()
+			nq.push(event{at: at, seq: seq})
+			heap.Push(&oq, &event{at: at, seq: seq})
+		} else {
+			a := nq.pop()
+			b := heap.Pop(&oq).(*event)
+			if a.at != b.at || a.seq != b.seq {
+				t.Fatalf("round %d: new=(%v,%d) old=(%v,%d)", round, a.at, a.seq, b.at, b.seq)
+			}
+		}
+	}
+}
