@@ -1,10 +1,19 @@
 GO ?= go
 
-.PHONY: ci build test vet race short fuzz bench
+.PHONY: ci build test vet race short fuzz bench bench-train train-smoke
 
 # ci is the full gate: static analysis, a clean build of every package and
-# the test suite under the race detector.
-ci: vet build race
+# the test suite under the race detector, plus a smoke pass over the
+# training-path differential tests and a one-iteration spin of the
+# training benchmarks so a broken fast path fails fast.
+ci: vet build race train-smoke
+
+# train-smoke re-runs the columnar-vs-naive differential tests and gives
+# each training benchmark a single iteration; it exists so `make ci`
+# exercises the benchmark bodies without paying for a full measurement.
+train-smoke:
+	$(GO) test -run TestColumnarDifferential -count 1 ./internal/ml/...
+	$(GO) test -run '^$$' -bench '^Benchmark(C45Fit|RipperFit|NBFit|CoreTrain)$$' -benchtime 1x .
 
 build:
 	$(GO) build ./...
@@ -28,6 +37,13 @@ short:
 # Compare runs with `benchstat` if available, or diff the ns/op columns.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 . | tee BENCH_$$(date +%Y%m%d).json
+
+# bench-train measures only the learner training paths (per-learner Fit and
+# the end-to-end core.Train ensemble) on the paper-shaped synthetic audit
+# dataset. Append the output to the dated BENCH file when recording a
+# before/after for a training-path change.
+bench-train:
+	$(GO) test -run '^$$' -bench '^Benchmark(C45Fit|RipperFit|NBFit|CoreTrain)$$' -benchmem -count 3 .
 
 # fuzz gives each fuzz target a brief budget beyond its seed corpus.
 fuzz:

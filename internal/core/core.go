@@ -101,6 +101,12 @@ func Train(ds *ml.Dataset, learner ml.Learner, opts TrainOptions) (*Analyzer, er
 		workers = l
 	}
 
+	// Pre-build the dataset's column-major view before fanning out: all L
+	// sub-model fits run their count kernels on this one shared read-only
+	// structure, so constructing it up front keeps the first worker from
+	// building it while the rest block on the cache mutex.
+	ds.Columns()
+
 	targets := make(chan int)
 	errs := make([]error, l)
 	var wg sync.WaitGroup

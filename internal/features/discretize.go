@@ -223,7 +223,9 @@ func (d *Discretizer) Dataset(rows [][]float64) (*ml.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := ds.Add(x); err != nil {
+		// Transform allocates x fresh, so hand it over without the
+		// defensive copy ml.Dataset.Add makes.
+		if err := ds.AddOwned(x); err != nil {
 			return nil, err
 		}
 	}

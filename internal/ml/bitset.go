@@ -1,0 +1,96 @@
+package ml
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of row indices backed by a []uint64,
+// the building block of the columnar count kernels: posting sets (rows
+// where attribute a takes value v), rule-coverage sets and class sets all
+// use it, so contingency counts become word-wide AND+popcount loops
+// instead of per-row scans.
+type Bitset []uint64
+
+// NewBitset returns an empty bitset with capacity for indices [0, n).
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// NewFullBitset returns a bitset containing every index in [0, n); the
+// tail bits of the last word stay clear so Count and intersections are
+// exact.
+func NewFullBitset(n int) Bitset {
+	b := NewBitset(n)
+	for w := range b {
+		b[w] = ^uint64(0)
+	}
+	if r := uint(n) & 63; r != 0 {
+		b[len(b)-1] = 1<<r - 1
+	}
+	return b
+}
+
+// Set adds index i to the set.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Contains reports whether index i is in the set.
+func (b Bitset) Contains(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Clear empties the set in place.
+func (b Bitset) Clear() {
+	for w := range b {
+		b[w] = 0
+	}
+}
+
+// CopyFrom overwrites b with src (same capacity).
+func (b Bitset) CopyFrom(src Bitset) { copy(b, src) }
+
+// Count returns the set's cardinality.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// And intersects b with x in place.
+func (b Bitset) And(x Bitset) {
+	for w := range b {
+		b[w] &= x[w]
+	}
+}
+
+// AndNot removes x's members from b in place.
+func (b Bitset) AndNot(x Bitset) {
+	for w := range b {
+		b[w] &^= x[w]
+	}
+}
+
+// AndInto writes x ∧ y into b (all three share a capacity).
+func (b Bitset) AndInto(x, y Bitset) {
+	for w := range b {
+		b[w] = x[w] & y[w]
+	}
+}
+
+// AndCount returns |x ∧ y| without materialising the intersection — the
+// innermost operation of every candidate-evaluation loop.
+func AndCount(x, y Bitset) int {
+	n := 0
+	for w, xw := range x {
+		n += bits.OnesCount64(xw & y[w])
+	}
+	return n
+}
+
+// ForEach calls fn for every member in ascending order.
+func (b Bitset) ForEach(fn func(i int)) {
+	for w, word := range b {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			fn(i)
+			word &= word - 1
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitsetAgainstMap drives the bitset through random operations and
+// checks every result against a map-of-ints reference.
+func TestBitsetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 1, 63, 64, 65, 129, 1000} {
+		a, b := NewBitset(n), NewBitset(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+				ma[i] = true
+			}
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+				mb[i] = true
+			}
+		}
+		if a.Count() != len(ma) || b.Count() != len(mb) {
+			t.Fatalf("n=%d: Count mismatch", n)
+		}
+		wantAnd := 0
+		for i := range ma {
+			if mb[i] {
+				wantAnd++
+			}
+		}
+		if got := AndCount(a, b); got != wantAnd {
+			t.Fatalf("n=%d: AndCount=%d, want %d", n, got, wantAnd)
+		}
+		inter := NewBitset(n)
+		inter.AndInto(a, b)
+		if inter.Count() != wantAnd {
+			t.Fatalf("n=%d: AndInto count=%d, want %d", n, inter.Count(), wantAnd)
+		}
+		seen := 0
+		prev := -1
+		inter.ForEach(func(i int) {
+			if i <= prev {
+				t.Fatalf("n=%d: ForEach out of order (%d after %d)", n, i, prev)
+			}
+			prev = i
+			if !(ma[i] && mb[i]) {
+				t.Fatalf("n=%d: ForEach yielded non-member %d", n, i)
+			}
+			seen++
+		})
+		if seen != wantAnd {
+			t.Fatalf("n=%d: ForEach visited %d, want %d", n, seen, wantAnd)
+		}
+		// AndNot against the reference.
+		diff := NewBitset(n)
+		diff.CopyFrom(a)
+		diff.AndNot(b)
+		wantDiff := 0
+		for i := range ma {
+			if !mb[i] {
+				wantDiff++
+			}
+		}
+		if diff.Count() != wantDiff {
+			t.Fatalf("n=%d: AndNot count=%d, want %d", n, diff.Count(), wantDiff)
+		}
+		// In-place And.
+		a.And(b)
+		if a.Count() != wantAnd {
+			t.Fatalf("n=%d: And count=%d, want %d", n, a.Count(), wantAnd)
+		}
+		a.Clear()
+		if a.Count() != 0 {
+			t.Fatalf("n=%d: Clear left %d members", n, a.Count())
+		}
+	}
+}
+
+// TestNewFullBitset checks the tail-masking of the all-members
+// constructor.
+func TestNewFullBitset(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 130} {
+		b := NewFullBitset(n)
+		if b.Count() != n {
+			t.Fatalf("n=%d: Count=%d", n, b.Count())
+		}
+		for i := 0; i < n; i++ {
+			if !b.Contains(i) {
+				t.Fatalf("n=%d: missing %d", n, i)
+			}
+		}
+	}
+}

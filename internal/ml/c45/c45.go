@@ -65,8 +65,18 @@ var (
 	_ ml.IntoProber = (*Tree)(nil)
 )
 
-// Fit implements ml.Learner.
+// Fit implements ml.Learner. Tree growth runs on the dataset's shared
+// column-major view: every candidate attribute's contingency counts for a
+// node come from one pass over the node's rows, and child partitions reuse
+// the winning attribute's histogram instead of re-tallying.
 func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
+	return l.fitWith(ds, target, ds.Columns())
+}
+
+// fitWith grows the tree with the columnar count kernels when cols is
+// non-nil, or with the naive row-major reference path otherwise. The two
+// paths are pinned bit-identical by differential tests.
+func (l *Learner) fitWith(ds *ml.Dataset, target int, cols *ml.Columns) (ml.Classifier, error) {
 	if target < 0 || target >= len(ds.Attrs) {
 		return nil, fmt.Errorf("c45: target %d outside schema of %d attributes", target, len(ds.Attrs))
 	}
@@ -102,7 +112,13 @@ func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
 	}
 	used := make([]bool, len(ds.Attrs))
 	used[target] = true
-	root := b.build(growRows, used, 0)
+	var root *Node
+	if cols != nil {
+		cb := newColBuilder(b, cols)
+		root = cb.build(growRows, used, 0, cb.tally(growRows))
+	} else {
+		root = b.build(growRows, used, 0)
+	}
 	if l.Prune {
 		z := zFromCF(cf)
 		pruneNode(root, z)

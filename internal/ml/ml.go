@@ -8,6 +8,7 @@ package ml
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Attr describes one nominal attribute: its name and cardinality (values
@@ -37,6 +38,11 @@ func (a Attr) Missing(v int) bool {
 type Dataset struct {
 	Attrs []Attr
 	X     [][]int
+
+	// colMu guards colView, the lazily built column-major view shared
+	// read-only across concurrent learner fits (see Columns).
+	colMu   sync.Mutex
+	colView *Columns
 }
 
 // NewDataset builds an empty dataset with the given attribute schema.
@@ -44,8 +50,31 @@ func NewDataset(attrs []Attr) *Dataset {
 	return &Dataset{Attrs: append([]Attr(nil), attrs...)}
 }
 
-// Add appends an instance, validating its shape and value ranges.
+// Add appends an instance, validating its shape and value ranges. The row
+// is copied, so callers may reuse their buffer for the next instance.
 func (d *Dataset) Add(row []int) error {
+	if err := d.checkRow(row); err != nil {
+		return err
+	}
+	d.X = append(d.X, append([]int(nil), row...))
+	d.invalidateColumns()
+	return nil
+}
+
+// AddOwned appends an instance without copying: ownership of row transfers
+// to the dataset, and the caller must not modify it afterwards. Use it when
+// the row was freshly allocated anyway (e.g. a discretiser transform) to
+// avoid Add's defensive copy.
+func (d *Dataset) AddOwned(row []int) error {
+	if err := d.checkRow(row); err != nil {
+		return err
+	}
+	d.X = append(d.X, row)
+	d.invalidateColumns()
+	return nil
+}
+
+func (d *Dataset) checkRow(row []int) error {
 	if len(row) != len(d.Attrs) {
 		return fmt.Errorf("ml: row has %d values, schema has %d attributes", len(row), len(d.Attrs))
 	}
@@ -54,7 +83,6 @@ func (d *Dataset) Add(row []int) error {
 			return fmt.Errorf("ml: value %d out of range [0,%d) for attribute %q", v, d.Attrs[j].Card, d.Attrs[j].Name)
 		}
 	}
-	d.X = append(d.X, row)
 	return nil
 }
 

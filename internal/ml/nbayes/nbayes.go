@@ -39,8 +39,18 @@ var (
 	_ ml.IntoProber = (*Model)(nil)
 )
 
-// Fit implements ml.Learner.
+// Fit implements ml.Learner. Conditional count tables come from the
+// dataset's column-major view: each attribute's tally walks two contiguous
+// int32 columns instead of hopping across row-major rows.
 func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
+	return l.fitWith(ds, target, ds.Columns())
+}
+
+// fitWith fits with the columnar count kernel when cols is non-nil, or
+// the naive row-major reference path otherwise. Counts are identical
+// integers either way, so the derived log-probabilities are bit-identical
+// (differential tests pin this).
+func (l *Learner) fitWith(ds *ml.Dataset, target int, cols *ml.Columns) (ml.Classifier, error) {
 	if target < 0 || target >= len(ds.Attrs) {
 		return nil, fmt.Errorf("nbayes: target %d outside schema of %d attributes", target, len(ds.Attrs))
 	}
@@ -64,6 +74,10 @@ func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
 		m.LogPrior[c] = math.Log((float64(classCounts[c]) + alpha) / (total + alpha*float64(classes)))
 	}
 
+	var tcol []int32
+	if cols != nil {
+		tcol = cols.Cols[target]
+	}
 	for a := range ds.Attrs {
 		if a == target {
 			continue
@@ -73,8 +87,14 @@ func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
 		for c := range counts {
 			counts[c] = make([]int, card)
 		}
-		for _, row := range ds.X {
-			counts[row[target]][row[a]]++
+		if cols != nil {
+			for i, v := range cols.Cols[a] {
+				counts[tcol[i]][v]++
+			}
+		} else {
+			for _, row := range ds.X {
+				counts[row[target]][row[a]]++
+			}
 		}
 		tab := make([][]float64, classes)
 		for c := 0; c < classes; c++ {

@@ -1,0 +1,169 @@
+package ripper
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crossfeature/internal/ml"
+)
+
+// randomDataset builds a seeded random dataset with mixed cardinalities
+// and latent structure (see the c45 differential tests for the shape).
+func randomDataset(rng *rand.Rand) *ml.Dataset {
+	nAttrs := 3 + rng.Intn(9)
+	attrs := make([]ml.Attr, nAttrs)
+	for j := range attrs {
+		card := 1 + rng.Intn(6)
+		attrs[j] = ml.Attr{
+			Name:       fmt.Sprintf("f%d", j),
+			Card:       card,
+			HasUnknown: card > 2 && rng.Intn(3) == 0,
+		}
+	}
+	ds := ml.NewDataset(attrs)
+	rows := 1 + rng.Intn(300)
+	row := make([]int, nAttrs)
+	for i := 0; i < rows; i++ {
+		latent := rng.Intn(4)
+		for j, at := range attrs {
+			v := latent % at.Card
+			if rng.Float64() < 0.3 {
+				v = rng.Intn(at.Card)
+			}
+			row[j] = v
+		}
+		if err := ds.Add(row); err != nil {
+			panic(err)
+		}
+	}
+	return ds
+}
+
+// TestColumnarDifferential pins the bitset-kernel rule induction
+// bit-identical to the naive row-major reference: same rule lists in the
+// same order, same coverage histograms, same predictions.
+func TestColumnarDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1337))
+	configs := []*Learner{
+		NewLearner(),
+		{GrowFrac: 0.5, Seed: 3},
+		{GrowFrac: 2.0 / 3.0, Seed: 9, MaxConds: 2},
+		{GrowFrac: 2.0 / 3.0, Seed: 5, MaxRulesPerClass: 1},
+	}
+	for trial := 0; trial < 40; trial++ {
+		ds := randomDataset(rng)
+		target := rng.Intn(len(ds.Attrs))
+		l := configs[trial%len(configs)]
+
+		ref, refErr := l.fitWith(ds, target, nil)
+		fast, fastErr := l.fitWith(ds, target, ds.Columns())
+		if (refErr == nil) != (fastErr == nil) {
+			t.Fatalf("trial %d: error mismatch: ref=%v fast=%v", trial, refErr, fastErr)
+		}
+		if refErr != nil {
+			continue
+		}
+		refRS, fastRS := ref.(*RuleSet), fast.(*RuleSet)
+		if !reflect.DeepEqual(refRS, fastRS) {
+			t.Fatalf("trial %d (target %d, learner %+v): columnar rule set differs from reference\nref:  %+v\nfast: %+v",
+				trial, target, l, refRS, fastRS)
+		}
+		x := make([]int, len(ds.Attrs))
+		for probe := 0; probe < 20; probe++ {
+			for j, at := range ds.Attrs {
+				x[j] = rng.Intn(at.Card + 1)
+			}
+			if !reflect.DeepEqual(refRS.PredictProba(x), fastRS.PredictProba(x)) {
+				t.Fatalf("trial %d: prediction mismatch on %v", trial, x)
+			}
+		}
+	}
+}
+
+// TestPruneRuleIncremental pins the incremental prefix-metric pruning
+// against a brute-force reference that rescans the prune rows for every
+// candidate prefix — the behaviour pruneRule had before the single-pass
+// rewrite.
+func TestPruneRuleIncremental(t *testing.T) {
+	bruteMetric := func(ds *ml.Dataset, target, cls int, conds []Cond, prune []int) float64 {
+		p, n := 0, 0
+	outer:
+		for _, i := range prune {
+			for _, c := range conds {
+				if ds.X[i][c.Attr] != c.Val {
+					continue outer
+				}
+			}
+			if ds.X[i][target] == cls {
+				p++
+			} else {
+				n++
+			}
+		}
+		if p+n == 0 {
+			return math.Inf(-1)
+		}
+		return float64(p-n) / float64(p+n)
+	}
+	brutePrune := func(ds *ml.Dataset, target, cls int, rule *Rule, prune []int) {
+		if len(prune) == 0 {
+			return
+		}
+		for len(rule.Conds) > 1 {
+			cur := bruteMetric(ds, target, cls, rule.Conds, prune)
+			trimmed := rule.Conds[:len(rule.Conds)-1]
+			if bruteMetric(ds, target, cls, trimmed, prune) >= cur {
+				rule.Conds = trimmed
+				continue
+			}
+			break
+		}
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		ds := randomDataset(rng)
+		target := rng.Intn(len(ds.Attrs))
+		cls := rng.Intn(ds.Attrs[target].Card)
+		// A random rule over distinct non-target attributes.
+		var conds []Cond
+		for a := range ds.Attrs {
+			if a == target || ds.Attrs[a].Card < 2 || rng.Intn(2) == 0 {
+				continue
+			}
+			conds = append(conds, Cond{Attr: a, Val: rng.Intn(ds.Attrs[a].Card)})
+		}
+		if len(conds) == 0 {
+			continue
+		}
+		// A random prune subset (possibly empty).
+		var prune []int
+		for i := 0; i < ds.Len(); i++ {
+			if rng.Intn(3) != 0 {
+				prune = append(prune, i)
+			}
+		}
+
+		want := &Rule{Class: cls, Conds: append([]Cond(nil), conds...)}
+		brutePrune(ds, target, cls, want, prune)
+
+		got := &Rule{Class: cls, Conds: append([]Cond(nil), conds...)}
+		pruneRule(ds, target, cls, got, prune)
+		if !reflect.DeepEqual(got.Conds, want.Conds) {
+			t.Fatalf("trial %d: incremental pruneRule diverged: got %v want %v (from %v)",
+				trial, got.Conds, want.Conds, conds)
+		}
+
+		// The columnar prefix-bitset pruning must agree as well.
+		f := newFitter(NewLearner(), ds, target, ds.Columns())
+		gotCols := &Rule{Class: cls, Conds: append([]Cond(nil), conds...)}
+		f.pruneRuleCols(cls, gotCols, prune)
+		if !reflect.DeepEqual(gotCols.Conds, want.Conds) {
+			t.Fatalf("trial %d: columnar pruneRule diverged: got %v want %v (from %v)",
+				trial, gotCols.Conds, want.Conds, conds)
+		}
+	}
+}

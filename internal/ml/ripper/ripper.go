@@ -75,8 +75,19 @@ var (
 	_ ml.IntoProber = (*RuleSet)(nil)
 )
 
-// Fit implements ml.Learner.
+// Fit implements ml.Learner. Rule induction runs on the dataset's shared
+// column-major view: FOIL gain for every (attribute, value) candidate
+// comes from AND+popcount of the rule-coverage bitset with posting
+// bitsets, and pruning evaluates all condition prefixes incrementally.
 func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
+	return l.fitWith(ds, target, ds.Columns())
+}
+
+// fitWith induces the rule list with the columnar kernels when cols is
+// non-nil, or with the naive row-major reference path otherwise. The two
+// paths are pinned bit-identical by differential tests (the grow/prune
+// shuffle consumes the seeded rng identically in both).
+func (l *Learner) fitWith(ds *ml.Dataset, target int, cols *ml.Columns) (ml.Classifier, error) {
 	if target < 0 || target >= len(ds.Attrs) {
 		return nil, fmt.Errorf("ripper: target %d outside schema of %d attributes", target, len(ds.Attrs))
 	}
@@ -89,6 +100,7 @@ func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
 	}
 	classes := ds.Attrs[target].Card
 	rs := &RuleSet{Target: target, Classes: classes}
+	f := newFitter(l, ds, target, cols)
 
 	// Order classes by ascending frequency; the most frequent is default.
 	counts := ds.ClassCounts(target)
@@ -113,7 +125,7 @@ func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
 		if counts[cls] == 0 {
 			continue
 		}
-		remaining = l.coverClass(ds, target, cls, remaining, rs, rng)
+		remaining = f.coverClass(cls, remaining, rs, rng)
 	}
 
 	// Default rule: histogram of the leftovers (or global counts if empty).
@@ -135,19 +147,101 @@ func (l *Learner) Fit(ds *ml.Dataset, target int) (ml.Classifier, error) {
 
 	// Final pass: refresh every rule's coverage histogram against the full
 	// ordered list semantics (first-match) on the whole training set.
-	rs.recount(ds)
+	if cols != nil {
+		rs.recountCols(cols)
+	} else {
+		rs.recount(ds)
+	}
 	return rs, nil
+}
+
+// fitter carries one fit's context and (for the columnar path) its reused
+// bitset scratch. Each induction step dispatches to the columnar kernel
+// when cols is non-nil and to the naive reference function otherwise.
+type fitter struct {
+	l      *Learner
+	ds     *ml.Dataset
+	target int
+	cols   *ml.Columns
+	// cov/pos hold the grow-set rule coverage and its positive subset
+	// during growRule; set/tmp serve pruning, coverage and filtering.
+	cov, pos, set, tmp ml.Bitset
+	// tcol is the target column; tallyCut is the coverage size below which
+	// growRuleCols switches from popcount kernels to row tallies (the
+	// popcount cost per attribute is ~card × words, the tally cost ~|cov|).
+	tcol     []int32
+	tallyCut int
+	// rowBuf, pv, nv and fixed are growRuleCols scratch.
+	rowBuf []int
+	pv, nv []int
+	fixed  []bool
+}
+
+func newFitter(l *Learner, ds *ml.Dataset, target int, cols *ml.Columns) *fitter {
+	f := &fitter{l: l, ds: ds, target: target, cols: cols}
+	if cols != nil {
+		f.cov = ml.NewBitset(cols.NumRows)
+		f.pos = ml.NewBitset(cols.NumRows)
+		f.set = ml.NewBitset(cols.NumRows)
+		f.tmp = ml.NewBitset(cols.NumRows)
+		f.tcol = cols.Cols[target]
+		maxCard, totalCard := 1, 0
+		for _, at := range ds.Attrs {
+			totalCard += at.Card
+			if at.Card > maxCard {
+				maxCard = at.Card
+			}
+		}
+		words := (cols.NumRows + 63) / 64
+		f.tallyCut = totalCard / len(ds.Attrs) * words
+		f.rowBuf = make([]int, 0, cols.NumRows)
+		f.pv = make([]int, maxCard)
+		f.nv = make([]int, maxCard)
+		f.fixed = make([]bool, len(ds.Attrs))
+	}
+	return f
+}
+
+func (f *fitter) growRule(cls int, grow []int) *Rule {
+	if f.cols != nil {
+		return f.growRuleCols(cls, grow)
+	}
+	return f.l.growRule(f.ds, f.target, cls, grow)
+}
+
+func (f *fitter) pruneRule(cls int, rule *Rule, prune []int) {
+	if f.cols != nil {
+		f.pruneRuleCols(cls, rule, prune)
+		return
+	}
+	pruneRule(f.ds, f.target, cls, rule, prune)
+}
+
+func (f *fitter) coverage(cls int, rule *Rule, rows []int) (p, n int) {
+	if f.cols != nil {
+		return f.coverageCols(cls, rule, rows)
+	}
+	return coverage(f.ds, f.target, cls, rule, rows)
 }
 
 // coverClass induces rules for cls until the positives among remaining are
 // covered or rule quality degrades; it returns the uncovered instances.
-func (l *Learner) coverClass(ds *ml.Dataset, target, cls int, remaining []int, rs *RuleSet, rng *rand.Rand) []int {
+func (f *fitter) coverClass(cls int, remaining []int, rs *RuleSet, rng *rand.Rand) []int {
+	l, ds, target := f.l, f.ds, f.target
 	added := 0
 	for {
 		pos := 0
-		for _, i := range remaining {
-			if ds.X[i][target] == cls {
-				pos++
+		if f.tcol != nil {
+			for _, i := range remaining {
+				if int(f.tcol[i]) == cls {
+					pos++
+				}
+			}
+		} else {
+			for _, i := range remaining {
+				if ds.X[i][target] == cls {
+					pos++
+				}
 			}
 		}
 		if pos == 0 {
@@ -157,20 +251,20 @@ func (l *Learner) coverClass(ds *ml.Dataset, target, cls int, remaining []int, r
 			return remaining
 		}
 		grow, prune := split(remaining, l.GrowFrac, rng)
-		rule := l.growRule(ds, target, cls, grow)
+		rule := f.growRule(cls, grow)
 		if rule == nil {
 			return remaining
 		}
-		pruneRule(ds, target, cls, rule, prune)
+		f.pruneRule(cls, rule, prune)
 		// Accept only if the rule is better than chance on the prune set
 		// (Cohen's stopping criterion: error rate <= 50%).
-		p, n := coverage(ds, target, cls, rule, prune)
+		p, n := f.coverage(cls, rule, prune)
 		if p+n > 0 && float64(n)/float64(p+n) > 0.5 {
 			return remaining
 		}
 		if p+n == 0 {
 			// No prune data matched; fall back to the grow set estimate.
-			gp, gn := coverage(ds, target, cls, rule, grow)
+			gp, gn := f.coverage(cls, rule, grow)
 			if gp == 0 || float64(gn)/float64(gp+gn) > 0.5 {
 				return remaining
 			}
@@ -179,9 +273,18 @@ func (l *Learner) coverClass(ds *ml.Dataset, target, cls int, remaining []int, r
 		added++
 		// Remove covered instances from remaining.
 		out := remaining[:0]
-		for _, i := range remaining {
-			if !rule.Matches(ds.X[i]) {
-				out = append(out, i)
+		if f.cols != nil {
+			rb := f.ruleBits(rule)
+			for _, i := range remaining {
+				if !rb.Contains(i) {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range remaining {
+				if !rule.Matches(ds.X[i]) {
+					out = append(out, i)
+				}
 			}
 		}
 		if len(out) == len(remaining) {
@@ -271,36 +374,64 @@ func (l *Learner) growRule(ds *ml.Dataset, target, cls int, grow []int) *Rule {
 }
 
 // pruneRule greedily deletes trailing conditions while the pruning metric
-// v = (p - n) / (p + n) on the prune set does not decrease.
+// v = (p - n) / (p + n) on the prune set does not decrease. Every prefix's
+// metric comes from one pass over the prune rows — each row's first
+// failing condition index is histogrammed, and prefix coverage falls out
+// as suffix sums — instead of a full rescan per candidate prefix, which
+// was quadratic in conditions × prune rows.
 func pruneRule(ds *ml.Dataset, target, cls int, rule *Rule, prune []int) {
-	if len(prune) == 0 {
+	k := len(rule.Conds)
+	if len(prune) == 0 || k <= 1 {
 		return
 	}
-	metric := func(conds []Cond) float64 {
-		p, n := 0, 0
-	outer:
-		for _, i := range prune {
-			for _, c := range conds {
-				if ds.X[i][c.Attr] != c.Val {
-					continue outer
-				}
-			}
-			if ds.X[i][target] == cls {
-				p++
-			} else {
-				n++
+	// A row matches the prefix Conds[:j] iff its first failing condition
+	// index is >= j (k means the row matches the whole rule).
+	posAt := make([]int, k+1)
+	negAt := make([]int, k+1)
+	for _, i := range prune {
+		x := ds.X[i]
+		fail := k
+		for j, c := range rule.Conds {
+			if x[c.Attr] != c.Val {
+				fail = j
+				break
 			}
 		}
-		if p+n == 0 {
-			return math.Inf(-1)
+		if x[target] == cls {
+			posAt[fail]++
+		} else {
+			negAt[fail]++
 		}
-		return float64(p-n) / float64(p+n)
 	}
+	metric := prefixMetrics(posAt, negAt)
+	trimByMetric(rule, metric)
+}
+
+// prefixMetrics converts first-fail histograms into the pruning metric of
+// every condition prefix: metric[j] is (p-n)/(p+n) over the rows matching
+// Conds[:j], or -Inf when none do.
+func prefixMetrics(posAt, negAt []int) []float64 {
+	metric := make([]float64, len(posAt))
+	p, n := 0, 0
+	for j := len(posAt) - 1; j >= 0; j-- {
+		p += posAt[j]
+		n += negAt[j]
+		if p+n == 0 {
+			metric[j] = math.Inf(-1)
+		} else {
+			metric[j] = float64(p-n) / float64(p+n)
+		}
+	}
+	return metric
+}
+
+// trimByMetric applies the greedy trailing-condition deletion given the
+// precomputed per-prefix metrics.
+func trimByMetric(rule *Rule, metric []float64) {
 	for len(rule.Conds) > 1 {
-		cur := metric(rule.Conds)
-		trimmed := rule.Conds[:len(rule.Conds)-1]
-		if metric(trimmed) >= cur {
-			rule.Conds = trimmed
+		k := len(rule.Conds)
+		if metric[k-1] >= metric[k] {
+			rule.Conds = rule.Conds[:k-1]
 			continue
 		}
 		break
