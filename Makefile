@@ -1,12 +1,24 @@
 GO ?= go
 
-.PHONY: ci build test vet race short fuzz bench bench-train train-smoke
+.PHONY: ci build test vet race short fuzz bench bench-train train-smoke fmt serve-chaos
 
-# ci is the full gate: static analysis, a clean build of every package and
-# the test suite under the race detector, plus a smoke pass over the
-# training-path differential tests and a one-iteration spin of the
-# training benchmarks so a broken fast path fails fast.
-ci: vet build race train-smoke
+# ci is the full gate: formatting and static analysis, a clean build of
+# every package and the test suite under the race detector, plus a smoke
+# pass over the training-path differential tests, a one-iteration spin of
+# the training benchmarks so a broken fast path fails fast, and a soak of
+# the serving chaos suite.
+ci: fmt vet build race train-smoke serve-chaos
+
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# serve-chaos soaks the scoring-service chaos tests (overload bursts,
+# corrupt reloads, slow/aborted clients, drain) under the race detector;
+# -count=3 reruns shake out timing-dependent flakes.
+serve-chaos:
+	$(GO) test -race -run 'TestChaos' -count=3 -timeout 120s ./internal/serve/...
 
 # train-smoke re-runs the columnar-vs-naive differential tests and gives
 # each training benchmark a single iteration; it exists so `make ci`

@@ -1,11 +1,9 @@
 package main
 
 import (
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 
 	"crossfeature/internal/core"
 	"crossfeature/internal/eval"
@@ -28,15 +26,9 @@ func curve(args []string, w io.Writer) error {
 	if *normalIn == "" || *attackIn == "" {
 		return fmt.Errorf("-normal and -attack are required")
 	}
-	f, err := os.Open(*model)
+	mf, err := core.LoadBundleFile(*model)
 	if err != nil {
 		return err
-	}
-	defer f.Close()
-	core.RegisterGobModels()
-	var mf modelFile
-	if err := gob.NewDecoder(f).Decode(&mf); err != nil {
-		return fmt.Errorf("decode model: %w", err)
 	}
 
 	var events []eval.Scored

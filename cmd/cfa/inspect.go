@@ -1,11 +1,9 @@
 package main
 
 import (
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 
 	"crossfeature/internal/core"
@@ -25,15 +23,9 @@ func inspect(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := os.Open(*model)
+	mf, err := core.LoadBundleFile(*model)
 	if err != nil {
 		return err
-	}
-	defer f.Close()
-	core.RegisterGobModels()
-	var mf modelFile
-	if err := gob.NewDecoder(f).Decode(&mf); err != nil {
-		return fmt.Errorf("decode model: %w", err)
 	}
 	a := mf.Analyzer
 	attrName := func(i int) string {

@@ -11,10 +11,13 @@
 //
 // Detect prints one line per record: time, score and the normal/anomaly
 // verdict at the calibrated threshold.
+//
+// Serve a trained model over HTTP with load-shedding and hot reload:
+//
+//	cfa serve -model model.bin -addr :8080
 package main
 
 import (
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"io"
@@ -25,15 +28,6 @@ import (
 	"crossfeature/internal/features"
 )
 
-// modelFile is the serialised bundle cfa train emits: the analyzer, its
-// discretiser and the calibrated threshold.
-type modelFile struct {
-	Analyzer    *core.Analyzer
-	Discretizer *features.Discretizer
-	Threshold   float64
-	Scorer      core.Scorer
-}
-
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cfa:", err)
@@ -43,7 +37,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: cfa <train|detect|curve|inspect> [flags]")
+		return fmt.Errorf("usage: cfa <train|detect|curve|inspect|serve> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -54,8 +48,10 @@ func run(args []string, w io.Writer) error {
 		return curve(args[1:], w)
 	case "inspect":
 		return inspect(args[1:], w)
+	case "serve":
+		return serveCmd(args[1:], w)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want train, detect, curve or inspect)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want train, detect, curve, inspect or serve)", args[0])
 	}
 }
 
@@ -109,26 +105,23 @@ func train(args []string, w io.Writer) error {
 		return err
 	}
 	scores := analyzer.ScoreAll(ds.X, sc)
-	mf := modelFile{
+	th, dropped := core.Calibrate(scores, *far)
+	if dropped > 0 {
+		fmt.Fprintf(w, "warning: dropped %d non-finite scores during calibration\n", dropped)
+	}
+	b := &core.Bundle{
 		Analyzer:    analyzer,
 		Discretizer: disc,
-		Threshold:   core.Threshold(scores, *far),
+		Threshold:   th,
 		Scorer:      sc,
 	}
-	f, err := os.Create(*model)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	core.RegisterGobModels()
-	if err := gob.NewEncoder(f).Encode(&mf); err != nil {
-		return fmt.Errorf("encode model: %w", err)
-	}
-	if err := f.Close(); err != nil {
+	// SaveFile writes a checksummed snapshot via temp-file + rename, so a
+	// crash mid-write never leaves a half-written model behind.
+	if err := b.SaveFile(*model); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "trained %s detector: %d sub-models on %d records, threshold %.4f -> %s\n",
-		learner.Name(), analyzer.NumModels(), len(rows), mf.Threshold, *model)
+		learner.Name(), analyzer.NumModels(), len(rows), b.Threshold, *model)
 	return nil
 }
 
@@ -144,15 +137,9 @@ func detect(args []string, w io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	f, err := os.Open(*model)
+	mf, err := core.LoadBundleFile(*model)
 	if err != nil {
 		return err
-	}
-	defer f.Close()
-	core.RegisterGobModels()
-	var mf modelFile
-	if err := gob.NewDecoder(f).Decode(&mf); err != nil {
-		return fmt.Errorf("decode model: %w", err)
 	}
 	th := mf.Threshold
 	if *threshold >= 0 {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crossfeature/internal/serve"
+)
+
+// serveCmd runs the hardened scoring service: it loads and validates the
+// model before binding the listen socket (so a bad model is a clean
+// startup failure, not a flapping endpoint), then serves until SIGINT or
+// SIGTERM triggers a graceful drain. SIGHUP hot-reloads the model file.
+func serveCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cfa serve", flag.ContinueOnError)
+	model := fs.String("model", "model.bin", "model path from cfa train")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	concurrency := fs.Int("concurrency", 0, "max in-flight score requests (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max queued score requests beyond the in-flight limit (0 = default)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+	maxStreams := fs.Int("max-streams", 1024, "per-stream detector states kept before LRU eviction")
+	smoothing := fs.Float64("smoothing", 0, "EWMA smoothing factor for online detectors (0 = default)")
+	raiseAfter := fs.Int("raise-after", 0, "consecutive low scores before an alarm raises (0 = default)")
+	clearAfter := fs.Int("clear-after", 0, "consecutive high scores before an alarm clears (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		ModelPath:      *model,
+		MaxConcurrent:  *concurrency,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		MaxStreams:     *maxStreams,
+		Smoothing:      *smoothing,
+		RaiseAfter:     *raiseAfter,
+		ClearAfter:     *clearAfter,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "cfa serve: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if err := srv.Reload(); err != nil {
+					fmt.Fprintln(os.Stderr, "cfa serve: reload:", err)
+				} else {
+					fmt.Fprintln(os.Stderr, "cfa serve: model reloaded")
+				}
+			}
+		}
+	}()
+
+	fmt.Fprintf(w, "cfa serve: listening on %s (model %s; SIGHUP reloads, SIGTERM drains)\n",
+		ln.Addr(), *model)
+	return srv.Run(ctx, ln)
+}

@@ -352,14 +352,25 @@ func (a *Analyzer) ScoreAll(xs [][]int, s Scorer) []float64 {
 // strict "score < threshold" alarm rule, identical normal scores are never
 // flagged. The returned threshold is always a finite number.
 func Threshold(normalScores []float64, falseAlarmRate float64) float64 {
+	th, _ := Calibrate(normalScores, falseAlarmRate)
+	return th
+}
+
+// Calibrate is Threshold with visibility into degenerate calibration: it
+// additionally reports how many non-finite scores were dropped from the
+// normal sample, so callers can warn the operator that the model is
+// emitting NaN/Inf on its own training data instead of silently
+// calibrating on the survivors.
+func Calibrate(normalScores []float64, falseAlarmRate float64) (threshold float64, dropped int) {
 	sorted := make([]float64, 0, len(normalScores))
 	for _, s := range normalScores {
 		if !math.IsNaN(s) && !math.IsInf(s, 0) {
 			sorted = append(sorted, s)
 		}
 	}
+	dropped = len(normalScores) - len(sorted)
 	if len(sorted) == 0 {
-		return 0
+		return 0, dropped
 	}
 	if math.IsNaN(falseAlarmRate) || falseAlarmRate < 0 {
 		falseAlarmRate = 0
@@ -372,7 +383,7 @@ func Threshold(normalScores []float64, falseAlarmRate float64) float64 {
 	if idx >= len(sorted) {
 		idx = len(sorted) - 1
 	}
-	return sorted[idx]
+	return sorted[idx], dropped
 }
 
 // Detector couples an analyzer with a scorer and calibrated threshold

@@ -262,3 +262,20 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestCalibrateCountsDroppedScores(t *testing.T) {
+	scores := []float64{0.2, math.NaN(), 0.4, math.Inf(1), 0.6, math.Inf(-1), 0.8}
+	th, dropped := Calibrate(scores, 0)
+	if dropped != 3 {
+		t.Errorf("dropped = %d, want 3", dropped)
+	}
+	if th != 0.2 {
+		t.Errorf("threshold = %v, want 0.2", th)
+	}
+	if th2 := Threshold(scores, 0); th2 != th {
+		t.Errorf("Threshold disagrees with Calibrate: %v != %v", th2, th)
+	}
+	if th, dropped := Calibrate([]float64{math.NaN()}, 0.1); th != 0 || dropped != 1 {
+		t.Errorf("all-NaN calibration = (%v, %d), want (0, 1)", th, dropped)
+	}
+}

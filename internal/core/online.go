@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // OnlineDetector wraps a Detector for streaming deployment on a live
 // audit feed: scores are smoothed with an exponentially weighted moving
@@ -28,6 +31,7 @@ type OnlineDetector struct {
 	alarm       bool
 	records     uint64
 	alarms      uint64
+	invalid     uint64
 }
 
 // NewOnlineDetector wraps det with default smoothing (0.5) and 3-record
@@ -47,25 +51,35 @@ type State struct {
 
 // Observe consumes one discretised audit record and returns the updated
 // state.
+//
+// A non-finite score — possible when a degenerate sub-model emits NaN
+// probabilities — is treated as anomalous: it counts toward the raise
+// hysteresis like any sub-threshold record, but is kept out of the EWMA
+// so one poisoned record cannot turn the smoothed state NaN forever.
 func (o *OnlineDetector) Observe(x []int) State {
 	o.records++
 	raw := o.det.Score(x)
-	alpha := o.Smoothing
-	if alpha <= 0 || alpha > 1 {
-		alpha = 0.5
-	}
-	if !o.initialized {
-		o.ewma = raw
-		o.initialized = true
+	finite := !math.IsNaN(raw) && !math.IsInf(raw, 0)
+	if finite {
+		alpha := o.Smoothing
+		if alpha <= 0 || alpha > 1 {
+			alpha = 0.5
+		}
+		if !o.initialized {
+			o.ewma = raw
+			o.initialized = true
+		} else {
+			o.ewma = alpha*raw + (1-alpha)*o.ewma
+		}
 	} else {
-		o.ewma = alpha*raw + (1-alpha)*o.ewma
+		o.invalid++
 	}
 	st := State{Score: raw, Smoothed: o.ewma, Alarm: o.alarm}
 
 	// Hysteresis counts raw per-record decisions: a single deep outlier
 	// must not satisfy the "consecutive anomalous records" requirement by
 	// dragging the smoothed score under the threshold for several steps.
-	if raw < o.det.Threshold {
+	if !finite || raw < o.det.Threshold {
 		o.anomRun++
 		o.normRun = 0
 	} else {
@@ -98,6 +112,20 @@ func (o *OnlineDetector) Alarm() bool { return o.alarm }
 
 // Stats reports (records observed, alarms raised).
 func (o *OnlineDetector) Stats() (records, alarms uint64) { return o.records, o.alarms }
+
+// Invalid reports how many observed records scored non-finite.
+func (o *OnlineDetector) Invalid() uint64 { return o.invalid }
+
+// SwapDetector replaces the underlying detector in place — the hot model
+// reload path — while preserving the stream's smoothed score, hysteresis
+// runs and alarm condition, so a reload mid-incident neither silences an
+// active alarm nor re-pages for one already raised. A nil detector is
+// ignored.
+func (o *OnlineDetector) SwapDetector(det *Detector) {
+	if det != nil {
+		o.det = det
+	}
+}
 
 // Reset returns the detector to its initial state.
 func (o *OnlineDetector) Reset() {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
+	"crossfeature/internal/ml"
 	"crossfeature/internal/ml/nbayes"
 )
 
@@ -118,4 +120,164 @@ func TestOnlineSmoothingTracksRaw(t *testing.T) {
 			t.Fatalf("smoothing=1 but smoothed %v != raw %v", st.Smoothed, st.Score)
 		}
 	}
+}
+
+// scriptedDetector builds an OnlineDetector whose per-record verdicts the
+// test controls exactly: a single binary sub-model predicting class 0
+// with certainty, threshold 0.5, MatchCount scoring. Event [0] scores 1
+// (normal), event [1] scores 0 (anomalous).
+func scriptedDetector() *OnlineDetector {
+	a := &Analyzer{
+		Attrs:  []ml.Attr{{Name: "f", Card: 2}},
+		Models: []ml.Classifier{fixedClassifier{[]float64{0.9, 0.1}}},
+	}
+	return NewOnlineDetector(&Detector{Analyzer: a, Scorer: MatchCount, Threshold: 0.5})
+}
+
+var lowRec, highRec = []int{1}, []int{0}
+
+func TestHysteresisExactRaiseBoundary(t *testing.T) {
+	o := scriptedDetector()
+	// Exactly RaiseAfter-1 consecutive anomalous records must not alarm.
+	for i := 0; i < o.RaiseAfter-1; i++ {
+		if st := o.Observe(lowRec); st.Alarm || st.Raised {
+			t.Fatalf("alarmed after %d of %d records", i+1, o.RaiseAfter)
+		}
+	}
+	// The RaiseAfter-th does, and exactly once.
+	st := o.Observe(lowRec)
+	if !st.Raised || !st.Alarm {
+		t.Fatalf("record %d did not raise: %+v", o.RaiseAfter, st)
+	}
+	if st := o.Observe(lowRec); st.Raised {
+		t.Error("alarm re-raised while already up")
+	}
+}
+
+func TestHysteresisExactClearBoundary(t *testing.T) {
+	o := scriptedDetector()
+	for i := 0; i < o.RaiseAfter; i++ {
+		o.Observe(lowRec)
+	}
+	if !o.Alarm() {
+		t.Fatal("setup: alarm not raised")
+	}
+	// ClearAfter-1 consecutive normal records must leave the alarm up.
+	for i := 0; i < o.ClearAfter-1; i++ {
+		if st := o.Observe(highRec); !st.Alarm || st.Cleared {
+			t.Fatalf("cleared after %d of %d records", i+1, o.ClearAfter)
+		}
+	}
+	// Exactly ClearAfter highs clear it.
+	st := o.Observe(highRec)
+	if !st.Cleared || st.Alarm {
+		t.Fatalf("record %d did not clear: %+v", o.ClearAfter, st)
+	}
+}
+
+func TestHysteresisAlternatingNeverLatches(t *testing.T) {
+	o := scriptedDetector()
+	for i := 0; i < 200; i++ {
+		rec := highRec
+		if i%2 == 0 {
+			rec = lowRec
+		}
+		if st := o.Observe(rec); st.Alarm || st.Raised {
+			t.Fatalf("alternating stream latched the alarm at record %d", i)
+		}
+	}
+	// A broken run resets the count: RaiseAfter-1 lows, one high, then
+	// RaiseAfter-1 lows again must not alarm either.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < o.RaiseAfter-1; i++ {
+			if st := o.Observe(lowRec); st.Alarm {
+				t.Fatal("non-consecutive lows latched the alarm")
+			}
+		}
+		o.Observe(highRec)
+	}
+}
+
+// nanClassifier poisons its class distribution with NaN.
+type nanClassifier struct{}
+
+func (nanClassifier) PredictProba([]int) []float64 {
+	return []float64{math.NaN(), math.NaN()}
+}
+
+func TestObserveNaNScoreIsAnomalousNotPoisonous(t *testing.T) {
+	good := fixedClassifier{[]float64{0.9, 0.1}}
+	a := &Analyzer{
+		Attrs:  []ml.Attr{{Name: "f", Card: 2}},
+		Models: []ml.Classifier{good},
+	}
+	o := NewOnlineDetector(&Detector{Analyzer: a, Scorer: Probability, Threshold: 0.5})
+
+	// Establish a healthy smoothed state.
+	for i := 0; i < 5; i++ {
+		o.Observe(highRec)
+	}
+	before := o.Observe(highRec).Smoothed
+	if math.IsNaN(before) {
+		t.Fatal("setup: smoothed state already NaN")
+	}
+
+	// Swap in a NaN-emitting sub-model: scores go non-finite.
+	a.Models[0] = nanClassifier{}
+	var st State
+	for i := 0; i < o.RaiseAfter; i++ {
+		st = o.Observe(highRec)
+		if !math.IsNaN(st.Score) {
+			t.Fatalf("fixture: expected NaN score, got %v", st.Score)
+		}
+		if math.IsNaN(st.Smoothed) {
+			t.Fatal("NaN score poisoned the smoothed state")
+		}
+	}
+	if !st.Alarm {
+		t.Error("sustained NaN scores did not raise the alarm")
+	}
+	if got := o.Invalid(); got != uint64(o.RaiseAfter) {
+		t.Errorf("Invalid() = %d, want %d", got, o.RaiseAfter)
+	}
+
+	// Recovery: healthy records clear the alarm and the EWMA picks up
+	// from its pre-poisoning value.
+	a.Models[0] = good
+	for i := 0; i < o.ClearAfter; i++ {
+		st = o.Observe(highRec)
+	}
+	if st.Alarm {
+		t.Error("alarm did not clear after recovery from NaN scores")
+	}
+	if math.IsNaN(st.Smoothed) || st.Smoothed < before {
+		t.Errorf("smoothed state did not recover: %v (before %v)", st.Smoothed, before)
+	}
+}
+
+func TestSwapDetectorPreservesState(t *testing.T) {
+	o := scriptedDetector()
+	for i := 0; i < o.RaiseAfter; i++ {
+		o.Observe(lowRec)
+	}
+	if !o.Alarm() {
+		t.Fatal("setup: alarm not raised")
+	}
+	smoothedBefore := o.Observe(lowRec).Smoothed
+
+	// Hot-swap to a retrained detector (same schema, new threshold).
+	a2 := &Analyzer{
+		Attrs:  []ml.Attr{{Name: "f", Card: 2}},
+		Models: []ml.Classifier{fixedClassifier{[]float64{0.8, 0.2}}},
+	}
+	o.SwapDetector(&Detector{Analyzer: a2, Scorer: MatchCount, Threshold: 0.4})
+	if !o.Alarm() {
+		t.Error("swap dropped the active alarm")
+	}
+	st := o.Observe(lowRec)
+	if math.Abs(st.Smoothed-smoothedBefore/2) > 1e-12 {
+		t.Errorf("swap reset the EWMA: got %v", st.Smoothed)
+	}
+	o.SwapDetector(nil) // must be a no-op, not a panic
+	o.Observe(highRec)
 }

@@ -1,64 +1,277 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 
+	"crossfeature/internal/features"
 	"crossfeature/internal/ml/c45"
 	"crossfeature/internal/ml/nbayes"
 	"crossfeature/internal/ml/ripper"
 )
 
+// Snapshot files carry a fixed header in front of the gob payload so a
+// loader can tell a valid model from a truncated, corrupted or
+// foreign/legacy file *before* handing bytes to gob (whose decoder
+// panics or misbehaves on garbage). Layout, all integers big-endian:
+//
+//	offset size
+//	0      4    magic "CFAS"
+//	4      2    format version (currently 1)
+//	6      4    CRC32-C (Castagnoli) of the payload
+//	10     8    payload length in bytes
+//	18     n    gob payload
+//
+// The file must end exactly at the payload: trailing bytes are treated
+// as corruption, as is any length or checksum mismatch.
+const (
+	snapshotMagic   = "CFAS"
+	snapshotVersion = 1
+	snapshotHdrLen  = 18
+	// snapshotMaxLen caps the declared payload length so a corrupt header
+	// cannot drive a multi-gigabyte allocation.
+	snapshotMaxLen = 1 << 31
+)
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrSnapshotFormat marks files that are not versioned cfa snapshots at
+// all: wrong magic (legacy raw-gob model files, arbitrary files) or a
+// format version newer than this binary understands.
+var ErrSnapshotFormat = errors.New("unrecognised model snapshot format")
+
+// ErrSnapshotCorrupt marks files that carry the snapshot header but fail
+// validation: truncated payload, checksum mismatch, trailing garbage or
+// an undecodable payload.
+var ErrSnapshotCorrupt = errors.New("model snapshot corrupt")
+
+// persistFailpoint, when set, is invoked after the temp file's payload is
+// written but before it is renamed into place. The chaos tests use it to
+// simulate a crash mid-write and assert the destination is untouched.
+var persistFailpoint func() error
+
 // RegisterGobModels makes the concrete classifier types gob-encodable
-// behind the ml.Classifier interface. Save/Load call it automatically;
-// callers embedding an Analyzer in their own gob streams must call it
-// before encoding or decoding.
+// behind the ml.Classifier interface. The snapshot codec calls it
+// automatically; callers embedding an Analyzer in their own gob streams
+// must call it before encoding or decoding.
 func RegisterGobModels() {
 	gob.Register(&c45.Tree{})
 	gob.Register(&ripper.RuleSet{})
 	gob.Register(&nbayes.Model{})
 }
 
-// Save serialises the analyzer with encoding/gob.
-func (a *Analyzer) Save(w io.Writer) error {
+// WriteSnapshot writes v as a versioned, checksummed snapshot.
+func WriteSnapshot(w io.Writer, v any) error {
 	RegisterGobModels()
-	if err := gob.NewEncoder(w).Encode(a); err != nil {
-		return fmt.Errorf("core: encode analyzer: %w", err)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	var hdr [snapshotHdrLen]byte
+	copy(hdr[:4], snapshotMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], snapshotVersion)
+	binary.BigEndian.PutUint32(hdr[6:10], crc32.Checksum(payload.Bytes(), snapshotCRC))
+	binary.BigEndian.PutUint64(hdr[10:18], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: write snapshot header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("core: write snapshot payload: %w", err)
 	}
 	return nil
 }
 
+// ReadSnapshot validates a snapshot written by WriteSnapshot — magic,
+// version, length, checksum — and only then gob-decodes the payload into
+// v. Every failure mode maps to ErrSnapshotFormat or ErrSnapshotCorrupt
+// so callers can distinguish "not one of ours" from "damaged".
+func ReadSnapshot(r io.Reader, v any) error {
+	RegisterGobModels()
+	var hdr [snapshotHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: header truncated (%v)", ErrSnapshotCorrupt, err)
+	}
+	if string(hdr[:4]) != snapshotMagic {
+		return fmt.Errorf("%w: bad magic %q (legacy unversioned model file?)", ErrSnapshotFormat, hdr[:4])
+	}
+	if ver := binary.BigEndian.Uint16(hdr[4:6]); ver != snapshotVersion {
+		return fmt.Errorf("%w: snapshot version %d, this build reads version %d",
+			ErrSnapshotFormat, ver, snapshotVersion)
+	}
+	wantCRC := binary.BigEndian.Uint32(hdr[6:10])
+	length := binary.BigEndian.Uint64(hdr[10:18])
+	if length > snapshotMaxLen {
+		return fmt.Errorf("%w: implausible payload length %d", ErrSnapshotCorrupt, length)
+	}
+	payload := bytes.NewBuffer(make([]byte, 0, int(length)))
+	n, err := io.Copy(payload, io.LimitReader(r, int64(length)))
+	if err != nil {
+		return fmt.Errorf("%w: reading payload: %v", ErrSnapshotCorrupt, err)
+	}
+	if uint64(n) < length {
+		return fmt.Errorf("%w: payload truncated at %d of %d bytes", ErrSnapshotCorrupt, n, length)
+	}
+	if extra, _ := io.CopyN(io.Discard, r, 1); extra != 0 {
+		return fmt.Errorf("%w: trailing data after %d-byte payload", ErrSnapshotCorrupt, length)
+	}
+	if got := crc32.Checksum(payload.Bytes(), snapshotCRC); got != wantCRC {
+		return fmt.Errorf("%w: checksum mismatch (file %08x, payload %08x)", ErrSnapshotCorrupt, wantCRC, got)
+	}
+	if err := gob.NewDecoder(payload).Decode(v); err != nil {
+		return fmt.Errorf("%w: decode payload: %v", ErrSnapshotCorrupt, err)
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes v to path atomically: the snapshot goes to a
+// temp file in the same directory, is flushed to disk, and only then
+// renamed over path. A crash (or failure) at any point leaves either the
+// old file or the new one in place — never a half-written model.
+func WriteSnapshotFile(path string, v any) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: create temp model file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = WriteSnapshot(tmp, v); err != nil {
+		return err
+	}
+	if persistFailpoint != nil {
+		if err = persistFailpoint(); err != nil {
+			return fmt.Errorf("core: write model file: %w", err)
+		}
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("core: sync model file: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("core: close model file: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: install model file: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadSnapshotFile reads a snapshot written by WriteSnapshotFile. Errors
+// carry the path and stay on one line, fit for an operator-facing CLI.
+func ReadSnapshotFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: open model file: %w", err)
+	}
+	defer f.Close()
+	if err := ReadSnapshot(f, v); err != nil {
+		return fmt.Errorf("model %s: %w", path, err)
+	}
+	return nil
+}
+
+// Save serialises the analyzer as a versioned snapshot.
+func (a *Analyzer) Save(w io.Writer) error {
+	return WriteSnapshot(w, a)
+}
+
 // Load deserialises an analyzer written by Save.
 func Load(r io.Reader) (*Analyzer, error) {
-	RegisterGobModels()
 	var a Analyzer
-	if err := gob.NewDecoder(r).Decode(&a); err != nil {
-		return nil, fmt.Errorf("core: decode analyzer: %w", err)
+	if err := ReadSnapshot(r, &a); err != nil {
+		return nil, err
 	}
 	return &a, nil
 }
 
-// SaveFile writes the analyzer to path.
+// SaveFile writes the analyzer to path atomically.
 func (a *Analyzer) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("core: create model file: %w", err)
-	}
-	defer f.Close()
-	if err := a.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return WriteSnapshotFile(path, a)
 }
 
 // LoadFile reads an analyzer from path.
 func LoadFile(path string) (*Analyzer, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("core: open model file: %w", err)
+	var a Analyzer
+	if err := ReadSnapshotFile(path, &a); err != nil {
+		return nil, err
 	}
-	defer f.Close()
-	return Load(f)
+	return &a, nil
+}
+
+// Bundle is the deployable model artifact `cfa train` emits and the
+// scoring paths (`cfa detect/curve/inspect/serve`) consume: the trained
+// analyzer, the discretiser that maps raw audit vectors onto its schema,
+// and the calibrated operating point.
+type Bundle struct {
+	Analyzer    *Analyzer
+	Discretizer *features.Discretizer
+	Threshold   float64
+	Scorer      Scorer
+}
+
+// Validate checks the structural invariants a loaded bundle must satisfy
+// before it may serve traffic. Load goes through this, so a snapshot that
+// decodes but is semantically hollow (nil analyzer, no sub-models, schema
+// mismatch, non-finite threshold) is rejected like any other corruption.
+func (b *Bundle) Validate() error {
+	switch {
+	case b.Analyzer == nil:
+		return fmt.Errorf("%w: bundle has no analyzer", ErrSnapshotCorrupt)
+	case b.Analyzer.NumModels() == 0:
+		return fmt.Errorf("%w: bundle analyzer has no sub-models", ErrSnapshotCorrupt)
+	case b.Discretizer == nil:
+		return fmt.Errorf("%w: bundle has no discretizer", ErrSnapshotCorrupt)
+	case len(b.Discretizer.Cuts) != len(b.Analyzer.Attrs):
+		return fmt.Errorf("%w: discretizer width %d does not match analyzer schema %d",
+			ErrSnapshotCorrupt, len(b.Discretizer.Cuts), len(b.Analyzer.Attrs))
+	case math.IsNaN(b.Threshold) || math.IsInf(b.Threshold, 0):
+		return fmt.Errorf("%w: non-finite threshold %v", ErrSnapshotCorrupt, b.Threshold)
+	case b.Scorer != MatchCount && b.Scorer != Probability:
+		return fmt.Errorf("%w: unknown scorer %d", ErrSnapshotCorrupt, int(b.Scorer))
+	}
+	return nil
+}
+
+// Detector builds the bundle's detector at its calibrated threshold.
+func (b *Bundle) Detector() *Detector {
+	return &Detector{Analyzer: b.Analyzer, Scorer: b.Scorer, Threshold: b.Threshold}
+}
+
+// SaveFile writes the bundle to path atomically.
+func (b *Bundle) SaveFile(path string) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("core: refusing to save invalid bundle: %w", err)
+	}
+	return WriteSnapshotFile(path, b)
+}
+
+// LoadBundleFile reads and fully validates a bundle from path: header,
+// checksum, gob payload and structural invariants all pass before the
+// bundle is returned, so a caller holding an old model can safely keep it
+// on any error.
+func LoadBundleFile(path string) (*Bundle, error) {
+	var b Bundle
+	if err := ReadSnapshotFile(path, &b); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("model %s: %w", path, err)
+	}
+	return &b, nil
 }

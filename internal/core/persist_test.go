@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crossfeature/internal/features"
+	"crossfeature/internal/ml/nbayes"
+)
+
+// testBundle trains a small but real bundle: correlated continuous rows,
+// a fitted discretizer and a naive Bayes ensemble.
+func testBundle(t *testing.T) *Bundle {
+	t.Helper()
+	rows := make([][]float64, 0, 120)
+	for i := 0; i < 120; i++ {
+		base := float64(i % 10)
+		rows = append(rows, []float64{base, base * 2, base * 3, float64(i % 3)})
+	}
+	disc, err := features.Fit(rows, []string{"a", "b", "c", "d"}, features.FitOptions{Buckets: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := disc.Dataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Train(ds, nbayes.NewLearner(), TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := a.ScoreAll(ds.X, Probability)
+	return &Bundle{Analyzer: a, Discretizer: disc, Threshold: Threshold(scores, 0.02), Scorer: Probability}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	b := testBundle(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	var got Bundle
+	if err := ReadSnapshot(bytes.NewReader(buf.Bytes()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold != b.Threshold || got.Scorer != b.Scorer {
+		t.Errorf("round trip lost calibration: %+v", got)
+	}
+	if got.Analyzer.NumModels() != b.Analyzer.NumModels() {
+		t.Errorf("round trip lost sub-models: %d != %d", got.Analyzer.NumModels(), b.Analyzer.NumModels())
+	}
+	// The reloaded model must score identically.
+	x, err := got.Discretizer.Transform([]float64{4, 8, 12, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := b.Analyzer.Score(x, b.Scorer), got.Analyzer.Score(x, got.Scorer); w != g {
+		t.Errorf("reloaded score %v != original %v", g, w)
+	}
+}
+
+func TestSnapshotRejectsDamage(t *testing.T) {
+	b := testBundle(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	var legacy bytes.Buffer
+	RegisterGobModels()
+	if err := gob.NewEncoder(&legacy).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0xff
+	badVersion := append([]byte(nil), good...)
+	badVersion[5] = 99
+	trailing := append(append([]byte(nil), good...), 'x')
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrSnapshotCorrupt},
+		{"truncated header", good[:10], ErrSnapshotCorrupt},
+		{"truncated payload", good[:len(good)/2], ErrSnapshotCorrupt},
+		{"payload bit flip", flipped, ErrSnapshotCorrupt},
+		{"trailing data", trailing, ErrSnapshotCorrupt},
+		{"legacy raw gob", legacy.Bytes(), ErrSnapshotFormat},
+		{"future version", badVersion, ErrSnapshotFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var got Bundle
+			err := ReadSnapshot(bytes.NewReader(tc.data), &got)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+			if strings.ContainsRune(err.Error(), '\n') {
+				t.Errorf("error spans multiple lines: %q", err)
+			}
+		})
+	}
+}
+
+func TestSnapshotChecksumCoversWholePayload(t *testing.T) {
+	b := testBundle(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one byte at several depths inside the payload; every corruption
+	// must be caught before gob sees it.
+	for _, off := range []int{snapshotHdrLen, snapshotHdrLen + 100, len(data) / 2, len(data) - 2} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x20
+		var got Bundle
+		if err := ReadSnapshot(bytes.NewReader(mut), &got); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("flip at %d: error = %v, want checksum failure", off, err)
+		}
+	}
+}
+
+func TestAnalyzerSaveLoadFile(t *testing.T) {
+	b := testBundle(t)
+	path := filepath.Join(t.TempDir(), "analyzer.bin")
+	if err := b.Analyzer.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumModels() != b.Analyzer.NumModels() {
+		t.Errorf("NumModels = %d, want %d", got.NumModels(), b.Analyzer.NumModels())
+	}
+}
+
+func TestLoadBundleFileValidates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	// A structurally hollow bundle decodes fine but must still be rejected.
+	if err := WriteSnapshotFile(path, &Bundle{Threshold: 0.5, Scorer: Probability}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundleFile(path); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("hollow bundle error = %v, want ErrSnapshotCorrupt", err)
+	}
+	if _, err := LoadBundleFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBundleSaveFileRefusesInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := (&Bundle{}).SaveFile(path); err == nil {
+		t.Fatal("empty bundle saved")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("invalid bundle left a file behind: %v", err)
+	}
+}
+
+func TestWriteSnapshotFileAtomicUnderInterruption(t *testing.T) {
+	b := testBundle(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	if err := b.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash after the payload is written but before the rename:
+	// the destination must be byte-identical and no temp litter remains.
+	persistFailpoint = func() error { return fmt.Errorf("injected crash mid-write") }
+	defer func() { persistFailpoint = nil }()
+	b.Threshold *= 0.5
+	if err := b.SaveFile(path); err == nil || !strings.Contains(err.Error(), "injected crash") {
+		t.Fatalf("interrupted write error = %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("interrupted write altered the installed model file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "model.bin" {
+			t.Errorf("interrupted write left %q behind", e.Name())
+		}
+	}
+	// And the surviving file still loads.
+	if _, err := LoadBundleFile(path); err != nil {
+		t.Errorf("surviving model unreadable: %v", err)
+	}
+}

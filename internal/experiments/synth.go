@@ -26,7 +26,7 @@ func SyntheticAuditDataset(seed int64, rows int) *ml.Dataset {
 	for j := range attrs {
 		// Most features keep all DefaultBuckets-1 cuts; some collapse to
 		// fewer (concentrated value mass), as real traces produce.
-		c := 1 + rng.Intn(features.DefaultBuckets - 1)
+		c := 1 + rng.Intn(features.DefaultBuckets-1)
 		if rng.Float64() < 0.08 {
 			c = 0
 		}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by admit when the wait queue is full: the
+// request is shed immediately (the HTTP layer maps it to 429) instead of
+// joining an unbounded line whose latency no client would survive.
+var ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+
+// ErrQueueTimeout is returned when a request's deadline expires while it
+// waits for a scoring slot (mapped to 503): the queue is bounded in time
+// as well as depth, so a burst drains by rejection rather than by serving
+// requests whose callers have long since given up.
+var ErrQueueTimeout = errors.New("serve: deadline expired waiting for a scoring slot")
+
+// admitter is the bounded, deadline-aware admission gate in front of the
+// scoring path. At most `concurrent` requests hold a slot at once; at
+// most `maxQueue` more may wait, and each waiter gives up when its
+// context does. Everything beyond that is shed synchronously.
+type admitter struct {
+	slots     chan struct{}
+	maxQueue  int64
+	queued    atomic.Int64
+	highWater atomic.Int64
+	shed      atomic.Uint64
+	timeouts  atomic.Uint64
+}
+
+func newAdmitter(concurrent, maxQueue int) *admitter {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admitter{slots: make(chan struct{}, concurrent), maxQueue: int64(maxQueue)}
+}
+
+// admit blocks until a scoring slot is free, the queue overflows, or ctx
+// expires. On success the returned release function must be called
+// exactly once when scoring finishes.
+func (a *admitter) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	q := a.queued.Add(1)
+	if q > a.maxQueue {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	for {
+		hw := a.highWater.Load()
+		if q <= hw || a.highWater.CompareAndSwap(hw, q) {
+			break
+		}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		a.timeouts.Add(1)
+		return nil, fmt.Errorf("%w (%v)", ErrQueueTimeout, ctx.Err())
+	}
+}
+
+func (a *admitter) release() { <-a.slots }
+
+// depth reports the current and high-water queue occupancy.
+func (a *admitter) depth() (queued, highWater int64) {
+	return a.queued.Load(), a.highWater.Load()
+}

@@ -1,0 +1,425 @@
+package serve
+
+// The chaos suite injects the failures a production scoring service must
+// survive — overload bursts, slow and aborted clients, corrupt and
+// mid-write model files, shutdown under load — and asserts the
+// degradation invariants from the design doc: the queue stays bounded and
+// sheds explicitly, the old model keeps answering after a bad reload,
+// drain finishes in-flight work, and nothing leaks goroutines.
+//
+// `make serve-chaos` soaks this file under -race with -count=3.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count and returns a func that fails
+// the test if the count has not settled back by a few seconds after the
+// test tore its server down.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before+2 {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+	}
+}
+
+func TestChaosOverloadBurstShedsBounded(t *testing.T) {
+	defer leakCheck(t)()
+	const maxConcurrent, maxQueue, burst = 2, 3, 20
+
+	block := make(chan struct{})
+	s, _ := newTestServer(t, func(c *Config) {
+		c.MaxConcurrent = maxConcurrent
+		c.MaxQueue = maxQueue
+		c.RequestTimeout = 30 * time.Second
+		c.scoreHook = func(string) { <-block }
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	codes := make(chan int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postScore(t, ts.URL, ScoreRequest{
+				Stream:  fmt.Sprintf("burst-%d", i),
+				Records: records(1, normalRecord),
+			})
+			codes <- resp.StatusCode
+		}(i)
+	}
+
+	// The burst settles into exactly maxConcurrent scoring +
+	// maxQueue queued; everything else is shed with 429.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Shed == burst-maxConcurrent-maxQueue && st.QueueDepth == maxQueue {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("burst never settled: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(block)
+	wg.Wait()
+	close(codes)
+
+	var ok200, shed429 int
+	for code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed429++
+		default:
+			t.Errorf("unexpected status %d in burst", code)
+		}
+	}
+	if ok200 != maxConcurrent+maxQueue || shed429 != burst-maxConcurrent-maxQueue {
+		t.Errorf("burst outcome: %d ok, %d shed; want %d ok, %d shed",
+			ok200, shed429, maxConcurrent+maxQueue, burst-maxConcurrent-maxQueue)
+	}
+	st := s.Stats()
+	if st.QueueHighWater != maxQueue {
+		t.Errorf("queue high water = %d, want %d (bounded and fully used)", st.QueueHighWater, maxQueue)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", st.QueueDepth)
+	}
+}
+
+func TestChaosQueueWaitRespectsDeadline(t *testing.T) {
+	defer leakCheck(t)()
+	block := make(chan struct{})
+	s, _ := newTestServer(t, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.MaxQueue = 4
+		c.RequestTimeout = 150 * time.Millisecond
+		c.scoreHook = func(string) { <-block }
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postScore(t, ts.URL, ScoreRequest{Stream: "holder", Records: records(1, normalRecord)})
+	}()
+	for q, _ := s.adm.depth(); len(s.adm.slots) == 0; q, _ = s.adm.depth() {
+		_ = q
+		time.Sleep(time.Millisecond)
+	}
+
+	// This request queues behind the holder and must be rejected when its
+	// deadline passes — not wait forever.
+	start := time.Now()
+	resp, _ := postScore(t, ts.URL, ScoreRequest{Stream: "waiter", Records: records(1, normalRecord)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("queued-past-deadline status = %d, want 503", resp.StatusCode)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("deadline-expired waiter held for %v", waited)
+	}
+	if s.Stats().QueueTimeouts == 0 {
+		t.Error("queue timeout not counted")
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestChaosCorruptReloadKeepsOldModelServing(t *testing.T) {
+	defer leakCheck(t)()
+	s, path := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hdrLen = 18                               // core's snapshot header size
+	legacyGob := append([]byte{}, good[hdrLen:]...) // raw gob payload, no header
+	flipped := append([]byte{}, good...)
+	flipped[len(flipped)-3] ^= 0x40
+
+	corruptions := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", good[:len(good)/3]},
+		{"bit-flipped", flipped},
+		{"legacy unversioned gob", legacyGob},
+		{"empty", nil},
+		{"garbage", []byte("not a model at all")},
+	}
+	wantFailures := uint64(0)
+	for _, c := range corruptions {
+		t.Run(strings.ReplaceAll(c.name, " ", "-"), func(t *testing.T) {
+			if err := os.WriteFile(path, c.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusInternalServerError {
+				t.Fatalf("%s: reload status = %d, want 500", c.name, resp.StatusCode)
+			}
+			wantFailures++
+
+			// Invariant: the previous model keeps answering at its version.
+			sresp, sr := postScore(t, ts.URL, ScoreRequest{Stream: "survivor", Records: records(2, normalRecord)})
+			if sresp.StatusCode != http.StatusOK || sr.ModelVersion != 1 {
+				t.Errorf("%s: scoring degraded after bad reload: status %d version %d",
+					c.name, sresp.StatusCode, sr.ModelVersion)
+			}
+			// Invariant: readiness stays up but surfaces the failure.
+			rresp, err := http.Get(ts.URL + "/readyz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rd Readiness
+			json.NewDecoder(rresp.Body).Decode(&rd)
+			rresp.Body.Close()
+			if rresp.StatusCode != http.StatusOK || !rd.Ready {
+				t.Errorf("%s: readiness went down with a live model", c.name)
+			}
+			if rd.ReloadFailures != wantFailures || rd.LastReloadError == "" {
+				t.Errorf("%s: failure not surfaced: %+v", c.name, rd)
+			}
+		})
+	}
+
+	// Recovery: a valid file reloads cleanly and clears the error.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd Readiness
+	json.NewDecoder(resp.Body).Decode(&rd)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rd.ModelVersion != 2 || rd.LastReloadError != "" {
+		t.Errorf("recovery reload: %d %+v", resp.StatusCode, rd)
+	}
+}
+
+func TestChaosMidWriteReloadNeverSeesPartialModel(t *testing.T) {
+	defer leakCheck(t)()
+	s, path := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bundle := writeTestBundle(t, path)
+
+	// A trainer rewrites the model file (atomically, via temp+rename) in a
+	// tight loop while reloads and scoring hammer the server. Because the
+	// writer never exposes a half-written file, every reload must succeed
+	// and every request must score.
+	const rewrites = 15
+	done := make(chan struct{})
+	var writerErr error
+	go func() {
+		defer close(done)
+		for i := 0; i < rewrites; i++ {
+			if err := bundle.SaveFile(path); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+	for i := 0; ; i++ {
+		resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %d failed mid-rewrite: status %d", i, resp.StatusCode)
+		}
+		sresp, _ := postScore(t, ts.URL, ScoreRequest{Stream: "live", Records: records(1, normalRecord)})
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("scoring failed mid-rewrite: status %d", sresp.StatusCode)
+		}
+		select {
+		case <-done:
+			if writerErr != nil {
+				t.Fatal(writerErr)
+			}
+			if got := s.Stats().ReloadFailures; got != 0 {
+				t.Errorf("reload failures under atomic rewrite = %d, want 0", got)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestChaosSlowClientIsBoundedByDeadline(t *testing.T) {
+	defer leakCheck(t)()
+	s, _ := newTestServer(t, func(c *Config) {
+		c.RequestTimeout = 200 * time.Millisecond
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A slowloris-style client: valid headers, then the body stalls
+	// forever. The read deadline must kick it out instead of letting it
+	// hold a scoring slot indefinitely.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/score HTTP/1.1\r\nHost: chaos\r\nContent-Type: application/json\r\nContent-Length: 4096\r\n\r\n")
+	conn.Write([]byte(`{"stream":"slow","records":[`)) // …and stall.
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no response to stalled body: %v", err)
+	}
+	if !strings.Contains(line, "408") {
+		t.Errorf("stalled body response = %q, want 408", strings.TrimSpace(line))
+	}
+
+	// The slot came back: a healthy request scores immediately.
+	resp, _ := postScore(t, ts.URL, ScoreRequest{Stream: "healthy", Records: records(1, normalRecord)})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthy request after slowloris: status %d", resp.StatusCode)
+	}
+}
+
+func TestChaosAbortedClientsDoNotWedgeServer(t *testing.T) {
+	defer leakCheck(t)()
+	release := make(chan struct{})
+	s, _ := newTestServer(t, func(c *Config) {
+		c.RequestTimeout = 10 * time.Second
+		c.scoreHook = func(stream string) {
+			if strings.HasPrefix(stream, "abort") {
+				<-release
+			}
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Several clients abort mid-request while the handler is working.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			body, _ := json.Marshal(ScoreRequest{Stream: fmt.Sprintf("abort-%d", i), Records: records(1, normalRecord)})
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/score", bytes.NewReader(body))
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+				t.Errorf("aborted request %d unexpectedly completed", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(release) // the orphaned handlers finish into dead connections
+
+	resp, sr := postScore(t, ts.URL, ScoreRequest{Stream: "after", Records: records(1, normalRecord)})
+	if resp.StatusCode != http.StatusOK || len(sr.Results) != 1 {
+		t.Errorf("server wedged after aborted clients: status %d", resp.StatusCode)
+	}
+}
+
+func TestChaosDrainCompletesInFlightAndStops(t *testing.T) {
+	defer leakCheck(t)()
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, _ := newTestServer(t, func(c *Config) {
+		c.RequestTimeout = 10 * time.Second
+		c.DrainTimeout = 5 * time.Second
+		c.scoreHook = func(stream string) {
+			if stream == "inflight" {
+				entered <- struct{}{}
+				<-release
+			}
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ctx, ln) }()
+
+	url := "http://" + addr
+	inflight := make(chan int, 1)
+	go func() {
+		resp, _ := postScore(t, url, ScoreRequest{Stream: "inflight", Records: records(1, normalRecord)})
+		inflight <- resp.StatusCode
+	}()
+	<-entered
+
+	// SIGTERM arrives (the context is cancelled) with a request in flight.
+	cancel()
+	select {
+	case err := <-runDone:
+		t.Fatalf("Run returned %v with a request still in flight", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+	if !s.Draining() {
+		t.Error("server not marked draining after shutdown began")
+	}
+	// New connections are already refused while the drain waits.
+	if _, err := net.DialTimeout("tcp", addr, 250*time.Millisecond); err == nil {
+		t.Error("listener still accepting during drain")
+	}
+
+	// The in-flight request completes, then Run returns cleanly.
+	close(release)
+	if code := <-inflight; code != http.StatusOK {
+		t.Errorf("in-flight request finished with %d, want 200 (drained, not killed)", code)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Errorf("drain returned %v, want nil", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Run never returned after drain")
+	}
+}

@@ -1,0 +1,267 @@
+// Package client is the hardened counterpart to internal/serve: an HTTP
+// scoring client with exponential backoff, jitter and a retry budget.
+//
+// The server sheds overload with explicit 429s; a naive client that
+// retries those in a tight loop (or retries forever) converts one
+// overload into a retry storm that keeps the server pinned. This client
+// therefore spaces retries exponentially with full jitter, honours
+// Retry-After, and spends from a client-wide retry *budget* replenished
+// by successes — under a sustained outage retries dry up to a trickle
+// instead of multiplying the load.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossfeature/internal/serve"
+)
+
+// Config tunes the client. Zero values take the documented defaults.
+type Config struct {
+	// BaseURL is the serve endpoint, e.g. "http://127.0.0.1:8080"
+	// (required).
+	BaseURL string
+	// HTTPClient is the underlying transport; default http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call (first attempt + retries).
+	// Default 4.
+	MaxAttempts int
+	// BaseDelay is the first backoff step; doubles per retry. Default
+	// 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff step (and any Retry-After hint).
+	// Default 2s.
+	MaxDelay time.Duration
+	// RetryBudget caps outstanding retry tokens: each retry spends one,
+	// each successful call earns RefillPerSuccess back (up to the cap).
+	// Default 10.
+	RetryBudget float64
+	// RefillPerSuccess is the budget earned per successful call.
+	// Default 0.1.
+	RefillPerSuccess float64
+
+	// Rand drives the jitter; default a time-seeded source. Injectable
+	// for deterministic tests.
+	Rand *rand.Rand
+	// Sleep waits between attempts; default a context-aware sleep.
+	// Injectable so tests run without real delays.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 50 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 10
+	}
+	if c.RefillPerSuccess <= 0 {
+		c.RefillPerSuccess = 0.1
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return c
+}
+
+// Client scores records against a serve endpoint with bounded retries.
+// Safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu     sync.Mutex
+	budget float64
+
+	attempts     atomic.Uint64
+	retries      atomic.Uint64
+	budgetDenied atomic.Uint64
+}
+
+// New builds a client.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, budget: cfg.RetryBudget}
+}
+
+// StatusError is a non-200 reply from the server.
+type StatusError struct {
+	Code int
+	Msg  string
+	// RetryAfter is the server's Retry-After hint, if any.
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve returned %d: %s", e.Code, e.Msg)
+}
+
+// retryable reports whether the failure class is worth another attempt:
+// transport errors, shed load and transient server errors are; client
+// mistakes (4xx) are not.
+func retryable(err error) bool {
+	se, ok := err.(*StatusError)
+	if !ok {
+		return true // transport-level failure
+	}
+	switch se.Code {
+	case http.StatusTooManyRequests, http.StatusRequestTimeout,
+		http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Score scores records on the given stream, retrying transient failures
+// within the attempt limit and the client-wide retry budget.
+func (c *Client) Score(ctx context.Context, stream string, recs []serve.Record) (*serve.ScoreResponse, error) {
+	body, err := json.Marshal(serve.ScoreRequest{Stream: stream, Records: recs})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if !c.spendToken() {
+				c.budgetDenied.Add(1)
+				return nil, fmt.Errorf("client: retry budget exhausted after %d attempts: %w", attempt, lastErr)
+			}
+			if err := c.cfg.Sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.once(ctx, stream, body)
+		if err == nil {
+			c.earnToken()
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
+		}
+		if !retryable(err) {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// once performs a single scoring attempt.
+func (c *Client) once(ctx context.Context, stream string, body []byte) (*serve.ScoreResponse, error) {
+	c.attempts.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/score", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Code: resp.StatusCode}
+		var eresp struct {
+			Error string `json:"error"`
+		}
+		if b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)); len(b) > 0 {
+			if json.Unmarshal(b, &eresp) == nil && eresp.Error != "" {
+				se.Msg = eresp.Error
+			} else {
+				se.Msg = string(b)
+			}
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, se
+	}
+	var sr serve.ScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("client: decode response: %w", err)
+	}
+	return &sr, nil
+}
+
+// backoff computes the wait before the attempt-th try (attempt >= 1):
+// exponential in the attempt number with full jitter over the upper half
+// of the window, floored by any server Retry-After hint and capped at
+// MaxDelay.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	d := c.cfg.BaseDelay << (attempt - 1)
+	if d > c.cfg.MaxDelay || d <= 0 {
+		d = c.cfg.MaxDelay
+	}
+	if se, ok := lastErr.(*StatusError); ok && se.RetryAfter > d {
+		d = se.RetryAfter
+		if d > c.cfg.MaxDelay {
+			d = c.cfg.MaxDelay
+		}
+	}
+	// Full jitter over [d/2, d): desynchronises a fleet of clients
+	// retrying after the same shed burst.
+	c.mu.Lock()
+	frac := c.cfg.Rand.Float64()
+	c.mu.Unlock()
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// spendToken takes one retry token; false means the budget is dry.
+func (c *Client) spendToken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget < 1 {
+		return false
+	}
+	c.budget--
+	return true
+}
+
+// earnToken refills the budget on success, up to the cap.
+func (c *Client) earnToken() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget += c.cfg.RefillPerSuccess
+	if c.budget > c.cfg.RetryBudget {
+		c.budget = c.cfg.RetryBudget
+	}
+}
+
+// Stats reports (attempts, retries, calls denied by the retry budget).
+func (c *Client) Stats() (attempts, retries, budgetDenied uint64) {
+	return c.attempts.Load(), c.retries.Load(), c.budgetDenied.Load()
+}

@@ -1,0 +1,244 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/features"
+	"crossfeature/internal/ml/nbayes"
+	"crossfeature/internal/serve"
+)
+
+// newRealServer trains a tiny real bundle and boots an internal/serve
+// Server over it, so the client can be exercised against the genuine
+// wire format rather than a hand-rolled fake.
+func newRealServer(t *testing.T) *serve.Server {
+	t.Helper()
+	rows := make([][]float64, 0, 120)
+	for i := 0; i < 120; i++ {
+		base := float64(i % 10)
+		rows = append(rows, []float64{base, base * 2, base * 3, float64(i % 3)})
+	}
+	disc, err := features.Fit(rows, []string{"a", "b", "c", "d"}, features.FitOptions{Buckets: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := disc.Dataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Train(ds, nbayes.NewLearner(), core.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, _ := core.Calibrate(a.ScoreAll(ds.X, core.Probability), 0.02)
+	b := &core.Bundle{Analyzer: a, Discretizer: disc, Threshold: th, Scorer: core.Probability}
+	path := t.TempDir() + "/model.bin"
+	if err := b.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{ModelPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// fakeServer fails the first `failures` requests with `code`, then
+// returns a fixed score response.
+func fakeServer(t *testing.T, failures int, code int, headers map[string]string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= failures {
+			for k, v := range headers {
+				w.Header().Set(k, v)
+			}
+			w.WriteHeader(code)
+			w.Write([]byte(`{"error":"injected failure"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"stream":"s","model_version":1,"results":[{"score":0.9,"smoothed":0.9}]}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// testClient builds a deterministic client: seeded jitter, recorded
+// fake sleeps.
+func testClient(t *testing.T, ts *httptest.Server, mutate func(*Config)) (*Client, *[]time.Duration) {
+	t.Helper()
+	var slept []time.Duration
+	cfg := Config{
+		BaseURL: ts.URL,
+		Rand:    rand.New(rand.NewSource(7)),
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return ctx.Err()
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(cfg), &slept
+}
+
+func oneRecord() []serve.Record {
+	return []serve.Record{{Time: 1, Values: []float64{1, 2, 3, 4}}}
+}
+
+func TestScoreRetriesTransientFailures(t *testing.T) {
+	ts, calls := fakeServer(t, 2, http.StatusServiceUnavailable, nil)
+	c, slept := testClient(t, ts, nil)
+	resp, err := c.Score(context.Background(), "s", oneRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Score != 0.9 {
+		t.Errorf("response = %+v", resp)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", calls.Load())
+	}
+	// Backoff grows exponentially: each recorded delay sits in
+	// [base<<k / 2, base<<k).
+	if len(*slept) != 2 {
+		t.Fatalf("sleeps = %v", *slept)
+	}
+	base := 50 * time.Millisecond
+	for k, d := range *slept {
+		lo, hi := (base<<k)/2, base<<k
+		if d < lo || d >= hi {
+			t.Errorf("backoff %d = %v, want in [%v,%v)", k, d, lo, hi)
+		}
+	}
+}
+
+func TestScoreDoesNotRetryClientErrors(t *testing.T) {
+	ts, calls := fakeServer(t, 10, http.StatusBadRequest, nil)
+	c, slept := testClient(t, ts, nil)
+	_, err := c.Score(context.Background(), "s", oneRecord())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("error = %v", err)
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Errorf("client retried a 400: %d attempts, %d sleeps", calls.Load(), len(*slept))
+	}
+}
+
+func TestScoreGivesUpAfterMaxAttempts(t *testing.T) {
+	ts, calls := fakeServer(t, 1000, http.StatusServiceUnavailable, nil)
+	c, _ := testClient(t, ts, func(cfg *Config) { cfg.MaxAttempts = 3 })
+	_, err := c.Score(context.Background(), "s", oneRecord())
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("error = %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", calls.Load())
+	}
+}
+
+func TestRetryBudgetBoundsRetryStorm(t *testing.T) {
+	ts, calls := fakeServer(t, 1000000, http.StatusServiceUnavailable, nil)
+	c, _ := testClient(t, ts, func(cfg *Config) {
+		cfg.MaxAttempts = 10
+		cfg.RetryBudget = 5
+	})
+	// Hammer the dead server with many calls: total retries across the
+	// client must be capped by the budget, not MaxAttempts * calls.
+	for i := 0; i < 20; i++ {
+		if _, err := c.Score(context.Background(), "s", oneRecord()); err == nil {
+			t.Fatal("score against dead server succeeded")
+		}
+	}
+	attempts := calls.Load()
+	// 20 first attempts (not budgeted) + at most 5 budgeted retries.
+	if attempts > 25 {
+		t.Errorf("attempts = %d; retry budget failed to bound the storm", attempts)
+	}
+	_, _, denied := c.Stats()
+	if denied == 0 {
+		t.Error("no call was denied by the exhausted budget")
+	}
+}
+
+func TestRetryBudgetRefillsOnSuccess(t *testing.T) {
+	ts, _ := fakeServer(t, 0, 0, nil)
+	c, _ := testClient(t, ts, func(cfg *Config) {
+		cfg.RetryBudget = 2
+		cfg.RefillPerSuccess = 1
+	})
+	c.budget = 0 // start dry
+	for i := 0; i < 3; i++ {
+		if _, err := c.Score(context.Background(), "s", oneRecord()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	got := c.budget
+	c.mu.Unlock()
+	if got != 2 {
+		t.Errorf("budget after successes = %v, want capped at 2", got)
+	}
+}
+
+func TestRetryAfterHintIsHonoured(t *testing.T) {
+	ts, _ := fakeServer(t, 1, http.StatusTooManyRequests, map[string]string{"Retry-After": "1"})
+	c, slept := testClient(t, ts, nil)
+	if _, err := c.Score(context.Background(), "s", oneRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("sleeps = %v", *slept)
+	}
+	// The hint (1s) floors the 50ms base step; jitter keeps it in [500ms, 1s).
+	if d := (*slept)[0]; d < 500*time.Millisecond || d >= time.Second {
+		t.Errorf("Retry-After-driven delay = %v, want in [500ms, 1s)", d)
+	}
+}
+
+func TestScoreStopsOnContextCancel(t *testing.T) {
+	ts, calls := fakeServer(t, 1000, http.StatusServiceUnavailable, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	c, _ := testClient(t, ts, func(cfg *Config) {
+		cfg.MaxAttempts = 100
+		cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+			cancel() // the caller gives up while the client backs off
+			return ctx.Err()
+		}
+	})
+	_, err := c.Score(ctx, "s", oneRecord())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("attempts after cancel = %d, want 1", calls.Load())
+	}
+}
+
+func TestEndToEndAgainstRealServe(t *testing.T) {
+	// Not a chaos test, but the integration seam: the client must parse
+	// what the real server emits.
+	srv := newRealServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	resp, err := c.Score(context.Background(), "node-1", oneRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stream != "node-1" || len(resp.Results) != 1 || resp.ModelVersion != 1 {
+		t.Errorf("response = %+v", resp)
+	}
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossfeature/internal/core"
+)
+
+// loadedModel is one immutable generation of the served model. Scoring
+// paths grab the current generation once per request; a reload installs a
+// new generation with a single pointer swap, so readers never see a model
+// mid-replacement.
+type loadedModel struct {
+	bundle   *core.Bundle
+	detector *core.Detector
+	version  uint64
+	loadedAt time.Time
+}
+
+// modelHolder owns the hot-reload lifecycle: it loads bundles from a
+// fixed path, fully validates them (snapshot header, checksum, gob
+// payload, structural invariants) and only then swaps the atomic current
+// pointer. A failed reload leaves the previous generation serving and
+// records the failure for the readiness endpoint.
+type modelHolder struct {
+	path string
+	cur  atomic.Pointer[loadedModel]
+
+	mu       sync.Mutex // serialises reloads
+	version  uint64
+	lastErr  atomic.Pointer[string]
+	reloads  atomic.Uint64
+	failures atomic.Uint64
+}
+
+func newModelHolder(path string) *modelHolder {
+	return &modelHolder{path: path}
+}
+
+// reload loads, validates and atomically installs the bundle at the
+// holder's path. On any failure the old model keeps serving.
+func (h *modelHolder) reload() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, err := core.LoadBundleFile(h.path)
+	if err != nil {
+		h.failures.Add(1)
+		msg := err.Error()
+		h.lastErr.Store(&msg)
+		return err
+	}
+	h.version++
+	h.cur.Store(&loadedModel{
+		bundle:   b,
+		detector: b.Detector(),
+		version:  h.version,
+		loadedAt: time.Now(),
+	})
+	h.reloads.Add(1)
+	h.lastErr.Store(nil)
+	return nil
+}
+
+// current returns the serving generation (nil only before the first
+// successful load, which New treats as a startup error).
+func (h *modelHolder) current() *loadedModel { return h.cur.Load() }
+
+// lastError returns the most recent reload failure, or "" after a
+// successful (re)load.
+func (h *modelHolder) lastError() string {
+	if p := h.lastErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}

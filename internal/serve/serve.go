@@ -1,0 +1,445 @@
+// Package serve is the hardened streaming scoring service behind `cfa
+// serve`: it loads a trained model bundle and scores audit records posted
+// over HTTP, keeping one core.OnlineDetector per client stream.
+//
+// Robustness is the feature set, in the spirit of the paper's "run the
+// detector on live nodes" deployment story:
+//
+//   - a bounded, deadline-aware admission queue sheds overload with an
+//     explicit 429 instead of unbounded latency;
+//   - every request runs under panic recovery and a hard deadline, and
+//     slow or stalled clients are bounded by a body read deadline;
+//   - the model hot-reloads atomically — a new file is fully validated
+//     (versioned header, CRC, decode, structural checks) before a single
+//     pointer swap, and a corrupt or truncated file leaves the old model
+//     serving with the failure surfaced in /readyz;
+//   - SIGTERM (a cancelled Run context) drains: in-flight requests
+//     finish, new connections stop, goroutines exit;
+//   - the per-stream detector table is LRU-bounded so hostile or churning
+//     stream ids cannot grow memory without bound.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"crossfeature/internal/core"
+)
+
+// Config tunes the service. Zero values take the documented defaults.
+type Config struct {
+	// ModelPath is the bundle written by `cfa train` (required). It is
+	// also the path re-read on every reload.
+	ModelPath string
+	// MaxConcurrent bounds requests scoring at once; default GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot beyond MaxConcurrent;
+	// everything past it is shed with 429. Default 64.
+	MaxQueue int
+	// RequestTimeout is the per-request deadline covering queue wait, body
+	// read and scoring. Default 5s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful shutdown; connections still open
+	// after it are forcibly closed. Default 10s.
+	DrainTimeout time.Duration
+	// MaxStreams caps the LRU stream table. Default 1024.
+	MaxStreams int
+	// MaxBodyBytes caps a score request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// Smoothing, RaiseAfter and ClearAfter configure each stream's online
+	// detector; zero values take the core defaults.
+	Smoothing  float64
+	RaiseAfter int
+	ClearAfter int
+	// Logf sinks operational log lines; default log.Printf.
+	Logf func(format string, args ...any)
+
+	// scoreHook, when set, runs inside the scoring handler after
+	// admission. It exists for the chaos tests: blocking here simulates
+	// slow scoring, panicking here exercises recovery.
+	scoreHook func(stream string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Record is one raw (pre-discretisation) audit vector.
+type Record struct {
+	Time   float64   `json:"time,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// ScoreRequest scores a batch of records on one stream's detector.
+type ScoreRequest struct {
+	Stream  string   `json:"stream"`
+	Records []Record `json:"records"`
+}
+
+// RecordResult is the detector state after one record. A non-finite raw
+// score is reported as Score -1 with Invalid set (JSON cannot carry NaN);
+// such records always count as anomalous.
+type RecordResult struct {
+	Time     float64 `json:"time,omitempty"`
+	Score    float64 `json:"score"`
+	Smoothed float64 `json:"smoothed"`
+	Anomaly  bool    `json:"anomaly"`
+	Alarm    bool    `json:"alarm"`
+	Raised   bool    `json:"raised,omitempty"`
+	Cleared  bool    `json:"cleared,omitempty"`
+	Invalid  bool    `json:"invalid,omitempty"`
+}
+
+// ScoreResponse is the reply to a ScoreRequest.
+type ScoreResponse struct {
+	Stream       string         `json:"stream"`
+	ModelVersion uint64         `json:"model_version"`
+	Results      []RecordResult `json:"results"`
+}
+
+// Readiness is the /readyz payload.
+type Readiness struct {
+	Ready           bool   `json:"ready"`
+	Draining        bool   `json:"draining"`
+	ModelVersion    uint64 `json:"model_version"`
+	ModelPath       string `json:"model_path"`
+	Reloads         uint64 `json:"reloads"`
+	ReloadFailures  uint64 `json:"reload_failures"`
+	LastReloadError string `json:"last_reload_error,omitempty"`
+}
+
+// Stats is the /statz payload.
+type Stats struct {
+	Requests       uint64 `json:"requests"`
+	RecordsScored  uint64 `json:"records_scored"`
+	Shed           uint64 `json:"shed"`
+	QueueTimeouts  uint64 `json:"queue_timeouts"`
+	BadRequests    uint64 `json:"bad_requests"`
+	Panics         uint64 `json:"panics"`
+	QueueDepth     int64  `json:"queue_depth"`
+	QueueHighWater int64  `json:"queue_high_water"`
+	Streams        int    `json:"streams"`
+	Evictions      uint64 `json:"stream_evictions"`
+	ModelVersion   uint64 `json:"model_version"`
+	Reloads        uint64 `json:"reloads"`
+	ReloadFailures uint64 `json:"reload_failures"`
+}
+
+// Server is the scoring service. Construct with New, expose with
+// Handler, run with Run.
+type Server struct {
+	cfg      Config
+	model    *modelHolder
+	streams  *streamTable
+	adm      *admitter
+	draining atomic.Bool
+	mux      *http.ServeMux
+
+	requests    atomic.Uint64
+	scored      atomic.Uint64
+	badRequests atomic.Uint64
+	panics      atomic.Uint64
+}
+
+// New loads and validates the model bundle and builds the service. A
+// missing, truncated or checksum-mismatched model fails here, before any
+// socket is bound.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ModelPath == "" {
+		return nil, fmt.Errorf("serve: ModelPath is required")
+	}
+	s := &Server{
+		cfg:     cfg,
+		model:   newModelHolder(cfg.ModelPath),
+		streams: newStreamTable(cfg.MaxStreams),
+		adm:     newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue),
+	}
+	if err := s.model.reload(); err != nil {
+		return nil, err
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/score", s.handleScore)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	return s, nil
+}
+
+// Handler returns the full middleware stack: panic recovery outermost,
+// then routing.
+func (s *Server) Handler() http.Handler { return s.recoverWrap(s.mux) }
+
+// Reload re-reads the model file and atomically installs it; on failure
+// the previous model keeps serving and the error is surfaced in /readyz.
+func (s *Server) Reload() error {
+	err := s.model.reload()
+	if err != nil {
+		s.cfg.Logf("serve: model reload failed, keeping version %d: %v",
+			s.model.current().version, err)
+		return err
+	}
+	s.cfg.Logf("serve: model reloaded, now version %d", s.model.current().version)
+	return nil
+}
+
+// Draining reports whether the server is in graceful shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Readiness snapshots the reload/drain condition /readyz reports.
+func (s *Server) Readiness() Readiness {
+	r := Readiness{
+		Draining:       s.draining.Load(),
+		ModelPath:      s.cfg.ModelPath,
+		Reloads:        s.model.reloads.Load(),
+		ReloadFailures: s.model.failures.Load(),
+	}
+	if lm := s.model.current(); lm != nil {
+		r.ModelVersion = lm.version
+		r.Ready = !r.Draining
+	}
+	r.LastReloadError = s.model.lastError()
+	return r
+}
+
+// Stats snapshots the operational counters /statz reports.
+func (s *Server) Stats() Stats {
+	depth, hw := s.adm.depth()
+	st := Stats{
+		Requests:       s.requests.Load(),
+		RecordsScored:  s.scored.Load(),
+		Shed:           s.adm.shed.Load(),
+		QueueTimeouts:  s.adm.timeouts.Load(),
+		BadRequests:    s.badRequests.Load(),
+		Panics:         s.panics.Load(),
+		QueueDepth:     depth,
+		QueueHighWater: hw,
+		Streams:        s.streams.len(),
+		Evictions:      s.streams.evictions.Load(),
+		Reloads:        s.model.reloads.Load(),
+		ReloadFailures: s.model.failures.Load(),
+	}
+	if lm := s.model.current(); lm != nil {
+		st.ModelVersion = lm.version
+	}
+	return st
+}
+
+// Run serves on ln until ctx is cancelled, then drains gracefully:
+// in-flight requests get DrainTimeout to finish while new connections are
+// refused; whatever survives the timeout is force-closed.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: listener failed: %w", err)
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	s.cfg.Logf("serve: draining (timeout %s)", s.cfg.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	if err != nil {
+		hs.Close()
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	if err != nil {
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	return nil
+}
+
+// recoverWrap converts a handler panic into a 500 and a counter bump
+// instead of a dead worker; one poisoned request must not take the
+// process (or any other request) down with it.
+func (s *Server) recoverWrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				s.panics.Add(1)
+				s.cfg.Logf("serve: panic in %s %s: %v", r.Method, r.URL.Path, p)
+				writeJSONError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	release, err := s.adm.admit(ctx)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case err != nil:
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	defer release()
+
+	// Slow clients may not hold a scoring slot past the deadline: the
+	// body must arrive before it. (Best effort — not every
+	// ResponseWriter supports read deadlines.) The deadline is cleared
+	// once the body is in so a keep-alive connection is reusable.
+	rc := http.NewResponseController(w)
+	if deadline, ok := ctx.Deadline(); ok {
+		rc.SetReadDeadline(deadline)
+	}
+	var req ScoreRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		s.badRequests.Add(1)
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			writeJSONError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.Is(err, os.ErrDeadlineExceeded), ctx.Err() != nil:
+			writeJSONError(w, http.StatusRequestTimeout, "request body did not arrive within the deadline")
+		default:
+			writeJSONError(w, http.StatusBadRequest, "malformed score request: "+err.Error())
+		}
+		return
+	}
+	rc.SetReadDeadline(time.Time{})
+	if req.Stream == "" || len(req.Records) == 0 {
+		s.badRequests.Add(1)
+		writeJSONError(w, http.StatusBadRequest, "score request needs a stream id and at least one record")
+		return
+	}
+	if hook := s.cfg.scoreHook; hook != nil {
+		hook(req.Stream)
+	}
+
+	lm := s.model.current()
+	st := s.streams.get(req.Stream, func() *core.OnlineDetector {
+		od := core.NewOnlineDetector(lm.detector)
+		if s.cfg.Smoothing > 0 {
+			od.Smoothing = s.cfg.Smoothing
+		}
+		if s.cfg.RaiseAfter > 0 {
+			od.RaiseAfter = s.cfg.RaiseAfter
+		}
+		if s.cfg.ClearAfter > 0 {
+			od.ClearAfter = s.cfg.ClearAfter
+		}
+		return od
+	})
+
+	resp := ScoreResponse{Stream: req.Stream, ModelVersion: lm.version, Results: make([]RecordResult, 0, len(req.Records))}
+	st.mu.Lock()
+	if st.version != lm.version {
+		st.od.SwapDetector(lm.detector)
+		st.version = lm.version
+	}
+	for _, rec := range req.Records {
+		x, err := lm.bundle.Discretizer.Transform(rec.Values)
+		if err != nil {
+			st.mu.Unlock()
+			s.badRequests.Add(1)
+			writeJSONError(w, http.StatusBadRequest, "bad record: "+err.Error())
+			return
+		}
+		state := st.od.Observe(x)
+		rr := RecordResult{
+			Time:     rec.Time,
+			Score:    state.Score,
+			Smoothed: state.Smoothed,
+			Anomaly:  state.Score < lm.detector.Threshold,
+			Alarm:    state.Alarm,
+			Raised:   state.Raised,
+			Cleared:  state.Cleared,
+		}
+		if !isFinite(state.Score) {
+			rr.Score, rr.Anomaly, rr.Invalid = -1, true, true
+		}
+		if !isFinite(state.Smoothed) {
+			rr.Smoothed = -1
+		}
+		resp.Results = append(resp.Results, rr)
+	}
+	st.mu.Unlock()
+	s.scored.Add(uint64(len(resp.Results)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.Reload(); err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Readiness())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rd := s.Readiness()
+	code := http.StatusOK
+	if !rd.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rd)
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"crossfeature/internal/core"
+)
+
+// stream is one client audit stream's online detector plus the model
+// generation it was last synced to. Observe is stateful (EWMA, hysteresis
+// runs), so each stream carries its own lock; requests for distinct
+// streams score fully in parallel, requests for one stream serialise.
+type stream struct {
+	id   string
+	elem *list.Element
+
+	mu      sync.Mutex
+	od      *core.OnlineDetector
+	version uint64
+}
+
+// streamTable is a bounded LRU of live streams. A scoring service on a
+// busy network sees streams come and go (nodes reboot, clients churn);
+// capping the table and evicting the least recently scored stream keeps
+// memory bounded no matter how many distinct stream ids a client — or an
+// attacker — invents. An evicted stream that returns simply restarts with
+// fresh hysteresis state.
+type streamTable struct {
+	mu        sync.Mutex
+	max       int
+	byID      map[string]*stream
+	lru       *list.List // front = most recently used
+	evictions atomic.Uint64
+}
+
+func newStreamTable(max int) *streamTable {
+	if max < 1 {
+		max = 1
+	}
+	return &streamTable{max: max, byID: make(map[string]*stream), lru: list.New()}
+}
+
+// get returns the stream for id, creating it with mk (and evicting the
+// coldest stream when over capacity) on first sight.
+func (t *streamTable) get(id string, mk func() *core.OnlineDetector) *stream {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.byID[id]; ok {
+		t.lru.MoveToFront(s.elem)
+		return s
+	}
+	s := &stream{id: id, od: mk()}
+	s.elem = t.lru.PushFront(s)
+	t.byID[id] = s
+	for len(t.byID) > t.max {
+		back := t.lru.Back()
+		ev := back.Value.(*stream)
+		t.lru.Remove(back)
+		delete(t.byID, ev.id)
+		t.evictions.Add(1)
+	}
+	return s
+}
+
+// len reports the number of live streams.
+func (t *streamTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byID)
+}

@@ -17,8 +17,8 @@ func (q oldQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q oldQueue) Swap(i, j int)  { q[i], q[j] = q[j], q[i] }
-func (q *oldQueue) Push(x any)    { *q = append(*q, x.(*event)) }
+func (q oldQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *oldQueue) Push(x any)   { *q = append(*q, x.(*event)) }
 func (q *oldQueue) Pop() any {
 	old := *q
 	n := len(old)
