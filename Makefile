@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci build test vet race short fuzz bench bench-train train-smoke fmt serve-chaos
+.PHONY: ci build test vet race short fuzz bench bench-train train-smoke fmt serve-chaos obs-smoke
 
 # ci is the full gate: formatting and static analysis, a clean build of
 # every package and the test suite under the race detector, plus a smoke
 # pass over the training-path differential tests, a one-iteration spin of
-# the training benchmarks so a broken fast path fails fast, and a soak of
-# the serving chaos suite.
-ci: fmt vet build race train-smoke serve-chaos
+# the training benchmarks so a broken fast path fails fast, a soak of
+# the serving chaos suite, and an end-to-end scrape of the observability
+# surfaces.
+ci: fmt vet build race train-smoke serve-chaos obs-smoke
 
 # fmt fails (listing the offenders) if any file is not gofmt-clean.
 fmt:
@@ -19,6 +20,13 @@ fmt:
 # -count=3 reruns shake out timing-dependent flakes.
 serve-chaos:
 	$(GO) test -race -run 'TestChaos' -count=3 -timeout 120s ./internal/serve/...
+
+# obs-smoke boots the scoring service on ephemeral ports and scrapes
+# /metrics and the pprof surface end to end, then replays the registry
+# encoder golden tests and the concurrency hammer under the race detector.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -count 1 ./cmd/cfa/
+	$(GO) test -race -count 1 ./internal/obs/
 
 # train-smoke re-runs the columnar-vs-naive differential tests and gives
 # each training benchmark a single iteration; it exists so `make ci`
@@ -45,10 +53,16 @@ short:
 	$(GO) test -short ./...
 
 # bench runs the root benchmark suite three times with allocation stats and
-# records the raw output in a dated BENCH_<date>.json next to this Makefile.
-# Compare runs with `benchstat` if available, or diff the ns/op columns.
+# records the raw output in a dated BENCH_<date>.json next to this Makefile,
+# followed by the stage timings of a quick-preset experiments run (the run
+# manifest from -trace). Compare runs with `benchstat` if available, or
+# diff the ns/op columns and the manifest stage wall-times.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 . | tee BENCH_$$(date +%Y%m%d).json
+	$(GO) run ./cmd/experiments -preset quick -only figure3 \
+		-trace BENCH_$$(date +%Y%m%d).stages.json >/dev/null
+	cat BENCH_$$(date +%Y%m%d).stages.json >> BENCH_$$(date +%Y%m%d).json
+	rm -f BENCH_$$(date +%Y%m%d).stages.json
 
 # bench-train measures only the learner training paths (per-learner Fit and
 # the end-to-end core.Train ensemble) on the paper-shaped synthetic audit

@@ -13,13 +13,17 @@ import (
 )
 
 // inspect renders a trained model for human examination: sub-model
-// summaries, and the full tree/rule list for a chosen feature.
+// summaries, the full tree/rule list for a chosen feature, or — with
+// -explain — a per-feature breakdown of which sub-models drove the
+// anomaly verdicts on a trace.
 func inspect(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cfa inspect", flag.ContinueOnError)
 	model := fs.String("model", "model.bin", "model path from cfa train")
 	feature := fs.String("feature", "", "render the sub-model for this feature name")
 	depth := fs.Int("depth", 4, "maximum tree depth to print")
 	top := fs.Int("top", 20, "sub-models listed in the summary")
+	explain := fs.String("explain", "", "trace CSV: explain the lowest-scoring records")
+	drivers := fs.Int("drivers", 5, "features listed per explained record")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -33,6 +37,10 @@ func inspect(args []string, w io.Writer) error {
 			return a.Attrs[i].Name
 		}
 		return fmt.Sprintf("f%d", i)
+	}
+
+	if *explain != "" {
+		return explainTrace(mf, *explain, *top, *drivers, w)
 	}
 
 	if *feature != "" {
@@ -92,4 +100,80 @@ func inspect(args []string, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "use -feature <name> to render one sub-model in full")
 	return nil
+}
+
+// explainTrace scores every record in a trace and prints, for the lowest-
+// scoring ones, which sub-models drove the verdict: the features whose
+// assigned true-value probability fell furthest below that sub-model's
+// normal level. This is the operator's answer to "why did this alarm?".
+func explainTrace(mf *core.Bundle, path string, top, drivers int, w io.Writer) error {
+	vectors, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	if len(vectors) == 0 {
+		return fmt.Errorf("no records in %s", path)
+	}
+	type scored struct {
+		time  float64
+		score float64
+		res   core.ExplainResult
+	}
+	rows := make([]scored, 0, len(vectors))
+	alarms := 0
+	for _, v := range vectors {
+		x, err := mf.Discretizer.Transform(v.Values)
+		if err != nil {
+			return err
+		}
+		res := mf.Analyzer.Explain(x)
+		s := res.Score(mf.Scorer)
+		if s < mf.Threshold {
+			alarms++
+		}
+		rows = append(rows, scored{v.Time, s, res})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].score < rows[j].score })
+	fmt.Fprintf(w, "explained %d records from %s: %d anomalies (threshold %.4f, %s)\n",
+		len(rows), path, alarms, mf.Threshold, mf.Scorer)
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	for _, r := range rows {
+		verdict := "normal"
+		if r.score < mf.Threshold {
+			verdict = "ANOMALY"
+		}
+		fmt.Fprintf(w, "t=%-8.0f score %.4f  %s\n", r.time, r.score, verdict)
+		for _, c := range topDrivers(r.res, drivers) {
+			state := "match"
+			if c.Missing {
+				state = "missing"
+			} else if !c.Match {
+				state = "MISMATCH"
+			}
+			fmt.Fprintf(w, "    %-28s p=%.3f  normal %.3f  %s\n",
+				c.Feature, c.Prob, c.NormalProb, state)
+		}
+	}
+	return nil
+}
+
+// topDrivers ranks contributions by how far the assigned probability fell
+// below the sub-model's normal level — the sub-models whose learned
+// inter-feature correlation the event broke hardest. Missing features sort
+// last: they withheld evidence rather than contributing it.
+func topDrivers(res core.ExplainResult, n int) []core.Contribution {
+	cs := append([]core.Contribution(nil), res.Contribs...)
+	deficit := func(c core.Contribution) float64 {
+		if c.Missing {
+			return -1
+		}
+		return c.NormalProb - c.Prob
+	}
+	sort.SliceStable(cs, func(i, j int) bool { return deficit(cs[i]) > deficit(cs[j]) })
+	if n > 0 && len(cs) > n {
+		cs = cs[:n]
+	}
+	return cs
 }

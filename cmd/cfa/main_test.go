@@ -170,3 +170,34 @@ func TestInspectSubcommand(t *testing.T) {
 		t.Error("unknown feature accepted")
 	}
 }
+
+func TestInspectExplain(t *testing.T) {
+	dir := t.TempDir()
+	normal := filepath.Join(dir, "normal.csv")
+	suspect := filepath.Join(dir, "suspect.csv")
+	model := filepath.Join(dir, "model.bin")
+	writeSyntheticTrace(t, normal, 200, false, 30)
+	writeSyntheticTrace(t, suspect, 60, true, 31)
+	var out bytes.Buffer
+	if err := run([]string{"train", "-in", normal, "-model", model, "-learner", "NBC", "-warmup", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"inspect", "-model", model, "-explain", suspect, "-top", "3", "-drivers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "explained 60 records") {
+		t.Errorf("explain header wrong: %s", got)
+	}
+	if !strings.Contains(got, "normal ") || !strings.Contains(got, "p=") {
+		t.Errorf("explain output missing driver lines: %s", got)
+	}
+	// Three records, four driver lines each.
+	if n := strings.Count(got, "t="); n != 3 {
+		t.Errorf("explained %d records, want 3:\n%s", n, got)
+	}
+	if err := run([]string{"inspect", "-model", model, "-explain", filepath.Join(dir, "missing.csv")}, &out); err == nil {
+		t.Error("missing explain trace accepted")
+	}
+}

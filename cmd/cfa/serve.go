@@ -11,17 +11,28 @@ import (
 	"syscall"
 	"time"
 
+	"crossfeature/internal/obs"
 	"crossfeature/internal/serve"
 )
 
-// serveCmd runs the hardened scoring service: it loads and validates the
-// model before binding the listen socket (so a bad model is a clean
-// startup failure, not a flapping endpoint), then serves until SIGINT or
-// SIGTERM triggers a graceful drain. SIGHUP hot-reloads the model file.
+// serveCmd runs the hardened scoring service until SIGINT or SIGTERM
+// triggers a graceful drain. SIGHUP hot-reloads the model file.
 func serveCmd(args []string, w io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runServe(ctx, args, w)
+}
+
+// runServe is the cancellable core of serveCmd: it loads and validates the
+// model before binding the listen socket (so a bad model is a clean
+// startup failure, not a flapping endpoint), then serves until ctx is
+// cancelled.
+func runServe(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cfa serve", flag.ContinueOnError)
 	model := fs.String("model", "model.bin", "model path from cfa train")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	debugAddr := fs.String("debug-addr", "", "optional debug listener (pprof, /metrics, /tracez); keep it private")
+	featureMetrics := fs.Bool("feature-metrics", false, "export per-feature match/probability metrics (roughly doubles scoring cost)")
 	concurrency := fs.Int("concurrency", 0, "max in-flight score requests (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "max queued score requests beyond the in-flight limit (0 = default)")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
@@ -34,6 +45,7 @@ func serveCmd(args []string, w io.Writer) error {
 		return err
 	}
 
+	reg := obs.NewRegistry()
 	srv, err := serve.New(serve.Config{
 		ModelPath:      *model,
 		MaxConcurrent:  *concurrency,
@@ -44,6 +56,8 @@ func serveCmd(args []string, w io.Writer) error {
 		Smoothing:      *smoothing,
 		RaiseAfter:     *raiseAfter,
 		ClearAfter:     *clearAfter,
+		Registry:       reg,
+		FeatureMetrics: *featureMetrics,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "cfa serve: "+format+"\n", args...)
 		},
@@ -57,8 +71,18 @@ func serveCmd(args []string, w io.Writer) error {
 		return err
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// The debug surface shares the registry but never the public listener:
+	// pprof handlers can be made to do unbounded work, so they must not sit
+	// behind the admission controller they would distort.
+	if *debugAddr != "" {
+		ps, err := obs.StartProfileServer(*debugAddr, reg, nil)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer ps.Close()
+		fmt.Fprintf(w, "cfa serve: debug surface on http://%s/debug/pprof/ (and /metrics, /tracez)\n", ps.Addr())
+	}
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)

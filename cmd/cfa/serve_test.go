@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crossfeature/internal/features"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while runServe writes to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestObsSmoke boots the full service on ephemeral ports and scrapes the
+// observability surfaces end to end: /metrics on the public listener and
+// pprof + /metrics + /tracez on the debug listener. This is the test
+// behind `make obs-smoke`.
+func TestObsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	normal := filepath.Join(dir, "normal.csv")
+	model := filepath.Join(dir, "model.bin")
+	writeSyntheticTrace(t, normal, 200, false, 40)
+	var out bytes.Buffer
+	if err := run([]string{"train", "-in", normal, "-model", model, "-learner", "NBC", "-warmup", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, []string{
+			"-model", model, "-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
+		}, &buf)
+	}()
+
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	debugRe := regexp.MustCompile(`debug surface on http://(\S+)/debug`)
+	var addr, debug string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" || debug == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not announce listeners:\n%s", buf.String())
+		}
+		s := buf.String()
+		if m := addrRe.FindStringSubmatch(s); m != nil {
+			addr = m[1]
+		}
+		if m := debugRe.FindStringSubmatch(s); m != nil {
+			debug = m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	// Score one record so the counters move.
+	vals := "[" + strings.TrimSuffix(strings.Repeat("0,", features.NumFeatures), ",") + "]"
+	resp, err := http.Post("http://"+addr+"/v1/score", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"stream":"smoke","records":[{"time":1,"values":%s}]}`, vals)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score: status %d", resp.StatusCode)
+	}
+
+	if code, body := get("http://" + addr + "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "cfa_requests_total 1") ||
+		!strings.Contains(body, "cfa_model_generation 1") {
+		t.Errorf("public /metrics (status %d) wrong:\n%s", code, body)
+	}
+	if code, body := get("http://" + debug + "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "cfa_requests_total") {
+		t.Errorf("debug /metrics (status %d) wrong:\n%s", code, body)
+	}
+	if code, body := get("http://" + debug + "/debug/pprof/heap?debug=1"); code != http.StatusOK ||
+		!strings.Contains(body, "heap profile") {
+		t.Errorf("heap profile (status %d) wrong: %.200s", code, body)
+	}
+	if code, _ := get("http://" + debug + "/tracez"); code != http.StatusOK {
+		t.Errorf("/tracez status %d", code)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after cancel")
+	}
+}

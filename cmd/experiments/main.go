@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-preset paper|quick|smoke] [-only tables,figure1..figure6,ablations,storm,faults,multinode,olsr,all] [-parallel N] [-workers N] [-cpuprofile f] [-memprofile f]
+//	experiments [-preset paper|quick|smoke] [-only tables,figure1..figure6,ablations,storm,faults,multinode,olsr,all] [-parallel N] [-workers N] [-cpuprofile f] [-memprofile f] [-trace manifest.json] [-metrics-out metrics.prom]
 //
 // Each experiment prints the rows/series the paper reports: the two-node
 // example tables (1-3), the recall-precision curves of Figures 1-2, the
@@ -16,6 +16,11 @@
 // for byte the same whatever the worker count; per-experiment wall-clock
 // timing goes to stderr, keeping nondeterministic durations out of the
 // report stream.
+//
+// With -trace, a machine-readable run manifest (stage timings, seeds,
+// build revision and the final metrics snapshot) is written as JSON and
+// the stage timing tree is printed to stderr; -metrics-out dumps the same
+// metrics in Prometheus text format.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"crossfeature/internal/experiments"
+	"crossfeature/internal/obs"
 )
 
 func main() {
@@ -39,7 +45,7 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	preset := fs.String("preset", "quick", "experiment scale: quick, paper or smoke")
 	only := fs.String("only", "all", "comma-separated experiments: tables, figure1..figure6, ablations, storm, faults, multinode, olsr, all")
@@ -47,9 +53,16 @@ func run(args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "concurrent experiments and trace simulations (0 = GOMAXPROCS)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := fs.String("trace", "", "write a run manifest (stage timings, seeds, metrics) to this JSON file")
+	metricsOut := fs.String("metrics-out", "", "write the final metrics snapshot in Prometheus text format to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	runStart := time.Now()
+	setup := tracer.Start("setup")
 
 	var p experiments.Preset
 	switch *preset {
@@ -66,15 +79,39 @@ func run(args []string, w io.Writer) error {
 	p.Workers = *workers
 
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return err
+		f, ferr := os.Create(*cpuprofile)
+		if ferr != nil {
+			return fmt.Errorf("cpu profile: %w", ferr)
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			return fmt.Errorf("cpu profile: %w", perr)
 		}
-		defer pprof.StopCPUProfile()
+		// Stop and flush via defer, so the profile survives a failed
+		// report — a crash-adjacent run is exactly the one worth profiling.
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("cpu profile: %w", cerr)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		// Created up front: an unwritable path must fail now, not after a
+		// potentially hours-long run.
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			return fmt.Errorf("heap profile: %w", ferr)
+		}
+		defer func() {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+				err = fmt.Errorf("heap profile: %w", werr)
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("heap profile: %w", cerr)
+			}
+		}()
 	}
 
 	lab, err := experiments.NewLab(p)
@@ -123,11 +160,14 @@ func run(args []string, w io.Writer) error {
 	if len(picked) == 0 {
 		return fmt.Errorf("no experiment matches %q", *only)
 	}
+	setup.End()
 
 	// Run every selected experiment concurrently, each into its own
 	// buffer; the lab's caches coalesce shared traces, datasets and
 	// analyzers across them. Buffers flush in declaration order so the
 	// report is identical to a serial run.
+	expPhase := tracer.Start("experiments")
+	lab.Instrument(reg, expPhase)
 	nworkers := *workers
 	if nworkers <= 0 {
 		nworkers = runtime.GOMAXPROCS(0)
@@ -146,6 +186,8 @@ func run(args []string, w io.Writer) error {
 			defer close(o.done)
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			sp := expPhase.Start("exp:" + e.name)
+			defer sp.End()
 			start := time.Now()
 			fmt.Fprintf(&o.buf, "==== %s (preset=%s) ====\n", e.name, *preset)
 			if err := e.run(&o.buf); err != nil {
@@ -165,17 +207,55 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
+	expPhase.End()
 
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			return err
+	if *metricsOut != "" {
+		if werr := writeMetricsFile(*metricsOut, reg); werr != nil {
+			return werr
 		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return err
+	}
+	if *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "experiments: stage timings:")
+		tracer.WriteTree(os.Stderr)
+		m := experiments.RunManifest{
+			Schema:        experiments.ManifestSchema,
+			Preset:        *preset,
+			Only:          *only,
+			Workers:       nworkers,
+			Parallelism:   *parallel,
+			Seeds:         p.Seeds(),
+			GoVersion:     runtime.Version(),
+			BuildRevision: experiments.BuildRevision(),
+			TotalSeconds:  time.Since(runStart).Seconds(),
+			Simulations:   lab.Simulations(),
+			Metrics:       reg.Snapshot(),
+		}
+		for _, root := range tracer.Roots() {
+			m.Stages = append(m.Stages, root.Timing())
+		}
+		// The experiments phase also parents the lab's simulate/train
+		// spans; the manifest keeps only the per-experiment rollups.
+		for _, c := range expPhase.Children() {
+			if t := c.Timing(); strings.HasPrefix(t.Name, "exp:") {
+				m.Experiments = append(m.Experiments, t)
+			}
+		}
+		if werr := m.WriteFile(*traceOut); werr != nil {
+			return werr
 		}
 	}
 	return nil
+}
+
+// writeMetricsFile dumps the registry in Prometheus text format.
+func writeMetricsFile(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics out: %w", err)
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics out: %w", err)
+	}
+	return f.Close()
 }

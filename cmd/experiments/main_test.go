@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"crossfeature/internal/experiments"
 )
 
 func TestTablesExperiment(t *testing.T) {
@@ -26,6 +30,93 @@ func TestRejectsBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-only", "figure99"}, &out); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunManifest drives a real (smoke-scale) run with -trace and
+// -metrics-out and checks the manifest invariants: schema and seeds
+// recorded, every stage present, and the stage wall-times summing to
+// (within tolerance of) the total run time — the guarantee that makes
+// stage timings trustworthy for regression hunting.
+func TestRunManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke preset run takes a few seconds")
+	}
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "run.json")
+	metrics := filepath.Join(dir, "metrics.prom")
+	var out bytes.Buffer
+	err := run([]string{"-preset", "smoke", "-only", "figure3",
+		"-trace", manifest, "-metrics-out", metrics}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := experiments.ReadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Preset != "smoke" || m.Only != "figure3" || m.GoVersion == "" {
+		t.Errorf("manifest header wrong: %+v", m)
+	}
+	if m.Seeds.Train != experiments.SmokePreset().TrainSeed || len(m.Seeds.Attack) == 0 {
+		t.Errorf("manifest seeds wrong: %+v", m.Seeds)
+	}
+	if m.Simulations < 2 {
+		t.Errorf("simulations = %d, want >= 2 (train + attack traces)", m.Simulations)
+	}
+	stages := map[string]float64{}
+	var sum float64
+	for _, s := range m.Stages {
+		stages[s.Name] = s.WallSeconds
+		sum += s.WallSeconds
+	}
+	for _, want := range []string{"setup", "experiments"} {
+		if _, ok := stages[want]; !ok {
+			t.Errorf("manifest missing stage %q: %v", want, stages)
+		}
+	}
+	if m.TotalSeconds <= 0 {
+		t.Fatalf("total_seconds = %v", m.TotalSeconds)
+	}
+	// Top-level stages are sequential and cover the run: their sum must
+	// land within 10% of the measured total.
+	if ratio := sum / m.TotalSeconds; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("stage sum %.3fs is %.0f%% of total %.3fs, want within 10%%",
+			sum, 100*ratio, m.TotalSeconds)
+	}
+	if len(m.Experiments) != 1 || !strings.HasPrefix(m.Experiments[0].Name, "exp:figure3") {
+		t.Errorf("experiments timings = %+v", m.Experiments)
+	}
+
+	// The metrics snapshot must include the lab's counters...
+	var found bool
+	for _, p := range m.Metrics {
+		if p.Name == "exp_simulations_total" && p.Value >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("manifest metrics missing exp_simulations_total: %d points", len(m.Metrics))
+	}
+	// ...and -metrics-out the same families in exposition format.
+	b, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "# TYPE exp_simulations_total counter") {
+		t.Errorf("metrics file not exposition format:\n%s", b)
+	}
+}
+
+func TestProfileFlagsFailFastOnUnwritablePaths(t *testing.T) {
+	var out bytes.Buffer
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir")
+	if err := run([]string{"-only", "tables", "-cpuprofile", filepath.Join(missing, "cpu.out")}, &out); err == nil {
+		t.Error("unwritable cpuprofile path accepted")
+	}
+	if err := run([]string{"-only", "tables", "-memprofile", filepath.Join(missing, "mem.out")}, &out); err == nil {
+		t.Error("unwritable memprofile path accepted")
 	}
 }
 

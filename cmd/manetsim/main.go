@@ -5,9 +5,13 @@
 //
 //	manetsim -routing aodv -transport udp -duration 10000 -seed 1 \
 //	         -attack none|mixed|blackhole|dropping \
-//	         -faults none|crash|flap|noise|sampler|env -out trace.csv
+//	         -faults none|crash|flap|noise|sampler|env -out trace.csv \
+//	         [-metrics-out metrics.prom]
 //
-// The emitted CSV feeds cmd/cfa for training and detection.
+// The emitted CSV feeds cmd/cfa for training and detection. With
+// -metrics-out, per-protocol packet and route-event counters from the
+// monitored node's audit stream (plus engine and record totals) are
+// written in Prometheus text format after the run.
 package main
 
 import (
@@ -20,7 +24,9 @@ import (
 	"crossfeature/internal/faults"
 	"crossfeature/internal/features"
 	"crossfeature/internal/netsim"
+	"crossfeature/internal/obs"
 	"crossfeature/internal/packet"
+	"crossfeature/internal/trace"
 )
 
 func main() {
@@ -48,6 +54,7 @@ func run(args []string) error {
 	monitor := fs.Int("monitor", 0, "node whose audit trail is recorded")
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	events := fs.String("events", "", "optional per-observation event log path")
+	metricsOut := fs.String("metrics-out", "", "write audit-stream metrics in Prometheus text format to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +108,20 @@ func run(args []string) error {
 		cfg.EventLog = ef
 	}
 
+	var reg *obs.Registry
+	var metricsFile *os.File
+	if *metricsOut != "" {
+		// Created up front so an unwritable path fails before the run.
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		metricsFile = mf
+		reg = obs.NewRegistry()
+		cfg.AuditSink = trace.NewMetricsSink(reg, cfg.Routing.String())
+	}
+
 	net, err := netsim.New(cfg)
 	if err != nil {
 		return err
@@ -121,6 +142,23 @@ func run(args []string) error {
 	}
 	if err := features.WriteCSV(w, vectors); err != nil {
 		return err
+	}
+	if reg != nil {
+		reg.GaugeFunc("sim_events_processed",
+			"Discrete events fired by the simulation engine.",
+			func() float64 { return float64(net.Engine().Processed()) })
+		reg.GaugeFunc("sim_audit_records",
+			"Feature-vector records emitted by the monitored node.",
+			func() float64 { return float64(len(vectors)) })
+		reg.GaugeFunc("sim_virtual_seconds",
+			"Virtual seconds simulated.",
+			func() float64 { return net.Engine().Now() })
+		reg.GaugeFunc("sim_queue_high_water",
+			"Largest number of events ever pending in the engine queue.",
+			func() float64 { return float64(net.Engine().QueueHighWater()) })
+		if err := reg.WritePrometheus(metricsFile); err != nil {
+			return fmt.Errorf("metrics out: %w", err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "manetsim: %d records, %d events processed\n",
 		len(vectors), net.Engine().Processed())

@@ -83,6 +83,45 @@ func TestAttackSpecsModes(t *testing.T) {
 	}
 }
 
+func TestMetricsOutput(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.csv")
+	metrics := filepath.Join(dir, "metrics.prom")
+	err := run([]string{
+		"-routing", "dsr", "-nodes", "8", "-connections", "4",
+		"-duration", "60", "-out", out, "-metrics-out", metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"# TYPE sim_packets_total counter",
+		`sim_packets_total{protocol="DSR",class="data",dir="sent"}`,
+		"# TYPE sim_route_events_total counter",
+		"sim_events_processed",
+		"sim_audit_records 12", // 60 s at 5 s sampling
+		"sim_virtual_seconds 60",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metrics missing %q:\n%s", want, s)
+		}
+	}
+	// An unwritable path must fail up front, before the simulation runs.
+	err = run([]string{
+		"-nodes", "8", "-connections", "4", "-duration", "60",
+		"-out", filepath.Join(dir, "t2.csv"),
+		"-metrics-out", filepath.Join(dir, "no", "such", "dir", "m.prom"),
+	})
+	if err == nil {
+		t.Fatal("unwritable metrics path accepted")
+	}
+}
+
 func TestEventLogOutput(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "trace.csv")

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"crossfeature/internal/ml"
+	"crossfeature/internal/ml/nbayes"
+	"crossfeature/internal/obs"
+)
+
+func TestExplainMatchesScores(t *testing.T) {
+	a := &Analyzer{
+		Attrs: []ml.Attr{{Name: "f0", Card: 2}, {Name: "f1", Card: 2}, {Name: "f2", Card: 2}},
+		Models: []ml.Classifier{
+			fixedClassifier{[]float64{0.9, 0.1}},
+			nil,
+			fixedClassifier{[]float64{0.3, 0.7}},
+		},
+	}
+	x := []int{0, 1, 1}
+	res := a.Explain(x)
+	if res.MatchScore != a.AvgMatchCount(x) {
+		t.Errorf("MatchScore = %v, AvgMatchCount = %v", res.MatchScore, a.AvgMatchCount(x))
+	}
+	if res.ProbScore != a.AvgProbability(x) {
+		t.Errorf("ProbScore = %v, AvgProbability = %v", res.ProbScore, a.AvgProbability(x))
+	}
+	if res.Score(MatchCount) != res.MatchScore || res.Score(Probability) != res.ProbScore {
+		t.Error("Score(scorer) does not select the matching field")
+	}
+	// Nil models contribute nothing; two retained sub-models remain.
+	if len(res.Contribs) != 2 {
+		t.Fatalf("contribs = %d, want 2", len(res.Contribs))
+	}
+	c0, c2 := res.Contribs[0], res.Contribs[1]
+	if c0.Index != 0 || c0.Feature != "f0" || !c0.Match || c0.Prob != 0.9 {
+		t.Errorf("f0 contribution = %+v", c0)
+	}
+	if c2.Index != 2 || c2.Feature != "f2" || !c2.Match || c2.Prob != 0.7 {
+		t.Errorf("f2 contribution = %+v", c2)
+	}
+}
+
+func TestExplainMissingFeature(t *testing.T) {
+	a := &Analyzer{
+		Attrs: []ml.Attr{{Name: "f0", Card: 3, HasUnknown: true}, {Name: "f1", Card: 2}},
+		Models: []ml.Classifier{
+			fixedClassifier{[]float64{0.6, 0.3, 0.1}},
+			fixedClassifier{[]float64{0.2, 0.8}},
+		},
+	}
+	x := []int{2, 1} // f0's value 2 is its unknown class
+	res := a.Explain(x)
+	if res.MatchScore != a.AvgMatchCount(x) || res.ProbScore != a.AvgProbability(x) {
+		t.Errorf("partial-average scores diverge: %+v", res)
+	}
+	if len(res.Contribs) != 2 || !res.Contribs[0].Missing || res.Contribs[1].Missing {
+		t.Errorf("missing flags wrong: %+v", res.Contribs)
+	}
+}
+
+// TestExplainTrainedParity is the load-bearing guarantee: on a trained
+// analyzer (normal levels recorded, so partial averages are debiased),
+// Explain must reproduce Score bit-for-bit for complete and degraded
+// events alike.
+func TestExplainTrainedParity(t *testing.T) {
+	ds := correlatedDataset(t, 300, 7)
+	a, err := Train(ds, nbayes.NewLearner(), TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := [][]int{
+		{0, 0, 1},
+		{1, 2, 0},  // broken correlation
+		{2, -1, 1}, // degraded record: f1 missing -> debias path
+		{-1, -1, 2},
+	}
+	for _, x := range events {
+		res := a.Explain(x)
+		if got, want := res.MatchScore, a.AvgMatchCount(x); got != want {
+			t.Errorf("Explain(%v).MatchScore = %v, AvgMatchCount = %v", x, got, want)
+		}
+		if got, want := res.ProbScore, a.AvgProbability(x); got != want {
+			t.Errorf("Explain(%v).ProbScore = %v, AvgProbability = %v", x, got, want)
+		}
+		for _, c := range res.Contribs {
+			if c.NormalProb <= 0 || c.NormalProb > 1 {
+				t.Errorf("contribution %q has NormalProb %v outside (0,1]", c.Feature, c.NormalProb)
+			}
+		}
+	}
+}
+
+func TestScoreMetrics(t *testing.T) {
+	a := &Analyzer{
+		Attrs: []ml.Attr{{Name: "f0", Card: 2}, {Name: "f1", Card: 3, HasUnknown: true}},
+		Models: []ml.Classifier{
+			fixedClassifier{[]float64{0.9, 0.1}},
+			fixedClassifier{[]float64{0.5, 0.4, 0.1}},
+		},
+	}
+	reg := obs.NewRegistry()
+	m := NewScoreMetrics(reg, a, "cfa")
+	m.Observe(a.Explain([]int{0, 0})) // both match
+	m.Observe(a.Explain([]int{1, 1})) // both mismatch
+	m.Observe(a.Explain([]int{0, 2})) // f1 missing
+
+	var counts = map[string]float64{}
+	for _, p := range reg.Snapshot() {
+		key := p.Name
+		for _, l := range p.Labels {
+			key += "{" + l.Value + "}"
+		}
+		counts[key] = p.Value
+	}
+	want := map[string]float64{
+		"cfa_feature_checked_total{f0}": 3,
+		"cfa_feature_checked_total{f1}": 2,
+		"cfa_feature_match_total{f0}":   2,
+		"cfa_feature_match_total{f1}":   1,
+		"cfa_feature_missing_total{f0}": 0,
+		"cfa_feature_missing_total{f1}": 1,
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("%s = %v, want %v", k, counts[k], v)
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `cfa_feature_prob_count{feature="f0"} 3`) {
+		t.Errorf("probability histogram not exported:\n%s", out)
+	}
+	// Sum of f0's observed probabilities: 0.9 + 0.1 + 0.9.
+	if !strings.Contains(out, `cfa_feature_prob_sum{feature="f0"} 1.9`) {
+		t.Errorf("probability histogram sum wrong:\n%s", out)
+	}
+}
+
+func TestScoreMetricsIgnoresForeignContribs(t *testing.T) {
+	a := &Analyzer{
+		Attrs:  []ml.Attr{{Name: "f0", Card: 2}},
+		Models: []ml.Classifier{fixedClassifier{[]float64{0.9, 0.1}}},
+	}
+	reg := obs.NewRegistry()
+	m := NewScoreMetrics(reg, a, "x")
+	// A contribution whose index exceeds the metric tables must be skipped,
+	// not panic — the explained event may come from a newer model.
+	m.Observe(ExplainResult{Contribs: []Contribution{{Index: 5, Feature: "ghost"}}})
+	if got := len(reg.Snapshot()); got == 0 {
+		t.Fatal("registry empty")
+	}
+}

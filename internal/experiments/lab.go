@@ -15,6 +15,7 @@ import (
 	"crossfeature/internal/ml/nbayes"
 	"crossfeature/internal/ml/ripper"
 	"crossfeature/internal/netsim"
+	"crossfeature/internal/obs"
 )
 
 // AttackMix selects the intrusion composition of a test trace.
@@ -126,6 +127,13 @@ type Lab struct {
 
 	simSem      chan struct{}
 	simulations atomic.Int64
+
+	// Observability wiring, set once by Instrument before any experiment
+	// runs (nil fields disable instrumentation at zero cost).
+	obsReg     *obs.Registry
+	obsSpan    *obs.Span
+	simCount   *obs.Counter
+	trainCount *obs.Counter
 }
 
 type traceKey struct {
@@ -167,6 +175,20 @@ func NewLab(p Preset) (*Lab, error) {
 // the number of cache misses, which concurrency tests compare against
 // the number of unique keys requested.
 func (l *Lab) Simulations() int64 { return l.simulations.Load() }
+
+// Instrument attaches an obs registry and a parent span to the lab: every
+// simulation and training run (the cache misses — memoised hits cost
+// nothing and record nothing) is counted and recorded as a child span of
+// parent, and dataset/model sizes are published as gauges. Call before
+// running experiments; the wiring is read concurrently afterwards.
+func (l *Lab) Instrument(reg *obs.Registry, parent *obs.Span) {
+	l.obsReg = reg
+	l.obsSpan = parent
+	l.simCount = reg.Counter("exp_simulations_total",
+		"Trace simulations actually run (single-flight cache misses).")
+	l.trainCount = reg.Counter("exp_trainings_total",
+		"Cross-feature analyzer training runs (cache misses).")
+}
 
 // workers resolves the concurrency bound for trace simulation.
 func (p Preset) workers() int {
@@ -269,6 +291,13 @@ func (l *Lab) RunFaultTrace(sc Scenario, mix AttackMix, fmix FaultMix, seed int6
 func (l *Lab) simulate(sc Scenario, mix AttackMix, fmix FaultMix, seed int64) (*Trace, error) {
 	l.simSem <- struct{}{}
 	defer func() { <-l.simSem }()
+	if l.obsSpan != nil {
+		sp := l.obsSpan.Start(fmt.Sprintf("simulate:%s/%s/seed=%d", sc.Name(), mix, seed))
+		defer sp.End()
+	}
+	if l.simCount != nil {
+		l.simCount.Inc()
+	}
 
 	cfg := l.config(sc, mix, fmix, seed)
 	net, err := netsim.New(cfg)
@@ -393,6 +422,14 @@ func (l *Lab) buildData(sc Scenario) (*ScenarioData, error) {
 	if err != nil {
 		return nil, err
 	}
+	if l.obsReg != nil {
+		l.obsReg.Gauge("exp_dataset_rows",
+			"Training dataset rows per scenario.",
+			obs.L("scenario", sc.Name())).Set(float64(ds.Len()))
+		l.obsReg.Gauge("exp_dataset_features",
+			"Feature count of the training dataset.",
+			obs.L("scenario", sc.Name())).Set(float64(len(ds.Attrs)))
+	}
 	d := &ScenarioData{Scenario: sc, Disc: disc, TrainDS: ds, TrainEvents: ds.X}
 	for _, seed := range p.NormalSeeds {
 		t, err := l.RunTrace(sc, NoAttack, seed)
@@ -456,7 +493,22 @@ func (l *Lab) Train(sc Scenario, learner ml.Learner) (*core.Analyzer, *ScenarioD
 	l.analyzers[key] = c
 	l.mu.Unlock()
 
+	var sp *obs.Span
+	if l.obsSpan != nil {
+		sp = l.obsSpan.Start("train:" + sc.Name() + "/" + learner.Name())
+	}
 	c.val, c.err = core.Train(d.TrainDS, learner, core.TrainOptions{Parallelism: l.Preset.Parallelism})
+	if sp != nil {
+		sp.End()
+	}
+	if l.trainCount != nil {
+		l.trainCount.Inc()
+	}
+	if l.obsReg != nil && c.err == nil {
+		l.obsReg.Gauge("exp_submodels",
+			"Sub-models retained per trained analyzer.",
+			obs.L("scenario", sc.Name()), obs.L("learner", learner.Name())).Set(float64(c.val.NumModels()))
+	}
 	close(c.done)
 	return c.val, d, c.err
 }

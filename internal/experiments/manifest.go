@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+
+	"crossfeature/internal/obs"
+)
+
+// ManifestSchema versions the run-manifest JSON layout.
+const ManifestSchema = "cfa-experiments-run/1"
+
+// SeedSet records every random seed a run depended on, so a manifest pins
+// the run down to reproducible inputs.
+type SeedSet struct {
+	Train    int64   `json:"train"`
+	Workload int64   `json:"workload"`
+	Normal   []int64 `json:"normal"`
+	Attack   []int64 `json:"attack"`
+}
+
+// Seeds extracts the preset's seed set.
+func (p Preset) Seeds() SeedSet {
+	return SeedSet{
+		Train:    p.TrainSeed,
+		Workload: p.WorkloadSeed,
+		Normal:   append([]int64(nil), p.NormalSeeds...),
+		Attack:   append([]int64(nil), p.AttackSeeds...),
+	}
+}
+
+// RunManifest is the machine-readable record of one experiments run: what
+// was run (preset, selection, seeds, build), how long each pipeline stage
+// took, and the final metrics snapshot (simulation counts, dataset sizes,
+// sub-model counts). `make bench` folds the stage timings into
+// BENCH_<date>.json, and regressions are diagnosed by diffing two
+// manifests rather than rerunning under a profiler.
+type RunManifest struct {
+	Schema        string            `json:"schema"`
+	Preset        string            `json:"preset"`
+	Only          string            `json:"only"`
+	Workers       int               `json:"workers"`
+	Parallelism   int               `json:"parallelism"`
+	Seeds         SeedSet           `json:"seeds"`
+	GoVersion     string            `json:"go_version"`
+	BuildRevision string            `json:"build_revision,omitempty"`
+	TotalSeconds  float64           `json:"total_seconds"`
+	Stages        []obs.StageTiming `json:"stages"`
+	Experiments   []obs.StageTiming `json:"experiments,omitempty"`
+	Simulations   int64             `json:"simulations"`
+	Metrics       []obs.MetricPoint `json:"metrics,omitempty"`
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m RunManifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: manifest: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return fmt.Errorf("experiments: manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (RunManifest, error) {
+	var m RunManifest
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("experiments: manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return m, fmt.Errorf("experiments: manifest %s has schema %q, want %q", path, m.Schema, ManifestSchema)
+	}
+	return m, nil
+}
+
+// BuildRevision reports the binary's VCS revision, empty when built
+// outside a checkout.
+func BuildRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				return kv.Value
+			}
+		}
+	}
+	return ""
+}

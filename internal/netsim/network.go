@@ -107,6 +107,11 @@ type Config struct {
 	// at the end of Run.
 	EventLog io.Writer
 
+	// AuditSink, when non-nil, is teed alongside each monitored node's
+	// Collector and receives the same raw observation stream (e.g. a
+	// trace.MetricsSink counting packet and route-event rates).
+	AuditSink trace.Sink
+
 	Attacks []attack.Spec
 
 	// Faults schedules benign environmental faults (node crash/restart,
@@ -237,11 +242,19 @@ func New(cfg Config) (*Network, error) {
 		if monitored[packet.NodeID(i)] {
 			col := trace.NewCollector()
 			n.collectors[packet.NodeID(i)] = col
-			node.sink = col
+			sinks := []trace.Sink{col}
 			if cfg.EventLog != nil {
 				el := trace.NewEventLog(packet.NodeID(i), cfg.EventLog, eng.Now)
 				n.eventLogs = append(n.eventLogs, el)
-				node.sink = trace.Tee{Sinks: []trace.Sink{col, el}}
+				sinks = append(sinks, el)
+			}
+			if cfg.AuditSink != nil {
+				sinks = append(sinks, cfg.AuditSink)
+			}
+			if len(sinks) == 1 {
+				node.sink = col
+			} else {
+				node.sink = trace.Tee{Sinks: sinks}
 			}
 		} else {
 			node.sink = trace.Nop{}

@@ -1,0 +1,62 @@
+package obs
+
+import "testing"
+
+// TestHotPathZeroAllocs pins the acceptance criterion that metric
+// increments allocate nothing: a counter inc, gauge set/add and histogram
+// observe must all run at 0 allocs/op.
+func TestHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "a")
+	g := r.Gauge("alloc_gauge", "a")
+	h := r.Histogram("alloc_hist", "a", LinearBuckets(0, 0.1, 20))
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter-inc", func() { c.Inc() }},
+		{"counter-add", func() { c.Add(3) }},
+		{"gauge-set", func() { g.Set(1.5) }},
+		{"gauge-add", func() { g.Add(0.5) }},
+		{"histogram-observe", func() { h.Observe(1.1) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "b", ExpBuckets(0.001, 2, 14))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 25)
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_par_total", "b")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

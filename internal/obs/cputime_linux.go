@@ -1,0 +1,17 @@
+//go:build linux || darwin
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU reads the process's cumulative user+system CPU time.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

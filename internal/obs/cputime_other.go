@@ -1,0 +1,8 @@
+//go:build !linux && !darwin
+
+package obs
+
+import "time"
+
+// processCPU is unavailable on this platform; spans report zero CPU time.
+func processCPU() time.Duration { return 0 }

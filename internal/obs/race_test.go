@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammer drives counters, gauges and histograms from
+// GOMAXPROCS goroutines while the main goroutine snapshots and encodes
+// continuously. Run under -race (make ci does) this is the data-race
+// gate for the whole hot path; the final counts are also checked exactly.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "hammered")
+	g := r.Gauge("hammer_gauge", "hammered")
+	h := r.Histogram("hammer_hist", "hammered", LinearBuckets(0, 100, 10))
+
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshot/encode loop racing the writers.
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p := r.Snapshot()
+				if len(p) != 3 {
+					t.Errorf("snapshot lost metrics: %d", len(p))
+					return
+				}
+				r.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 1000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	want := uint64(workers * perWorker)
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != float64(want) {
+		t.Errorf("gauge = %v, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	p := h.snapshot()
+	if p.Cumulative[len(p.Cumulative)-1] != p.Count {
+		t.Errorf("+Inf bucket %d != count %d after concurrent load",
+			p.Cumulative[len(p.Cumulative)-1], p.Count)
+	}
+}

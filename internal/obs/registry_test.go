@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition output: HELP/TYPE
+// headers, label rendering and escaping, histogram buckets with the +Inf
+// bucket and _sum/_count lines, and family ordering by name.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zz_requests_total", "Total requests.")
+	c.Add(3)
+	g := r.Gauge("aa_depth", "Queue depth.", L("queue", "main"))
+	g.Set(2.5)
+	r.Counter("mm_evil_total", `Label with "quotes", back\slash and newline.`,
+		L("path", "a\\b\"c\nd"))
+	h := r.Histogram("hh_latency_seconds", "Request latency.", []float64{0.1, 0.5, 2})
+	for _, v := range []float64{0.05, 0.3, 0.3, 1.9, 100} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_depth Queue depth.
+# TYPE aa_depth gauge
+aa_depth{queue="main"} 2.5
+
+# HELP hh_latency_seconds Request latency.
+# TYPE hh_latency_seconds histogram
+hh_latency_seconds_bucket{le="0.1"} 1
+hh_latency_seconds_bucket{le="0.5"} 3
+hh_latency_seconds_bucket{le="2"} 4
+hh_latency_seconds_bucket{le="+Inf"} 5
+hh_latency_seconds_sum 102.55
+hh_latency_seconds_count 5
+
+# HELP mm_evil_total Label with "quotes", back\\slash and newline.
+# TYPE mm_evil_total counter
+mm_evil_total{path="a\\b\"c\nd"} 0
+
+# HELP zz_requests_total Total requests.
+# TYPE zz_requests_total counter
+zz_requests_total 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("encoder output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramInvariants checks the structural invariants the encoder
+// relies on: cumulative buckets are monotone, the +Inf bucket equals
+// _count, and _sum matches the observations.
+func TestHistogramInvariants(t *testing.T) {
+	h := NewHistogram(LinearBuckets(0.1, 0.1, 9)) // 0.1 .. 0.9
+	var sum float64
+	n := 0
+	for _, v := range []float64{0, 0.1, 0.15, 0.5, 0.95, 1.5, 0.3} {
+		h.Observe(v)
+		sum += v
+		n++
+	}
+	p := h.snapshot()
+	if len(p.Cumulative) != len(p.Bounds)+1 {
+		t.Fatalf("cumulative has %d entries for %d bounds", len(p.Cumulative), len(p.Bounds))
+	}
+	for i := 1; i < len(p.Cumulative); i++ {
+		if p.Cumulative[i] < p.Cumulative[i-1] {
+			t.Errorf("cumulative not monotone at %d: %v", i, p.Cumulative)
+		}
+	}
+	if p.Cumulative[len(p.Cumulative)-1] != p.Count {
+		t.Errorf("+Inf bucket %d != count %d", p.Cumulative[len(p.Cumulative)-1], p.Count)
+	}
+	if p.Count != uint64(n) {
+		t.Errorf("count = %d, want %d", p.Count, n)
+	}
+	if diff := p.Sum - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %v, want %v", p.Sum, sum)
+	}
+	// Boundary semantics: le is inclusive (0.1 lands in the 0.1 bucket).
+	if p.Cumulative[0] != 2 { // 0 and 0.1
+		t.Errorf("le=0.1 bucket = %d, want 2", p.Cumulative[0])
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	nan := 0.0
+	nan = nan / nan
+	h.Observe(nan)
+	h.Observe(0.5)
+	if got := h.Count(); got != 1 {
+		t.Errorf("count = %d, want 1 (NaN dropped)", got)
+	}
+}
+
+// TestRegistryIdempotent verifies same-name-same-labels returns the same
+// instance and that kind mismatches panic loudly rather than silently
+// splitting a family.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", L("k", "v"))
+	b := r.Counter("x_total", "x", L("k", "v"))
+	if a != b {
+		t.Error("re-registration returned a different counter instance")
+	}
+	c := r.Counter("x_total", "x", L("k", "w"))
+	if a == c {
+		t.Error("distinct label values share an instance")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind mismatch did not panic")
+			}
+		}()
+		r.Gauge("x_total", "x")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid metric name did not panic")
+			}
+		}()
+		r.Counter("0bad name", "x")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("histogram bucket mismatch did not panic")
+			}
+		}()
+		r.Histogram("h", "h", []float64{1, 2})
+		r.Histogram("h", "h", []float64{1, 3})
+	}()
+}
+
+func TestGaugeFuncAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := 0.0
+	r.GaugeFunc("dyn", "dynamic", func() float64 { return v })
+	v = 42
+	points := r.Snapshot()
+	if len(points) != 1 || points[0].Value != 42 {
+		t.Errorf("snapshot = %+v, want dyn=42", points)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(1, 10, 3)
+	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Errorf("ExpBuckets = %v", exp)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a tracer deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) advance(d time.Duration) {
+	c.t = c.t.Add(d)
+}
+
+func newFakeTracer() (*Tracer, *fakeClock) {
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	tr := &Tracer{now: c.now}
+	tr.epoch = c.t
+	return tr, c
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr, clk := newFakeTracer()
+	root := tr.Start("run")
+	clk.advance(10 * time.Millisecond)
+	child := root.Start("train")
+	clk.advance(30 * time.Millisecond)
+	child.End()
+	clk.advance(5 * time.Millisecond)
+	root.End()
+
+	if got := root.Wall(); got != 45*time.Millisecond {
+		t.Errorf("root wall = %v, want 45ms", got)
+	}
+	if got := child.Wall(); got != 30*time.Millisecond {
+		t.Errorf("child wall = %v, want 30ms", got)
+	}
+	kids := root.Children()
+	if len(kids) != 1 || kids[0].Name() != "train" {
+		t.Errorf("children = %v", kids)
+	}
+	// Double End is a no-op.
+	clk.advance(time.Hour)
+	root.End()
+	if got := root.Wall(); got != 45*time.Millisecond {
+		t.Errorf("End not idempotent: wall = %v", got)
+	}
+	tt := child.Timing()
+	if tt.Name != "train" || tt.WallSeconds != 0.03 {
+		t.Errorf("timing = %+v", tt)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr, clk := newFakeTracer()
+	root := tr.Start("run")
+	c := root.Start("simulate")
+	clk.advance(20 * time.Millisecond)
+	c.End()
+	root.End()
+	var sb strings.Builder
+	if err := tr.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "run") || !strings.Contains(out, "simulate") {
+		t.Errorf("tree output missing spans:\n%s", out)
+	}
+	if !strings.Contains(out, "20.000ms") {
+		t.Errorf("tree output missing child duration:\n%s", out)
+	}
+}
+
+func TestWriteTreeEmpty(t *testing.T) {
+	tr := NewTracer()
+	var sb strings.Builder
+	tr.WriteTree(&sb)
+	if !strings.Contains(sb.String(), "no spans") {
+		t.Errorf("empty tree output = %q", sb.String())
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	tr, clk := newFakeTracer()
+	a := tr.Start("alpha")
+	clk.advance(3 * time.Millisecond)
+	b := a.Start("beta")
+	clk.advance(2 * time.Millisecond)
+	b.End()
+	a.End()
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0]["name"] != "alpha" || events[0]["ph"] != "X" {
+		t.Errorf("first event = %v", events[0])
+	}
+	if events[1]["name"] != "beta" || events[1]["ts"].(float64) != 3000 {
+		t.Errorf("second event = %v (want ts 3000us)", events[1])
+	}
+	if events[0]["dur"].(float64) != 5000 {
+		t.Errorf("alpha dur = %v, want 5000us", events[0]["dur"])
+	}
+}
+
+// TestSpanConcurrentChildren exercises concurrent child creation — the
+// pattern the experiment engine uses (one child span per experiment on
+// worker goroutines).
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("run")
+	done := make(chan struct{})
+	const n = 32
+	for i := 0; i < n; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			s := root.Start("child")
+			s.End()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	root.End()
+	if got := len(root.Children()); got != n {
+		t.Errorf("children = %d, want %d", got, n)
+	}
+}

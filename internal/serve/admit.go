@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"crossfeature/internal/obs"
 )
 
 // ErrOverloaded is returned by admit when the wait queue is full: the
@@ -27,18 +29,31 @@ type admitter struct {
 	maxQueue  int64
 	queued    atomic.Int64
 	highWater atomic.Int64
-	shed      atomic.Uint64
-	timeouts  atomic.Uint64
+	shed      *obs.Counter
+	timeouts  *obs.Counter
 }
 
-func newAdmitter(concurrent, maxQueue int) *admitter {
+// newAdmitter builds the gate. shed and timeouts are the counters bumped
+// on rejection — registry-bound in production, nil for a private counter.
+func newAdmitter(concurrent, maxQueue int, shed, timeouts *obs.Counter) *admitter {
 	if concurrent < 1 {
 		concurrent = 1
 	}
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &admitter{slots: make(chan struct{}, concurrent), maxQueue: int64(maxQueue)}
+	if shed == nil {
+		shed = obs.NewCounter()
+	}
+	if timeouts == nil {
+		timeouts = obs.NewCounter()
+	}
+	return &admitter{
+		slots:    make(chan struct{}, concurrent),
+		maxQueue: int64(maxQueue),
+		shed:     shed,
+		timeouts: timeouts,
+	}
 }
 
 // admit blocks until a scoring slot is free, the queue overflows, or ctx
@@ -53,7 +68,7 @@ func (a *admitter) admit(ctx context.Context) (release func(), err error) {
 	q := a.queued.Add(1)
 	if q > a.maxQueue {
 		a.queued.Add(-1)
-		a.shed.Add(1)
+		a.shed.Inc()
 		return nil, ErrOverloaded
 	}
 	for {
@@ -67,7 +82,7 @@ func (a *admitter) admit(ctx context.Context) (release func(), err error) {
 	case a.slots <- struct{}{}:
 		return a.release, nil
 	case <-ctx.Done():
-		a.timeouts.Add(1)
+		a.timeouts.Inc()
 		return nil, fmt.Errorf("%w (%v)", ErrQueueTimeout, ctx.Err())
 	}
 }

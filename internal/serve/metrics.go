@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"crossfeature/internal/obs"
+)
+
+// serverMetrics owns every operational signal the service emits. The obs
+// registry is the single source of truth: /statz and /metrics read the
+// same counters, so the two surfaces can never disagree. Counters that
+// belong to subsystems (admission gate, model holder, stream table) are
+// created here and injected, keeping the subsystems free of naming
+// concerns.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	requests       *obs.Counter
+	scored         *obs.Counter
+	badRequests    *obs.Counter
+	panics         *obs.Counter
+	invalid        *obs.Counter
+	shed           *obs.Counter
+	timeouts       *obs.Counter
+	evictions      *obs.Counter
+	reloads        *obs.Counter
+	reloadFailures *obs.Counter
+
+	latency      *obs.Histogram
+	scoreNormal  *obs.Histogram
+	scoreAnomaly *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		requests: reg.Counter("cfa_requests_total",
+			"Score requests received, including rejected ones."),
+		scored: reg.Counter("cfa_records_scored_total",
+			"Audit records scored successfully."),
+		badRequests: reg.Counter("cfa_bad_requests_total",
+			"Score requests rejected as malformed."),
+		panics: reg.Counter("cfa_panics_total",
+			"Handler panics recovered into 500 responses."),
+		invalid: reg.Counter("cfa_invalid_scores_total",
+			"Records whose raw score came out non-finite."),
+		shed: reg.Counter("cfa_shed_total",
+			"Requests shed with 429 because the admission queue was full."),
+		timeouts: reg.Counter("cfa_queue_timeouts_total",
+			"Requests whose deadline expired while queued for a scoring slot."),
+		evictions: reg.Counter("cfa_stream_evictions_total",
+			"Streams evicted from the LRU stream table."),
+		reloads: reg.Counter("cfa_reloads_total",
+			"Successful model reloads (including the initial load)."),
+		reloadFailures: reg.Counter("cfa_reload_failures_total",
+			"Model reloads rejected by validation; the old model kept serving."),
+		latency: reg.Histogram("cfa_request_seconds",
+			"Score request latency: queue wait, body read and scoring.",
+			obs.ExpBuckets(0.0005, 2, 14)),
+		scoreNormal: reg.Histogram("cfa_score",
+			"Raw record scores by verdict at the calibrated threshold.",
+			obs.LinearBuckets(0.05, 0.05, 19), obs.L("verdict", "normal")),
+		scoreAnomaly: reg.Histogram("cfa_score",
+			"Raw record scores by verdict at the calibrated threshold.",
+			obs.LinearBuckets(0.05, 0.05, 19), obs.L("verdict", "anomaly")),
+	}
+}
+
+// registerGauges binds the sampled gauges once the server's subsystems
+// exist; their values are read live at scrape time.
+func (m *serverMetrics) registerGauges(s *Server) {
+	m.reg.GaugeFunc("cfa_queue_depth",
+		"Requests currently waiting for a scoring slot.", func() float64 {
+			d, _ := s.adm.depth()
+			return float64(d)
+		})
+	m.reg.GaugeFunc("cfa_queue_high_water",
+		"Deepest the admission queue has been.", func() float64 {
+			_, hw := s.adm.depth()
+			return float64(hw)
+		})
+	m.reg.GaugeFunc("cfa_streams",
+		"Live per-stream detectors in the LRU table.", func() float64 {
+			return float64(s.streams.len())
+		})
+	m.reg.GaugeFunc("cfa_model_generation",
+		"Version of the currently serving model bundle.", func() float64 {
+			if lm := s.model.current(); lm != nil {
+				return float64(lm.version)
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("cfa_uptime_seconds",
+		"Seconds since the service was constructed.", func() float64 {
+			return time.Since(s.start).Seconds()
+		})
+}
+
+// buildInfo reports the running binary's Go version and VCS revision, for
+// the /statz payload. Revision is empty when the binary was built outside
+// a checkout.
+func buildInfo() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				revision = kv.Value
+			}
+		}
+	}
+	return goVersion, revision
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"crossfeature/internal/core"
+	"crossfeature/internal/obs"
 )
 
 // loadedModel is one immutable generation of the served model. Scoring
@@ -31,12 +32,20 @@ type modelHolder struct {
 	mu       sync.Mutex // serialises reloads
 	version  uint64
 	lastErr  atomic.Pointer[string]
-	reloads  atomic.Uint64
-	failures atomic.Uint64
+	reloads  *obs.Counter
+	failures *obs.Counter
 }
 
-func newModelHolder(path string) *modelHolder {
-	return &modelHolder{path: path}
+// newModelHolder builds the holder. reloads and failures count lifecycle
+// outcomes — registry-bound in production, nil for a private counter.
+func newModelHolder(path string, reloads, failures *obs.Counter) *modelHolder {
+	if reloads == nil {
+		reloads = obs.NewCounter()
+	}
+	if failures == nil {
+		failures = obs.NewCounter()
+	}
+	return &modelHolder{path: path, reloads: reloads, failures: failures}
 }
 
 // reload loads, validates and atomically installs the bundle at the
@@ -46,7 +55,7 @@ func (h *modelHolder) reload() error {
 	defer h.mu.Unlock()
 	b, err := core.LoadBundleFile(h.path)
 	if err != nil {
-		h.failures.Add(1)
+		h.failures.Inc()
 		msg := err.Error()
 		h.lastErr.Store(&msg)
 		return err
@@ -58,7 +67,7 @@ func (h *modelHolder) reload() error {
 		version:  h.version,
 		loadedAt: time.Now(),
 	})
-	h.reloads.Add(1)
+	h.reloads.Inc()
 	h.lastErr.Store(nil)
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"crossfeature/internal/core"
+	"crossfeature/internal/obs"
 )
 
 // Config tunes the service. Zero values take the documented defaults.
@@ -63,6 +64,16 @@ type Config struct {
 	ClearAfter int
 	// Logf sinks operational log lines; default log.Printf.
 	Logf func(format string, args ...any)
+	// Registry receives the service's operational metrics; nil builds a
+	// private one. Pass a shared registry to expose the counters on a
+	// debug listener's /metrics alongside other subsystems.
+	Registry *obs.Registry
+	// FeatureMetrics additionally records, for every scored record, which
+	// sub-models matched and what probability they assigned — the
+	// per-feature families cfa inspect-style tooling reads. Each record is
+	// explained as well as scored, roughly doubling scoring cost, so this
+	// is opt-in.
+	FeatureMetrics bool
 
 	// scoreHook, when set, runs inside the scoring handler after
 	// admission. It exists for the chaos tests: blocking here simulates
@@ -91,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
 	}
 	return c
 }
@@ -139,21 +153,26 @@ type Readiness struct {
 	LastReloadError string `json:"last_reload_error,omitempty"`
 }
 
-// Stats is the /statz payload.
+// Stats is the /statz payload. It is a JSON projection of the same obs
+// counters /metrics exposes — one source of truth, two encodings.
 type Stats struct {
-	Requests       uint64 `json:"requests"`
-	RecordsScored  uint64 `json:"records_scored"`
-	Shed           uint64 `json:"shed"`
-	QueueTimeouts  uint64 `json:"queue_timeouts"`
-	BadRequests    uint64 `json:"bad_requests"`
-	Panics         uint64 `json:"panics"`
-	QueueDepth     int64  `json:"queue_depth"`
-	QueueHighWater int64  `json:"queue_high_water"`
-	Streams        int    `json:"streams"`
-	Evictions      uint64 `json:"stream_evictions"`
-	ModelVersion   uint64 `json:"model_version"`
-	Reloads        uint64 `json:"reloads"`
-	ReloadFailures uint64 `json:"reload_failures"`
+	Requests       uint64  `json:"requests"`
+	RecordsScored  uint64  `json:"records_scored"`
+	Shed           uint64  `json:"shed"`
+	QueueTimeouts  uint64  `json:"queue_timeouts"`
+	BadRequests    uint64  `json:"bad_requests"`
+	Panics         uint64  `json:"panics"`
+	InvalidScores  uint64  `json:"invalid_scores"`
+	QueueDepth     int64   `json:"queue_depth"`
+	QueueHighWater int64   `json:"queue_high_water"`
+	Streams        int     `json:"streams"`
+	Evictions      uint64  `json:"stream_evictions"`
+	ModelVersion   uint64  `json:"model_version"`
+	Reloads        uint64  `json:"reloads"`
+	ReloadFailures uint64  `json:"reload_failures"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	GoVersion      string  `json:"go_version,omitempty"`
+	BuildRevision  string  `json:"build_revision,omitempty"`
 }
 
 // Server is the scoring service. Construct with New, expose with
@@ -165,11 +184,26 @@ type Server struct {
 	adm      *admitter
 	draining atomic.Bool
 	mux      *http.ServeMux
+	met      *serverMetrics
+	start    time.Time
 
-	requests    atomic.Uint64
-	scored      atomic.Uint64
-	badRequests atomic.Uint64
-	panics      atomic.Uint64
+	goVersion string
+	buildRev  string
+
+	// feat caches the per-generation feature metrics binding (only used
+	// with Config.FeatureMetrics).
+	feat atomic.Pointer[featureMetrics]
+	// evictLogGen remembers the model generation whose first stream
+	// eviction has already been logged (stored as generation+1, so the
+	// zero value never matches).
+	evictLogGen atomic.Uint64
+}
+
+// featureMetrics binds one model generation's analyzer to its registered
+// per-feature metric families.
+type featureMetrics struct {
+	version uint64
+	sm      *core.ScoreMetrics
 }
 
 // New loads and validates the model bundle and builds the service. A
@@ -180,12 +214,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ModelPath == "" {
 		return nil, fmt.Errorf("serve: ModelPath is required")
 	}
+	met := newServerMetrics(cfg.Registry)
 	s := &Server{
 		cfg:     cfg,
-		model:   newModelHolder(cfg.ModelPath),
+		model:   newModelHolder(cfg.ModelPath, met.reloads, met.reloadFailures),
 		streams: newStreamTable(cfg.MaxStreams),
-		adm:     newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue),
+		adm:     newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue, met.shed, met.timeouts),
+		met:     met,
+		start:   time.Now(),
 	}
+	s.goVersion, s.buildRev = buildInfo()
+	s.streams.onEvict = s.observeEviction
+	met.registerGauges(s)
 	if err := s.model.reload(); err != nil {
 		return nil, err
 	}
@@ -195,7 +235,24 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(cfg.Registry))
 	return s, nil
+}
+
+// observeEviction counts every LRU stream eviction and logs the first one
+// per model generation: a single log line is the operator's cue that the
+// stream table is at capacity (churning clients, or an id-inventing
+// attacker), without letting a sustained churn storm flood the log.
+func (s *Server) observeEviction(id string) {
+	s.met.evictions.Inc()
+	var gen uint64
+	if lm := s.model.current(); lm != nil {
+		gen = lm.version
+	}
+	if s.evictLogGen.Swap(gen+1) != gen+1 {
+		s.cfg.Logf("serve: stream table full (max %d): evicted least-recent stream %q (first eviction at model generation %d)",
+			s.cfg.MaxStreams, id, gen)
+	}
 }
 
 // Handler returns the full middleware stack: panic recovery outermost,
@@ -223,8 +280,8 @@ func (s *Server) Readiness() Readiness {
 	r := Readiness{
 		Draining:       s.draining.Load(),
 		ModelPath:      s.cfg.ModelPath,
-		Reloads:        s.model.reloads.Load(),
-		ReloadFailures: s.model.failures.Load(),
+		Reloads:        s.model.reloads.Value(),
+		ReloadFailures: s.model.failures.Value(),
 	}
 	if lm := s.model.current(); lm != nil {
 		r.ModelVersion = lm.version
@@ -238,18 +295,22 @@ func (s *Server) Readiness() Readiness {
 func (s *Server) Stats() Stats {
 	depth, hw := s.adm.depth()
 	st := Stats{
-		Requests:       s.requests.Load(),
-		RecordsScored:  s.scored.Load(),
-		Shed:           s.adm.shed.Load(),
-		QueueTimeouts:  s.adm.timeouts.Load(),
-		BadRequests:    s.badRequests.Load(),
-		Panics:         s.panics.Load(),
+		Requests:       s.met.requests.Value(),
+		RecordsScored:  s.met.scored.Value(),
+		Shed:           s.met.shed.Value(),
+		QueueTimeouts:  s.met.timeouts.Value(),
+		BadRequests:    s.met.badRequests.Value(),
+		Panics:         s.met.panics.Value(),
+		InvalidScores:  s.met.invalid.Value(),
 		QueueDepth:     depth,
 		QueueHighWater: hw,
 		Streams:        s.streams.len(),
-		Evictions:      s.streams.evictions.Load(),
-		Reloads:        s.model.reloads.Load(),
-		ReloadFailures: s.model.failures.Load(),
+		Evictions:      s.met.evictions.Value(),
+		Reloads:        s.met.reloads.Value(),
+		ReloadFailures: s.met.reloadFailures.Value(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		GoVersion:      s.goVersion,
+		BuildRevision:  s.buildRev,
 	}
 	if lm := s.model.current(); lm != nil {
 		st.ModelVersion = lm.version
@@ -297,7 +358,7 @@ func (s *Server) recoverWrap(h http.Handler) http.Handler {
 				if p == http.ErrAbortHandler {
 					panic(p)
 				}
-				s.panics.Add(1)
+				s.met.panics.Inc()
 				s.cfg.Logf("serve: panic in %s %s: %v", r.Method, r.URL.Path, p)
 				writeJSONError(w, http.StatusInternalServerError, "internal error")
 			}
@@ -307,7 +368,9 @@ func (s *Server) recoverWrap(h http.Handler) http.Handler {
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.met.requests.Inc()
+	started := time.Now()
+	defer func() { s.met.latency.Observe(time.Since(started).Seconds()) }()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
@@ -333,7 +396,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	var req ScoreRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
-		s.badRequests.Add(1)
+		s.met.badRequests.Inc()
 		var tooBig *http.MaxBytesError
 		switch {
 		case errors.As(err, &tooBig):
@@ -347,7 +410,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	rc.SetReadDeadline(time.Time{})
 	if req.Stream == "" || len(req.Records) == 0 {
-		s.badRequests.Add(1)
+		s.met.badRequests.Inc()
 		writeJSONError(w, http.StatusBadRequest, "score request needs a stream id and at least one record")
 		return
 	}
@@ -370,6 +433,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return od
 	})
 
+	feat := s.featureMetricsFor(lm)
 	resp := ScoreResponse{Stream: req.Stream, ModelVersion: lm.version, Results: make([]RecordResult, 0, len(req.Records))}
 	st.mu.Lock()
 	if st.version != lm.version {
@@ -380,7 +444,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		x, err := lm.bundle.Discretizer.Transform(rec.Values)
 		if err != nil {
 			st.mu.Unlock()
-			s.badRequests.Add(1)
+			s.met.badRequests.Inc()
 			writeJSONError(w, http.StatusBadRequest, "bad record: "+err.Error())
 			return
 		}
@@ -396,15 +460,42 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		}
 		if !isFinite(state.Score) {
 			rr.Score, rr.Anomaly, rr.Invalid = -1, true, true
+			s.met.invalid.Inc()
+		} else if rr.Anomaly {
+			s.met.scoreAnomaly.Observe(state.Score)
+		} else {
+			s.met.scoreNormal.Observe(state.Score)
 		}
 		if !isFinite(state.Smoothed) {
 			rr.Smoothed = -1
 		}
+		if feat != nil {
+			feat.Observe(lm.bundle.Analyzer.Explain(x))
+		}
 		resp.Results = append(resp.Results, rr)
 	}
 	st.mu.Unlock()
-	s.scored.Add(uint64(len(resp.Results)))
+	s.met.scored.Add(uint64(len(resp.Results)))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// featureMetricsFor returns the per-feature metrics bound to lm's
+// analyzer, building the binding on the first request of each model
+// generation. Registration is idempotent by (name, labels), so a race
+// between two first requests just does the lookup twice.
+func (s *Server) featureMetricsFor(lm *loadedModel) *core.ScoreMetrics {
+	if !s.cfg.FeatureMetrics {
+		return nil
+	}
+	if fm := s.feat.Load(); fm != nil && fm.version == lm.version {
+		return fm.sm
+	}
+	fm := &featureMetrics{
+		version: lm.version,
+		sm:      core.NewScoreMetrics(s.cfg.Registry, lm.bundle.Analyzer, "cfa"),
+	}
+	s.feat.Store(fm)
+	return fm.sm
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

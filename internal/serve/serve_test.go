@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -234,6 +236,95 @@ func TestHealthReadyStatz(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) { c.FeatureMetrics = true })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postScore(t, ts.URL, ScoreRequest{Stream: "m", Records: records(5, normalRecord)})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Errorf("content type = %q", got)
+	}
+	for _, want := range []string{
+		"cfa_requests_total 1",
+		"cfa_records_scored_total 5",
+		"cfa_request_seconds_count 1",
+		"cfa_model_generation 1",
+		"cfa_streams 1",
+		`cfa_score_count{verdict="normal"} 5`,
+		"# TYPE cfa_request_seconds histogram",
+		`cfa_feature_checked_total{feature="a"} 5`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /statz is a projection of the same counters.
+	st := s.Stats()
+	if st.Requests != 1 || st.RecordsScored != 5 || st.UptimeSeconds <= 0 || st.GoVersion == "" {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEvictionLoggedOncePerGeneration(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	s, path := newTestServer(t, func(c *Config) {
+		c.MaxStreams = 1
+		c.Logf = func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	countEvictLogs := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, l := range lines {
+			if strings.Contains(l, "stream table full") {
+				n++
+			}
+		}
+		return n
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		postScore(t, ts.URL, ScoreRequest{Stream: id, Records: records(1, normalRecord)})
+	}
+	if got := s.Stats().Evictions; got != 3 {
+		t.Fatalf("evictions = %d, want 3", got)
+	}
+	if got := countEvictLogs(); got != 1 {
+		t.Errorf("eviction log lines = %d, want 1 (first per generation)", got)
+	}
+
+	// A new model generation re-arms the one-shot log.
+	writeTestBundle(t, path)
+	if err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e", "f"} {
+		postScore(t, ts.URL, ScoreRequest{Stream: id, Records: records(1, normalRecord)})
+	}
+	if got := countEvictLogs(); got != 2 {
+		t.Errorf("eviction log lines after reload = %d, want 2", got)
+	}
+}
+
 func TestStreamLRUEviction(t *testing.T) {
 	s, _ := newTestServer(t, func(c *Config) { c.MaxStreams = 2 })
 	ts := httptest.NewServer(s.Handler())
@@ -321,7 +412,7 @@ func TestNewFailsOnBadModelBeforeBinding(t *testing.T) {
 }
 
 func TestAdmitterBoundsAndDeadline(t *testing.T) {
-	a := newAdmitter(1, 1)
+	a := newAdmitter(1, 1, nil, nil)
 	rel1, err := a.admit(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -346,8 +437,8 @@ func TestAdmitterBoundsAndDeadline(t *testing.T) {
 	if _, err := a.admit(context.Background()); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("overflow error = %v", err)
 	}
-	if a.shed.Load() != 1 {
-		t.Errorf("shed = %d, want 1", a.shed.Load())
+	if a.shed.Value() != 1 {
+		t.Errorf("shed = %d, want 1", a.shed.Value())
 	}
 
 	// Releasing the slot admits the waiter.
@@ -372,7 +463,7 @@ func TestAdmitterBoundsAndDeadline(t *testing.T) {
 
 func TestAdmitterHighWaterNeverExceedsBound(t *testing.T) {
 	const concurrent, queue, burst = 2, 3, 40
-	a := newAdmitter(concurrent, queue)
+	a := newAdmitter(concurrent, queue, nil, nil)
 	block := make(chan struct{})
 	var wg sync.WaitGroup
 	var ok, shed sync.Map

@@ -3,7 +3,6 @@ package serve
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
 
 	"crossfeature/internal/core"
 )
@@ -28,11 +27,14 @@ type stream struct {
 // attacker — invents. An evicted stream that returns simply restarts with
 // fresh hysteresis state.
 type streamTable struct {
-	mu        sync.Mutex
-	max       int
-	byID      map[string]*stream
-	lru       *list.List // front = most recently used
-	evictions atomic.Uint64
+	mu   sync.Mutex
+	max  int
+	byID map[string]*stream
+	lru  *list.List // front = most recently used
+
+	// onEvict, when set, observes every eviction (counter bump, first-
+	// eviction logging). It runs under the table lock — keep it quick.
+	onEvict func(id string)
 }
 
 func newStreamTable(max int) *streamTable {
@@ -59,7 +61,9 @@ func (t *streamTable) get(id string, mk func() *core.OnlineDetector) *stream {
 		ev := back.Value.(*stream)
 		t.lru.Remove(back)
 		delete(t.byID, ev.id)
-		t.evictions.Add(1)
+		if t.onEvict != nil {
+			t.onEvict(ev.id)
+		}
 	}
 	return s
 }

@@ -91,6 +91,7 @@ type Engine struct {
 	rng       *rand.Rand
 	stopped   bool
 	processed uint64
+	highWater int
 }
 
 // New returns an engine whose random stream is seeded with seed. All
@@ -111,6 +112,11 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending reports how many events are currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// QueueHighWater reports the largest number of events ever pending at
+// once — the event queue's memory high-water mark, an observability
+// signal for runaway scheduling (e.g. a broadcast storm).
+func (e *Engine) QueueHighWater() int { return e.highWater }
 
 // Schedule runs fn after delay seconds of virtual time. A negative delay is
 // treated as zero (fire as soon as possible, after already-queued events at
@@ -133,6 +139,9 @@ func (e *Engine) At(t float64, fn func()) {
 	}
 	e.seq++
 	e.queue.push(event{at: t, seq: e.seq, fn: fn})
+	if n := len(e.queue); n > e.highWater {
+		e.highWater = n
+	}
 }
 
 // Stop halts a Run in progress after the current event returns.

@@ -143,6 +143,23 @@ func TestNilCallbackIgnored(t *testing.T) {
 	}
 }
 
+func TestQueueHighWater(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 10; i++ {
+		e.At(float64(i), func() {})
+	}
+	if hw := e.QueueHighWater(); hw != 10 {
+		t.Errorf("high water = %d, want 10", hw)
+	}
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// Draining the queue must not lower the recorded peak.
+	if e.Pending() != 0 || e.QueueHighWater() != 10 {
+		t.Errorf("after run: pending %d, high water %d", e.Pending(), e.QueueHighWater())
+	}
+}
+
 func TestCascadedScheduling(t *testing.T) {
 	e := New(1)
 	depth := 0

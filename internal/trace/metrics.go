@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"crossfeature/internal/obs"
+	"crossfeature/internal/packet"
+)
+
+// MetricsSink is a Sink that counts the raw audit observation stream into
+// an obs.Registry: one counter per concrete packet class and flow
+// direction, and one per routing-fabric event kind, all carrying a
+// constant protocol label. It observes the stream before the Collector's
+// encapsulation remapping (data packets in transit are still counted as
+// class "data" here), so the counters sum to the total number of
+// observations.
+//
+// Every counter is resolved at construction time; the record methods are
+// single atomic adds and safe for concurrent use, though the simulation
+// engine itself is single-threaded.
+type MetricsSink struct {
+	packets [NumClasses][NumDirections]*obs.Counter
+	routes  [NumRouteEvents]*obs.Counter
+}
+
+// NewMetricsSink registers the packet and route-event counters on reg with
+// a constant protocol label (e.g. "AODV") and returns the wired sink.
+func NewMetricsSink(reg *obs.Registry, protocol string) *MetricsSink {
+	s := &MetricsSink{}
+	proto := obs.L("protocol", protocol)
+	for cls := Class(0); cls < NumClasses; cls++ {
+		for dir := Direction(0); dir < NumDirections; dir++ {
+			s.packets[cls][dir] = reg.Counter("sim_packets_total",
+				"Packet observations recorded by the audit stream.",
+				proto, obs.L("class", cls.String()), obs.L("dir", dir.String()))
+		}
+	}
+	for ev := RouteEvent(0); ev < NumRouteEvents; ev++ {
+		s.routes[ev] = reg.Counter("sim_route_events_total",
+			"Routing-fabric events recorded by the audit stream.",
+			proto, obs.L("event", ev.String()))
+	}
+	return s
+}
+
+// RecordPacket implements Sink.
+func (s *MetricsSink) RecordPacket(_ float64, t packet.Type, dir Direction) {
+	if dir < 0 || dir >= NumDirections {
+		return
+	}
+	s.packets[classOf(t)][dir].Inc()
+}
+
+// RecordRoute implements Sink.
+func (s *MetricsSink) RecordRoute(ev RouteEvent) {
+	if ev >= 0 && int(ev) < NumRouteEvents {
+		s.routes[ev].Inc()
+	}
+}
+
+var _ Sink = (*MetricsSink)(nil)

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crossfeature/internal/obs"
+	"crossfeature/internal/packet"
+)
+
+func TestMetricsSinkCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewMetricsSink(reg, "AODV")
+	s.RecordPacket(1, packet.Data, Sent)
+	s.RecordPacket(2, packet.Data, Sent)
+	s.RecordPacket(3, packet.RouteRequest, Forwarded)
+	s.RecordPacket(4, packet.Data, Forwarded) // raw stream: still class data
+	s.RecordRoute(RouteAdd)
+	s.RecordRoute(RouteAdd)
+	s.RecordRoute(RouteRepair)
+	s.RecordRoute(RouteEvent(99)) // ignored
+	s.RecordPacket(5, packet.Data, Direction(-1))
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`sim_packets_total{protocol="AODV",class="data",dir="sent"} 2`,
+		`sim_packets_total{protocol="AODV",class="rreq",dir="fwd"} 1`,
+		`sim_packets_total{protocol="AODV",class="data",dir="fwd"} 1`,
+		`sim_route_events_total{protocol="AODV",event="route-add"} 2`,
+		`sim_route_events_total{protocol="AODV",event="route-repair"} 1`,
+		`sim_route_events_total{protocol="AODV",event="route-find"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsSinkMatchesCollector tees one observation stream into both a
+// Collector and a MetricsSink and checks the packet totals agree.
+func TestMetricsSinkMatchesCollector(t *testing.T) {
+	reg := obs.NewRegistry()
+	ms := NewMetricsSink(reg, "DSR")
+	col := NewCollector()
+	tee := Tee{Sinks: []Sink{col, ms}}
+	types := []packet.Type{packet.Data, packet.RouteRequest, packet.RouteReply, packet.Hello}
+	n := 0
+	for i, ty := range types {
+		for d := Direction(0); d < NumDirections; d++ {
+			for k := 0; k <= i; k++ {
+				tee.RecordPacket(float64(n), ty, d)
+				n++
+			}
+		}
+	}
+	var total uint64
+	for _, p := range reg.Snapshot() {
+		if p.Name == "sim_packets_total" {
+			total += uint64(p.Value)
+		}
+	}
+	if total != col.Packets() || total != uint64(n) {
+		t.Errorf("sink counted %d packets, collector %d, sent %d", total, col.Packets(), n)
+	}
+}
