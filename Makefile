@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: ci build test vet race short fuzz bench bench-train train-smoke fmt serve-chaos obs-smoke
+.PHONY: ci build test vet race short fuzz bench bench-train train-smoke fmt serve-chaos crash-chaos obs-smoke
 
 # ci is the full gate: formatting and static analysis, a clean build of
 # every package and the test suite under the race detector, plus a smoke
 # pass over the training-path differential tests, a one-iteration spin of
 # the training benchmarks so a broken fast path fails fast, a soak of
-# the serving chaos suite, and an end-to-end scrape of the observability
-# surfaces.
-ci: fmt vet build race train-smoke serve-chaos obs-smoke
+# the serving chaos suite, the crash-recovery suite, and an end-to-end
+# scrape of the observability surfaces.
+ci: fmt vet build race train-smoke serve-chaos crash-chaos obs-smoke
 
 # fmt fails (listing the offenders) if any file is not gofmt-clean.
 fmt:
@@ -20,6 +20,18 @@ fmt:
 # -count=3 reruns shake out timing-dependent flakes.
 serve-chaos:
 	$(GO) test -race -run 'TestChaos' -count=3 -timeout 120s ./internal/serve/...
+
+# crash-chaos proves crash safety end to end: real `cfa serve` processes
+# are SIGKILLed mid-load and restarted against their last checkpoint
+# (verdict continuity, cold-start accounting, torn-file recovery), and the
+# failpoint-driven recovery tests (checkpoint write failures, reload and
+# admission injection) soak under the race detector.
+crash-chaos:
+	$(GO) test -count=2 -run 'TestCrashRecovery' -timeout 300s ./cmd/cfa/
+	$(GO) test -race -count=2 -timeout 180s \
+		-run 'TestCheckpoint|TestRunRestores|TestRunPeriodic|TestChaosHungHandler|TestChaosReloadFailpoint|TestChaosAdmit|TestDecodeCheckpoint' \
+		./internal/serve/
+	$(GO) test -race -count=2 -timeout 60s ./internal/failpoint/
 
 # obs-smoke boots the scoring service on ephemeral ports and scrapes
 # /metrics and the pprof surface end to end, then replays the registry

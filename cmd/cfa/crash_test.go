@@ -1,0 +1,348 @@
+package main
+
+// Crash-recovery chaos test: SIGKILL a real `cfa serve` process mid-load
+// and assert the restarted process resumes scoring from the last
+// checkpoint — verdicts bit-identical to the uninterrupted run for every
+// record after the checkpoint barrier, cold starts counted for streams
+// the checkpoint never saw. This is the test behind `make crash-chaos`.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"crossfeature/internal/features"
+)
+
+// crashRecord builds a deterministic score record: the same i always
+// yields the same values, so two runs see identical inputs.
+func crashRecord(i int) map[string]any {
+	vals := make([]float64, features.NumFeatures)
+	for j := range vals {
+		vals[j] = float64((i*7 + j*3) % 5)
+	}
+	return map[string]any{"time": float64(i), "values": vals}
+}
+
+// scoreRaw posts records to a running serve process and returns the raw
+// response body — raw so "bit-identical" means exactly that.
+func scoreRaw(t *testing.T, base, stream string, recs []map[string]any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"stream": stream, "records": recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("score %s: %v", stream, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// serveProc is one real `cfa serve` subprocess.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	out  *syncBuffer
+}
+
+// startServeProc launches bin with args and waits for the listen
+// announcement and a 200 /readyz (which also means any checkpoint
+// restore has finished).
+func startServeProc(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	var buf syncBuffer
+	cmd := exec.Command(bin, append([]string{"serve"}, args...)...)
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.Now().Add(15 * time.Second)
+	var addr string
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never announced its listener:\n%s", buf.String())
+		}
+		if m := addrRe.FindStringSubmatch(buf.String()); m != nil {
+			addr = m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	p := &serveProc{cmd: cmd, base: "http://" + addr, out: &buf}
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never became ready:\n%s", buf.String())
+		}
+		resp, err := http.Get(p.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the process — no drain, no final checkpoint, the crash
+// the checkpoint layer exists for.
+func (p *serveProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+// metric scrapes one counter value line from /metrics.
+func (p *serveProc) metric(t *testing.T, name string) string {
+	t.Helper()
+	resp, err := http.Get(p.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, name) && !strings.HasPrefix(line, "#") {
+			return strings.TrimSpace(line)
+		}
+	}
+	return ""
+}
+
+func TestCrashRecoveryResumesFromCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	dir := t.TempDir()
+
+	// A real binary: SIGKILL must hit a separate process, not a goroutine.
+	bin := filepath.Join(dir, "cfa-under-test")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	normal := filepath.Join(dir, "normal.csv")
+	model := filepath.Join(dir, "model.bin")
+	writeSyntheticTrace(t, normal, 200, false, 40)
+	var out bytes.Buffer
+	if err := run([]string{"train", "-in", normal, "-model", model, "-learner", "NBC", "-warmup", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "streams.ckpt")
+	serveArgs := []string{
+		"-model", model, "-addr", "127.0.0.1:0",
+		"-checkpoint-path", ckpt, "-checkpoint-interval", "1h", // explicit barrier only
+	}
+
+	// ---- Process 1: warm up, checkpoint, keep scoring, then die hard.
+	p1 := startServeProc(t, bin, serveArgs...)
+
+	const barrier = 30
+	pre := make([]map[string]any, 0, barrier)
+	for i := 0; i < barrier; i++ {
+		pre = append(pre, crashRecord(i))
+	}
+	if code, body := scoreRaw(t, p1.base, "warm", pre); code != http.StatusOK {
+		t.Fatalf("warmup score: %d %s", code, body)
+	}
+
+	// The checkpoint barrier: everything up to record `barrier` is
+	// durable from here on.
+	resp, err := http.Post(p1.base+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint barrier: status %d", resp.StatusCode)
+	}
+
+	// Background load on other streams while the crash happens: the kill
+	// lands mid-traffic, not on an idle server.
+	loadStop := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for i := 0; ; i++ {
+			select {
+			case <-loadStop:
+				return
+			default:
+			}
+			body, _ := json.Marshal(map[string]any{
+				"stream":  fmt.Sprintf("load-%d", i%8),
+				"records": []map[string]any{crashRecord(i)},
+			})
+			resp, err := http.Post(p1.base+"/v1/score", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return // the process just died; expected
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	// The uninterrupted timeline: process 1 scores the post-barrier
+	// records BEFORE dying. These responses are the reference.
+	post := make([]map[string]any, 0, 20)
+	for i := barrier; i < barrier+20; i++ {
+		post = append(post, crashRecord(i))
+	}
+	code, want := scoreRaw(t, p1.base, "warm", post)
+	if code != http.StatusOK {
+		t.Fatalf("reference score: %d", code)
+	}
+
+	p1.kill(t)
+	close(loadStop)
+	<-loadDone
+
+	// ---- Process 2: same checkpoint path, fresh process.
+	p2 := startServeProc(t, bin, serveArgs...)
+	defer p2.kill(t)
+
+	if m := p2.metric(t, `cfa_checkpoint_restore_total{outcome="restored"}`); !strings.HasSuffix(m, " 1") {
+		t.Errorf("restore outcome metric = %q, want ...restored... 1", m)
+	}
+	if m := p2.metric(t, "cfa_checkpoint_streams_restored_total"); !strings.HasSuffix(m, " 1") {
+		t.Errorf("streams restored metric = %q, want 1 (only 'warm' was checkpointed)", m)
+	}
+
+	// The restored process replays the post-barrier records: the detector
+	// must resume from the checkpointed EWMA/hysteresis state and produce
+	// a byte-identical response.
+	code, got := scoreRaw(t, p2.base, "warm", post)
+	if code != http.StatusOK {
+		t.Fatalf("restored score: %d", code)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("restored verdicts differ from the uninterrupted run:\nwant %s\ngot  %s", want, got)
+	}
+
+	// Streams born after the barrier ("load-*") were not in the
+	// checkpoint: they start cold, and the cold start is counted.
+	if code, _ := scoreRaw(t, p2.base, "load-0", []map[string]any{crashRecord(0)}); code != http.StatusOK {
+		t.Fatalf("cold stream score: %d", code)
+	}
+	if m := p2.metric(t, "cfa_stream_cold_starts_total"); !strings.HasSuffix(m, " 1") {
+		t.Errorf("cold start metric = %q, want 1", m)
+	}
+}
+
+// TestCrashRecoverySkipsCorruptCheckpoint: a checkpoint torn by the
+// crash itself (simulated with the partial-write failpoint, armed through
+// the environment) must cost warm state only — the restarted server comes
+// up, counts the corrupt skip, and serves.
+func TestCrashRecoverySkipsCorruptCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cfa-under-test")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	normal := filepath.Join(dir, "normal.csv")
+	model := filepath.Join(dir, "model.bin")
+	writeSyntheticTrace(t, normal, 200, false, 40)
+	var out bytes.Buffer
+	if err := run([]string{"train", "-in", normal, "-model", model, "-learner", "NBC", "-warmup", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "streams.ckpt")
+	serveArgs := []string{
+		"-model", model, "-addr", "127.0.0.1:0",
+		"-checkpoint-path", ckpt, "-checkpoint-interval", "1h",
+	}
+
+	// Process 1 writes its checkpoint through a torn-write failpoint
+	// armed from the environment: the file installs, but truncated.
+	var buf syncBuffer
+	cmd := exec.Command(bin, append([]string{"serve"}, serveArgs...)...)
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	cmd.Env = append(cmd.Environ(), "CFA_FAILPOINTS=serve/checkpoint/payload=partial(25)")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.Now().Add(15 * time.Second)
+	var addr string
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never announced its listener:\n%s", buf.String())
+		}
+		if m := addrRe.FindStringSubmatch(buf.String()); m != nil {
+			addr = m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+	recs := make([]map[string]any, 10)
+	for i := range recs {
+		recs[i] = crashRecord(i)
+	}
+	if code, _ := scoreRaw(t, base, "doomed", recs); code != http.StatusOK {
+		t.Fatalf("score: %d", code)
+	}
+	resp, err := http.Post(base+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("torn checkpoint write reported %d", resp.StatusCode)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// Process 2 finds the torn file: it must boot anyway, count the
+	// corrupt skip, surface it on /statz, and score from cold.
+	p2 := startServeProc(t, bin, serveArgs...)
+	defer p2.kill(t)
+	if m := p2.metric(t, `cfa_checkpoint_restore_total{outcome="corrupt"}`); !strings.HasSuffix(m, " 1") {
+		t.Errorf("corrupt restore metric = %q, want 1", m)
+	}
+	sresp, err := http.Get(p2.base + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		LastRestoreError string `json:"last_restore_error"`
+	}
+	json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if st.LastRestoreError == "" {
+		t.Error("corrupt checkpoint not surfaced on /statz")
+	}
+	if code, _ := scoreRaw(t, p2.base, "doomed", recs); code != http.StatusOK {
+		t.Errorf("scoring after corrupt restore: %d", code)
+	}
+}

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"crossfeature/internal/failpoint"
 	"crossfeature/internal/obs"
 	"crossfeature/internal/serve"
 )
@@ -36,28 +38,44 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 	concurrency := fs.Int("concurrency", 0, "max in-flight score requests (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "max queued score requests beyond the in-flight limit (0 = default)")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
-	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+	var drain time.Duration
+	fs.DurationVar(&drain, "drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+	fs.DurationVar(&drain, "drain-timeout", 10*time.Second, "alias for -drain: bound on the graceful shutdown")
 	maxStreams := fs.Int("max-streams", 1024, "per-stream detector states kept before LRU eviction")
 	smoothing := fs.Float64("smoothing", 0, "EWMA smoothing factor for online detectors (0 = default)")
 	raiseAfter := fs.Int("raise-after", 0, "consecutive low scores before an alarm raises (0 = default)")
 	clearAfter := fs.Int("clear-after", 0, "consecutive high scores before an alarm clears (0 = default)")
+	checkpointPath := fs.String("checkpoint-path", "", "durable per-stream detector state file; empty disables checkpointing")
+	checkpointInterval := fs.Duration("checkpoint-interval", 15*time.Second, "periodic checkpoint cadence")
+	checkpointMaxAge := fs.Duration("checkpoint-max-age", time.Hour, "oldest checkpoint still restored at boot (negative disables the age check)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// Failpoints armed from the environment (CFA_FAILPOINTS="name=spec;...")
+	// take effect before the model load, so even startup paths can be
+	// exercised. The debug listener's /failpoints endpoint can re-arm at
+	// runtime.
+	if err := failpoint.ArmFromEnv(os.Getenv(failpoint.EnvVar)); err != nil {
+		return fmt.Errorf("cfa serve: %s: %w", failpoint.EnvVar, err)
+	}
+
 	reg := obs.NewRegistry()
 	srv, err := serve.New(serve.Config{
-		ModelPath:      *model,
-		MaxConcurrent:  *concurrency,
-		MaxQueue:       *queue,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		MaxStreams:     *maxStreams,
-		Smoothing:      *smoothing,
-		RaiseAfter:     *raiseAfter,
-		ClearAfter:     *clearAfter,
-		Registry:       reg,
-		FeatureMetrics: *featureMetrics,
+		ModelPath:          *model,
+		MaxConcurrent:      *concurrency,
+		MaxQueue:           *queue,
+		RequestTimeout:     *timeout,
+		DrainTimeout:       drain,
+		MaxStreams:         *maxStreams,
+		Smoothing:          *smoothing,
+		RaiseAfter:         *raiseAfter,
+		ClearAfter:         *clearAfter,
+		CheckpointPath:     *checkpointPath,
+		CheckpointInterval: *checkpointInterval,
+		CheckpointMaxAge:   *checkpointMaxAge,
+		Registry:           reg,
+		FeatureMetrics:     *featureMetrics,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "cfa serve: "+format+"\n", args...)
 		},
@@ -75,13 +93,17 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 	// pprof handlers can be made to do unbounded work, so they must not sit
 	// behind the admission controller they would distort.
 	if *debugAddr != "" {
-		ps, err := obs.StartProfileServer(*debugAddr, reg, nil)
+		mux := obs.DebugMux(reg, nil)
+		fph := http.StripPrefix("/failpoints", failpoint.Handler())
+		mux.Handle("/failpoints", fph)
+		mux.Handle("/failpoints/", fph)
+		ps, err := obs.StartDebugServer(*debugAddr, mux)
 		if err != nil {
 			ln.Close()
 			return err
 		}
 		defer ps.Close()
-		fmt.Fprintf(w, "cfa serve: debug surface on http://%s/debug/pprof/ (and /metrics, /tracez)\n", ps.Addr())
+		fmt.Fprintf(w, "cfa serve: debug surface on http://%s/debug/pprof/ (and /metrics, /tracez, /failpoints)\n", ps.Addr())
 	}
 
 	hup := make(chan os.Signal, 1)

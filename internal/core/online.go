@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -125,6 +127,104 @@ func (o *OnlineDetector) SwapDetector(det *Detector) {
 	if det != nil {
 		o.det = det
 	}
+}
+
+// Online detector state travels in serve checkpoints as a compact,
+// fixed-width binary record (one per live stream, so millions of streams
+// must stay cheap to encode). Layout, integers big-endian:
+//
+//	offset size
+//	0      1    state format version (currently 1)
+//	1      1    flags (bit 0 initialized, bit 1 alarm)
+//	2      8    ewma (IEEE 754 bits)
+//	10     8    Smoothing (IEEE 754 bits)
+//	18     4    anomRun     22  4  normRun
+//	26     4    RaiseAfter  30  4  ClearAfter
+//	34     8    records     42  8  alarms    50  8  invalid
+const (
+	onlineStateVersion = 1
+	// OnlineStateLen is the encoded size of one detector's state.
+	OnlineStateLen = 58
+)
+
+// ErrOnlineState marks a state blob AppendState did not produce: wrong
+// version, short buffer, or values (non-finite EWMA, out-of-range knobs)
+// that could poison a detector restored from it.
+var ErrOnlineState = errors.New("online detector state invalid")
+
+// AppendState appends the detector's full state — EWMA, hysteresis runs,
+// alarm condition, counters and smoothing knobs — to buf and returns the
+// extended slice. The underlying Detector (model weights, threshold) is
+// deliberately not captured: checkpoints restore stream state against
+// whatever model generation is serving, exactly as a hot reload keeps
+// stream state across model swaps.
+func (o *OnlineDetector) AppendState(buf []byte) []byte {
+	var flags byte
+	if o.initialized {
+		flags |= 1
+	}
+	if o.alarm {
+		flags |= 2
+	}
+	var b [OnlineStateLen]byte
+	b[0] = onlineStateVersion
+	b[1] = flags
+	binary.BigEndian.PutUint64(b[2:10], math.Float64bits(o.ewma))
+	binary.BigEndian.PutUint64(b[10:18], math.Float64bits(o.Smoothing))
+	binary.BigEndian.PutUint32(b[18:22], uint32(o.anomRun))
+	binary.BigEndian.PutUint32(b[22:26], uint32(o.normRun))
+	binary.BigEndian.PutUint32(b[26:30], uint32(o.RaiseAfter))
+	binary.BigEndian.PutUint32(b[30:34], uint32(o.ClearAfter))
+	binary.BigEndian.PutUint64(b[34:42], o.records)
+	binary.BigEndian.PutUint64(b[42:50], o.alarms)
+	binary.BigEndian.PutUint64(b[50:58], o.invalid)
+	return append(buf, b[:]...)
+}
+
+// RestoreState overwrites the detector's state from a blob written by
+// AppendState, validating it first: a detector must never come back with
+// a NaN EWMA or negative hysteresis runs, whatever the file said. The
+// underlying Detector is untouched. Returns the bytes after the blob.
+func (o *OnlineDetector) RestoreState(data []byte) ([]byte, error) {
+	if len(data) < OnlineStateLen {
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrOnlineState, len(data), OnlineStateLen)
+	}
+	if data[0] != onlineStateVersion {
+		return nil, fmt.Errorf("%w: state version %d, this build reads %d", ErrOnlineState, data[0], onlineStateVersion)
+	}
+	flags := data[1]
+	if flags&^3 != 0 {
+		return nil, fmt.Errorf("%w: unknown flag bits %#x", ErrOnlineState, flags)
+	}
+	ewma := math.Float64frombits(binary.BigEndian.Uint64(data[2:10]))
+	smoothing := math.Float64frombits(binary.BigEndian.Uint64(data[10:18]))
+	initialized := flags&1 != 0
+	if initialized && (math.IsNaN(ewma) || math.IsInf(ewma, 0)) {
+		return nil, fmt.Errorf("%w: non-finite ewma %v", ErrOnlineState, ewma)
+	}
+	if math.IsNaN(smoothing) || smoothing < 0 || smoothing > 1 {
+		return nil, fmt.Errorf("%w: smoothing %v out of [0,1]", ErrOnlineState, smoothing)
+	}
+	anomRun := binary.BigEndian.Uint32(data[18:22])
+	normRun := binary.BigEndian.Uint32(data[22:26])
+	raiseAfter := binary.BigEndian.Uint32(data[26:30])
+	clearAfter := binary.BigEndian.Uint32(data[30:34])
+	const maxRun = 1 << 30 // far past any plausible hysteresis setting
+	if anomRun > maxRun || normRun > maxRun || raiseAfter > maxRun || clearAfter > maxRun {
+		return nil, fmt.Errorf("%w: implausible hysteresis values", ErrOnlineState)
+	}
+	o.initialized = initialized
+	o.alarm = flags&2 != 0
+	o.ewma = ewma
+	o.Smoothing = smoothing
+	o.anomRun = int(anomRun)
+	o.normRun = int(normRun)
+	o.RaiseAfter = int(raiseAfter)
+	o.ClearAfter = int(clearAfter)
+	o.records = binary.BigEndian.Uint64(data[34:42])
+	o.alarms = binary.BigEndian.Uint64(data[42:50])
+	o.invalid = binary.BigEndian.Uint64(data[50:58])
+	return data[OnlineStateLen:], nil
 }
 
 // Reset returns the detector to its initial state.

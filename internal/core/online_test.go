@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -280,4 +282,117 @@ func TestSwapDetectorPreservesState(t *testing.T) {
 	}
 	o.SwapDetector(nil) // must be a no-op, not a panic
 	o.Observe(highRec)
+}
+
+// TestOnlineStateRoundTrip pins the checkpoint encoding: a detector
+// restored from AppendState bytes must produce bit-identical verdicts to
+// the original from that point on — this is the continuity guarantee the
+// serve checkpoint format is built on.
+func TestOnlineStateRoundTrip(t *testing.T) {
+	o, normal, anomalous := onlineFixture(t)
+	o.Smoothing = 0.25
+	o.RaiseAfter = 2
+	o.ClearAfter = 4
+	// Drive the detector into a non-trivial condition: mid-run, alarmed.
+	for i := 0; i < 40; i++ {
+		o.Observe(normal())
+	}
+	for i := 0; i < 7; i++ {
+		o.Observe(anomalous())
+	}
+
+	blob := o.AppendState(nil)
+	if len(blob) != OnlineStateLen {
+		t.Fatalf("state blob = %d bytes, want %d", len(blob), OnlineStateLen)
+	}
+	restored := NewOnlineDetector(o.det)
+	rest, err := o.AppendState(nil), error(nil)
+	if rest, err = restored.RestoreState(rest); err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("restore left %d bytes", len(rest))
+	}
+	if restored.Smoothing != o.Smoothing || restored.RaiseAfter != o.RaiseAfter || restored.ClearAfter != o.ClearAfter {
+		t.Errorf("knobs lost: %+v", restored)
+	}
+	if restored.Alarm() != o.Alarm() {
+		t.Errorf("alarm condition lost")
+	}
+	r1, a1 := o.Stats()
+	r2, a2 := restored.Stats()
+	if r1 != r2 || a1 != a2 || o.Invalid() != restored.Invalid() {
+		t.Errorf("counters lost: (%d,%d,%d) != (%d,%d,%d)", r1, a1, o.Invalid(), r2, a2, restored.Invalid())
+	}
+
+	// From here on the two must agree on every record, bit for bit.
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 200; i++ {
+		var x []int
+		if rng.Intn(3) == 0 {
+			x = anomalous()
+		} else {
+			x = normal()
+		}
+		s1 := o.Observe(x)
+		s2 := restored.Observe(append([]int(nil), x...))
+		if s1 != s2 {
+			t.Fatalf("record %d: original %+v, restored %+v", i, s1, s2)
+		}
+	}
+}
+
+// TestOnlineStateRejectsDamage feeds RestoreState every kind of broken
+// blob; all must fail with ErrOnlineState and leave the detector usable.
+func TestOnlineStateRejectsDamage(t *testing.T) {
+	o, normal, _ := onlineFixture(t)
+	for i := 0; i < 10; i++ {
+		o.Observe(normal())
+	}
+	good := o.AppendState(nil)
+
+	badVersion := append([]byte(nil), good...)
+	badVersion[0] = 9
+	badFlags := append([]byte(nil), good...)
+	badFlags[1] = 0xff
+	nanEwma := append([]byte(nil), good...)
+	binary.BigEndian.PutUint64(nanEwma[2:10], math.Float64bits(math.NaN()))
+	badSmoothing := append([]byte(nil), good...)
+	binary.BigEndian.PutUint64(badSmoothing[10:18], math.Float64bits(7.5))
+	hugeRun := append([]byte(nil), good...)
+	binary.BigEndian.PutUint32(hugeRun[18:22], 1<<31-1)
+
+	for name, data := range map[string][]byte{
+		"empty":           nil,
+		"short":           good[:OnlineStateLen-1],
+		"bad version":     badVersion,
+		"unknown flags":   badFlags,
+		"nan ewma":        nanEwma,
+		"bad smoothing":   badSmoothing,
+		"implausible run": hugeRun,
+	} {
+		fresh := NewOnlineDetector(o.det)
+		if _, err := fresh.RestoreState(data); !errors.Is(err, ErrOnlineState) {
+			t.Errorf("%s: error = %v, want ErrOnlineState", name, err)
+		}
+		// The detector must stay usable after a rejected restore.
+		fresh.Observe(normal())
+	}
+}
+
+// TestOnlineStateUninitializedEwma: a never-observed detector (EWMA not
+// yet initialised) round-trips, including the zero EWMA.
+func TestOnlineStateUninitializedEwma(t *testing.T) {
+	o, normal, _ := onlineFixture(t)
+	fresh := NewOnlineDetector(o.det)
+	blob := fresh.AppendState(nil)
+	restored := NewOnlineDetector(o.det)
+	if _, err := restored.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	x := normal()
+	s1, s2 := fresh.Observe(x), restored.Observe(x)
+	if s1 != s2 {
+		t.Errorf("first observation diverged: %+v vs %+v", s1, s2)
+	}
 }

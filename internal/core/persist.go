@@ -12,36 +12,49 @@ import (
 	"os"
 	"path/filepath"
 
+	"crossfeature/internal/failpoint"
 	"crossfeature/internal/features"
 	"crossfeature/internal/ml/c45"
 	"crossfeature/internal/ml/nbayes"
 	"crossfeature/internal/ml/ripper"
 )
 
-// Snapshot files carry a fixed header in front of the gob payload so a
-// loader can tell a valid model from a truncated, corrupted or
-// foreign/legacy file *before* handing bytes to gob (whose decoder
-// panics or misbehaves on garbage). Layout, all integers big-endian:
+// Durable cfa files (model snapshots, serve checkpoints) carry a fixed
+// frame header in front of their payload so a loader can tell a valid
+// file from a truncated, corrupted or foreign/legacy one *before*
+// handing bytes to the payload decoder (gob panics or misbehaves on
+// garbage). Layout, all integers big-endian:
 //
 //	offset size
-//	0      4    magic "CFAS"
-//	4      2    format version (currently 1)
+//	0      4    magic (4 ASCII bytes naming the file kind, e.g. "CFAS")
+//	4      2    format version
 //	6      4    CRC32-C (Castagnoli) of the payload
 //	10     8    payload length in bytes
-//	18     n    gob payload
+//	18     n    payload
 //
 // The file must end exactly at the payload: trailing bytes are treated
-// as corruption, as is any length or checksum mismatch.
+// as corruption, as is any length or checksum mismatch. Model snapshots
+// use magic "CFAS" with a gob payload; the serve checkpoint format
+// reuses the same frame (WriteFrame/ReadFrame) under its own magic.
 const (
 	snapshotMagic   = "CFAS"
 	snapshotVersion = 1
-	snapshotHdrLen  = 18
+	// FrameHeaderLen is the fixed size of the frame header in bytes.
+	FrameHeaderLen = 18
+	snapshotHdrLen = FrameHeaderLen
 	// snapshotMaxLen caps the declared payload length so a corrupt header
 	// cannot drive a multi-gigabyte allocation.
 	snapshotMaxLen = 1 << 31
 )
 
 var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Failpoints on the durable-write path; disarmed in production, armed by
+// the chaos suites to manufacture crashes and torn files on demand.
+var (
+	fpPersistPayload = failpoint.At("core/persist/payload")
+	fpPersistRename  = failpoint.At("core/persist/pre-rename")
+)
 
 // ErrSnapshotFormat marks files that are not versioned cfa snapshots at
 // all: wrong magic (legacy raw-gob model files, arbitrary files) or a
@@ -53,11 +66,6 @@ var ErrSnapshotFormat = errors.New("unrecognised model snapshot format")
 // an undecodable payload.
 var ErrSnapshotCorrupt = errors.New("model snapshot corrupt")
 
-// persistFailpoint, when set, is invoked after the temp file's payload is
-// written but before it is renamed into place. The chaos tests use it to
-// simulate a crash mid-write and assert the destination is untouched.
-var persistFailpoint func() error
-
 // RegisterGobModels makes the concrete classifier types gob-encodable
 // behind the ml.Classifier interface. The snapshot codec calls it
 // automatically; callers embedding an Analyzer in their own gob streams
@@ -68,6 +76,65 @@ func RegisterGobModels() {
 	gob.Register(&nbayes.Model{})
 }
 
+// WriteFrame writes payload under a versioned, CRC-checked frame header.
+// magic must be exactly 4 ASCII bytes naming the file kind.
+func WriteFrame(w io.Writer, magic string, version uint16, payload []byte) error {
+	if len(magic) != 4 {
+		return fmt.Errorf("core: frame magic %q must be 4 bytes", magic)
+	}
+	var hdr [FrameHeaderLen]byte
+	copy(hdr[:4], magic)
+	binary.BigEndian.PutUint16(hdr[4:6], version)
+	binary.BigEndian.PutUint32(hdr[6:10], crc32.Checksum(payload, snapshotCRC))
+	binary.BigEndian.PutUint64(hdr[10:18], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("core: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame validates a frame written by WriteFrame — magic, version,
+// length, checksum — and returns its payload. Every failure mode maps to
+// ErrSnapshotFormat (not one of ours, or a version this build does not
+// read) or ErrSnapshotCorrupt (damaged), so callers holding previous
+// state can keep it on any error.
+func ReadFrame(r io.Reader, magic string, version uint16) ([]byte, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header truncated (%v)", ErrSnapshotCorrupt, err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q, want %q (legacy unversioned file?)", ErrSnapshotFormat, hdr[:4], magic)
+	}
+	if ver := binary.BigEndian.Uint16(hdr[4:6]); ver != version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads version %d",
+			ErrSnapshotFormat, ver, version)
+	}
+	wantCRC := binary.BigEndian.Uint32(hdr[6:10])
+	length := binary.BigEndian.Uint64(hdr[10:18])
+	if length > snapshotMaxLen {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrSnapshotCorrupt, length)
+	}
+	payload := bytes.NewBuffer(make([]byte, 0, int(length)))
+	n, err := io.Copy(payload, io.LimitReader(r, int64(length)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrSnapshotCorrupt, err)
+	}
+	if uint64(n) < length {
+		return nil, fmt.Errorf("%w: payload truncated at %d of %d bytes", ErrSnapshotCorrupt, n, length)
+	}
+	if extra, _ := io.CopyN(io.Discard, r, 1); extra != 0 {
+		return nil, fmt.Errorf("%w: trailing data after %d-byte payload", ErrSnapshotCorrupt, length)
+	}
+	if got := crc32.Checksum(payload.Bytes(), snapshotCRC); got != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch (file %08x, payload %08x)", ErrSnapshotCorrupt, wantCRC, got)
+	}
+	return payload.Bytes(), nil
+}
+
 // WriteSnapshot writes v as a versioned, checksummed snapshot.
 func WriteSnapshot(w io.Writer, v any) error {
 	RegisterGobModels()
@@ -75,18 +142,7 @@ func WriteSnapshot(w io.Writer, v any) error {
 	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
 		return fmt.Errorf("core: encode snapshot: %w", err)
 	}
-	var hdr [snapshotHdrLen]byte
-	copy(hdr[:4], snapshotMagic)
-	binary.BigEndian.PutUint16(hdr[4:6], snapshotVersion)
-	binary.BigEndian.PutUint32(hdr[6:10], crc32.Checksum(payload.Bytes(), snapshotCRC))
-	binary.BigEndian.PutUint64(hdr[10:18], uint64(payload.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("core: write snapshot header: %w", err)
-	}
-	if _, err := w.Write(payload.Bytes()); err != nil {
-		return fmt.Errorf("core: write snapshot payload: %w", err)
-	}
-	return nil
+	return WriteFrame(w, snapshotMagic, snapshotVersion, payload.Bytes())
 }
 
 // ReadSnapshot validates a snapshot written by WriteSnapshot — magic,
@@ -95,51 +151,27 @@ func WriteSnapshot(w io.Writer, v any) error {
 // so callers can distinguish "not one of ours" from "damaged".
 func ReadSnapshot(r io.Reader, v any) error {
 	RegisterGobModels()
-	var hdr [snapshotHdrLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fmt.Errorf("%w: header truncated (%v)", ErrSnapshotCorrupt, err)
-	}
-	if string(hdr[:4]) != snapshotMagic {
-		return fmt.Errorf("%w: bad magic %q (legacy unversioned model file?)", ErrSnapshotFormat, hdr[:4])
-	}
-	if ver := binary.BigEndian.Uint16(hdr[4:6]); ver != snapshotVersion {
-		return fmt.Errorf("%w: snapshot version %d, this build reads version %d",
-			ErrSnapshotFormat, ver, snapshotVersion)
-	}
-	wantCRC := binary.BigEndian.Uint32(hdr[6:10])
-	length := binary.BigEndian.Uint64(hdr[10:18])
-	if length > snapshotMaxLen {
-		return fmt.Errorf("%w: implausible payload length %d", ErrSnapshotCorrupt, length)
-	}
-	payload := bytes.NewBuffer(make([]byte, 0, int(length)))
-	n, err := io.Copy(payload, io.LimitReader(r, int64(length)))
+	payload, err := ReadFrame(r, snapshotMagic, snapshotVersion)
 	if err != nil {
-		return fmt.Errorf("%w: reading payload: %v", ErrSnapshotCorrupt, err)
+		return err
 	}
-	if uint64(n) < length {
-		return fmt.Errorf("%w: payload truncated at %d of %d bytes", ErrSnapshotCorrupt, n, length)
-	}
-	if extra, _ := io.CopyN(io.Discard, r, 1); extra != 0 {
-		return fmt.Errorf("%w: trailing data after %d-byte payload", ErrSnapshotCorrupt, length)
-	}
-	if got := crc32.Checksum(payload.Bytes(), snapshotCRC); got != wantCRC {
-		return fmt.Errorf("%w: checksum mismatch (file %08x, payload %08x)", ErrSnapshotCorrupt, wantCRC, got)
-	}
-	if err := gob.NewDecoder(payload).Decode(v); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
 		return fmt.Errorf("%w: decode payload: %v", ErrSnapshotCorrupt, err)
 	}
 	return nil
 }
 
-// WriteSnapshotFile writes v to path atomically: the snapshot goes to a
-// temp file in the same directory, is flushed to disk, and only then
-// renamed over path. A crash (or failure) at any point leaves either the
-// old file or the new one in place — never a half-written model.
-func WriteSnapshotFile(path string, v any) (err error) {
+// AtomicWriteFile writes a file atomically: write produces the content
+// into a temp file in path's directory, which is flushed to disk and only
+// then renamed over path. A crash (or write error) at any point leaves
+// either the old file or the new one in place — never a half-written
+// file. Exposed so other durable artifacts (the serve checkpoint) share
+// one battle-tested install sequence.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("core: create temp model file: %w", err)
+		return fmt.Errorf("core: create temp file: %w", err)
 	}
 	defer func() {
 		if err != nil {
@@ -147,22 +179,17 @@ func WriteSnapshotFile(path string, v any) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if err = WriteSnapshot(tmp, v); err != nil {
+	if err = write(tmp); err != nil {
 		return err
 	}
-	if persistFailpoint != nil {
-		if err = persistFailpoint(); err != nil {
-			return fmt.Errorf("core: write model file: %w", err)
-		}
-	}
 	if err = tmp.Sync(); err != nil {
-		return fmt.Errorf("core: sync model file: %w", err)
+		return fmt.Errorf("core: sync %s: %w", filepath.Base(path), err)
 	}
 	if err = tmp.Close(); err != nil {
-		return fmt.Errorf("core: close model file: %w", err)
+		return fmt.Errorf("core: close %s: %w", filepath.Base(path), err)
 	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("core: install model file: %w", err)
+		return fmt.Errorf("core: install %s: %w", filepath.Base(path), err)
 	}
 	// Best-effort directory sync so the rename itself is durable.
 	if d, derr := os.Open(dir); derr == nil {
@@ -170,6 +197,22 @@ func WriteSnapshotFile(path string, v any) (err error) {
 		d.Close()
 	}
 	return nil
+}
+
+// WriteSnapshotFile writes v to path atomically via AtomicWriteFile. The
+// payload write runs through the core/persist/payload failpoint (torn and
+// failed writes on demand) and core/persist/pre-rename fires between the
+// payload landing and the rename, where a crash is most interesting.
+func WriteSnapshotFile(path string, v any) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		if err := WriteSnapshot(fpPersistPayload.Writer(w), v); err != nil {
+			return err
+		}
+		if err := fpPersistRename.Hit(); err != nil {
+			return fmt.Errorf("core: write model file: %w", err)
+		}
+		return nil
+	})
 }
 
 // ReadSnapshotFile reads a snapshot written by WriteSnapshotFile. Errors

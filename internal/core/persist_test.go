@@ -4,12 +4,12 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
-	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"crossfeature/internal/failpoint"
 	"crossfeature/internal/features"
 	"crossfeature/internal/ml/nbayes"
 )
@@ -183,12 +183,15 @@ func TestWriteSnapshotFileAtomicUnderInterruption(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Simulate a crash after the payload is written but before the rename:
-	// the destination must be byte-identical and no temp litter remains.
-	persistFailpoint = func() error { return fmt.Errorf("injected crash mid-write") }
-	defer func() { persistFailpoint = nil }()
+	// Simulate a crash after the payload is written but before the rename
+	// (the core/persist/pre-rename failpoint): the destination must be
+	// byte-identical and no temp litter remains.
+	if err := failpoint.Arm("core/persist/pre-rename", "error(crash mid-write)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("core/persist/pre-rename")
 	b.Threshold *= 0.5
-	if err := b.SaveFile(path); err == nil || !strings.Contains(err.Error(), "injected crash") {
+	if err := b.SaveFile(path); !errors.Is(err, failpoint.ErrInjected) {
 		t.Fatalf("interrupted write error = %v", err)
 	}
 	after, err := os.ReadFile(path)
@@ -210,5 +213,107 @@ func TestWriteSnapshotFileAtomicUnderInterruption(t *testing.T) {
 	// And the surviving file still loads.
 	if _, err := LoadBundleFile(path); err != nil {
 		t.Errorf("surviving model unreadable: %v", err)
+	}
+}
+
+// TestSnapshotTruncationSweep truncates a snapshot at every byte offset
+// and asserts each prefix fails with an ErrSnapshot* class error — never
+// a panic, never a silently partial bundle.
+func TestSnapshotTruncationSweep(t *testing.T) {
+	b := testBundle(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		var got Bundle
+		err := ReadSnapshot(bytes.NewReader(data[:cut]), &got)
+		if err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(data))
+		}
+		if !errors.Is(err, ErrSnapshotCorrupt) && !errors.Is(err, ErrSnapshotFormat) {
+			t.Fatalf("truncation at %d: error %v is not a snapshot-class error", cut, err)
+		}
+	}
+}
+
+// TestWriteSnapshotFilePayloadFailpoints drives the two write-path
+// failpoints: an injected write error must leave the old file intact,
+// and a torn write (partial) must produce a file the loader rejects as
+// corrupt rather than serving half a model.
+func TestWriteSnapshotFilePayloadFailpoints(t *testing.T) {
+	b := testBundle(t)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := b.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("write error keeps old file", func(t *testing.T) {
+		if err := failpoint.Arm("core/persist/payload", "error(disk full)"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Disarm("core/persist/payload")
+		if err := b.SaveFile(path); !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("injected write failure returned %v", err)
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Error("failed write altered the installed model")
+		}
+	})
+
+	t.Run("torn write installs a rejectable file", func(t *testing.T) {
+		if err := failpoint.Arm("core/persist/payload", "partial(25)"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Disarm("core/persist/payload")
+		// The torn write itself "succeeds" — the crash happened after the
+		// rename in this scenario — but the loader must refuse the result.
+		if err := b.SaveFile(path); err != nil {
+			t.Fatalf("torn write surfaced an error: %v", err)
+		}
+		if _, err := LoadBundleFile(path); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("torn file load error = %v, want ErrSnapshotCorrupt", err)
+		}
+		// Recovery: a clean save over the torn file works.
+		failpoint.Disarm("core/persist/payload")
+		if err := b.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBundleFile(path); err != nil {
+			t.Errorf("recovered model unreadable: %v", err)
+		}
+	})
+}
+
+// TestFrameRoundTripForeignMagic pins the exported frame API the serve
+// checkpoint format builds on: a frame reads back only under its own
+// magic and version.
+func TestFrameRoundTripForeignMagic(t *testing.T) {
+	payload := []byte("per-stream detector state goes here")
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "CFAC", 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(bytes.NewReader(buf.Bytes()), "CFAC", 1)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: %v %q", err, got)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), "CFAS", 1); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("foreign magic error = %v, want ErrSnapshotFormat", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), "CFAC", 2); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("future version error = %v, want ErrSnapshotFormat", err)
+	}
+	if err := WriteFrame(&buf, "TOOLONG", 1, payload); err == nil {
+		t.Error("5+ byte magic accepted")
 	}
 }

@@ -1,0 +1,384 @@
+// Package failpoint is a tiny fault-injection framework: named points in
+// production code where a test (or an operator reproducing an incident)
+// can arm a failure — an error return, a delay, a panic, or a silently
+// truncated write — without the code under test growing bespoke hooks.
+//
+// Call sites declare a point once and consult it on the hot path:
+//
+//	var fpRename = failpoint.At("core/persist/pre-rename")
+//	...
+//	if err := fpRename.Hit(); err != nil {
+//	    return err
+//	}
+//
+// Disarmed (the default, and the only state production ever runs in) a
+// Hit is a single atomic pointer load returning nil. Tests arm points by
+// name with a compact spec string:
+//
+//	failpoint.Arm("core/persist/pre-rename", "error(disk gone)")
+//	failpoint.Arm("serve/admit", "delay(50ms)")
+//	failpoint.Arm("serve/reload", "2*error")   // fire twice, then disarm
+//	failpoint.Arm("serve/checkpoint/payload", "partial(10)")
+//
+// Specs can also come from the environment (ArmFromEnv, the CFA_FAILPOINTS
+// variable: "name=spec;name=spec") or over HTTP (Handler, mounted on the
+// debug listener), so a binary under chaos testing needs no rebuild to
+// change the failure schedule.
+package failpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable ArmFromEnv conventionally reads:
+// a ";"- or ","-separated list of name=spec pairs.
+const EnvVar = "CFA_FAILPOINTS"
+
+// ErrInjected is the class of every error a failpoint returns; tests
+// assert on it with errors.Is so injected failures are never mistaken for
+// real ones (and vice versa).
+var ErrInjected = errors.New("failpoint: injected failure")
+
+// kind enumerates the armed behaviours.
+type kind uint8
+
+const (
+	kindError kind = iota + 1
+	kindDelay
+	kindPanic
+	kindPartial
+	kindOff
+)
+
+// action is one armed behaviour. It is immutable once installed except
+// for the firing countdown and the partial-write byte budget.
+type action struct {
+	spec  string
+	kind  kind
+	msg   string
+	delay time.Duration
+	// left counts remaining firings; negative means unlimited.
+	left atomic.Int64
+	// budget is the remaining bytes a partial action lets through before
+	// it starts silently discarding writes.
+	budget atomic.Int64
+}
+
+// FP is one named failpoint. Obtain with At; the zero value is invalid.
+type FP struct {
+	name  string
+	armed atomic.Pointer[action]
+	hits  atomic.Uint64
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*FP{}
+)
+
+// At returns the named failpoint, creating it on first use. Declaring a
+// point twice (e.g. from two call sites) yields the same FP.
+func At(name string) *FP {
+	mu.Lock()
+	defer mu.Unlock()
+	if f, ok := points[name]; ok {
+		return f
+	}
+	f := &FP{name: name}
+	points[name] = f
+	return f
+}
+
+// Name returns the point's registered name.
+func (f *FP) Name() string { return f.name }
+
+// Hits reports how many times the point has fired since process start.
+func (f *FP) Hits() uint64 { return f.hits.Load() }
+
+// take claims one firing of the armed action, honouring the countdown.
+// It returns nil when the point is disarmed or exhausted.
+func (f *FP) take() *action {
+	a := f.armed.Load()
+	if a == nil {
+		return nil
+	}
+	for {
+		left := a.left.Load()
+		if left < 0 { // unlimited
+			break
+		}
+		if left == 0 {
+			f.armed.CompareAndSwap(a, nil)
+			return nil
+		}
+		if a.left.CompareAndSwap(left, left-1) {
+			break
+		}
+	}
+	f.hits.Add(1)
+	return a
+}
+
+// Hit consults the point: disarmed it returns nil at the cost of one
+// atomic load; armed it performs the configured action. A partial action
+// does nothing here — it only affects writers wrapped with Writer.
+func (f *FP) Hit() error {
+	if f.armed.Load() == nil {
+		return nil
+	}
+	a := f.take()
+	if a == nil {
+		return nil
+	}
+	switch a.kind {
+	case kindError:
+		return f.err(a)
+	case kindDelay:
+		time.Sleep(a.delay)
+	case kindPanic:
+		panic(fmt.Sprintf("failpoint %s: injected panic: %s", f.name, a.msg))
+	}
+	return nil
+}
+
+func (f *FP) err(a *action) error {
+	msg := a.msg
+	if msg == "" {
+		msg = "armed"
+	}
+	return fmt.Errorf("%w at %s: %s", ErrInjected, f.name, msg)
+}
+
+// Writer wraps w with the point's write-path behaviours. Disarmed (the
+// normal case) writes pass straight through. Armed:
+//
+//   - partial(n): the first n bytes pass through, everything after is
+//     silently discarded while reporting success — the torn write of a
+//     crash that strikes between write and fsync, manufactured on demand;
+//   - error: the write fails;
+//   - delay(d): each write is delayed.
+//
+// The wrapper consults the point per Write call, so arming mid-stream
+// takes effect on the next chunk.
+func (f *FP) Writer(w io.Writer) io.Writer { return &fpWriter{fp: f, w: w} }
+
+type fpWriter struct {
+	fp *FP
+	w  io.Writer
+}
+
+func (fw *fpWriter) Write(p []byte) (int, error) {
+	a := fw.fp.armed.Load()
+	if a == nil {
+		return fw.w.Write(p)
+	}
+	switch a.kind {
+	case kindPartial:
+		budget := a.budget.Add(-int64(len(p))) + int64(len(p))
+		if budget <= 0 {
+			// Entirely past the torn point: swallow, report success.
+			fw.fp.hits.Add(1)
+			return len(p), nil
+		}
+		if budget < int64(len(p)) {
+			fw.fp.hits.Add(1)
+			if _, err := fw.w.Write(p[:budget]); err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
+		return fw.w.Write(p)
+	case kindError:
+		if a := fw.fp.take(); a != nil {
+			return 0, fw.fp.err(a)
+		}
+		return fw.w.Write(p)
+	case kindDelay:
+		if a := fw.fp.take(); a != nil {
+			time.Sleep(a.delay)
+		}
+		return fw.w.Write(p)
+	default:
+		return fw.w.Write(p)
+	}
+}
+
+// parseSpec compiles a spec string:
+//
+//	[count*]kind[(arg)]
+//
+// kinds: off, error[(msg)], delay(duration), panic[(msg)], partial(bytes).
+// A leading "N*" bounds the action to N firings, after which the point
+// disarms itself.
+func parseSpec(spec string) (*action, error) {
+	s := strings.TrimSpace(spec)
+	count := int64(-1)
+	if i := strings.Index(s, "*"); i > 0 {
+		n, err := strconv.ParseInt(s[:i], 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("failpoint: bad count %q in spec %q", s[:i], spec)
+		}
+		count, s = n, s[i+1:]
+	}
+	name, arg := s, ""
+	if i := strings.Index(s, "("); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("failpoint: unclosed argument in spec %q", spec)
+		}
+		name, arg = s[:i], s[i+1:len(s)-1]
+	}
+	a := &action{spec: spec}
+	a.left.Store(count)
+	switch name {
+	case "off":
+		a.kind = kindOff
+	case "error":
+		a.kind, a.msg = kindError, arg
+	case "panic":
+		a.kind, a.msg = kindPanic, arg
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("failpoint: bad delay %q in spec %q", arg, spec)
+		}
+		a.kind, a.delay = kindDelay, d
+	case "partial":
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("failpoint: bad byte count %q in spec %q", arg, spec)
+		}
+		a.kind = kindPartial
+		a.budget.Store(n)
+	default:
+		return nil, fmt.Errorf("failpoint: unknown action %q in spec %q", name, spec)
+	}
+	return a, nil
+}
+
+// Arm installs spec on the named point (creating the point if no call
+// site has declared it yet, so tests can arm before init order runs).
+// "off" disarms.
+func Arm(name, spec string) error {
+	a, err := parseSpec(spec)
+	if err != nil {
+		return err
+	}
+	f := At(name)
+	if a.kind == kindOff {
+		f.armed.Store(nil)
+		return nil
+	}
+	f.armed.Store(a)
+	return nil
+}
+
+// Disarm removes any armed action from the named point.
+func Disarm(name string) { At(name).armed.Store(nil) }
+
+// DisarmAll disarms every registered point — test cleanup.
+func DisarmAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range points {
+		f.armed.Store(nil)
+	}
+}
+
+// ArmFromEnv arms points from a "name=spec;name=spec" list (";" or ","
+// separated), as carried by the CFA_FAILPOINTS environment variable. An
+// empty value is a no-op. The first bad entry aborts with an error
+// naming it; entries before it stay armed.
+func ArmFromEnv(v string) error {
+	for _, entry := range strings.FieldsFunc(v, func(r rune) bool { return r == ';' || r == ',' }) {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || spec == "" {
+			return fmt.Errorf("failpoint: malformed env entry %q (want name=spec)", entry)
+		}
+		if err := Arm(strings.TrimSpace(name), spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Status is one point's externally visible state.
+type Status struct {
+	Name  string `json:"name"`
+	Spec  string `json:"spec,omitempty"` // empty = disarmed
+	Hits  uint64 `json:"hits"`
+	Armed bool   `json:"armed"`
+}
+
+// List reports every registered point, sorted by name.
+func List() []Status {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Status, 0, len(points))
+	for _, f := range points {
+		st := Status{Name: f.name, Hits: f.hits.Load()}
+		if a := f.armed.Load(); a != nil {
+			st.Spec, st.Armed = a.spec, true
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Handler serves the failpoint control surface, meant for the private
+// debug listener only (arming failpoints is by construction a way to
+// break the process):
+//
+//	GET    .../            JSON list of points, specs and hit counts
+//	PUT    .../{name}      arm; spec in the body or ?spec= query
+//	DELETE .../{name}      disarm
+//
+// Mount under a prefix with http.StripPrefix.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		name := strings.Trim(r.URL.Path, "/")
+		switch {
+		case r.Method == http.MethodGet && name == "":
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(List())
+		case (r.Method == http.MethodPut || r.Method == http.MethodPost) && name != "":
+			spec := r.URL.Query().Get("spec")
+			if spec == "" {
+				b, err := io.ReadAll(io.LimitReader(r.Body, 1024))
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				spec = strings.TrimSpace(string(b))
+			}
+			if spec == "" {
+				http.Error(w, "missing spec (body or ?spec=)", http.StatusBadRequest)
+				return
+			}
+			if err := Arm(name, spec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			fmt.Fprintf(w, "armed %s = %s\n", name, spec)
+		case r.Method == http.MethodDelete && name != "":
+			Disarm(name)
+			fmt.Fprintf(w, "disarmed %s\n", name)
+		default:
+			http.Error(w, "usage: GET /, PUT /{name}?spec=..., DELETE /{name}", http.StatusMethodNotAllowed)
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package failpoint
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	f := At("test/disarmed")
+	for i := 0; i < 3; i++ {
+		if err := f.Hit(); err != nil {
+			t.Fatalf("disarmed hit returned %v", err)
+		}
+	}
+	if f.Hits() != 0 {
+		t.Errorf("disarmed point counted %d hits", f.Hits())
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	f := At("test/error")
+	if err := Arm("test/error", "error(disk gone)"); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Hit()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "test/error") || !strings.Contains(err.Error(), "disk gone") {
+		t.Errorf("error %q does not carry name and message", err)
+	}
+	if f.Hits() != 1 {
+		t.Errorf("hits = %d, want 1", f.Hits())
+	}
+}
+
+func TestCountedActionSelfDisarms(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	f := At("test/counted")
+	if err := Arm("test/counted", "2*error"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.Hit(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: %v", i, err)
+		}
+	}
+	if err := f.Hit(); err != nil {
+		t.Fatalf("exhausted point still fires: %v", err)
+	}
+	if got := List(); !containsPoint(got, "test/counted", false) {
+		t.Errorf("exhausted point still listed armed: %+v", got)
+	}
+}
+
+func containsPoint(sts []Status, name string, armed bool) bool {
+	for _, s := range sts {
+		if s.Name == name {
+			return s.Armed == armed
+		}
+	}
+	return false
+}
+
+func TestDelayAction(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	f := At("test/delay")
+	if err := Arm("test/delay", "delay(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := f.Hit(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("delay hit returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	f := At("test/panic")
+	if err := Arm("test/panic", "panic(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("armed panic did not panic")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "boom") {
+			t.Errorf("panic payload = %v", p)
+		}
+	}()
+	f.Hit()
+}
+
+func TestPartialWriterTruncatesSilently(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	f := At("test/partial")
+	if err := Arm("test/partial", "partial(10)"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := f.Writer(&buf)
+	// Two writes spanning the torn point: both must report full success.
+	for _, chunk := range [][]byte{[]byte("0123456"), []byte("789abcdef")} {
+		n, err := w.Write(chunk)
+		if err != nil || n != len(chunk) {
+			t.Fatalf("partial write reported (%d, %v), want silent success", n, err)
+		}
+	}
+	if got := buf.String(); got != "0123456789" {
+		t.Errorf("written bytes = %q, want first 10 only", got)
+	}
+	if f.Hits() == 0 {
+		t.Error("truncation not counted as a hit")
+	}
+}
+
+func TestErrorWriterFails(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	f := At("test/werror")
+	if err := Arm("test/werror", "1*error(io gone)"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := f.Writer(&buf)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write error = %v", err)
+	}
+	// Countdown exhausted: next write passes through.
+	if _, err := w.Write([]byte("y")); err != nil {
+		t.Fatalf("exhausted write error = %v", err)
+	}
+	if buf.String() != "y" {
+		t.Errorf("buffer = %q", buf.String())
+	}
+}
+
+func TestDisarmedWriterPassesThrough(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	var buf bytes.Buffer
+	w := At("test/passthrough").Writer(&buf)
+	if _, err := w.Write([]byte("hello")); err != nil || buf.String() != "hello" {
+		t.Fatalf("passthrough write: %v %q", err, buf.String())
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"", "explode", "delay(soon)", "delay", "partial(-1)", "partial(x)",
+		"0*error", "-1*error", "x*error", "error(unclosed",
+	} {
+		if err := Arm("test/parse", spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	t.Cleanup(DisarmAll)
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := ArmFromEnv("test/env-a=error(a); test/env-b = delay(1ms), test/env-c=3*error"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"test/env-a", "test/env-b", "test/env-c"} {
+		if !containsPoint(List(), name, true) {
+			t.Errorf("%s not armed from env", name)
+		}
+	}
+	if err := ArmFromEnv(""); err != nil {
+		t.Errorf("empty env rejected: %v", err)
+	}
+	if err := ArmFromEnv("justaname"); err == nil {
+		t.Error("malformed env entry accepted")
+	}
+	if err := ArmFromEnv("test/env-d=explode(now)"); err == nil {
+		t.Error("bad spec from env accepted")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	At("test/http")
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+
+	do := func(method, path, body string) (int, string) {
+		t.Helper()
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rw := httptest.NewRecorder()
+		Handler().ServeHTTP(rw, req)
+		return rw.Code, rw.Body.String()
+	}
+
+	if code, body := do("PUT", "/test/http?spec=error(armed-via-http)", ""); code != 200 {
+		t.Fatalf("arm: %d %s", code, body)
+	}
+	if err := At("test/http").Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("HTTP-armed point did not fire: %v", err)
+	}
+	if code, body := do("GET", "/", ""); code != 200 ||
+		!strings.Contains(body, `"test/http"`) || !strings.Contains(body, "error(armed-via-http)") {
+		t.Errorf("list: %d %s", code, body)
+	}
+	if code, _ := do("DELETE", "/test/http", ""); code != 200 {
+		t.Fatalf("disarm status %d", code)
+	}
+	if err := At("test/http").Hit(); err != nil {
+		t.Errorf("point fired after HTTP disarm: %v", err)
+	}
+	// Body-carried spec.
+	if code, _ := do("POST", "/test/http", "1*delay(1ms)"); code != 200 {
+		t.Errorf("body arm failed: %d", code)
+	}
+	// Error paths.
+	if code, _ := do("PUT", "/test/http?spec=explode", ""); code != 400 {
+		t.Errorf("bad spec status %d, want 400", code)
+	}
+	if code, _ := do("PUT", "/", ""); code != 405 {
+		t.Errorf("nameless arm status %d, want 405", code)
+	}
+}
+
+// TestConcurrentArmAndHit exercises the atomic arm/disarm/hit paths under
+// the race detector.
+func TestConcurrentArmAndHit(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	f := At("test/race")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f.Hit()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			Arm("test/race", "error")
+		} else {
+			Disarm("test/race")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -66,6 +66,13 @@ type ProfileServer struct {
 // StartProfileServer binds addr and serves DebugMux(reg, tr) in the
 // background. reg and tr may each be nil.
 func StartProfileServer(addr string, reg *Registry, tr *Tracer) (*ProfileServer, error) {
+	return StartDebugServer(addr, DebugMux(reg, tr))
+}
+
+// StartDebugServer binds addr and serves mux in the background — the
+// escape hatch for callers that compose extra handlers (failpoint
+// control, custom dumps) onto a DebugMux before starting it.
+func StartDebugServer(addr string, mux http.Handler) (*ProfileServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener: %w", err)
@@ -73,7 +80,7 @@ func StartProfileServer(addr string, reg *Registry, tr *Tracer) (*ProfileServer,
 	p := &ProfileServer{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           DebugMux(reg, tr),
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}

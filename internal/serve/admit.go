@@ -6,8 +6,14 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"crossfeature/internal/failpoint"
 	"crossfeature/internal/obs"
 )
+
+// fpAdmit sits at the front of the admission gate: error() sheds every
+// request (mapped to 429 via ErrOverloaded), delay() simulates a gate
+// that has stopped keeping up.
+var fpAdmit = failpoint.At("serve/admit")
 
 // ErrOverloaded is returned by admit when the wait queue is full: the
 // request is shed immediately (the HTTP layer maps it to 429) instead of
@@ -60,6 +66,10 @@ func newAdmitter(concurrent, maxQueue int, shed, timeouts *obs.Counter) *admitte
 // expires. On success the returned release function must be called
 // exactly once when scoring finishes.
 func (a *admitter) admit(ctx context.Context) (release func(), err error) {
+	if err := fpAdmit.Hit(); err != nil {
+		a.shed.Inc()
+		return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
 	select {
 	case a.slots <- struct{}{}:
 		return a.release, nil

@@ -19,11 +19,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"crossfeature/internal/failpoint"
 )
 
 // leakCheck snapshots the goroutine count and returns a func that fails
@@ -421,5 +424,181 @@ func TestChaosDrainCompletesInFlightAndStops(t *testing.T) {
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("Run never returned after drain")
+	}
+}
+
+// TestChaosHungHandlerCannotBlockShutdown pins the drain bound: a handler
+// that never returns must not hold Run past DrainTimeout, and with
+// checkpointing enabled the final checkpoint still lands — minus the
+// wedged stream, which is skipped rather than awaited.
+func TestChaosHungHandlerCannotBlockShutdown(t *testing.T) {
+	// No leakCheck: the wedged handler goroutine survives the test by
+	// design and is released at the end.
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{}, 1)
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.bin")
+	ckpt := filepath.Join(dir, "streams.ckpt")
+	writeTestBundle(t, model)
+	s, err := New(Config{
+		ModelPath:      model,
+		CheckpointPath: ckpt,
+		RequestTimeout: time.Hour, // the deadline must not be the savior
+		DrainTimeout:   300 * time.Millisecond,
+		Logf:           func(format string, args ...any) { t.Logf(format, args...) },
+		scoreHook: func(stream string) {
+			if stream == "wedged" {
+				entered <- struct{}{}
+				<-release
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ctx, ln) }()
+	url := "http://" + ln.Addr().String()
+
+	postScore(t, url, ScoreRequest{Stream: "healthy", Records: records(5, normalRecord)})
+	go func() {
+		// Not postScore: this request's connection is force-closed when
+		// the drain bound expires, and that error is the expected outcome.
+		body, _ := json.Marshal(ScoreRequest{Stream: "wedged", Records: records(1, normalRecord)})
+		resp, err := http.Post(url+"/v1/score", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-runDone:
+		if err == nil {
+			t.Error("Run returned nil with a wedged handler; want drain-incomplete error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung handler blocked shutdown past the drain bound")
+	}
+	if held := time.Since(start); held > 3*time.Second {
+		t.Errorf("shutdown took %v with a 300ms drain bound", held)
+	}
+	// The final checkpoint landed and holds the healthy stream. The
+	// wedged stream never reached its stream lock (scoreHook runs before
+	// scoring), so it checkpoints too or is skipped — either way the file
+	// is valid and restorable.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatalf("no final checkpoint after bounded drain: %v", err)
+	}
+	defer f.Close()
+}
+
+// TestChaosReloadFailpoint injects a reload failure with no corrupt file
+// on disk: the old model keeps serving and the failure surfaces exactly
+// like a real one.
+func TestChaosReloadFailpoint(t *testing.T) {
+	defer leakCheck(t)()
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := failpoint.Arm("serve/reload", "error(validation exploded)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/reload")
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected reload status = %d, want 500", resp.StatusCode)
+	}
+	sresp, sr := postScore(t, ts.URL, ScoreRequest{Stream: "still-up", Records: records(1, normalRecord)})
+	if sresp.StatusCode != http.StatusOK || sr.ModelVersion != 1 {
+		t.Errorf("old model not serving after injected reload failure: %d v%d", sresp.StatusCode, sr.ModelVersion)
+	}
+	st := s.Stats()
+	if st.LastReloadError == "" || !strings.Contains(st.LastReloadError, "validation exploded") {
+		t.Errorf("injected failure not surfaced: %q", st.LastReloadError)
+	}
+	if st.LastReloadUnix == 0 {
+		t.Error("reload failure has no timestamp")
+	}
+
+	// Recovery: disarm, reload succeeds, error clears but timestamp stays.
+	failpoint.Disarm("serve/reload")
+	resp, err = http.Post(ts.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovery reload status = %d", resp.StatusCode)
+	}
+	if st := s.Stats(); st.LastReloadError != "" || st.LastReloadUnix == 0 {
+		t.Errorf("recovery did not clear the reload error: %+v", st)
+	}
+}
+
+// TestChaosAdmitFailpoint sheds every request at the admission gate via
+// failpoint — the brownout drill: clients see clean 429s, nothing scores,
+// and disarming restores service instantly.
+func TestChaosAdmitFailpoint(t *testing.T) {
+	defer leakCheck(t)()
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := failpoint.Arm("serve/admit", "error(load shed drill)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/admit")
+	shedBefore := s.Stats().Shed
+	resp, _ := postScore(t, ts.URL, ScoreRequest{Stream: "drill", Records: records(1, normalRecord)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("admit failpoint status = %d, want 429", resp.StatusCode)
+	}
+	if s.Stats().Shed != shedBefore+1 {
+		t.Errorf("injected shed not counted: %d -> %d", shedBefore, s.Stats().Shed)
+	}
+
+	failpoint.Disarm("serve/admit")
+	resp, _ = postScore(t, ts.URL, ScoreRequest{Stream: "drill", Records: records(1, normalRecord)})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("service did not recover after disarm: status %d", resp.StatusCode)
+	}
+}
+
+// TestChaosAdmitDelayFailpoint exercises the delay action end to end: an
+// injected stall at admission pushes a request past its deadline.
+func TestChaosAdmitDelayFailpoint(t *testing.T) {
+	defer leakCheck(t)()
+	s, _ := newTestServer(t, func(c *Config) {
+		c.RequestTimeout = 24 * time.Hour // deadline is not what bounds this
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := failpoint.Arm("serve/admit", "delay(50ms)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/admit")
+	start := time.Now()
+	resp, _ := postScore(t, ts.URL, ScoreRequest{Stream: "slow", Records: records(1, normalRecord)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delayed request status = %d", resp.StatusCode)
+	}
+	if took := time.Since(start); took < 50*time.Millisecond {
+		t.Errorf("request completed in %v, delay failpoint did not fire", took)
 	}
 }

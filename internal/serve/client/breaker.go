@@ -1,0 +1,265 @@
+package client
+
+// Circuit breaker for the scoring client, composed with the retry
+// budget. The budget bounds how much extra load retries add; the breaker
+// bounds how long a client keeps offering load to an endpoint that is
+// failing outright. Once the rolling failure ratio trips it, calls fail
+// fast with ErrBreakerOpen — no connection, no request — until a cooldown
+// passes and a few half-open probes prove the server is answering again.
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"crossfeature/internal/obs"
+)
+
+// ErrBreakerOpen is returned by Score when the circuit breaker is open:
+// the endpoint has been failing and the cooldown has not yet elapsed (or
+// the half-open probe quota is taken). Callers should treat it like shed
+// load — back off at a higher level, do not retry in a loop.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// BreakerConfig tunes the circuit breaker. Zero values take the
+// documented defaults.
+type BreakerConfig struct {
+	// Disabled turns the breaker off entirely; every call is allowed.
+	Disabled bool
+	// Window is the rolling window over which the failure ratio is
+	// computed. Default 10s.
+	Window time.Duration
+	// Buckets is the window's bucket count; finer buckets age failures
+	// out more smoothly. Default 10.
+	Buckets int
+	// MinRequests is the volume floor: the breaker never trips before
+	// this many calls land in the window, so a single failed call on a
+	// quiet client cannot open it. Default 20.
+	MinRequests int
+	// FailureRatio is the window failure fraction at or above which the
+	// breaker opens. Default 0.5.
+	FailureRatio float64
+	// Cooldown is how long the breaker stays open before allowing
+	// half-open probes. Default 5s.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent probe calls the half-open
+	// state admits, and how many must succeed to close. Default 3.
+	HalfOpenProbes int
+
+	// now is the clock; injectable for deterministic tests.
+	now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 20
+	}
+	if c.FailureRatio <= 0 || c.FailureRatio > 1 {
+		c.FailureRatio = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 3
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func stateName(s int) string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// wbucket is one slice of the rolling window. epoch identifies which
+// absolute time slot the counts belong to; a bucket whose epoch has
+// fallen out of the window is reset lazily on next touch and ignored by
+// reads.
+type wbucket struct {
+	epoch    int64
+	ok, fail int
+}
+
+// breaker is a rolling-window circuit breaker. All state is guarded by
+// mu; every operation is O(Buckets) worst case.
+type breaker struct {
+	cfg   BreakerConfig
+	width time.Duration // Window / Buckets
+
+	mu             sync.Mutex
+	state          int
+	buckets        []wbucket
+	openedAt       time.Time
+	probesInFlight int
+	probeSuccesses int
+
+	transitions map[int]*obs.Counter
+	rejected    *obs.Counter
+}
+
+func newBreaker(cfg BreakerConfig, reg *obs.Registry) *breaker {
+	cfg = cfg.withDefaults()
+	b := &breaker{
+		cfg:     cfg,
+		width:   cfg.Window / time.Duration(cfg.Buckets),
+		buckets: make([]wbucket, cfg.Buckets),
+		transitions: map[int]*obs.Counter{
+			stateOpen: reg.Counter("cfa_client_breaker_transitions_total",
+				"Circuit breaker state transitions by destination state.", obs.L("to", "open")),
+			stateHalfOpen: reg.Counter("cfa_client_breaker_transitions_total",
+				"Circuit breaker state transitions by destination state.", obs.L("to", "half_open")),
+			stateClosed: reg.Counter("cfa_client_breaker_transitions_total",
+				"Circuit breaker state transitions by destination state.", obs.L("to", "closed")),
+		},
+		rejected: reg.Counter("cfa_client_breaker_rejected_total",
+			"Calls rejected fast because the circuit breaker was open."),
+	}
+	reg.GaugeFunc("cfa_client_breaker_state",
+		"Circuit breaker state: 0 closed, 1 open, 2 half-open.", func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(b.state)
+		})
+	return b
+}
+
+// Allow reports whether a call may proceed right now. In the half-open
+// state a successful Allow reserves one probe slot; the caller MUST
+// follow it with exactly one observe().
+func (b *breaker) Allow() error {
+	if b.cfg.Disabled {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.now()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if now.Sub(b.openedAt) < b.cfg.Cooldown {
+			b.rejected.Inc()
+			return ErrBreakerOpen
+		}
+		b.setStateLocked(stateHalfOpen)
+		fallthrough
+	default: // stateHalfOpen
+		if b.probesInFlight >= b.cfg.HalfOpenProbes {
+			b.rejected.Inc()
+			return ErrBreakerOpen
+		}
+		b.probesInFlight++
+		return nil
+	}
+}
+
+// observe records one call outcome. It must be called exactly once per
+// successful Allow.
+func (b *breaker) observe(success bool) {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.now()
+	switch b.state {
+	case stateHalfOpen:
+		b.probesInFlight--
+		if !success {
+			// The endpoint is still failing: reopen and restart the
+			// cooldown from now.
+			b.openedAt = now
+			b.setStateLocked(stateOpen)
+			return
+		}
+		b.probeSuccesses++
+		if b.probeSuccesses >= b.cfg.HalfOpenProbes {
+			// Proven healthy: close on a fresh window so stale failures
+			// cannot re-trip it immediately.
+			for i := range b.buckets {
+				b.buckets[i] = wbucket{}
+			}
+			b.setStateLocked(stateClosed)
+		}
+	case stateClosed:
+		bk := b.bucketLocked(now)
+		if success {
+			bk.ok++
+			return
+		}
+		bk.fail++
+		ok, fail := b.windowLocked(now)
+		if total := ok + fail; total >= b.cfg.MinRequests &&
+			float64(fail) >= b.cfg.FailureRatio*float64(total) {
+			b.openedAt = now
+			b.setStateLocked(stateOpen)
+		}
+	default: // stateOpen: a straggler admitted before the trip; window
+		// counts no longer matter until half-open probing starts.
+	}
+}
+
+// setStateLocked transitions and counts; mu must be held.
+func (b *breaker) setStateLocked(state int) {
+	if b.state == state {
+		return
+	}
+	b.state = state
+	if state == stateHalfOpen {
+		b.probesInFlight, b.probeSuccesses = 0, 0
+	}
+	b.transitions[state].Inc()
+}
+
+// State reports the current state name (for tests and debugging).
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return stateName(b.state)
+}
+
+// bucketLocked returns the bucket for now, lazily resetting a recycled
+// slot; mu must be held.
+func (b *breaker) bucketLocked(now time.Time) *wbucket {
+	e := now.UnixNano() / int64(b.width)
+	bk := &b.buckets[int(e%int64(len(b.buckets)))]
+	if bk.epoch != e {
+		*bk = wbucket{epoch: e}
+	}
+	return bk
+}
+
+// windowLocked sums the buckets still inside the window; mu must be held.
+func (b *breaker) windowLocked(now time.Time) (ok, fail int) {
+	cur := now.UnixNano() / int64(b.width)
+	for i := range b.buckets {
+		bk := &b.buckets[i]
+		if bk.epoch > cur-int64(len(b.buckets)) && bk.epoch <= cur {
+			ok += bk.ok
+			fail += bk.fail
+		}
+	}
+	return ok, fail
+}

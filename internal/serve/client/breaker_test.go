@@ -1,0 +1,213 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"crossfeature/internal/obs"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
+	clk := newFakeClock()
+	cfg.now = clk.now
+	return newBreaker(cfg, obs.NewRegistry()), clk
+}
+
+func TestBreakerStaysClosedUnderVolumeFloor(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{MinRequests: 10})
+	for i := 0; i < 9; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.observe(false)
+	}
+	if b.State() != "closed" {
+		t.Errorf("state after 9 failures under a 10-request floor = %q", b.State())
+	}
+}
+
+func TestBreakerTripsOnFailureRatio(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{MinRequests: 10, FailureRatio: 0.5})
+	// 5 successes, then 5 failures: exactly at the 50% ratio with the
+	// floor met — the breaker opens on the last failure.
+	for i := 0; i < 5; i++ {
+		b.Allow()
+		b.observe(true)
+	}
+	for i := 0; i < 5; i++ {
+		b.Allow()
+		b.observe(false)
+	}
+	if b.State() != "open" {
+		t.Fatalf("state = %q, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("open breaker allowed a call: %v", err)
+	}
+}
+
+func TestBreakerMostlySuccessesNeverTrips(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{MinRequests: 10, FailureRatio: 0.5})
+	for i := 0; i < 100; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("call %d rejected: %v", i, err)
+		}
+		b.observe(i%3 != 0) // 1/3 failures, under the 50% trip ratio
+	}
+	if b.State() != "closed" {
+		t.Errorf("state under a sub-threshold failure rate = %q", b.State())
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{
+		MinRequests: 4, FailureRatio: 0.5, Cooldown: time.Second, HalfOpenProbes: 2,
+	})
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.observe(false)
+	}
+	if b.State() != "open" {
+		t.Fatalf("state = %q, want open", b.State())
+	}
+
+	// During the cooldown everything is rejected.
+	clk.advance(500 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("mid-cooldown Allow = %v", err)
+	}
+
+	// Cooldown over: exactly HalfOpenProbes calls are admitted.
+	clk.advance(600 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first probe rejected: %v", err)
+	}
+	if b.State() != "half_open" {
+		t.Fatalf("state = %q, want half_open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe quota not enforced: %v", err)
+	}
+
+	// Both probes succeed: the breaker closes on a fresh window.
+	b.observe(true)
+	b.observe(true)
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probes = %q, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Errorf("closed breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{
+		MinRequests: 4, FailureRatio: 0.5, Cooldown: time.Second, HalfOpenProbes: 2,
+	})
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.observe(false)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.observe(false)
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %q, want open", b.State())
+	}
+	// The cooldown restarted at the failed probe, not the original trip.
+	clk.advance(900 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("cooldown did not restart after failed probe: %v", err)
+	}
+	clk.advance(200 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Errorf("probe after restarted cooldown rejected: %v", err)
+	}
+}
+
+func TestBreakerWindowAgesOutFailures(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{
+		Window: time.Second, Buckets: 10, MinRequests: 10, FailureRatio: 0.5,
+	})
+	// 9 failures, then the whole window ages out before the 10th.
+	for i := 0; i < 9; i++ {
+		b.Allow()
+		b.observe(false)
+	}
+	clk.advance(2 * time.Second)
+	b.Allow()
+	b.observe(false)
+	if b.State() != "closed" {
+		t.Errorf("stale failures tripped the breaker: state %q", b.State())
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Disabled: true, MinRequests: 1, FailureRatio: 0.01})
+	for i := 0; i < 50; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("disabled breaker rejected call %d: %v", i, err)
+		}
+		b.observe(false)
+	}
+}
+
+// TestClientBreakerFailsFast wires the breaker through Score: a dead
+// server trips it, after which calls fail with ErrBreakerOpen without
+// touching the network.
+func TestClientBreakerFailsFast(t *testing.T) {
+	ts, calls := fakeServer(t, 1000000, http.StatusInternalServerError, nil)
+	c, _ := testClient(t, ts, func(cfg *Config) {
+		cfg.MaxAttempts = 2
+		cfg.RetryBudget = 100
+		cfg.Breaker = BreakerConfig{MinRequests: 6, FailureRatio: 0.5, Cooldown: time.Hour}
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Score(context.Background(), "s", oneRecord()); err == nil {
+			t.Fatal("score against dead server succeeded")
+		}
+	}
+	if c.BreakerState() != "open" {
+		t.Fatalf("breaker state after 6 failures = %q, want open", c.BreakerState())
+	}
+	before := calls.Load()
+	_, err := c.Score(context.Background(), "s", oneRecord())
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("error = %v, want ErrBreakerOpen", err)
+	}
+	if calls.Load() != before {
+		t.Errorf("open breaker still sent %d requests", calls.Load()-before)
+	}
+}
+
+// TestClientBreakerIgnoresClientErrors pins the failure classification: a
+// stream of 400s (the server is healthy, the requests are bad) must never
+// open the breaker.
+func TestClientBreakerIgnoresClientErrors(t *testing.T) {
+	ts, _ := fakeServer(t, 1000000, http.StatusBadRequest, nil)
+	c, _ := testClient(t, ts, func(cfg *Config) {
+		cfg.Breaker = BreakerConfig{MinRequests: 4, FailureRatio: 0.25}
+	})
+	for i := 0; i < 20; i++ {
+		if _, err := c.Score(context.Background(), "s", oneRecord()); errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("client errors opened the breaker at call %d", i)
+		}
+	}
+	if c.BreakerState() != "closed" {
+		t.Errorf("breaker state after 400s = %q, want closed", c.BreakerState())
+	}
+}

@@ -1,5 +1,6 @@
 // Package client is the hardened counterpart to internal/serve: an HTTP
-// scoring client with exponential backoff, jitter and a retry budget.
+// scoring client with exponential backoff, jitter, a retry budget and a
+// circuit breaker.
 //
 // The server sheds overload with explicit 429s; a naive client that
 // retries those in a tight loop (or retries forever) converts one
@@ -7,7 +8,10 @@
 // therefore spaces retries exponentially with full jitter, honours
 // Retry-After, and spends from a client-wide retry *budget* replenished
 // by successes — under a sustained outage retries dry up to a trickle
-// instead of multiplying the load.
+// instead of multiplying the load. On top of that, a rolling-window
+// circuit breaker stops offering load entirely once the endpoint is
+// failing outright: calls fail fast with ErrBreakerOpen until a cooldown
+// passes and half-open probes prove the server is answering again.
 package client
 
 import (
@@ -23,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crossfeature/internal/obs"
 	"crossfeature/internal/serve"
 )
 
@@ -49,6 +54,13 @@ type Config struct {
 	// RefillPerSuccess is the budget earned per successful call.
 	// Default 0.1.
 	RefillPerSuccess float64
+
+	// Breaker tunes the client-side circuit breaker (see BreakerConfig);
+	// the zero value enables it with defaults. Set Breaker.Disabled to
+	// opt out.
+	Breaker BreakerConfig
+	// Registry receives the breaker's metrics; nil builds a private one.
+	Registry *obs.Registry
 
 	// Rand drives the jitter; default a time-seeded source. Injectable
 	// for deterministic tests.
@@ -77,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.RefillPerSuccess <= 0 {
 		c.RefillPerSuccess = 0.1
 	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
 	if c.Rand == nil {
 		c.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
@@ -99,6 +114,7 @@ func (c Config) withDefaults() Config {
 // Safe for concurrent use.
 type Client struct {
 	cfg Config
+	br  *breaker
 
 	mu     sync.Mutex
 	budget float64
@@ -111,7 +127,11 @@ type Client struct {
 // New builds a client.
 func New(cfg Config) *Client {
 	cfg = cfg.withDefaults()
-	return &Client{cfg: cfg, budget: cfg.RetryBudget}
+	return &Client{
+		cfg:    cfg,
+		br:     newBreaker(cfg.Breaker, cfg.Registry),
+		budget: cfg.RetryBudget,
+	}
 }
 
 // StatusError is a non-200 reply from the server.
@@ -143,8 +163,30 @@ func retryable(err error) bool {
 	return false
 }
 
+// breakerFailure reports whether err should count against the circuit
+// breaker: transport failures and server-health statuses (5xx, shed 429,
+// timeout 408) do; other 4xx mean the server answered and judged the
+// request, which is a healthy endpoint from the breaker's point of view.
+func breakerFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	se, ok := err.(*StatusError)
+	if !ok {
+		return true // transport-level failure
+	}
+	switch {
+	case se.Code >= 500,
+		se.Code == http.StatusTooManyRequests,
+		se.Code == http.StatusRequestTimeout:
+		return true
+	}
+	return false
+}
+
 // Score scores records on the given stream, retrying transient failures
-// within the attempt limit and the client-wide retry budget.
+// within the attempt limit and the client-wide retry budget, and failing
+// fast with ErrBreakerOpen while the circuit breaker is open.
 func (c *Client) Score(ctx context.Context, stream string, recs []serve.Record) (*serve.ScoreResponse, error) {
 	body, err := json.Marshal(serve.ScoreRequest{Stream: stream, Records: recs})
 	if err != nil {
@@ -162,7 +204,16 @@ func (c *Client) Score(ctx context.Context, stream string, recs []serve.Record) 
 				return nil, err
 			}
 		}
+		// The breaker gates each attempt after backoff: a budget-approved
+		// retry still fails fast when the endpoint has been declared down.
+		if berr := c.br.Allow(); berr != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w after %d attempts (last error: %v)", berr, attempt, lastErr)
+			}
+			return nil, berr
+		}
 		resp, err := c.once(ctx, stream, body)
+		c.br.observe(!breakerFailure(err))
 		if err == nil {
 			c.earnToken()
 			return resp, nil
@@ -265,3 +316,7 @@ func (c *Client) earnToken() {
 func (c *Client) Stats() (attempts, retries, budgetDenied uint64) {
 	return c.attempts.Load(), c.retries.Load(), c.budgetDenied.Load()
 }
+
+// BreakerState reports the circuit breaker's current state: "closed",
+// "open" or "half_open".
+func (c *Client) BreakerState() string { return c.br.State() }

@@ -28,9 +28,19 @@ type serverMetrics struct {
 	reloads        *obs.Counter
 	reloadFailures *obs.Counter
 
-	latency      *obs.Histogram
-	scoreNormal  *obs.Histogram
-	scoreAnomaly *obs.Histogram
+	checkpointWrites         *obs.Counter
+	checkpointFailures       *obs.Counter
+	checkpointStreamsSkipped *obs.Counter
+	streamsRestored          *obs.Counter
+	coldStarts               *obs.Counter
+	// restoreOutcomes holds one pre-registered labeled counter per restore
+	// outcome; restoreOutcome looks them up.
+	restoreOutcomes map[string]*obs.Counter
+
+	latency           *obs.Histogram
+	scoreNormal       *obs.Histogram
+	scoreAnomaly      *obs.Histogram
+	checkpointSeconds *obs.Histogram
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -56,6 +66,26 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Successful model reloads (including the initial load)."),
 		reloadFailures: reg.Counter("cfa_reload_failures_total",
 			"Model reloads rejected by validation; the old model kept serving."),
+		checkpointWrites: reg.Counter("cfa_checkpoint_writes_total",
+			"Stream-state checkpoints written successfully."),
+		checkpointFailures: reg.Counter("cfa_checkpoint_write_failures_total",
+			"Checkpoint writes that failed; the previous checkpoint file was kept."),
+		checkpointStreamsSkipped: reg.Counter("cfa_checkpoint_streams_skipped_total",
+			"Streams left out of a checkpoint or restore (busy at snapshot time, oversized id, or an unreadable state entry)."),
+		streamsRestored: reg.Counter("cfa_checkpoint_streams_restored_total",
+			"Streams warmed from a checkpoint at boot."),
+		coldStarts: reg.Counter("cfa_stream_cold_starts_total",
+			"Streams created cold with fresh detector state (not checkpoint-restored)."),
+		restoreOutcomes: map[string]*obs.Counter{
+			"restored": reg.Counter("cfa_checkpoint_restore_total",
+				"Boot-time checkpoint restore attempts by outcome.", obs.L("outcome", "restored")),
+			"missing": reg.Counter("cfa_checkpoint_restore_total",
+				"Boot-time checkpoint restore attempts by outcome.", obs.L("outcome", "missing")),
+			"corrupt": reg.Counter("cfa_checkpoint_restore_total",
+				"Boot-time checkpoint restore attempts by outcome.", obs.L("outcome", "corrupt")),
+			"stale": reg.Counter("cfa_checkpoint_restore_total",
+				"Boot-time checkpoint restore attempts by outcome.", obs.L("outcome", "stale")),
+		},
 		latency: reg.Histogram("cfa_request_seconds",
 			"Score request latency: queue wait, body read and scoring.",
 			obs.ExpBuckets(0.0005, 2, 14)),
@@ -65,7 +95,20 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		scoreAnomaly: reg.Histogram("cfa_score",
 			"Raw record scores by verdict at the calibrated threshold.",
 			obs.LinearBuckets(0.05, 0.05, 19), obs.L("verdict", "anomaly")),
+		checkpointSeconds: reg.Histogram("cfa_checkpoint_seconds",
+			"Wall time of one checkpoint write: snapshot, encode, fsync, rename.",
+			obs.ExpBuckets(0.0005, 2, 14)),
 	}
+}
+
+// restoreOutcome returns the labeled restore counter for outcome, falling
+// back to a throwaway counter for an outcome string the table does not
+// know (a bug, but not one worth panicking a boot over).
+func (m *serverMetrics) restoreOutcome(outcome string) *obs.Counter {
+	if c, ok := m.restoreOutcomes[outcome]; ok {
+		return c
+	}
+	return obs.NewCounter()
 }
 
 // registerGauges binds the sampled gauges once the server's subsystems

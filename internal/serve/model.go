@@ -6,8 +6,14 @@ import (
 	"time"
 
 	"crossfeature/internal/core"
+	"crossfeature/internal/failpoint"
 	"crossfeature/internal/obs"
 )
+
+// fpReload injects reload failures and stalls without needing a corrupt
+// file on disk: error() exercises the keep-old-model path, delay() holds
+// the reload lock to probe reload/serve independence.
+var fpReload = failpoint.At("serve/reload")
 
 // loadedModel is one immutable generation of the served model. Scoring
 // paths grab the current generation once per request; a reload installs a
@@ -31,9 +37,12 @@ type modelHolder struct {
 
 	mu       sync.Mutex // serialises reloads
 	version  uint64
-	lastErr  atomic.Pointer[string]
 	reloads  *obs.Counter
 	failures *obs.Counter
+
+	// lastEvent is the most recent reload outcome (err empty on success)
+	// with its timestamp, for /readyz and /statz.
+	lastEvent atomic.Pointer[opEvent]
 }
 
 // newModelHolder builds the holder. reloads and failures count lifecycle
@@ -54,10 +63,12 @@ func (h *modelHolder) reload() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	b, err := core.LoadBundleFile(h.path)
+	if err == nil {
+		err = fpReload.Hit()
+	}
 	if err != nil {
 		h.failures.Inc()
-		msg := err.Error()
-		h.lastErr.Store(&msg)
+		h.lastEvent.Store(&opEvent{err: err.Error(), at: time.Now()})
 		return err
 	}
 	h.version++
@@ -68,7 +79,7 @@ func (h *modelHolder) reload() error {
 		loadedAt: time.Now(),
 	})
 	h.reloads.Inc()
-	h.lastErr.Store(nil)
+	h.lastEvent.Store(&opEvent{at: time.Now()})
 	return nil
 }
 
@@ -79,8 +90,8 @@ func (h *modelHolder) current() *loadedModel { return h.cur.Load() }
 // lastError returns the most recent reload failure, or "" after a
 // successful (re)load.
 func (h *modelHolder) lastError() string {
-	if p := h.lastErr.Load(); p != nil {
-		return *p
+	if ev := h.lastEvent.Load(); ev != nil {
+		return ev.err
 	}
 	return ""
 }

@@ -62,6 +62,20 @@ type Config struct {
 	Smoothing  float64
 	RaiseAfter int
 	ClearAfter int
+	// CheckpointPath, when set, enables durable per-stream detector state:
+	// the stream table is checkpointed here periodically, on clean
+	// shutdown, and on POST /v1/checkpoint, and restored from here on
+	// boot. Empty disables checkpointing.
+	CheckpointPath string
+	// CheckpointInterval is the periodic checkpoint cadence; default 15s
+	// when CheckpointPath is set.
+	CheckpointInterval time.Duration
+	// CheckpointMaxAge bounds how old a checkpoint may be and still be
+	// restored — EWMA state from hours ago describes traffic that no
+	// longer exists, and resuming hysteresis mid-incident from stale data
+	// would raise alarms about the past. Older files are skipped with a
+	// counter. Default 1h; negative disables the age check.
+	CheckpointMaxAge time.Duration
 	// Logf sinks operational log lines; default log.Printf.
 	Logf func(format string, args ...any)
 	// Registry receives the service's operational metrics; nil builds a
@@ -99,6 +113,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 15 * time.Second
+	}
+	if c.CheckpointMaxAge == 0 {
+		c.CheckpointMaxAge = time.Hour
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -142,15 +162,19 @@ type ScoreResponse struct {
 	Results      []RecordResult `json:"results"`
 }
 
-// Readiness is the /readyz payload.
+// Readiness is the /readyz payload. Ready is false while draining and
+// while the boot-time checkpoint restore is still in flight, so a load
+// balancer holds traffic until stream state is as warm as it will get.
 type Readiness struct {
-	Ready           bool   `json:"ready"`
-	Draining        bool   `json:"draining"`
-	ModelVersion    uint64 `json:"model_version"`
-	ModelPath       string `json:"model_path"`
-	Reloads         uint64 `json:"reloads"`
-	ReloadFailures  uint64 `json:"reload_failures"`
-	LastReloadError string `json:"last_reload_error,omitempty"`
+	Ready            bool   `json:"ready"`
+	Draining         bool   `json:"draining"`
+	Restoring        bool   `json:"restoring"`
+	ModelVersion     uint64 `json:"model_version"`
+	ModelPath        string `json:"model_path"`
+	Reloads          uint64 `json:"reloads"`
+	ReloadFailures   uint64 `json:"reload_failures"`
+	LastReloadError  string `json:"last_reload_error,omitempty"`
+	LastRestoreError string `json:"last_restore_error,omitempty"`
 }
 
 // Stats is the /statz payload. It is a JSON projection of the same obs
@@ -173,6 +197,21 @@ type Stats struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	GoVersion      string  `json:"go_version,omitempty"`
 	BuildRevision  string  `json:"build_revision,omitempty"`
+
+	// Crash-safety surfaces: the last reload/restore failure with its
+	// timestamp (previously only visible in logs) and the checkpoint
+	// counters.
+	LastReloadError    string `json:"last_reload_error,omitempty"`
+	LastReloadUnix     int64  `json:"last_reload_unix,omitempty"`
+	LastRestoreError   string `json:"last_restore_error,omitempty"`
+	LastRestoreUnix    int64  `json:"last_restore_unix,omitempty"`
+	CheckpointWrites   uint64 `json:"checkpoint_writes"`
+	CheckpointFailures uint64 `json:"checkpoint_write_failures"`
+	CheckpointStreams  int    `json:"checkpoint_streams,omitempty"`
+	CheckpointUnix     int64  `json:"checkpoint_unix,omitempty"`
+	StreamsRestored    uint64 `json:"streams_restored"`
+	StreamColdStarts   uint64 `json:"stream_cold_starts"`
+	Restoring          bool   `json:"restoring,omitempty"`
 }
 
 // Server is the scoring service. Construct with New, expose with
@@ -186,6 +225,14 @@ type Server struct {
 	mux      *http.ServeMux
 	met      *serverMetrics
 	start    time.Time
+
+	// restoring is true while the boot-time checkpoint restore runs;
+	// restoreDone closes when it finishes (immediately when checkpointing
+	// is disabled). lastRestore and lastCheckpoint feed /statz.
+	restoring      atomic.Bool
+	restoreDone    chan struct{}
+	lastRestore    atomic.Pointer[opEvent]
+	lastCheckpoint atomic.Pointer[CheckpointInfo]
 
 	goVersion string
 	buildRev  string
@@ -216,22 +263,30 @@ func New(cfg Config) (*Server, error) {
 	}
 	met := newServerMetrics(cfg.Registry)
 	s := &Server{
-		cfg:     cfg,
-		model:   newModelHolder(cfg.ModelPath, met.reloads, met.reloadFailures),
-		streams: newStreamTable(cfg.MaxStreams),
-		adm:     newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue, met.shed, met.timeouts),
-		met:     met,
-		start:   time.Now(),
+		cfg:         cfg,
+		model:       newModelHolder(cfg.ModelPath, met.reloads, met.reloadFailures),
+		streams:     newStreamTable(cfg.MaxStreams),
+		adm:         newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue, met.shed, met.timeouts),
+		met:         met,
+		start:       time.Now(),
+		restoreDone: make(chan struct{}),
 	}
 	s.goVersion, s.buildRev = buildInfo()
 	s.streams.onEvict = s.observeEviction
+	s.streams.onCreate = func(string) { met.coldStarts.Inc() }
 	met.registerGauges(s)
 	if err := s.model.reload(); err != nil {
 		return nil, err
 	}
+	if cfg.CheckpointPath == "" {
+		// Nothing will ever restore; anything waiting on the restore
+		// barrier (checkpoint loop, final checkpoint) may proceed at once.
+		close(s.restoreDone)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/score", s.handleScore)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
@@ -279,15 +334,19 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Readiness() Readiness {
 	r := Readiness{
 		Draining:       s.draining.Load(),
+		Restoring:      s.restoring.Load(),
 		ModelPath:      s.cfg.ModelPath,
 		Reloads:        s.model.reloads.Value(),
 		ReloadFailures: s.model.failures.Value(),
 	}
 	if lm := s.model.current(); lm != nil {
 		r.ModelVersion = lm.version
-		r.Ready = !r.Draining
+		r.Ready = !r.Draining && !r.Restoring
 	}
 	r.LastReloadError = s.model.lastError()
+	if ev := s.lastRestore.Load(); ev != nil {
+		r.LastRestoreError = ev.err
+	}
 	return r
 }
 
@@ -311,17 +370,50 @@ func (s *Server) Stats() Stats {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		GoVersion:      s.goVersion,
 		BuildRevision:  s.buildRev,
+
+		CheckpointWrites:   s.met.checkpointWrites.Value(),
+		CheckpointFailures: s.met.checkpointFailures.Value(),
+		StreamsRestored:    s.met.streamsRestored.Value(),
+		StreamColdStarts:   s.met.coldStarts.Value(),
+		Restoring:          s.restoring.Load(),
 	}
 	if lm := s.model.current(); lm != nil {
 		st.ModelVersion = lm.version
+	}
+	if ev := s.model.lastEvent.Load(); ev != nil {
+		st.LastReloadError = ev.err
+		st.LastReloadUnix = ev.at.Unix()
+	}
+	if ev := s.lastRestore.Load(); ev != nil {
+		st.LastRestoreError = ev.err
+		st.LastRestoreUnix = ev.at.Unix()
+	}
+	if ci := s.lastCheckpoint.Load(); ci != nil {
+		st.CheckpointStreams = ci.Streams
+		st.CheckpointUnix = ci.At.Unix()
 	}
 	return st
 }
 
 // Run serves on ln until ctx is cancelled, then drains gracefully:
 // in-flight requests get DrainTimeout to finish while new connections are
-// refused; whatever survives the timeout is force-closed.
+// refused; whatever survives the timeout is force-closed. With
+// checkpointing enabled, Run restores stream state in the background
+// (with /readyz reporting 503 until it finishes), checkpoints
+// periodically, and writes a final checkpoint after the drain.
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	if s.cfg.CheckpointPath != "" {
+		// Restore runs concurrently with serving: the socket accepts at
+		// once (a load balancer that ignores /readyz still gets scored,
+		// just cold), and live traffic beats checkpoint state per stream.
+		s.restoring.Store(true)
+		go func() {
+			s.RestoreCheckpoint()
+			s.restoring.Store(false)
+			close(s.restoreDone)
+		}()
+		go s.runCheckpointLoop(ctx)
+	}
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -342,6 +434,21 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 		hs.Close()
 	}
 	<-errc // Serve has returned http.ErrServerClosed
+	if s.cfg.CheckpointPath != "" {
+		// Save whatever the drain left behind. The restore barrier has
+		// long since passed on any real shutdown, but guard it anyway so
+		// an immediate cancel cannot checkpoint an empty table over a
+		// restorable file. Failure costs warm state on the next boot,
+		// not the clean exit.
+		select {
+		case <-s.restoreDone:
+			if _, cerr := s.Checkpoint(); cerr != nil {
+				s.cfg.Logf("serve: final checkpoint failed: %v", cerr)
+			}
+		default:
+			s.cfg.Logf("serve: skipping final checkpoint: restore still in flight")
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("serve: drain incomplete: %w", err)
 	}
@@ -420,17 +527,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 
 	lm := s.model.current()
 	st := s.streams.get(req.Stream, func() *core.OnlineDetector {
-		od := core.NewOnlineDetector(lm.detector)
-		if s.cfg.Smoothing > 0 {
-			od.Smoothing = s.cfg.Smoothing
-		}
-		if s.cfg.RaiseAfter > 0 {
-			od.RaiseAfter = s.cfg.RaiseAfter
-		}
-		if s.cfg.ClearAfter > 0 {
-			od.ClearAfter = s.cfg.ClearAfter
-		}
-		return od
+		return s.newOnlineDetector(lm)
 	})
 
 	feat := s.featureMetricsFor(lm)
@@ -477,6 +574,30 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	st.mu.Unlock()
 	s.met.scored.Add(uint64(len(resp.Results)))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// newOnlineDetector builds a per-stream detector against lm with the
+// configured knobs applied. Checkpoint restore uses the same constructor
+// and then overlays the saved state, so config always wins over whatever
+// knob values were in force when the checkpoint was written.
+func (s *Server) newOnlineDetector(lm *loadedModel) *core.OnlineDetector {
+	od := core.NewOnlineDetector(lm.detector)
+	s.applyDetectorKnobs(od)
+	return od
+}
+
+// applyDetectorKnobs overlays the configured smoothing/hysteresis knobs
+// onto od; zero-valued config fields leave the detector's values alone.
+func (s *Server) applyDetectorKnobs(od *core.OnlineDetector) {
+	if s.cfg.Smoothing > 0 {
+		od.Smoothing = s.cfg.Smoothing
+	}
+	if s.cfg.RaiseAfter > 0 {
+		od.RaiseAfter = s.cfg.RaiseAfter
+	}
+	if s.cfg.ClearAfter > 0 {
+		od.ClearAfter = s.cfg.ClearAfter
+	}
 }
 
 // featureMetricsFor returns the per-feature metrics bound to lm's

@@ -35,6 +35,11 @@ type streamTable struct {
 	// onEvict, when set, observes every eviction (counter bump, first-
 	// eviction logging). It runs under the table lock — keep it quick.
 	onEvict func(id string)
+	// onCreate, when set, observes every stream created cold by get —
+	// restored streams (insert) do not fire it, so the counter behind it
+	// separates cold starts from checkpoint-warmed streams. It runs under
+	// the table lock — keep it quick.
+	onCreate func(id string)
 }
 
 func newStreamTable(max int) *streamTable {
@@ -56,6 +61,14 @@ func (t *streamTable) get(id string, mk func() *core.OnlineDetector) *stream {
 	s := &stream{id: id, od: mk()}
 	s.elem = t.lru.PushFront(s)
 	t.byID[id] = s
+	if t.onCreate != nil {
+		t.onCreate(id)
+	}
+	t.evictOverCapLocked()
+	return s
+}
+
+func (t *streamTable) evictOverCapLocked() {
 	for len(t.byID) > t.max {
 		back := t.lru.Back()
 		ev := back.Value.(*stream)
@@ -65,7 +78,64 @@ func (t *streamTable) get(id string, mk func() *core.OnlineDetector) *stream {
 			t.onEvict(ev.id)
 		}
 	}
-	return s
+}
+
+// streamState is one stream's checkpointable state: its id and the
+// detector state blob from core.OnlineDetector.AppendState.
+type streamState struct {
+	id    string
+	state []byte
+}
+
+// snapshot captures every stream's detector state for a checkpoint,
+// hottest first (so a restore into a smaller table keeps the most
+// recently active streams). The table lock is held only long enough to
+// copy the stream pointers — O(streams) pointer moves, no encoding —
+// then each stream is encoded under its own lock. A stream whose lock
+// cannot be taken immediately (a request is scoring on it right now) is
+// skipped and counted via skipped rather than awaited: checkpoint
+// duration must stay bounded even when a handler wedges, and a skipped
+// stream simply restarts cold after a crash, which is exactly what it
+// would have done before checkpoints existed.
+func (t *streamTable) snapshot() (states []streamState, skipped int) {
+	t.mu.Lock()
+	ordered := make([]*stream, 0, len(t.byID))
+	for e := t.lru.Front(); e != nil; e = e.Next() {
+		ordered = append(ordered, e.Value.(*stream))
+	}
+	t.mu.Unlock()
+
+	states = make([]streamState, 0, len(ordered))
+	for _, s := range ordered {
+		if !s.mu.TryLock() {
+			skipped++
+			continue
+		}
+		states = append(states, streamState{id: s.id, state: s.od.AppendState(nil)})
+		s.mu.Unlock()
+	}
+	return states, skipped
+}
+
+// insert adds a restored stream if (and only if) no live stream with the
+// same id exists — traffic scored since boot always wins over checkpoint
+// state — and the table has room: a restored stream would land at the
+// cold end of the LRU, so when the table is already full it would be the
+// next eviction anyway and is simply not inserted. Reports whether the
+// stream was inserted.
+func (t *streamTable) insert(id string, od *core.OnlineDetector) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byID[id]; ok {
+		return false
+	}
+	if len(t.byID) >= t.max {
+		return false
+	}
+	s := &stream{id: id, od: od}
+	s.elem = t.lru.PushBack(s)
+	t.byID[id] = s
+	return true
 }
 
 // len reports the number of live streams.
