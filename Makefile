@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci build test vet race short fuzz bench bench-train train-smoke fmt serve-chaos crash-chaos obs-smoke
+.PHONY: ci build test vet race short fuzz bench bench-train bench-score train-smoke score-diff fmt serve-chaos crash-chaos obs-smoke
 
 # ci is the full gate: formatting and static analysis, a clean build of
 # every package and the test suite under the race detector, plus a smoke
 # pass over the training-path differential tests, a one-iteration spin of
-# the training benchmarks so a broken fast path fails fast, a soak of
-# the serving chaos suite, the crash-recovery suite, and an end-to-end
-# scrape of the observability surfaces.
-ci: fmt vet build race train-smoke serve-chaos crash-chaos obs-smoke
+# the training benchmarks so a broken fast path fails fast, the compiled
+# scoring-kernel differential suite, a soak of the serving chaos suite,
+# the crash-recovery suite, and an end-to-end scrape of the observability
+# surfaces.
+ci: fmt vet build race train-smoke score-diff serve-chaos crash-chaos obs-smoke
 
 # fmt fails (listing the offenders) if any file is not gofmt-clean.
 fmt:
@@ -39,6 +40,15 @@ crash-chaos:
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count 1 ./cmd/cfa/
 	$(GO) test -race -count 1 ./internal/obs/
+
+# score-diff re-runs the compiled-kernel differential suites under the
+# race detector: each learner's flat form against its pointer-walking
+# reference, plus the end-to-end Score/ScoreEvents/ScoreAll fuzz and the
+# stale-compile invalidation regression in internal/core.
+score-diff:
+	$(GO) test -race -run 'TestCompiledDifferential' -count 1 ./internal/ml/...
+	$(GO) test -race -run 'TestScoreKernelDifferential|TestCompileInvalidation' \
+		-count 1 ./internal/core/
 
 # train-smoke re-runs the columnar-vs-naive differential tests and gives
 # each training benchmark a single iteration; it exists so `make ci`
@@ -82,6 +92,16 @@ bench:
 # before/after for a training-path change.
 bench-train:
 	$(GO) test -run '^$$' -bench '^Benchmark(C45Fit|RipperFit|NBFit|CoreTrain)$$' -benchmem -count 3 .
+
+# bench-score measures only the inference paths on the same dataset: the
+# per-record pointer-walking reference (BenchmarkAnalyzerScore) against
+# the compiled batch path (BenchmarkScoreAll), plus each learner's
+# single-model predict kernels. Append the output to the dated BENCH file
+# when recording a before/after for a scoring-path change.
+bench-score:
+	$(GO) test -run '^$$' -timeout 30m \
+		-bench '^Benchmark(AnalyzerScore|ScoreAll|C45Predict|RipperPredict|NBPredict)$$' \
+		-benchmem -count 3 .
 
 # fuzz gives each fuzz target a brief budget beyond its seed corpus.
 fuzz:

@@ -1,0 +1,145 @@
+// Scoring-path benchmarks: the per-record pointer-walking reference
+// against the compiled flat kernels, per base learner and end-to-end
+// through Analyzer.ScoreAll. Same synthetic full-scale dataset as the
+// training benchmarks so `make bench-score` isolates inference cost.
+package crossfeature_test
+
+import (
+	"sync"
+	"testing"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/ml"
+	"crossfeature/internal/ml/c45"
+	"crossfeature/internal/ml/nbayes"
+	"crossfeature/internal/ml/ripper"
+)
+
+// scoreBenchModels holds one trained analyzer per base learner, shared
+// across scoring benchmarks (training 140 sub-models dominates otherwise).
+var scoreBenchModels struct {
+	once sync.Once
+	ds   *ml.Dataset
+	an   map[string]*core.Analyzer
+	err  error
+}
+
+func scoreBench(b *testing.B) (*ml.Dataset, map[string]*core.Analyzer) {
+	b.Helper()
+	m := &scoreBenchModels
+	m.once.Do(func() {
+		m.ds = trainBenchDS()
+		m.an = make(map[string]*core.Analyzer)
+		learners := map[string]ml.Learner{
+			"C45": func() ml.Learner {
+				l := c45.NewLearner()
+				l.HoldoutFrac = 1.0 / 3.0
+				return l
+			}(),
+			"RIPPER": ripper.NewLearner(),
+			"NBC":    nbayes.NewLearner(),
+		}
+		for name, l := range learners {
+			a, err := core.Train(m.ds, l, core.TrainOptions{})
+			if err != nil {
+				m.err = err
+				return
+			}
+			m.an[name] = a
+		}
+	})
+	if m.err != nil {
+		b.Fatal(m.err)
+	}
+	return m.ds, m.an
+}
+
+// BenchmarkAnalyzerScore is the baseline: the retained pointer-walking
+// reference path, one record at a time over the full dataset.
+func BenchmarkAnalyzerScore(b *testing.B) {
+	ds, an := scoreBench(b)
+	for _, name := range []string{"C45", "RIPPER", "NBC"} {
+		a := an[name]
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, x := range ds.X {
+					a.AvgProbability(x)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScoreAll is the compiled batch path over the same records:
+// flat kernels, columnar dataset view, buffers reused across rows.
+func BenchmarkScoreAll(b *testing.B) {
+	ds, an := scoreBench(b)
+	for _, name := range []string{"C45", "RIPPER", "NBC"} {
+		a := an[name]
+		a.Compile()
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := a.ScoreAll(ds, core.Probability); len(got) != ds.Len() {
+					b.Fatal("short result")
+				}
+			}
+		})
+	}
+}
+
+// benchSingleModel measures one sub-model's class-distribution prediction
+// over every dataset row: the pointer/table reference against its
+// compiled flat form.
+func benchSingleModel(b *testing.B, fit func(*ml.Dataset) (ml.Classifier, error)) {
+	ds := trainBenchDS()
+	c, err := fit(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kc := c.(ml.KernelCompiler)
+	buf := make([]float64, ds.Attrs[benchTarget].Card)
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range ds.X {
+				ml.ProbaInto(c, x, buf)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		k := kc.CompileKernel()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, x := range ds.X {
+				k.TrueScore(x, x[benchTarget], buf)
+			}
+		}
+	})
+}
+
+// BenchmarkC45Predict compares tree pointer descent with the flat node
+// array.
+func BenchmarkC45Predict(b *testing.B) {
+	benchSingleModel(b, func(ds *ml.Dataset) (ml.Classifier, error) {
+		l := c45.NewLearner()
+		l.HoldoutFrac = 1.0 / 3.0
+		return l.Fit(ds, benchTarget)
+	})
+}
+
+// BenchmarkRipperPredict compares the rule-list walk with the condition
+// matrix scan.
+func BenchmarkRipperPredict(b *testing.B) {
+	benchSingleModel(b, func(ds *ml.Dataset) (ml.Classifier, error) {
+		return ripper.NewLearner().Fit(ds, benchTarget)
+	})
+}
+
+// BenchmarkNBPredict compares nested log-prob table lookups with the
+// packed slab.
+func BenchmarkNBPredict(b *testing.B) {
+	benchSingleModel(b, func(ds *ml.Dataset) (ml.Classifier, error) {
+		return nbayes.NewLearner().Fit(ds, benchTarget)
+	})
+}

@@ -7,6 +7,7 @@ import (
 
 	"crossfeature/internal/core"
 	"crossfeature/internal/eval"
+	"crossfeature/internal/ml"
 )
 
 // curve evaluates a trained model against a labelled pair of traces — one
@@ -37,6 +38,10 @@ func curve(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// Batch the whole trace through the compiled ScoreAll path instead
+		// of scoring record by record.
+		var xs [][]int
+		var intrusion []bool
 		for _, v := range vectors {
 			if v.Time < *warmup {
 				continue
@@ -45,10 +50,12 @@ func curve(args []string, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			events = append(events, eval.Scored{
-				Score:     mf.Analyzer.Score(x, mf.Scorer),
-				Intrusion: anyIntrusion && v.Time >= intrusionFrom,
-			})
+			xs = append(xs, x)
+			intrusion = append(intrusion, anyIntrusion && v.Time >= intrusionFrom)
+		}
+		scores := mf.Analyzer.ScoreAll(ml.DatasetOf(mf.Analyzer.Attrs, xs), mf.Scorer)
+		for i, s := range scores {
+			events = append(events, eval.Scored{Score: s, Intrusion: intrusion[i]})
 		}
 		return nil
 	}

@@ -104,7 +104,7 @@ func train(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	scores := analyzer.ScoreAll(ds.X, sc)
+	scores := analyzer.ScoreAll(ds, sc)
 	th, dropped := core.Calibrate(scores, *far)
 	if dropped > 0 {
 		fmt.Fprintf(w, "warning: dropped %d non-finite scores during calibration\n", dropped)
@@ -141,6 +141,9 @@ func detect(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Compile once at load: every record then scores through the flat
+	// inference kernels instead of the pointer-walking model forms.
+	mf.Analyzer.Compile()
 	th := mf.Threshold
 	if *threshold >= 0 {
 		th = *threshold

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crossfeature/internal/ml"
+	"crossfeature/internal/ml/c45"
+	"crossfeature/internal/ml/nbayes"
+	"crossfeature/internal/ml/ripper"
+)
+
+// compileTestDataset builds a random correlated dataset whose schema
+// includes unknown-guard attributes, so scoring exercises the
+// missing-feature skip and debias paths.
+func compileTestDataset(rng *rand.Rand, rows int) *ml.Dataset {
+	nAttrs := 6 + rng.Intn(4)
+	attrs := make([]ml.Attr, nAttrs)
+	for j := range attrs {
+		card := 2 + rng.Intn(5)
+		attrs[j] = ml.Attr{
+			Name:       fmt.Sprintf("f%d", j),
+			Card:       card,
+			HasUnknown: card > 2 && rng.Intn(3) == 0,
+		}
+	}
+	ds := ml.NewDataset(attrs)
+	row := make([]int, nAttrs)
+	for i := 0; i < rows; i++ {
+		latent := rng.Intn(5)
+		for j, at := range attrs {
+			v := latent % at.Card
+			if rng.Float64() < 0.3 {
+				v = rng.Intn(at.Card) // includes the guard bucket when present
+			}
+			row[j] = v
+		}
+		if err := ds.Add(row); err != nil {
+			t := fmt.Sprintf("bad row: %v", err)
+			panic(t)
+		}
+	}
+	return ds
+}
+
+// referenceScores is the retained pointer-walking path, record by record.
+func referenceScores(a *Analyzer, xs [][]int, s Scorer) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if s == MatchCount {
+			out[i] = a.AvgMatchCount(x)
+		} else {
+			out[i] = a.AvgProbability(x)
+		}
+	}
+	return out
+}
+
+// TestScoreKernelDifferential trains bundles with every base learner and
+// pins the compiled scoring paths — per-event Score after Compile,
+// ScoreEvents, and the columnar ScoreAll — bit-identical to the
+// pointer-walking reference over >1000 random records per learner,
+// including guard-bucket, short, and out-of-range rows.
+func TestScoreKernelDifferential(t *testing.T) {
+	learners := []ml.Learner{
+		c45.NewLearner(),
+		&c45.Learner{MinLeaf: 2, Prune: true, CF: 0.25, HoldoutFrac: 1.0 / 3.0},
+		ripper.NewLearner(),
+		nbayes.NewLearner(),
+	}
+	for li, learner := range learners {
+		rng := rand.New(rand.NewSource(int64(100 + li)))
+		train := compileTestDataset(rng, 300)
+		a, err := Train(train, learner, TrainOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatalf("%s: train: %v", learner.Name(), err)
+		}
+
+		// Valid probe rows under the training schema (guard buckets
+		// included), as both a Dataset and raw rows.
+		probeDS := ml.NewDataset(train.Attrs)
+		row := make([]int, len(train.Attrs))
+		for i := 0; i < 600; i++ {
+			for j, at := range train.Attrs {
+				row[j] = rng.Intn(at.Card)
+			}
+			if err := probeDS.Add(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Degraded probes: short rows, negative and out-of-range values.
+		degraded := make([][]int, 0, 600)
+		for i := 0; i < 600; i++ {
+			x := make([]int, len(train.Attrs))
+			for j, at := range train.Attrs {
+				x[j] = rng.Intn(at.Card+2) - 1
+			}
+			if i%5 == 0 {
+				x = x[:rng.Intn(len(x)+1)]
+			}
+			degraded = append(degraded, x)
+		}
+
+		for _, s := range []Scorer{MatchCount, Probability} {
+			wantValid := referenceScores(a, probeDS.X, s)
+			wantDegraded := referenceScores(a, degraded, s)
+
+			a.Compile()
+			gotAll := a.ScoreAll(probeDS, s)
+			gotEvents := a.ScoreEvents(degraded, s)
+			for i := range wantValid {
+				if gotAll[i] != wantValid[i] {
+					t.Fatalf("%s/%v: ScoreAll row %d = %v, reference %v",
+						learner.Name(), s, i, gotAll[i], wantValid[i])
+				}
+				if got := a.Score(probeDS.X[i], s); got != wantValid[i] {
+					t.Fatalf("%s/%v: compiled Score row %d = %v, reference %v",
+						learner.Name(), s, i, got, wantValid[i])
+				}
+			}
+			for i := range wantDegraded {
+				if gotEvents[i] != wantDegraded[i] {
+					t.Fatalf("%s/%v: ScoreEvents row %d (%v) = %v, reference %v",
+						learner.Name(), s, i, degraded[i], gotEvents[i], wantDegraded[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCompileInvalidation is the stale-compiled-state regression test:
+// swapping a sub-model (retraining) must recompile the flat forms, and a
+// dataset mutated after a batch score must rescore at its new size —
+// mirroring the columnar view's invalidation.
+func TestCompileInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ds := compileTestDataset(rng, 200)
+	a, err := Train(ds, c45.NewLearner(), TrainOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Compile()
+	gen1 := a.comp.Load()
+	if gen1 == nil {
+		t.Fatal("Compile left no kernel generation")
+	}
+	if a.comp.Load() != gen1 {
+		t.Fatal("idempotent Compile rebuilt a fresh generation")
+	}
+
+	// Retrain a sub-model on different data and splice it in: the stale
+	// kernels must not serve it.
+	ds2 := compileTestDataset(rng, 200)
+	b, err := Train(ds2, c45.NewLearner(), TrainOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Models[0] = b.Models[0]
+	probe := make([]int, len(a.Attrs))
+	for j, at := range a.Attrs {
+		probe[j] = rng.Intn(at.Card)
+	}
+	want := a.AvgProbability(probe) // reference always reads Models directly
+	if got := a.Score(probe, Probability); got != want {
+		t.Fatalf("Score after model swap = %v, reference %v (stale kernels?)", got, want)
+	}
+	if a.comp.Load() == gen1 {
+		t.Fatal("model swap did not recompile the kernel generation")
+	}
+
+	// Mutating the scored dataset must be picked up by the next ScoreAll.
+	before := a.ScoreAll(ds, Probability)
+	row := make([]int, len(ds.Attrs))
+	for j, at := range ds.Attrs {
+		row[j] = rng.Intn(at.Card)
+	}
+	if err := ds.Add(row); err != nil {
+		t.Fatal(err)
+	}
+	after := a.ScoreAll(ds, Probability)
+	if len(after) != len(before)+1 {
+		t.Fatalf("ScoreAll after Add scored %d rows, want %d", len(after), len(before)+1)
+	}
+	if want := a.AvgProbability(row); after[len(after)-1] != want {
+		t.Fatalf("appended row scored %v, reference %v", after[len(after)-1], want)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crossfeature/internal/ml"
 )
@@ -75,6 +76,14 @@ type Analyzer struct {
 	// built without Train (scores then fall back to plain averages).
 	NormalMatch []float64
 	NormalProb  []float64
+
+	// compMu serialises flat-form kernel compilation; comp caches the
+	// current compiled generation together with the Models snapshot it
+	// came from, so a swapped sub-model triggers recompilation (see
+	// compile.go). Both are ignored by gob, which persists only the
+	// exported model fields.
+	compMu sync.Mutex
+	comp   atomic.Pointer[compiledSet]
 }
 
 // Train runs Algorithm 1: fit classifier C_i for every feature f_i on the
@@ -317,27 +326,18 @@ func (a *Analyzer) debias(raw, availLevel, total float64, anyMissing bool, level
 	return scaled
 }
 
-// Score applies the selected combination rule.
+// Score applies the selected combination rule. A compiled analyzer (see
+// Compile) scores through its flat kernels; otherwise this is the
+// reference pointer-walking path of AvgMatchCount/AvgProbability. The
+// two are bit-identical.
 func (a *Analyzer) Score(x []int, s Scorer) float64 {
+	if c := a.compiledOrNil(); c != nil {
+		return a.kernelScore(c, x, s, make([]float64, a.maxCard()))
+	}
 	if s == MatchCount {
 		return a.AvgMatchCount(x)
 	}
 	return a.AvgProbability(x)
-}
-
-// ScoreAll scores a batch of events, sharing one prediction buffer
-// across the whole batch.
-func (a *Analyzer) ScoreAll(xs [][]int, s Scorer) []float64 {
-	out := make([]float64, len(xs))
-	buf := make([]float64, a.maxCard())
-	for i, x := range xs {
-		if s == MatchCount {
-			out[i] = a.avgMatchCount(x, buf)
-		} else {
-			out[i] = a.avgProbability(x, buf)
-		}
-	}
-	return out
 }
 
 // Threshold calibrates the decision threshold from normal-data scores: the
@@ -397,7 +397,7 @@ type Detector struct {
 // NewDetector calibrates a detector on normal calibration events at the
 // given false-alarm rate.
 func NewDetector(a *Analyzer, s Scorer, normalEvents [][]int, falseAlarmRate float64) *Detector {
-	scores := a.ScoreAll(normalEvents, s)
+	scores := a.ScoreEvents(normalEvents, s)
 	return &Detector{Analyzer: a, Scorer: s, Threshold: Threshold(scores, falseAlarmRate)}
 }
 

@@ -42,6 +42,18 @@ func NewOnlineDetector(det *Detector) *OnlineDetector {
 	return &OnlineDetector{det: det, Smoothing: 0.5, RaiseAfter: 3, ClearAfter: 5}
 }
 
+// NewOnlineDetectors returns n detectors in one backing slab, each
+// initialised exactly as NewOnlineDetector(det). Checkpoint restore warms
+// thousands of streams at boot, and allocating each detector individually
+// dominated that path's allocation profile; the slab costs one.
+func NewOnlineDetectors(det *Detector, n int) []OnlineDetector {
+	ods := make([]OnlineDetector, n)
+	for i := range ods {
+		ods[i] = OnlineDetector{det: det, Smoothing: 0.5, RaiseAfter: 3, ClearAfter: 5}
+	}
+	return ods
+}
+
 // State is the detector's externally visible condition after a record.
 type State struct {
 	Score    float64 // raw score of the record

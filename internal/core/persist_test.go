@@ -35,7 +35,7 @@ func testBundle(t *testing.T) *Bundle {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scores := a.ScoreAll(ds.X, Probability)
+	scores := a.ScoreAll(ds, Probability)
 	return &Bundle{Analyzer: a, Discretizer: disc, Threshold: Threshold(scores, 0.02), Scorer: Probability}
 }
 

@@ -220,13 +220,20 @@ func (l *Lab) AblationModelReduction(w io.Writer) ([]AblationResult, error) {
 		idx  int
 		prob float64
 	}
+	maxCard := 1
+	for _, at := range a.Attrs {
+		if at.Card > maxCard {
+			maxCard = at.Card
+		}
+	}
+	buf := make([]float64, maxCard)
 	sums := make([]float64, len(a.Models))
 	for _, x := range d.TrainEvents {
 		for j, m := range a.Models {
 			if m == nil {
 				continue
 			}
-			p := m.PredictProba(x)
+			p := ml.ProbaInto(m, x, buf)
 			if x[j] < len(p) {
 				sums[j] += p[x[j]]
 			}

@@ -214,7 +214,7 @@ func (l *Lab) runSeries(sc Scenario, learner ml.Learner, mix AttackMix, seeds []
 			times[i] = v.Time
 		}
 	}
-	trainScores := a.ScoreAll(d.TrainEvents, core.Probability)
+	trainScores := a.ScoreAll(d.TrainDS, core.Probability)
 	return SeriesResult{
 		Scenario:  sc,
 		Learner:   learner.Name(),
@@ -360,7 +360,7 @@ func (l *Lab) runDensity(sc Scenario, learner ml.Learner, mix AttackMix, seeds [
 	for _, part := range parts {
 		scores = append(scores, part...)
 	}
-	trainScores := a.ScoreAll(d.TrainEvents, core.Probability)
+	trainScores := a.ScoreAll(d.TrainDS, core.Probability)
 	return DensityResult{
 		Scenario:  sc,
 		Condition: mix,

@@ -514,7 +514,9 @@ func (l *Lab) Train(sc Scenario, learner ml.Learner) (*core.Analyzer, *ScenarioD
 }
 
 // ScoreTrace discretises and scores every vector of a trace. The batch
-// goes through ScoreAll so one prediction buffer serves the whole trace.
+// goes through the analyzer's columnar ScoreAll — discretised rows always
+// satisfy the analyzer's schema, so the whole trace runs through the
+// compiled kernels with per-model buffers reused across rows.
 func ScoreTrace(a *core.Analyzer, disc *features.Discretizer, t *Trace, s core.Scorer) ([]float64, error) {
 	xs := make([][]int, len(t.Vectors))
 	for i, v := range t.Vectors {
@@ -524,7 +526,7 @@ func ScoreTrace(a *core.Analyzer, disc *features.Discretizer, t *Trace, s core.S
 		}
 		xs[i] = x
 	}
-	return a.ScoreAll(xs, s), nil
+	return a.ScoreAll(ml.DatasetOf(a.Attrs, xs), s), nil
 }
 
 // LabelledScores scores a set of traces and pairs each score with its

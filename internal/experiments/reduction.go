@@ -8,6 +8,7 @@ import (
 	"crossfeature/internal/core"
 	"crossfeature/internal/eval"
 	"crossfeature/internal/features"
+	"crossfeature/internal/ml"
 	"crossfeature/internal/netsim"
 	"crossfeature/internal/packet"
 )
@@ -66,12 +67,16 @@ func (l *Lab) AblationFeatureReduction(w io.Writer) ([]AblationResult, error) {
 	return results, nil
 }
 
-// scoreReduced scores traces through a column-selected analyzer.
+// scoreReduced scores traces through a column-selected analyzer. Each
+// trace's projected rows satisfy the reduced schema by construction, so
+// the batch runs through the compiled columnar ScoreAll path.
 func scoreReduced(a *core.Analyzer, disc *features.Discretizer, idx []int,
 	traces []*Trace, warmup float64) ([]eval.Scored, error) {
 	var out []eval.Scored
 	for _, t := range traces {
 		labels := t.Labels()
+		var xs [][]int
+		var intrusion []bool
 		for i, v := range t.Vectors {
 			if v.Time < warmup {
 				continue
@@ -84,10 +89,12 @@ func scoreReduced(a *core.Analyzer, disc *features.Discretizer, idx []int,
 			for k, j := range idx {
 				x[k] = full[j]
 			}
-			out = append(out, eval.Scored{
-				Score:     a.Score(x, core.Probability),
-				Intrusion: labels[i],
-			})
+			xs = append(xs, x)
+			intrusion = append(intrusion, labels[i])
+		}
+		scores := a.ScoreAll(ml.DatasetOf(a.Attrs, xs), core.Probability)
+		for i, s := range scores {
+			out = append(out, eval.Scored{Score: s, Intrusion: intrusion[i]})
 		}
 	}
 	return out, nil
@@ -164,6 +171,8 @@ func (l *Lab) MultiNodeStudy(w io.Writer, nodes []packet.NodeID) ([]MultiNodeRes
 		}
 		var events []eval.Scored
 		add := func(vs []features.Vector, intrusive bool) error {
+			var xs [][]int
+			var intrusion []bool
 			for _, v := range vs {
 				if v.Time < p.Warmup {
 					continue
@@ -172,10 +181,12 @@ func (l *Lab) MultiNodeStudy(w io.Writer, nodes []packet.NodeID) ([]MultiNodeRes
 				if err != nil {
 					return err
 				}
-				events = append(events, eval.Scored{
-					Score:     a.Score(x, core.Probability),
-					Intrusion: intrusive && v.Time >= onset,
-				})
+				xs = append(xs, x)
+				intrusion = append(intrusion, intrusive && v.Time >= onset)
+			}
+			scores := a.ScoreAll(ml.DatasetOf(a.Attrs, xs), core.Probability)
+			for i, s := range scores {
+				events = append(events, eval.Scored{Score: s, Intrusion: intrusion[i]})
 			}
 			return nil
 		}

@@ -1,0 +1,87 @@
+package c45
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crossfeature/internal/ml"
+)
+
+// TestCompiledDifferential pins the flat compiled form bit-identical to
+// the pointer-walking tree on random datasets and probes, including
+// short, negative and out-of-range feature vectors.
+func TestCompiledDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	configs := []*Learner{
+		NewLearner(),
+		{MinLeaf: 1, Prune: false},
+		{MinLeaf: 5, Prune: true, CF: 0.1},
+		{MinLeaf: 2, MaxDepth: 3, Prune: true, CF: 0.25},
+		{MinLeaf: 2, Prune: true, CF: 0.25, HoldoutFrac: 1.0 / 3.0},
+	}
+	for trial := 0; trial < 60; trial++ {
+		ds := randomDataset(rng)
+		target := rng.Intn(len(ds.Attrs))
+		l := configs[trial%len(configs)]
+		c, err := l.Fit(ds, target)
+		if err != nil {
+			continue
+		}
+		tree := c.(*Tree)
+		comp := tree.Compile()
+		if comp.NumNodes() != tree.Size() {
+			t.Fatalf("trial %d: compiled %d nodes, tree has %d", trial, comp.NumNodes(), tree.Size())
+		}
+		classes := ds.Attrs[target].Card
+		refBuf := make([]float64, classes)
+		gotBuf := make([]float64, classes)
+		x := make([]int, len(ds.Attrs))
+		for probe := 0; probe < 30; probe++ {
+			for j, at := range ds.Attrs {
+				x[j] = rng.Intn(at.Card+2) - 1 // may stray below/above the schema range
+			}
+			px := x
+			if probe%7 == 0 {
+				px = x[:rng.Intn(len(x)+1)] // short (degraded) rows
+			}
+			ref := tree.PredictProbaInto(px, refBuf)
+			got := comp.PredictProbaInto(px, gotBuf)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("trial %d: distribution mismatch on %v: ref=%v got=%v", trial, px, ref, got)
+			}
+			for v := 0; v <= classes; v++ { // one past the class range on purpose
+				wantP := 0.0
+				if v < len(ref) {
+					wantP = ref[v]
+				}
+				wantM := ml.ArgMax(ref) == v
+				p, m := comp.TrueScore(px, v, nil)
+				if p != wantP || m != wantM {
+					t.Fatalf("trial %d: TrueScore(%v, %d) = (%v,%v), want (%v,%v)",
+						trial, px, v, p, m, wantP, wantM)
+				}
+			}
+		}
+
+		// The batch kernel must agree with the per-row descent on every
+		// training row (valid rows, including guard/unknown buckets).
+		n := ds.Len()
+		p := make([]float64, n)
+		match := make([]bool, n)
+		comp.TrueScoreAll(ds, target, p, match)
+		for r := 0; r < n; r++ {
+			ref := tree.PredictProbaInto(ds.X[r], refBuf)
+			v := ds.X[r][target]
+			wantP := 0.0
+			if v < len(ref) {
+				wantP = ref[v]
+			}
+			wantM := ml.ArgMax(ref) == v
+			if p[r] != wantP || match[r] != wantM {
+				t.Fatalf("trial %d row %d: batch = (%v,%v), want (%v,%v)",
+					trial, r, p[r], match[r], wantP, wantM)
+			}
+		}
+	}
+}

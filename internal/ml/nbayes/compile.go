@@ -1,0 +1,130 @@
+package nbayes
+
+import (
+	"math"
+
+	"crossfeature/internal/ml"
+)
+
+// Compiled is the flat inference form of a Model: every conditional
+// log-probability table is packed into one []float64 slab, laid out
+// value-major so the per-class accumulation loop reads contiguously.
+// log p(a=v | c) sits at flat[off[a] + v*classes + c]. A Compiled
+// snapshot never observes later mutation of the source model.
+type Compiled struct {
+	logPrior []float64
+	flat     []float64
+	off      []int32 // per attribute block offset; -1 when no table
+	card     []int32 // values per attribute; 0 when no table
+
+	target  int
+	classes int
+}
+
+var (
+	_ ml.Classifier     = (*Compiled)(nil)
+	_ ml.IntoProber     = (*Compiled)(nil)
+	_ ml.ScoreKernel    = (*Compiled)(nil)
+	_ ml.KernelCompiler = (*Model)(nil)
+)
+
+// Compile flattens the model's lookup tables into one slab. The slab
+// holds the exact same float64 values as LogCond, added in the exact same
+// order at prediction time, so the compiled posteriors are bit-identical
+// to the reference (differential tests pin this).
+func (m *Model) Compile() *Compiled {
+	classes := len(m.LogPrior)
+	c := &Compiled{
+		logPrior: append([]float64(nil), m.LogPrior...),
+		off:      make([]int32, len(m.LogCond)),
+		card:     make([]int32, len(m.LogCond)),
+		target:   m.Target,
+		classes:  classes,
+	}
+	total := 0
+	for _, tab := range m.LogCond {
+		if len(tab) > 0 {
+			total += len(tab[0]) * classes
+		}
+	}
+	c.flat = make([]float64, 0, total)
+	for a, tab := range m.LogCond {
+		if len(tab) == 0 {
+			// The target attribute (nil table) and degenerate empty tables
+			// contribute nothing, exactly as the reference skip.
+			c.off[a] = -1
+			continue
+		}
+		card := len(tab[0])
+		c.off[a] = int32(len(c.flat))
+		c.card[a] = int32(card)
+		for v := 0; v < card; v++ {
+			for cl := 0; cl < classes; cl++ {
+				c.flat = append(c.flat, tab[cl][v])
+			}
+		}
+	}
+	return c
+}
+
+// CompileKernel implements ml.KernelCompiler.
+func (m *Model) CompileKernel() ml.ScoreKernel { return m.Compile() }
+
+// PredictProba implements ml.Classifier.
+func (c *Compiled) PredictProba(x []int) []float64 {
+	return c.PredictProbaInto(x, make([]float64, c.classes))
+}
+
+// PredictProbaInto implements ml.IntoProber. The accumulation visits
+// attributes in ascending order and classes in ascending order within
+// each — the same float additions in the same order as the reference —
+// but each attribute's contribution is one contiguous slab row.
+func (c *Compiled) PredictProbaInto(x []int, out []float64) []float64 {
+	classes := c.classes
+	out = out[:classes]
+	copy(out, c.logPrior)
+	for a, off := range c.off {
+		if off < 0 || a >= len(x) {
+			continue
+		}
+		v := x[a]
+		if v < 0 || v >= int(c.card[a]) {
+			continue // unseen value: contributes nothing
+		}
+		row := c.flat[int(off)+v*classes : int(off)+(v+1)*classes]
+		for cl := 0; cl < classes; cl++ {
+			out[cl] += row[cl]
+		}
+	}
+	// Softmax-normalise in log space, identically to the reference.
+	maxLog := math.Inf(-1)
+	for _, v := range out {
+		if v > maxLog {
+			maxLog = v
+		}
+	}
+	var sum float64
+	for cl, v := range out {
+		out[cl] = math.Exp(v - maxLog)
+		sum += out[cl]
+	}
+	for cl := range out {
+		out[cl] /= sum
+	}
+	return out
+}
+
+// TrueScore implements ml.ScoreKernel. Naive Bayes has no shortcut to the
+// true value's posterior — normalisation needs every class — so the full
+// distribution is computed into scratch, which must have length >= the
+// model's class count.
+func (c *Compiled) TrueScore(x []int, v int, scratch []float64) (p float64, match bool) {
+	out := c.PredictProbaInto(x, scratch)
+	if v >= 0 && v < len(out) {
+		p = out[v]
+	}
+	return p, ml.ArgMax(out) == v
+}
+
+// NumEntries reports the flattened table size (slab plus prior entries).
+func (c *Compiled) NumEntries() int { return len(c.flat) + len(c.logPrior) }

@@ -1,0 +1,62 @@
+package nbayes
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crossfeature/internal/ml"
+)
+
+// TestCompiledDifferential pins the flattened log-prob slab bit-identical
+// to the nested-table reference on random datasets and probes.
+func TestCompiledDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	configs := []*Learner{
+		NewLearner(),
+		{Alpha: 0.5},
+		{Alpha: 2},
+	}
+	for trial := 0; trial < 40; trial++ {
+		ds := randomDataset(rng)
+		target := rng.Intn(len(ds.Attrs))
+		l := configs[trial%len(configs)]
+		c, err := l.Fit(ds, target)
+		if err != nil {
+			continue
+		}
+		model := c.(*Model)
+		comp := model.Compile()
+		classes := ds.Attrs[target].Card
+		refBuf := make([]float64, classes)
+		gotBuf := make([]float64, classes)
+		scratch := make([]float64, classes)
+		x := make([]int, len(ds.Attrs))
+		for probe := 0; probe < 30; probe++ {
+			for j, at := range ds.Attrs {
+				x[j] = rng.Intn(at.Card+2) - 1
+			}
+			px := x
+			if probe%7 == 0 {
+				px = x[:rng.Intn(len(x)+1)]
+			}
+			ref := model.PredictProbaInto(px, refBuf)
+			got := comp.PredictProbaInto(px, gotBuf)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("trial %d: distribution mismatch on %v: ref=%v got=%v", trial, px, ref, got)
+			}
+			for v := 0; v <= classes; v++ {
+				wantP := 0.0
+				if v < len(ref) {
+					wantP = ref[v]
+				}
+				wantM := ml.ArgMax(ref) == v
+				p, m := comp.TrueScore(px, v, scratch)
+				if p != wantP || m != wantM {
+					t.Fatalf("trial %d: TrueScore(%v, %d) = (%v,%v), want (%v,%v)",
+						trial, px, v, p, m, wantP, wantM)
+				}
+			}
+		}
+	}
+}

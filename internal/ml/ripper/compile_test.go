@@ -1,0 +1,86 @@
+package ripper
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crossfeature/internal/ml"
+)
+
+// TestCompiledDifferential pins the condition-matrix form bit-identical
+// to the rule-list walk — both the per-row scan and the columnar batch
+// kernel — on random datasets and probes.
+func TestCompiledDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	configs := []*Learner{
+		NewLearner(),
+		{GrowFrac: 0.5, Seed: 2},
+		{MaxConds: 2, Seed: 3},
+		{MaxRulesPerClass: 2, Seed: 4},
+	}
+	for trial := 0; trial < 40; trial++ {
+		ds := randomDataset(rng)
+		target := rng.Intn(len(ds.Attrs))
+		l := configs[trial%len(configs)]
+		c, err := l.Fit(ds, target)
+		if err != nil {
+			continue
+		}
+		rs := c.(*RuleSet)
+		comp := rs.Compile()
+		if comp.NumRules() != rs.NumRules() {
+			t.Fatalf("trial %d: compiled %d rules, set has %d", trial, comp.NumRules(), rs.NumRules())
+		}
+		classes := ds.Attrs[target].Card
+		refBuf := make([]float64, classes)
+		gotBuf := make([]float64, classes)
+		x := make([]int, len(ds.Attrs))
+		for probe := 0; probe < 30; probe++ {
+			for j, at := range ds.Attrs {
+				x[j] = rng.Intn(at.Card+2) - 1
+			}
+			px := x
+			if probe%7 == 0 {
+				px = x[:rng.Intn(len(x)+1)]
+			}
+			ref := rs.PredictProbaInto(px, refBuf)
+			got := comp.PredictProbaInto(px, gotBuf)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("trial %d: distribution mismatch on %v: ref=%v got=%v", trial, px, ref, got)
+			}
+			for v := 0; v <= classes; v++ {
+				wantP := 0.0
+				if v < len(ref) {
+					wantP = ref[v]
+				}
+				wantM := ml.ArgMax(ref) == v
+				p, m := comp.TrueScore(px, v, nil)
+				if p != wantP || m != wantM {
+					t.Fatalf("trial %d: TrueScore(%v, %d) = (%v,%v), want (%v,%v)",
+						trial, px, v, p, m, wantP, wantM)
+				}
+			}
+		}
+
+		// The batch kernel must agree with the per-row scan on every
+		// training row (valid rows, including guard/unknown buckets).
+		n := ds.Len()
+		p := make([]float64, n)
+		match := make([]bool, n)
+		comp.TrueScoreAll(ds, target, p, match)
+		for r := 0; r < n; r++ {
+			ref := rs.PredictProbaInto(ds.X[r], refBuf)
+			v := ds.X[r][target]
+			wantP := 0.0
+			if v < len(ref) {
+				wantP = ref[v]
+			}
+			wantM := ml.ArgMax(ref) == v
+			if p[r] != wantP || match[r] != wantM {
+				t.Fatalf("trial %d row %d: batch = (%v,%v), want (%v,%v)",
+					trial, r, p[r], match[r], wantP, wantM)
+			}
+		}
+	}
+}

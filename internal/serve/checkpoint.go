@@ -86,7 +86,10 @@ func encodeCheckpoint(states []streamState, writtenAt time.Time, modelGen uint64
 
 // decodeCheckpoint parses a checkpoint payload (already CRC-verified by
 // core.ReadFrame). Structural damage maps to core.ErrSnapshotCorrupt so
-// callers treat it like any other corrupt file.
+// callers treat it like any other corrupt file. All stream ids are
+// carved from one shared string slab rather than converted one by one —
+// with thousands of streams the per-id conversions used to dominate the
+// restore path's allocation profile.
 func decodeCheckpoint(payload []byte) (writtenAt time.Time, modelGen uint64, states []streamState, err error) {
 	if len(payload) < 20 {
 		return time.Time{}, 0, nil, fmt.Errorf("%w: checkpoint payload %d bytes, want >= 20", core.ErrSnapshotCorrupt, len(payload))
@@ -96,6 +99,12 @@ func decodeCheckpoint(payload []byte) (writtenAt time.Time, modelGen uint64, sta
 	count := binary.BigEndian.Uint32(payload[16:20])
 	rest := payload[20:]
 	states = make([]streamState, 0, min(int(count), 1<<16))
+	// One walk records each id's span (payload position, cumulative slab
+	// offset); the ids are then copied into an exactly-sized slab and
+	// carved into substrings after the end-of-frame check.
+	idPos := make([]int, 0, min(int(count), 1<<16))
+	idOff := make([]int, 1, min(int(count), 1<<16)+1)
+	totalID := 0
 	for i := uint32(0); i < count; i++ {
 		if len(rest) < 2 {
 			return time.Time{}, 0, nil, fmt.Errorf("%w: checkpoint truncated in stream %d id length", core.ErrSnapshotCorrupt, i)
@@ -105,7 +114,9 @@ func decodeCheckpoint(payload []byte) (writtenAt time.Time, modelGen uint64, sta
 		if idLen == 0 || len(rest) < idLen {
 			return time.Time{}, 0, nil, fmt.Errorf("%w: checkpoint truncated in stream %d id", core.ErrSnapshotCorrupt, i)
 		}
-		id := string(rest[:idLen])
+		idPos = append(idPos, len(payload)-len(rest))
+		totalID += idLen
+		idOff = append(idOff, totalID)
 		rest = rest[idLen:]
 		if len(rest) < 2 {
 			return time.Time{}, 0, nil, fmt.Errorf("%w: checkpoint truncated in stream %d state length", core.ErrSnapshotCorrupt, i)
@@ -115,11 +126,19 @@ func decodeCheckpoint(payload []byte) (writtenAt time.Time, modelGen uint64, sta
 		if len(rest) < stLen {
 			return time.Time{}, 0, nil, fmt.Errorf("%w: checkpoint truncated in stream %d state", core.ErrSnapshotCorrupt, i)
 		}
-		states = append(states, streamState{id: id, state: rest[:stLen]})
+		states = append(states, streamState{state: rest[:stLen]})
 		rest = rest[stLen:]
 	}
 	if len(rest) != 0 {
 		return time.Time{}, 0, nil, fmt.Errorf("%w: %d trailing bytes after %d checkpoint streams", core.ErrSnapshotCorrupt, len(rest), count)
+	}
+	idBuf := make([]byte, totalID)
+	for i, pos := range idPos {
+		copy(idBuf[idOff[i]:idOff[i+1]], payload[pos:])
+	}
+	ids := string(idBuf)
+	for i := range states {
+		states[i].id = ids[idOff[i]:idOff[i+1]]
 	}
 	return writtenAt, modelGen, states, nil
 }
@@ -220,8 +239,12 @@ func (s *Server) restoreCheckpoint() (outcome string, restored int, err error) {
 		return "stale", 0, fmt.Errorf("checkpoint is %s old, max age %s", age.Round(time.Second), s.cfg.CheckpointMaxAge)
 	}
 	lm := s.model.current()
-	for _, st := range states {
-		od := s.newOnlineDetector(lm)
+	// One slab allocation covers every stream's detector: restoring a big
+	// table allocated one detector per stream before, which dominated the
+	// restore profile (BenchmarkCheckpointRestore).
+	slab := core.NewOnlineDetectors(lm.detector, len(states))
+	for si, st := range states {
+		od := &slab[si]
 		if _, rerr := od.RestoreState(st.state); rerr != nil {
 			// CRC passed but a state blob fails validation: an encoder bug
 			// or a version skew inside one entry. Skip the stream — it

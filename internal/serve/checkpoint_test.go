@@ -555,9 +555,10 @@ func BenchmarkCheckpointRestore(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, st := range decoded {
-			od := core.NewOnlineDetector(det)
-			if _, err := od.RestoreState(st.state); err != nil {
+		// Mirror restoreCheckpoint: one detector slab for the whole table.
+		slab := core.NewOnlineDetectors(det, len(decoded))
+		for si, st := range decoded {
+			if _, err := slab[si].RestoreState(st.state); err != nil {
 				b.Fatal(err)
 			}
 		}

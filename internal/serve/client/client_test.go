@@ -39,7 +39,7 @@ func newRealServer(t *testing.T) *serve.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	th, _ := core.Calibrate(a.ScoreAll(ds.X, core.Probability), 0.02)
+	th, _ := core.Calibrate(a.ScoreAll(ds, core.Probability), 0.02)
 	b := &core.Bundle{Analyzer: a, Discretizer: disc, Threshold: th, Scorer: core.Probability}
 	path := t.TempDir() + "/model.bin"
 	if err := b.SaveFile(path); err != nil {

@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"crossfeature/internal/core"
 	"crossfeature/internal/obs"
 )
 
@@ -139,6 +140,34 @@ func (m *serverMetrics) registerGauges(s *Server) {
 		"Seconds since the service was constructed.", func() float64 {
 			return time.Since(s.start).Seconds()
 		})
+	m.reg.GaugeFunc("cfa_model_compile_seconds",
+		"Wall time of the serving model's flat-kernel compile at load.", func() float64 {
+			if lm := s.model.current(); lm != nil {
+				return lm.compile.Duration.Seconds()
+			}
+			return 0
+		})
+	compiledSize := func(read func(core.CompileStats) int) func() float64 {
+		return func() float64 {
+			if lm := s.model.current(); lm != nil {
+				return float64(read(lm.compile))
+			}
+			return 0
+		}
+	}
+	const compiledSizeHelp = "Compiled inference-kernel footprint of the serving model by kind."
+	m.reg.GaugeFunc("cfa_model_compiled_size", compiledSizeHelp,
+		compiledSize(func(cs core.CompileStats) int { return cs.TreeNodes }),
+		obs.L("kind", "tree_nodes"))
+	m.reg.GaugeFunc("cfa_model_compiled_size", compiledSizeHelp,
+		compiledSize(func(cs core.CompileStats) int { return cs.RuleConds }),
+		obs.L("kind", "rule_conds"))
+	m.reg.GaugeFunc("cfa_model_compiled_size", compiledSizeHelp,
+		compiledSize(func(cs core.CompileStats) int { return cs.TableEntries }),
+		obs.L("kind", "nb_entries"))
+	m.reg.GaugeFunc("cfa_model_compiled_size", compiledSizeHelp,
+		compiledSize(func(cs core.CompileStats) int { return cs.Models }),
+		obs.L("kind", "models"))
 }
 
 // buildInfo reports the running binary's Go version and VCS revision, for

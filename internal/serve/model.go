@@ -24,6 +24,10 @@ type loadedModel struct {
 	detector *core.Detector
 	version  uint64
 	loadedAt time.Time
+	// compile records the flat-form kernel build that ran at load time —
+	// scoring requests never pay the compile, and /statz + /metrics
+	// surface its cost and footprint.
+	compile core.CompileStats
 }
 
 // modelHolder owns the hot-reload lifecycle: it loads bundles from a
@@ -71,12 +75,17 @@ func (h *modelHolder) reload() error {
 		h.lastEvent.Store(&opEvent{err: err.Error(), at: time.Now()})
 		return err
 	}
+	// Compile the analyzer's flat inference kernels once per generation,
+	// before the swap: no request ever scores through the pointer-walking
+	// model forms, and none pays the compile either.
+	cs := b.Analyzer.Compile()
 	h.version++
 	h.cur.Store(&loadedModel{
 		bundle:   b,
 		detector: b.Detector(),
 		version:  h.version,
 		loadedAt: time.Now(),
+		compile:  cs,
 	})
 	h.reloads.Inc()
 	h.lastEvent.Store(&opEvent{at: time.Now()})

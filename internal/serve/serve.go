@@ -212,6 +212,14 @@ type Stats struct {
 	StreamsRestored    uint64 `json:"streams_restored"`
 	StreamColdStarts   uint64 `json:"stream_cold_starts"`
 	Restoring          bool   `json:"restoring,omitempty"`
+
+	// Compiled-kernel surfaces: the serving model's flat-form compile
+	// cost and footprint, recorded at load time.
+	CompileSeconds    float64 `json:"model_compile_seconds"`
+	CompiledModels    int     `json:"model_compiled_submodels"`
+	CompiledTreeNodes int     `json:"model_tree_nodes,omitempty"`
+	CompiledRuleConds int     `json:"model_rule_conds,omitempty"`
+	CompiledNBEntries int     `json:"model_nb_entries,omitempty"`
 }
 
 // Server is the scoring service. Construct with New, expose with
@@ -379,6 +387,11 @@ func (s *Server) Stats() Stats {
 	}
 	if lm := s.model.current(); lm != nil {
 		st.ModelVersion = lm.version
+		st.CompileSeconds = lm.compile.Duration.Seconds()
+		st.CompiledModels = lm.compile.Models
+		st.CompiledTreeNodes = lm.compile.TreeNodes
+		st.CompiledRuleConds = lm.compile.RuleConds
+		st.CompiledNBEntries = lm.compile.TableEntries
 	}
 	if ev := s.model.lastEvent.Load(); ev != nil {
 		st.LastReloadError = ev.err

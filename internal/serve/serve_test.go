@@ -40,7 +40,7 @@ func writeTestBundle(t testing.TB, path string) *core.Bundle {
 	if err != nil {
 		t.Fatal(err)
 	}
-	th, _ := core.Calibrate(a.ScoreAll(ds.X, core.Probability), 0.02)
+	th, _ := core.Calibrate(a.ScoreAll(ds, core.Probability), 0.02)
 	b := &core.Bundle{Analyzer: a, Discretizer: disc, Threshold: th, Scorer: core.Probability}
 	if err := b.SaveFile(path); err != nil {
 		t.Fatal(err)
