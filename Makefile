@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: ci build test vet race short fuzz bench bench-train bench-score train-smoke score-diff fmt serve-chaos crash-chaos obs-smoke
+.PHONY: ci build test vet race short fuzz bench bench-train bench-score bench-serve serve-smoke train-smoke score-diff fmt serve-chaos crash-chaos obs-smoke
 
 # ci is the full gate: formatting and static analysis, a clean build of
 # every package and the test suite under the race detector, plus a smoke
 # pass over the training-path differential tests, a one-iteration spin of
 # the training benchmarks so a broken fast path fails fast, the compiled
 # scoring-kernel differential suite, a soak of the serving chaos suite,
-# the crash-recovery suite, and an end-to-end scrape of the observability
+# the crash-recovery suite, a one-iteration spin of the serving
+# throughput benchmark, and an end-to-end scrape of the observability
 # surfaces.
-ci: fmt vet build race train-smoke score-diff serve-chaos crash-chaos obs-smoke
+ci: fmt vet build race train-smoke score-diff serve-chaos crash-chaos serve-smoke obs-smoke
 
 # fmt fails (listing the offenders) if any file is not gofmt-clean.
 fmt:
@@ -102,6 +103,23 @@ bench-score:
 	$(GO) test -run '^$$' -timeout 30m \
 		-bench '^Benchmark(AnalyzerScore|ScoreAll|C45Predict|RipperPredict|NBPredict)$$' \
 		-benchmem -count 3 .
+
+# bench-serve measures end-to-end serving throughput over real HTTP:
+# per-record /v1/score against /v1/score-batch at 1, 4 and 16 stream
+# shards, reporting records/sec plus server-side p50/p99 latency from
+# the obs histograms. The output is appended to the dated BENCH file so
+# a before/after for a serving-path change lands next to the kernel
+# numbers.
+bench-serve:
+	$(GO) test -run '^$$' -bench '^BenchmarkServeThroughput$$' -count 3 \
+		-timeout 30m ./internal/serve/ | tee -a BENCH_$$(date +%Y%m%d).json
+
+# serve-smoke gives every serving-throughput benchmark case a single
+# iteration so `make ci` exercises the batch and per-record HTTP paths at
+# each shard count without paying for a full measurement.
+serve-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkServeThroughput$$' -benchtime 1x \
+		./internal/serve/
 
 # fuzz gives each fuzz target a brief budget beyond its seed corpus.
 fuzz:

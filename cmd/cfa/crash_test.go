@@ -32,6 +32,27 @@ func crashRecord(i int) map[string]any {
 	return map[string]any{"time": float64(i), "values": vals}
 }
 
+// scoreBatchRaw posts a multi-stream batch to /v1/score-batch and
+// returns the raw response body — raw so "bit-identical" means exactly
+// that across the whole batch.
+func scoreBatchRaw(t *testing.T, base string, items []map[string]any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"items": items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/score-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("score batch: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
 // scoreRaw posts records to a running serve process and returns the raw
 // response body — raw so "bit-identical" means exactly that.
 func scoreRaw(t *testing.T, base, stream string, recs []map[string]any) (int, []byte) {
@@ -154,20 +175,28 @@ func TestCrashRecoveryResumesFromCheckpoint(t *testing.T) {
 	}
 	ckpt := filepath.Join(dir, "streams.ckpt")
 	serveArgs := []string{
-		"-model", model, "-addr", "127.0.0.1:0",
+		"-model", model, "-addr", "127.0.0.1:0", "-shards", "4", // sharded table: checkpoint must sweep every shard
 		"-checkpoint-path", ckpt, "-checkpoint-interval", "1h", // explicit barrier only
 	}
 
 	// ---- Process 1: warm up, checkpoint, keep scoring, then die hard.
 	p1 := startServeProc(t, bin, serveArgs...)
 
+	// Warm three streams in one batch request: they hash onto different
+	// shards, so the checkpoint barrier below must collect state across
+	// the sharded table, not a single lucky shard.
+	warmStreams := []string{"warm", "warm-b", "warm-c"}
 	const barrier = 30
 	pre := make([]map[string]any, 0, barrier)
 	for i := 0; i < barrier; i++ {
 		pre = append(pre, crashRecord(i))
 	}
-	if code, body := scoreRaw(t, p1.base, "warm", pre); code != http.StatusOK {
-		t.Fatalf("warmup score: %d %s", code, body)
+	warmItems := make([]map[string]any, len(warmStreams))
+	for i, s := range warmStreams {
+		warmItems[i] = map[string]any{"stream": s, "records": pre}
+	}
+	if code, body := scoreBatchRaw(t, p1.base, warmItems); code != http.StatusOK {
+		t.Fatalf("warmup batch score: %d %s", code, body)
 	}
 
 	// The checkpoint barrier: everything up to record `barrier` is
@@ -208,12 +237,17 @@ func TestCrashRecoveryResumesFromCheckpoint(t *testing.T) {
 	}()
 
 	// The uninterrupted timeline: process 1 scores the post-barrier
-	// records BEFORE dying. These responses are the reference.
+	// records BEFORE dying — one batch covering all three warm streams.
+	// These responses are the reference.
 	post := make([]map[string]any, 0, 20)
 	for i := barrier; i < barrier+20; i++ {
 		post = append(post, crashRecord(i))
 	}
-	code, want := scoreRaw(t, p1.base, "warm", post)
+	postItems := make([]map[string]any, len(warmStreams))
+	for i, s := range warmStreams {
+		postItems[i] = map[string]any{"stream": s, "records": post}
+	}
+	code, want := scoreBatchRaw(t, p1.base, postItems)
 	if code != http.StatusOK {
 		t.Fatalf("reference score: %d", code)
 	}
@@ -229,14 +263,15 @@ func TestCrashRecoveryResumesFromCheckpoint(t *testing.T) {
 	if m := p2.metric(t, `cfa_checkpoint_restore_total{outcome="restored"}`); !strings.HasSuffix(m, " 1") {
 		t.Errorf("restore outcome metric = %q, want ...restored... 1", m)
 	}
-	if m := p2.metric(t, "cfa_checkpoint_streams_restored_total"); !strings.HasSuffix(m, " 1") {
-		t.Errorf("streams restored metric = %q, want 1 (only 'warm' was checkpointed)", m)
+	if m := p2.metric(t, "cfa_checkpoint_streams_restored_total"); !strings.HasSuffix(m, " 3") {
+		t.Errorf("streams restored metric = %q, want 3 (the warm-* streams were checkpointed)", m)
 	}
 
-	// The restored process replays the post-barrier records: the detector
-	// must resume from the checkpointed EWMA/hysteresis state and produce
-	// a byte-identical response.
-	code, got := scoreRaw(t, p2.base, "warm", post)
+	// The restored process replays the post-barrier batch: every warm
+	// stream's detector must resume from the checkpointed EWMA/hysteresis
+	// state — wherever its id hashes in the restored shard layout — and
+	// the whole batch response must come back byte-identical.
+	code, got := scoreBatchRaw(t, p2.base, postItems)
 	if code != http.StatusOK {
 		t.Fatalf("restored score: %d", code)
 	}

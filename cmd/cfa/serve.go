@@ -42,6 +42,9 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 	fs.DurationVar(&drain, "drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
 	fs.DurationVar(&drain, "drain-timeout", 10*time.Second, "alias for -drain: bound on the graceful shutdown")
 	maxStreams := fs.Int("max-streams", 1024, "per-stream detector states kept before LRU eviction")
+	shards := fs.Int("shards", 0, "stream-table shards, rounded up to a power of two (0 = GOMAXPROCS)")
+	maxBatchRecords := fs.Int("max-batch-records", 0, "records allowed in one /v1/score-batch request (0 = default)")
+	maxQueueRecords := fs.Int64("max-queue-records", 0, "records admitted or queued across all in-flight requests (0 = default)")
 	smoothing := fs.Float64("smoothing", 0, "EWMA smoothing factor for online detectors (0 = default)")
 	raiseAfter := fs.Int("raise-after", 0, "consecutive low scores before an alarm raises (0 = default)")
 	clearAfter := fs.Int("clear-after", 0, "consecutive high scores before an alarm clears (0 = default)")
@@ -68,6 +71,9 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 		RequestTimeout:     *timeout,
 		DrainTimeout:       drain,
 		MaxStreams:         *maxStreams,
+		Shards:             *shards,
+		MaxBatchRecords:    *maxBatchRecords,
+		MaxQueueRecords:    *maxQueueRecords,
 		Smoothing:          *smoothing,
 		RaiseAfter:         *raiseAfter,
 		ClearAfter:         *clearAfter,

@@ -71,8 +71,17 @@ type State struct {
 // hysteresis like any sub-threshold record, but is kept out of the EWMA
 // so one poisoned record cannot turn the smoothed state NaN forever.
 func (o *OnlineDetector) Observe(x []int) State {
+	return o.ObserveScore(o.det.Score(x))
+}
+
+// ObserveScore consumes one record whose raw score was already computed —
+// the batch serving path scores whole requests through Analyzer.ScoreAll
+// and then feeds each stream's detector here. State transitions are
+// identical to Observe: Observe(x) is exactly
+// ObserveScore(det.Score(x)), and ScoreAll is pinned bit-identical to
+// Score, so batch and per-record scoring cannot diverge.
+func (o *OnlineDetector) ObserveScore(raw float64) State {
 	o.records++
-	raw := o.det.Score(x)
 	finite := !math.IsNaN(raw) && !math.IsInf(raw, 0)
 	if finite {
 		alpha := o.Smoothing

@@ -134,6 +134,46 @@ type HistogramPoint struct {
 	Count      uint64    `json:"count"`
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// by linear interpolation within the bucket holding the target rank — the
+// same estimate Prometheus's histogram_quantile computes. Returns NaN on
+// an empty histogram. The last finite bound caps the estimate: a rank
+// landing in the +Inf bucket reports that bound, which understates true
+// tail latency but never invents a number.
+func (p HistogramPoint) Quantile(q float64) float64 {
+	if p.Count == 0 || len(p.Bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(p.Count)
+	for i, c := range p.Cumulative {
+		if i >= len(p.Bounds) {
+			break
+		}
+		if float64(c) >= rank {
+			lo, loCount := 0.0, uint64(0)
+			if i > 0 {
+				lo, loCount = p.Bounds[i-1], p.Cumulative[i-1]
+			}
+			width := float64(c - loCount)
+			if width == 0 {
+				return p.Bounds[i]
+			}
+			return lo + (p.Bounds[i]-lo)*(rank-float64(loCount))/width
+		}
+	}
+	return p.Bounds[len(p.Bounds)-1]
+}
+
+// SnapshotPoint exposes the histogram's current state; benchmarks and
+// tests use it to derive quantiles without scraping the text encoding.
+func (h *Histogram) SnapshotPoint() HistogramPoint { return h.snapshot() }
+
 // snapshot reads a consistent-enough view: buckets first, count derived
 // from them, so the encoder's invariants hold even mid-update.
 func (h *Histogram) snapshot() HistogramPoint {

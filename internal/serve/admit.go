@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
+	"time"
 
 	"crossfeature/internal/failpoint"
 	"crossfeature/internal/obs"
@@ -30,55 +32,119 @@ var ErrQueueTimeout = errors.New("serve: deadline expired waiting for a scoring 
 // scoring path. At most `concurrent` requests hold a slot at once; at
 // most `maxQueue` more may wait, and each waiter gives up when its
 // context does. Everything beyond that is shed synchronously.
+//
+// With batching, one request is no longer one unit of work: a 1000-record
+// batch occupies a slot a thousand times longer than a single record, so
+// admission is accounted in records as well as requests. A batch takes
+// one queue slot (slots bound concurrency, and a batch is still one
+// serialised handler), but its record count is reserved against
+// maxQueueRecords before it may queue — the shed policy answers "how much
+// scoring work is already committed", not "how many envelopes arrived".
 type admitter struct {
-	slots     chan struct{}
-	maxQueue  int64
-	queued    atomic.Int64
-	highWater atomic.Int64
-	shed      *obs.Counter
-	timeouts  *obs.Counter
+	slots      chan struct{}
+	concurrent int64
+	maxQueue   int64
+	queued     atomic.Int64
+	highWater  atomic.Int64
+
+	// maxQueueRecords bounds the records admitted or waiting across all
+	// requests; queuedRecords is the live reservation. shedRecords counts
+	// records turned away (whole requests only — admission is atomic per
+	// request, a batch is never partially admitted).
+	maxQueueRecords int64
+	queuedRecords   atomic.Int64
+	shedRecords     *obs.Counter
+
+	// perRecNanos is an EWMA of observed per-record service time (float64
+	// bits), fed by every release. It prices the Retry-After hint: backlog
+	// in records times seconds per record over the parallelism actually
+	// available.
+	perRecNanos atomic.Uint64
+
+	shed     *obs.Counter
+	timeouts *obs.Counter
 }
 
-// newAdmitter builds the gate. shed and timeouts are the counters bumped
-// on rejection — registry-bound in production, nil for a private counter.
-func newAdmitter(concurrent, maxQueue int, shed, timeouts *obs.Counter) *admitter {
+// newAdmitter builds the gate. shed, shedRecords and timeouts are the
+// counters bumped on rejection — registry-bound in production, nil for a
+// private counter.
+func newAdmitter(concurrent, maxQueue int, maxQueueRecords int64, shed, shedRecords, timeouts *obs.Counter) *admitter {
 	if concurrent < 1 {
 		concurrent = 1
 	}
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
+	if maxQueueRecords < 1 {
+		maxQueueRecords = 1
+	}
 	if shed == nil {
 		shed = obs.NewCounter()
+	}
+	if shedRecords == nil {
+		shedRecords = obs.NewCounter()
 	}
 	if timeouts == nil {
 		timeouts = obs.NewCounter()
 	}
 	return &admitter{
-		slots:    make(chan struct{}, concurrent),
-		maxQueue: int64(maxQueue),
-		shed:     shed,
-		timeouts: timeouts,
+		slots:           make(chan struct{}, concurrent),
+		concurrent:      int64(concurrent),
+		maxQueue:        int64(maxQueue),
+		maxQueueRecords: maxQueueRecords,
+		shed:            shed,
+		shedRecords:     shedRecords,
+		timeouts:        timeouts,
 	}
 }
 
-// admit blocks until a scoring slot is free, the queue overflows, or ctx
-// expires. On success the returned release function must be called
-// exactly once when scoring finishes.
+// admit admits a single-record request; see admitN.
 func (a *admitter) admit(ctx context.Context) (release func(), err error) {
+	return a.admitN(ctx, 1)
+}
+
+// admitN blocks until a scoring slot is free, the queue overflows (in
+// requests or in records), or ctx expires. The n records are reserved
+// against the record budget for the full queue-wait plus scoring, so a
+// burst of large batches sheds long before the request queue fills. On
+// success the returned release function must be called exactly once when
+// scoring finishes; it also folds the request's per-record service time
+// into the EWMA behind retryAfterHint.
+func (a *admitter) admitN(ctx context.Context, n int) (release func(), err error) {
+	if n < 1 {
+		n = 1
+	}
 	if err := fpAdmit.Hit(); err != nil {
 		a.shed.Inc()
+		a.shedRecords.Add(uint64(n))
 		return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	if a.queuedRecords.Add(int64(n)) > a.maxQueueRecords {
+		a.queuedRecords.Add(int64(-n))
+		a.shed.Inc()
+		a.shedRecords.Add(uint64(n))
+		return nil, ErrOverloaded
+	}
+	mkRelease := func() func() {
+		start := time.Now()
+		nn := int64(n)
+		return func() {
+			<-a.slots
+			a.queuedRecords.Add(-nn)
+			a.observeServiceTime(time.Since(start), nn)
+		}
 	}
 	select {
 	case a.slots <- struct{}{}:
-		return a.release, nil
+		return mkRelease(), nil
 	default:
 	}
 	q := a.queued.Add(1)
 	if q > a.maxQueue {
 		a.queued.Add(-1)
+		a.queuedRecords.Add(int64(-n))
 		a.shed.Inc()
+		a.shedRecords.Add(uint64(n))
 		return nil, ErrOverloaded
 	}
 	for {
@@ -90,16 +156,64 @@ func (a *admitter) admit(ctx context.Context) (release func(), err error) {
 	defer a.queued.Add(-1)
 	select {
 	case a.slots <- struct{}{}:
-		return a.release, nil
+		return mkRelease(), nil
 	case <-ctx.Done():
+		a.queuedRecords.Add(int64(-n))
 		a.timeouts.Inc()
 		return nil, fmt.Errorf("%w (%v)", ErrQueueTimeout, ctx.Err())
 	}
 }
 
-func (a *admitter) release() { <-a.slots }
+// observeServiceTime folds one request's elapsed slot-plus-queue time
+// into the per-record service-time EWMA. Queue wait is deliberately
+// included: the hint prices what a client would actually experience, not
+// just the CPU cost.
+func (a *admitter) observeServiceTime(elapsed time.Duration, records int64) {
+	if records < 1 || elapsed <= 0 {
+		return
+	}
+	per := float64(elapsed.Nanoseconds()) / float64(records)
+	const alpha = 0.2
+	for {
+		old := a.perRecNanos.Load()
+		cur := math.Float64frombits(old)
+		next := per
+		if old != 0 {
+			next = alpha*per + (1-alpha)*cur
+		}
+		if a.perRecNanos.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
 
-// depth reports the current and high-water queue occupancy.
+// retryAfterHint estimates, in whole seconds clamped to [1, 30], how long
+// a shed client should wait before retrying n records: the committed
+// record backlog plus the rejected batch, priced at the observed
+// per-record service time, divided by the scoring parallelism. Before any
+// request completes (no EWMA yet) it answers 1 — the cheap guess that
+// matches the pre-batching behaviour.
+func (a *admitter) retryAfterHint(n int) int {
+	per := math.Float64frombits(a.perRecNanos.Load())
+	if per <= 0 {
+		return 1
+	}
+	backlog := a.queuedRecords.Load() + int64(n)
+	secs := per * float64(backlog) / float64(a.concurrent) / 1e9
+	hint := int(math.Ceil(secs))
+	if hint < 1 {
+		return 1
+	}
+	if hint > 30 {
+		return 30
+	}
+	return hint
+}
+
+// depth reports the current and high-water queue occupancy (in requests).
 func (a *admitter) depth() (queued, highWater int64) {
 	return a.queued.Load(), a.highWater.Load()
 }
+
+// recordDepth reports records currently admitted or queued.
+func (a *admitter) recordDepth() int64 { return a.queuedRecords.Load() }

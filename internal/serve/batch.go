@@ -1,0 +1,229 @@
+package serve
+
+// Batch scoring. One HTTP request carries records for many streams; the
+// whole request is scored through the model once (compiled batch kernels
+// via Analyzer.ScoreAll — every record sees the same analyzer, so the
+// flattened rows form one schema-homogeneous dataset) and only the cheap
+// stateful tail (EWMA, hysteresis) runs per stream. This is what turns
+// the service from lock-bound to throughput-bound: the expensive part of
+// scoring amortises across the batch, and the per-stream part touches
+// only that stream's shard and lock.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/ml"
+)
+
+// batchKernelMin is the flattened row count below which scoreItems skips
+// the columnar dataset build and scores row-major via ScoreEvents: the
+// per-call cost of assembling columns and postings only pays for itself
+// with enough rows behind it. Both paths are pinned bit-identical to
+// Detector.Score, so the cutover can never change a verdict.
+const batchKernelMin = 8
+
+// BatchScoreRequest scores records for several streams in one request.
+type BatchScoreRequest struct {
+	Items []ScoreRequest `json:"items"`
+}
+
+// BatchItemResult is one stream's outcome inside a batch. Exactly one of
+// Results and Error is populated: an item with a malformed record fails
+// atomically — none of its records touch the stream's detector — while
+// the rest of the batch scores normally.
+type BatchItemResult struct {
+	Stream  string         `json:"stream"`
+	Results []RecordResult `json:"results,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// BatchScoreResponse is the reply to a BatchScoreRequest. Items are in
+// request order.
+type BatchScoreResponse struct {
+	ModelVersion  uint64            `json:"model_version"`
+	Items         []BatchItemResult `json:"items"`
+	RecordsScored int               `json:"records_scored"`
+}
+
+// scoreItems is the one scoring pipeline behind both /v1/score and
+// /v1/score-batch:
+//
+//  1. every item's records are discretised up front — an item with a bad
+//     record fails atomically, before any detector state mutates;
+//  2. all valid rows are flattened and scored in one Analyzer.ScoreAll
+//     pass through the compiled batch kernels (row-major ScoreEvents for
+//     tiny flat counts);
+//  3. each item then takes only its own stream's shard and stream locks
+//     to run the precomputed scores through the detector's EWMA and
+//     hysteresis via ObserveScore.
+//
+// Verdicts are bit-identical to the per-record path: ScoreAll and
+// ScoreEvents are pinned to Score, and ObserveScore(raw) is exactly what
+// Observe computes internally. Returns per-item results in input order
+// and the total records scored.
+func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest) ([]BatchItemResult, int) {
+	results := make([]BatchItemResult, len(items))
+	rows := make([][][]int, len(items))
+	total := 0
+	for i, it := range items {
+		results[i].Stream = it.Stream
+		if it.Stream == "" || len(it.Records) == 0 {
+			results[i].Error = "score item needs a stream id and at least one record"
+			continue
+		}
+		xs := make([][]int, 0, len(it.Records))
+		for _, rec := range it.Records {
+			x, err := lm.bundle.Discretizer.Transform(rec.Values)
+			if err != nil {
+				results[i].Error = "bad record: " + err.Error()
+				xs = nil
+				break
+			}
+			xs = append(xs, x)
+		}
+		if xs == nil {
+			continue
+		}
+		rows[i] = xs
+		total += len(xs)
+	}
+
+	flat := make([][]int, 0, total)
+	for _, xs := range rows {
+		flat = append(flat, xs...)
+	}
+	an := lm.detector.Analyzer
+	var scores []float64
+	if len(flat) >= batchKernelMin {
+		scores = an.ScoreAll(ml.DatasetOf(an.Attrs, flat), lm.detector.Scorer)
+	} else {
+		scores = an.ScoreEvents(flat, lm.detector.Scorer)
+	}
+
+	feat := s.featureMetricsFor(lm)
+	scored, off := 0, 0
+	for i := range items {
+		xs := rows[i]
+		if xs == nil {
+			continue
+		}
+		recScores := scores[off : off+len(xs)]
+		off += len(xs)
+		st := s.streams.get(items[i].Stream, func() *core.OnlineDetector {
+			return s.newOnlineDetector(lm)
+		})
+		rr := make([]RecordResult, 0, len(xs))
+		st.mu.Lock()
+		if st.version != lm.version {
+			st.od.SwapDetector(lm.detector)
+			st.version = lm.version
+		}
+		for j, raw := range recScores {
+			state := st.od.ObserveScore(raw)
+			out := RecordResult{
+				Time:     items[i].Records[j].Time,
+				Score:    state.Score,
+				Smoothed: state.Smoothed,
+				Anomaly:  state.Score < lm.detector.Threshold,
+				Alarm:    state.Alarm,
+				Raised:   state.Raised,
+				Cleared:  state.Cleared,
+			}
+			if !isFinite(state.Score) {
+				out.Score, out.Anomaly, out.Invalid = -1, true, true
+				s.met.invalid.Inc()
+			} else if out.Anomaly {
+				s.met.scoreAnomaly.Observe(state.Score)
+			} else {
+				s.met.scoreNormal.Observe(state.Score)
+			}
+			if !isFinite(state.Smoothed) {
+				out.Smoothed = -1
+			}
+			if feat != nil {
+				feat.Observe(lm.bundle.Analyzer.Explain(xs[j]))
+			}
+			rr = append(rr, out)
+		}
+		st.mu.Unlock()
+		results[i].Results = rr
+		scored += len(rr)
+	}
+	return results, scored
+}
+
+// handleScoreBatch is POST /v1/score-batch: N streams' records in, one
+// framed response with per-record verdicts out. The whole batch occupies
+// one queue slot but is admitted against the record budget, so a flood
+// of fat batches sheds as early as the same records spread over many
+// single requests would. A 429 carries a Retry-After priced from the
+// live record backlog and the observed per-record service time.
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Inc()
+	s.met.batchRequests.Inc()
+	started := time.Now()
+	defer func() { s.met.latency.Observe(time.Since(started).Seconds()) }()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var req BatchScoreRequest
+	if !s.decodeBody(ctx, w, r, s.cfg.MaxBatchBodyBytes, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		s.met.badRequests.Inc()
+		writeJSONError(w, http.StatusBadRequest, "batch score request needs at least one item")
+		return
+	}
+	n := 0
+	for _, it := range req.Items {
+		n += len(it.Records)
+	}
+	if n > s.cfg.MaxBatchRecords {
+		s.met.badRequests.Inc()
+		writeJSONError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d records exceeds the %d-record limit", n, s.cfg.MaxBatchRecords))
+		return
+	}
+	s.met.batchRecords.Observe(float64(n))
+	release, err := s.adm.admitN(ctx, n)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterHint(n)))
+		writeJSONError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case err != nil:
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	defer release()
+	if hook := s.cfg.scoreHook; hook != nil {
+		for _, it := range req.Items {
+			hook(it.Stream)
+		}
+	}
+
+	lm := s.model.current()
+	items, scored := s.scoreItems(lm, req.Items)
+	bad := 0
+	for i := range items {
+		if items[i].Error != "" {
+			bad++
+		}
+	}
+	if bad > 0 {
+		s.met.badRequests.Add(uint64(bad))
+	}
+	s.met.scored.Add(uint64(scored))
+	writeJSON(w, http.StatusOK, BatchScoreResponse{
+		ModelVersion:  lm.version,
+		Items:         items,
+		RecordsScored: scored,
+	})
+}

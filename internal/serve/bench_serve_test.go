@@ -1,0 +1,130 @@
+package serve
+
+// Serving throughput benchmark behind `make bench-serve`: per-record
+// /v1/score versus /v1/score-batch over real HTTP at 1, 4 and 16 stream
+// shards. Each case reports records/sec plus server-side p50/p99 request
+// latency from the obs histogram, so the numbers land in BENCH_*.json
+// with tail behaviour attached, not just an average.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"testing"
+
+	"net/http/httptest"
+)
+
+// benchStreams spreads load across enough streams that a sharded table
+// actually exercises several shards, while staying far below MaxStreams
+// so eviction never runs inside the measured region.
+const benchStreams = 64
+
+// benchBatchItems × benchBatchRecs records ride in one batch request.
+const (
+	benchBatchItems = 16
+	benchBatchRecs  = 4
+)
+
+func benchServer(b *testing.B, shards int) (*Server, string) {
+	b.Helper()
+	s, _ := newTestServer(b, func(c *Config) {
+		c.Shards = shards
+		c.MaxStreams = 4096
+		c.MaxQueueRecords = 1 << 30 // measure scoring, not shed policy
+		c.MaxQueue = 1 << 20
+		c.Logf = func(string, ...any) {}
+	})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return s, ts.URL
+}
+
+// post fires one pre-marshalled request and drains the response; the
+// benchmark fails fast on any non-200.
+func benchPost(b *testing.B, client *http.Client, url string, body []byte) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Error(err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func reportLatency(b *testing.B, s *Server, records float64) {
+	b.ReportMetric(records/b.Elapsed().Seconds(), "records/sec")
+	p := s.met.latency.SnapshotPoint()
+	b.ReportMetric(p.Quantile(0.50)*1e3, "p50-ms")
+	b.ReportMetric(p.Quantile(0.99)*1e3, "p99-ms")
+}
+
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		b.Run(fmt.Sprintf("path=record/shards=%d", shards), func(b *testing.B) {
+			s, url := benchServer(b, shards)
+			bodies := make([][]byte, benchStreams)
+			for i := range bodies {
+				body, err := json.Marshal(ScoreRequest{
+					Stream:  fmt.Sprintf("bench-%d", i),
+					Records: []Record{normalRecord(i)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bodies[i] = body
+			}
+			b.SetParallelism(2 * runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := &http.Client{}
+				for i := 0; pb.Next(); i++ {
+					benchPost(b, client, url+"/v1/score", bodies[i%benchStreams])
+				}
+			})
+			b.StopTimer()
+			reportLatency(b, s, float64(b.N)) // one record per op
+		})
+		b.Run(fmt.Sprintf("path=batch/shards=%d", shards), func(b *testing.B) {
+			s, url := benchServer(b, shards)
+			// Rotate batches over the stream set so every shard stays warm.
+			nBatches := benchStreams / benchBatchItems
+			bodies := make([][]byte, nBatches)
+			for bi := range bodies {
+				items := make([]ScoreRequest, benchBatchItems)
+				for j := range items {
+					recs := make([]Record, benchBatchRecs)
+					for k := range recs {
+						recs[k] = normalRecord(j*benchBatchRecs + k)
+					}
+					items[j] = ScoreRequest{
+						Stream:  fmt.Sprintf("bench-%d", bi*benchBatchItems+j),
+						Records: recs,
+					}
+				}
+				body, err := json.Marshal(BatchScoreRequest{Items: items})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bodies[bi] = body
+			}
+			b.SetParallelism(2 * runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := &http.Client{}
+				for i := 0; pb.Next(); i++ {
+					benchPost(b, client, url+"/v1/score-batch", bodies[i%nBatches])
+				}
+			})
+			b.StopTimer()
+			reportLatency(b, s, float64(b.N)*benchBatchItems*benchBatchRecs)
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -50,31 +51,57 @@ func leakCheck(t *testing.T) func() {
 	}
 }
 
+// TestChaosOverloadBurstShedsBounded throws a mixed burst of single-record
+// and batch requests at a tiny admission gate. Invariants: every request
+// resolves to exactly 200 or 429, the queue settles at its bound (one
+// batch = one slot, same as a single request), shed accounting is exact
+// in both requests and records, and rejections are synchronous — a shed
+// 429 never waits behind the blocked handlers.
 func TestChaosOverloadBurstShedsBounded(t *testing.T) {
 	defer leakCheck(t)()
 	const maxConcurrent, maxQueue, burst = 2, 3, 20
+	const batchItems, batchRecsPerItem = 2, 2
 
 	block := make(chan struct{})
 	s, _ := newTestServer(t, func(c *Config) {
 		c.MaxConcurrent = maxConcurrent
 		c.MaxQueue = maxQueue
+		c.MaxQueueRecords = 1 << 20 // only the request queue binds here
 		c.RequestTimeout = 30 * time.Second
 		c.scoreHook = func(string) { <-block }
 	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	codes := make(chan int, burst)
+	type outcome struct {
+		code    int
+		records int
+		waited  time.Duration
+	}
+	outcomes := make(chan outcome, burst)
 	var wg sync.WaitGroup
 	for i := 0; i < burst; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, _ := postScore(t, ts.URL, ScoreRequest{
-				Stream:  fmt.Sprintf("burst-%d", i),
-				Records: records(1, normalRecord),
-			})
-			codes <- resp.StatusCode
+			start := time.Now()
+			if i%2 == 0 {
+				resp, _ := postScore(t, ts.URL, ScoreRequest{
+					Stream:  fmt.Sprintf("burst-%d", i),
+					Records: records(1, normalRecord),
+				})
+				outcomes <- outcome{resp.StatusCode, 1, time.Since(start)}
+				return
+			}
+			items := make([]ScoreRequest, 0, batchItems)
+			for j := 0; j < batchItems; j++ {
+				items = append(items, ScoreRequest{
+					Stream:  fmt.Sprintf("burst-%d-%d", i, j),
+					Records: records(batchRecsPerItem, normalRecord),
+				})
+			}
+			resp, _ := postScoreBatch(t, ts.URL, BatchScoreRequest{Items: items})
+			outcomes <- outcome{resp.StatusCode, batchItems * batchRecsPerItem, time.Since(start)}
 		}(i)
 	}
 
@@ -93,17 +120,23 @@ func TestChaosOverloadBurstShedsBounded(t *testing.T) {
 	}
 	close(block)
 	wg.Wait()
-	close(codes)
+	close(outcomes)
 
-	var ok200, shed429 int
-	for code := range codes {
-		switch code {
+	var ok200, shed429, shedRecords int
+	for o := range outcomes {
+		switch o.code {
 		case http.StatusOK:
 			ok200++
 		case http.StatusTooManyRequests:
 			shed429++
+			shedRecords += o.records
+			// A shed must be synchronous: well under the 30s request
+			// deadline the admitted requests sat blocked on.
+			if o.waited > 5*time.Second {
+				t.Errorf("shed 429 took %v; rejections must not queue", o.waited)
+			}
 		default:
-			t.Errorf("unexpected status %d in burst", code)
+			t.Errorf("unexpected status %d in burst", o.code)
 		}
 	}
 	if ok200 != maxConcurrent+maxQueue || shed429 != burst-maxConcurrent-maxQueue {
@@ -111,11 +144,82 @@ func TestChaosOverloadBurstShedsBounded(t *testing.T) {
 			ok200, shed429, maxConcurrent+maxQueue, burst-maxConcurrent-maxQueue)
 	}
 	st := s.Stats()
+	if st.ShedRecords != uint64(shedRecords) {
+		t.Errorf("shed records = %d, want %d (shed accounting in records, not requests)",
+			st.ShedRecords, shedRecords)
+	}
 	if st.QueueHighWater != maxQueue {
 		t.Errorf("queue high water = %d, want %d (bounded and fully used)", st.QueueHighWater, maxQueue)
 	}
 	if st.QueueDepth != 0 {
 		t.Errorf("queue depth after drain = %d, want 0", st.QueueDepth)
+	}
+	if st.QueuedRecords != 0 {
+		t.Errorf("queued records after drain = %d, want 0", st.QueuedRecords)
+	}
+}
+
+// TestChaosRecordBudgetSheds pins the records-based shed policy
+// deterministically: a batch whose record count would overflow
+// MaxQueueRecords is rejected even though the request queue has room,
+// with the rejection counted in records and carrying a Retry-After hint.
+func TestChaosRecordBudgetSheds(t *testing.T) {
+	defer leakCheck(t)()
+	entered := make(chan struct{}, 1)
+	block := make(chan struct{})
+	s, _ := newTestServer(t, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.MaxQueue = 8 // request queue is NOT the binding constraint
+		c.MaxQueueRecords = 10
+		c.RequestTimeout = 30 * time.Second
+		c.scoreHook = func(stream string) {
+			if stream == "holder" {
+				entered <- struct{}{}
+				<-block
+			}
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The holder admits 5 records and blocks in its scoring slot.
+	holderDone := make(chan struct{})
+	go func() {
+		defer close(holderDone)
+		postScore(t, ts.URL, ScoreRequest{Stream: "holder", Records: records(5, normalRecord)})
+	}()
+	<-entered
+
+	// 5 committed + 6 requested > 10: shed on the record budget.
+	items := []ScoreRequest{
+		{Stream: "fat-a", Records: records(3, normalRecord)},
+		{Stream: "fat-b", Records: records(3, normalRecord)},
+	}
+	resp, _ := postScoreBatch(t, ts.URL, BatchScoreRequest{Items: items})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget batch status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("shed 429 carries no Retry-After hint")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+		t.Errorf("Retry-After = %q, want an integer in [1, 30]", ra)
+	}
+	st := s.Stats()
+	if st.Shed != 1 || st.ShedRecords != 6 {
+		t.Errorf("shed accounting = %d requests / %d records, want 1 / 6", st.Shed, st.ShedRecords)
+	}
+
+	// Releasing the holder returns its 5-record reservation; the same
+	// batch now fits and scores.
+	close(block)
+	<-holderDone
+	resp2, br := postScoreBatch(t, ts.URL, BatchScoreRequest{Items: items})
+	if resp2.StatusCode != http.StatusOK || br == nil || br.RecordsScored != 6 {
+		t.Errorf("within-budget batch: status %d, resp %+v", resp2.StatusCode, br)
+	}
+	// After everything drains the reservations are all returned.
+	if got := s.adm.recordDepth(); got != 0 {
+		t.Errorf("queued records after drain = %d, want 0", got)
 	}
 }
 

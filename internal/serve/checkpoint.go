@@ -20,7 +20,12 @@ package serve
 //	...         per stream: u16 id length, id bytes,
 //	            u16 state length, core.OnlineDetector state blob
 //
-// All integers big-endian, matching the frame header.
+// All integers big-endian, matching the frame header. Streams appear in
+// snapshot order — hottest first within each shard of the (sharded)
+// stream table; the format itself is order-agnostic, and restore hashes
+// each id back onto whatever shard layout the restoring process runs, so
+// a checkpoint round-trips byte-identically across different -shards
+// settings.
 
 import (
 	"context"

@@ -192,54 +192,90 @@ func (c *Client) Score(ctx context.Context, stream string, recs []serve.Record) 
 	if err != nil {
 		return nil, fmt.Errorf("client: encode request: %w", err)
 	}
+	var sr serve.ScoreResponse
+	if err := c.call(ctx, "/v1/score", body, &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+// ScoreBatch scores records for several streams in one request against
+// /v1/score-batch, with the same retry budget, backoff and circuit
+// breaker as Score.
+//
+// Partial failure is not an error here: a 200 whose Items carry
+// per-item Error strings means the server answered and judged the
+// request, so the call succeeds (earning retry budget, counting as
+// healthy for the breaker) and callers inspect Items[i].Error to find
+// the rejected streams. Only transport failures and server-health
+// statuses (5xx, shed 429, timeout 408) count against the breaker —
+// retrying a batch because one stream's record was malformed would
+// re-score every healthy stream's records and mutate their detectors
+// twice.
+func (c *Client) ScoreBatch(ctx context.Context, items []serve.ScoreRequest) (*serve.BatchScoreResponse, error) {
+	body, err := json.Marshal(serve.BatchScoreRequest{Items: items})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	var br serve.BatchScoreResponse
+	if err := c.call(ctx, "/v1/score-batch", body, &br); err != nil {
+		return nil, err
+	}
+	return &br, nil
+}
+
+// call runs the retry loop around one logical request: backoff + budget
+// before each retry, breaker gate before each attempt, classification
+// after.
+func (c *Client) call(ctx context.Context, path string, body []byte, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 			if !c.spendToken() {
 				c.budgetDenied.Add(1)
-				return nil, fmt.Errorf("client: retry budget exhausted after %d attempts: %w", attempt, lastErr)
+				return fmt.Errorf("client: retry budget exhausted after %d attempts: %w", attempt, lastErr)
 			}
 			if err := c.cfg.Sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		// The breaker gates each attempt after backoff: a budget-approved
 		// retry still fails fast when the endpoint has been declared down.
 		if berr := c.br.Allow(); berr != nil {
 			if lastErr != nil {
-				return nil, fmt.Errorf("%w after %d attempts (last error: %v)", berr, attempt, lastErr)
+				return fmt.Errorf("%w after %d attempts (last error: %v)", berr, attempt, lastErr)
 			}
-			return nil, berr
+			return berr
 		}
-		resp, err := c.once(ctx, stream, body)
+		err := c.once(ctx, path, body, out)
 		c.br.observe(!breakerFailure(err))
 		if err == nil {
 			c.earnToken()
-			return resp, nil
+			return nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
+			return fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
 		}
 		if !retryable(err) {
-			return nil, lastErr
+			return lastErr
 		}
 	}
-	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+	return fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
-// once performs a single scoring attempt.
-func (c *Client) once(ctx context.Context, stream string, body []byte) (*serve.ScoreResponse, error) {
+// once performs a single attempt, decoding a 200 into out.
+func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
 	c.attempts.Add(1)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/score", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("client: build request: %w", err)
+		return fmt.Errorf("client: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -259,13 +295,12 @@ func (c *Client) once(ctx context.Context, stream string, body []byte) (*serve.S
 				se.RetryAfter = time.Duration(secs) * time.Second
 			}
 		}
-		return nil, se
+		return se
 	}
-	var sr serve.ScoreResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("client: decode response: %w", err)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
 	}
-	return &sr, nil
+	return nil
 }
 
 // backoff computes the wait before the attempt-th try (attempt >= 1):

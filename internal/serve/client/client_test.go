@@ -242,3 +242,111 @@ func TestEndToEndAgainstRealServe(t *testing.T) {
 		t.Errorf("response = %+v", resp)
 	}
 }
+
+func TestScoreBatchRetriesAndSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/score-batch" {
+			t.Errorf("path = %q, want /v1/score-batch", r.URL.Path)
+		}
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"injected failure"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"model_version":1,"records_scored":2,"items":[{"stream":"a","results":[{"score":0.9,"smoothed":0.9},{"score":0.8,"smoothed":0.85}]}]}`))
+	}))
+	t.Cleanup(ts.Close)
+	c, slept := testClient(t, ts, nil)
+	resp, err := c.ScoreBatch(context.Background(), []serve.ScoreRequest{
+		{Stream: "a", Records: oneRecord()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RecordsScored != 2 || len(resp.Items) != 1 || resp.Items[0].Stream != "a" {
+		t.Errorf("response = %+v", resp)
+	}
+	if calls.Load() != 2 || len(*slept) != 1 {
+		t.Errorf("attempts = %d, sleeps = %d; want one retry", calls.Load(), len(*slept))
+	}
+}
+
+// TestScoreBatchPartialFailureIsBreakerHealthy pins the partial-failure
+// semantics: a 200 whose items carry per-item errors is a successful call
+// — no retry, no breaker damage, budget earned — while transport-level
+// 5xx still counts against the breaker.
+func TestScoreBatchPartialFailureIsBreakerHealthy(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"model_version":1,"records_scored":1,"items":[{"stream":"ok","results":[{"score":0.9,"smoothed":0.9}]},{"stream":"bad","error":"bad record: wrong width"}]}`))
+	}))
+	t.Cleanup(ts.Close)
+	c, slept := testClient(t, ts, func(cfg *Config) {
+		cfg.Breaker = BreakerConfig{MinRequests: 2, FailureRatio: 0.5}
+	})
+	for i := 0; i < 10; i++ {
+		resp, err := c.ScoreBatch(context.Background(), []serve.ScoreRequest{
+			{Stream: "ok", Records: oneRecord()},
+			{Stream: "bad", Records: oneRecord()},
+		})
+		if err != nil {
+			t.Fatalf("call %d: partial failure surfaced as call error: %v", i, err)
+		}
+		if resp.Items[1].Error == "" {
+			t.Fatalf("call %d: per-item error lost: %+v", i, resp.Items[1])
+		}
+	}
+	if calls.Load() != 10 || len(*slept) != 0 {
+		t.Errorf("partial failures caused retries: %d calls, %d sleeps", calls.Load(), len(*slept))
+	}
+	if st := c.BreakerState(); st != "closed" {
+		t.Errorf("breaker state = %q after healthy partial failures, want closed", st)
+	}
+}
+
+func TestScoreBatchServerErrorsTripBreaker(t *testing.T) {
+	ts, _ := fakeServer(t, 1000000, http.StatusInternalServerError, nil)
+	c, _ := testClient(t, ts, func(cfg *Config) {
+		cfg.MaxAttempts = 1
+		cfg.Breaker = BreakerConfig{MinRequests: 4, FailureRatio: 0.5}
+	})
+	var sawOpen bool
+	for i := 0; i < 20; i++ {
+		_, err := c.ScoreBatch(context.Background(), []serve.ScoreRequest{{Stream: "s", Records: oneRecord()}})
+		if err == nil {
+			t.Fatal("batch against failing server succeeded")
+		}
+		if errors.Is(err, ErrBreakerOpen) {
+			sawOpen = true
+			break
+		}
+	}
+	if !sawOpen {
+		t.Error("sustained 5xx on the batch path never opened the breaker")
+	}
+}
+
+func TestScoreBatchEndToEndAgainstRealServe(t *testing.T) {
+	srv := newRealServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	resp, err := c.ScoreBatch(context.Background(), []serve.ScoreRequest{
+		{Stream: "node-1", Records: oneRecord()},
+		{Stream: "node-2", Records: oneRecord()},
+		{Stream: "node-3", Records: []serve.Record{{Values: []float64{1, 2}}}}, // wrong width
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelVersion != 1 || resp.RecordsScored != 2 || len(resp.Items) != 3 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.Items[0].Error != "" || resp.Items[1].Error != "" || resp.Items[2].Error == "" {
+		t.Errorf("per-item outcomes wrong: %+v", resp.Items)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"crossfeature/internal/core"
@@ -24,10 +25,13 @@ type serverMetrics struct {
 	panics         *obs.Counter
 	invalid        *obs.Counter
 	shed           *obs.Counter
+	shedRecords    *obs.Counter
 	timeouts       *obs.Counter
 	evictions      *obs.Counter
 	reloads        *obs.Counter
 	reloadFailures *obs.Counter
+	batchRequests  *obs.Counter
+	shardLockWait  *obs.Counter
 
 	checkpointWrites         *obs.Counter
 	checkpointFailures       *obs.Counter
@@ -42,6 +46,7 @@ type serverMetrics struct {
 	scoreNormal       *obs.Histogram
 	scoreAnomaly      *obs.Histogram
 	checkpointSeconds *obs.Histogram
+	batchRecords      *obs.Histogram
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -59,6 +64,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Records whose raw score came out non-finite."),
 		shed: reg.Counter("cfa_shed_total",
 			"Requests shed with 429 because the admission queue was full."),
+		shedRecords: reg.Counter("cfa_shed_records_total",
+			"Records inside shed requests: the overload signal in units of work, not envelopes."),
+		batchRequests: reg.Counter("cfa_batch_requests_total",
+			"Batch score requests received on /v1/score-batch."),
+		shardLockWait: reg.Counter("cfa_stream_shard_lock_wait_total",
+			"Stream-table shard lock acquisitions that had to wait; a rising rate means raise -shards."),
 		timeouts: reg.Counter("cfa_queue_timeouts_total",
 			"Requests whose deadline expired while queued for a scoring slot."),
 		evictions: reg.Counter("cfa_stream_evictions_total",
@@ -99,6 +110,9 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		checkpointSeconds: reg.Histogram("cfa_checkpoint_seconds",
 			"Wall time of one checkpoint write: snapshot, encode, fsync, rename.",
 			obs.ExpBuckets(0.0005, 2, 14)),
+		batchRecords: reg.Histogram("cfa_batch_records",
+			"Records per scoring request across both endpoints (a single /v1/score lands in the first bucket).",
+			obs.ExpBuckets(1, 2, 14)),
 	}
 }
 
@@ -129,6 +143,17 @@ func (m *serverMetrics) registerGauges(s *Server) {
 		"Live per-stream detectors in the LRU table.", func() float64 {
 			return float64(s.streams.len())
 		})
+	m.reg.GaugeFunc("cfa_queued_records",
+		"Records admitted or waiting across all in-flight requests.", func() float64 {
+			return float64(s.adm.recordDepth())
+		})
+	const shardHelp = "Live streams per stream-table shard; skew here means a hot-spotted stream-id hash."
+	for i := 0; i < s.streams.numShards(); i++ {
+		shard := i
+		m.reg.GaugeFunc("cfa_stream_shard_streams", shardHelp, func() float64 {
+			return float64(s.streams.shardLen(shard))
+		}, obs.L("shard", strconv.Itoa(shard)))
+	}
 	m.reg.GaugeFunc("cfa_model_generation",
 		"Version of the currently serving model bundle.", func() float64 {
 			if lm := s.model.current(); lm != nil {

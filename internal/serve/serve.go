@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -55,8 +56,23 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MaxStreams caps the LRU stream table. Default 1024.
 	MaxStreams int
+	// Shards is the stream-table shard count (rounded up to a power of
+	// two); distinct streams on different shards never share a lock.
+	// Default GOMAXPROCS.
+	Shards int
 	// MaxBodyBytes caps a score request body. Default 1 MiB.
 	MaxBodyBytes int64
+	// MaxBatchBodyBytes caps a /v1/score-batch request body; batches carry
+	// orders of magnitude more records than a single-stream request.
+	// Default 8 MiB.
+	MaxBatchBodyBytes int64
+	// MaxBatchRecords caps the records in one /v1/score-batch request
+	// (413 beyond it). Default 4096.
+	MaxBatchRecords int
+	// MaxQueueRecords bounds the records admitted or queued across all
+	// in-flight requests — the shed policy in units of scoring work, on
+	// top of MaxQueue's bound in requests. Default 4*MaxBatchRecords.
+	MaxQueueRecords int64
 	// Smoothing, RaiseAfter and ClearAfter configure each stream's online
 	// detector; zero values take the core defaults.
 	Smoothing  float64
@@ -111,8 +127,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxStreams <= 0 {
 		c.MaxStreams = 1024
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBatchBodyBytes <= 0 {
+		c.MaxBatchBodyBytes = 8 << 20
+	}
+	if c.MaxBatchRecords <= 0 {
+		c.MaxBatchRecords = 4096
+	}
+	if c.MaxQueueRecords <= 0 {
+		c.MaxQueueRecords = 4 * int64(c.MaxBatchRecords)
 	}
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 15 * time.Second
@@ -181,15 +209,20 @@ type Readiness struct {
 // counters /metrics exposes — one source of truth, two encodings.
 type Stats struct {
 	Requests       uint64  `json:"requests"`
+	BatchRequests  uint64  `json:"batch_requests"`
 	RecordsScored  uint64  `json:"records_scored"`
 	Shed           uint64  `json:"shed"`
+	ShedRecords    uint64  `json:"shed_records"`
 	QueueTimeouts  uint64  `json:"queue_timeouts"`
 	BadRequests    uint64  `json:"bad_requests"`
 	Panics         uint64  `json:"panics"`
 	InvalidScores  uint64  `json:"invalid_scores"`
 	QueueDepth     int64   `json:"queue_depth"`
 	QueueHighWater int64   `json:"queue_high_water"`
+	QueuedRecords  int64   `json:"queued_records"`
 	Streams        int     `json:"streams"`
+	Shards         int     `json:"stream_shards"`
+	ShardLockWaits uint64  `json:"stream_shard_lock_waits"`
 	Evictions      uint64  `json:"stream_evictions"`
 	ModelVersion   uint64  `json:"model_version"`
 	Reloads        uint64  `json:"reloads"`
@@ -273,8 +306,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg,
 		model:       newModelHolder(cfg.ModelPath, met.reloads, met.reloadFailures),
-		streams:     newStreamTable(cfg.MaxStreams),
-		adm:         newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue, met.shed, met.timeouts),
+		streams:     newStreamTable(cfg.MaxStreams, cfg.Shards, met.shardLockWait),
+		adm:         newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue, cfg.MaxQueueRecords, met.shed, met.shedRecords, met.timeouts),
 		met:         met,
 		start:       time.Now(),
 		restoreDone: make(chan struct{}),
@@ -293,6 +326,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/score", s.handleScore)
+	s.mux.HandleFunc("POST /v1/score-batch", s.handleScoreBatch)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -363,15 +397,20 @@ func (s *Server) Stats() Stats {
 	depth, hw := s.adm.depth()
 	st := Stats{
 		Requests:       s.met.requests.Value(),
+		BatchRequests:  s.met.batchRequests.Value(),
 		RecordsScored:  s.met.scored.Value(),
 		Shed:           s.met.shed.Value(),
+		ShedRecords:    s.met.shedRecords.Value(),
 		QueueTimeouts:  s.met.timeouts.Value(),
 		BadRequests:    s.met.badRequests.Value(),
 		Panics:         s.met.panics.Value(),
 		InvalidScores:  s.met.invalid.Value(),
 		QueueDepth:     depth,
 		QueueHighWater: hw,
+		QueuedRecords:  s.adm.recordDepth(),
 		Streams:        s.streams.len(),
+		Shards:         s.streams.numShards(),
+		ShardLockWaits: s.met.shardLockWait.Value(),
 		Evictions:      s.met.evictions.Value(),
 		Reloads:        s.met.reloads.Value(),
 		ReloadFailures: s.met.reloadFailures.Value(),
@@ -487,6 +526,16 @@ func (s *Server) recoverWrap(h http.Handler) http.Handler {
 	})
 }
 
+// handleScore is the single-stream endpoint. It is a thin shim over the
+// same pipeline /v1/score-batch uses — decode, validate, records-based
+// admission, scoreItems — so the two endpoints cannot drift: a record
+// scored here and the same record inside a batch take the identical code
+// path from discretisation to detector state.
+//
+// One semantic sharpening over the pre-batch handler: a request with a
+// malformed record now fails atomically, before any of its records touch
+// the stream's detector. (Previously records ahead of the bad one had
+// already been observed when the 400 went out.)
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	started := time.Now()
@@ -494,10 +543,21 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	release, err := s.adm.admit(ctx)
+	var req ScoreRequest
+	if !s.decodeBody(ctx, w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if req.Stream == "" || len(req.Records) == 0 {
+		s.met.badRequests.Inc()
+		writeJSONError(w, http.StatusBadRequest, "score request needs a stream id and at least one record")
+		return
+	}
+	n := len(req.Records)
+	s.met.batchRecords.Observe(float64(n))
+	release, err := s.adm.admitN(ctx, n)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterHint(n)))
 		writeJSONError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case err != nil:
@@ -505,17 +565,34 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	if hook := s.cfg.scoreHook; hook != nil {
+		hook(req.Stream)
+	}
 
-	// Slow clients may not hold a scoring slot past the deadline: the
-	// body must arrive before it. (Best effort — not every
-	// ResponseWriter supports read deadlines.) The deadline is cleared
-	// once the body is in so a keep-alive connection is reusable.
+	lm := s.model.current()
+	items, scored := s.scoreItems(lm, []ScoreRequest{req})
+	if items[0].Error != "" {
+		s.met.badRequests.Inc()
+		writeJSONError(w, http.StatusBadRequest, items[0].Error)
+		return
+	}
+	s.met.scored.Add(uint64(scored))
+	writeJSON(w, http.StatusOK, ScoreResponse{Stream: req.Stream, ModelVersion: lm.version, Results: items[0].Results})
+}
+
+// decodeBody reads one JSON request body, bounded in bytes by limit and
+// in time by ctx's deadline. Slow clients may not stall a handler
+// forever: the body must arrive before the request deadline. (Best
+// effort — not every ResponseWriter supports read deadlines.) The
+// deadline is cleared once the body is in so a keep-alive connection is
+// reusable. On failure the error response has been written and false is
+// returned.
+func (s *Server) decodeBody(ctx context.Context, w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
 	rc := http.NewResponseController(w)
 	if deadline, ok := ctx.Deadline(); ok {
 		rc.SetReadDeadline(deadline)
 	}
-	var req ScoreRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v); err != nil {
 		s.met.badRequests.Inc()
 		var tooBig *http.MaxBytesError
 		switch {
@@ -526,67 +603,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		default:
 			writeJSONError(w, http.StatusBadRequest, "malformed score request: "+err.Error())
 		}
-		return
+		return false
 	}
 	rc.SetReadDeadline(time.Time{})
-	if req.Stream == "" || len(req.Records) == 0 {
-		s.met.badRequests.Inc()
-		writeJSONError(w, http.StatusBadRequest, "score request needs a stream id and at least one record")
-		return
-	}
-	if hook := s.cfg.scoreHook; hook != nil {
-		hook(req.Stream)
-	}
-
-	lm := s.model.current()
-	st := s.streams.get(req.Stream, func() *core.OnlineDetector {
-		return s.newOnlineDetector(lm)
-	})
-
-	feat := s.featureMetricsFor(lm)
-	resp := ScoreResponse{Stream: req.Stream, ModelVersion: lm.version, Results: make([]RecordResult, 0, len(req.Records))}
-	st.mu.Lock()
-	if st.version != lm.version {
-		st.od.SwapDetector(lm.detector)
-		st.version = lm.version
-	}
-	for _, rec := range req.Records {
-		x, err := lm.bundle.Discretizer.Transform(rec.Values)
-		if err != nil {
-			st.mu.Unlock()
-			s.met.badRequests.Inc()
-			writeJSONError(w, http.StatusBadRequest, "bad record: "+err.Error())
-			return
-		}
-		state := st.od.Observe(x)
-		rr := RecordResult{
-			Time:     rec.Time,
-			Score:    state.Score,
-			Smoothed: state.Smoothed,
-			Anomaly:  state.Score < lm.detector.Threshold,
-			Alarm:    state.Alarm,
-			Raised:   state.Raised,
-			Cleared:  state.Cleared,
-		}
-		if !isFinite(state.Score) {
-			rr.Score, rr.Anomaly, rr.Invalid = -1, true, true
-			s.met.invalid.Inc()
-		} else if rr.Anomaly {
-			s.met.scoreAnomaly.Observe(state.Score)
-		} else {
-			s.met.scoreNormal.Observe(state.Score)
-		}
-		if !isFinite(state.Smoothed) {
-			rr.Smoothed = -1
-		}
-		if feat != nil {
-			feat.Observe(lm.bundle.Analyzer.Explain(x))
-		}
-		resp.Results = append(resp.Results, rr)
-	}
-	st.mu.Unlock()
-	s.met.scored.Add(uint64(len(resp.Results)))
-	writeJSON(w, http.StatusOK, resp)
+	return true
 }
 
 // newOnlineDetector builds a per-stream detector against lm with the

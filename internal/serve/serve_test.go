@@ -112,6 +112,27 @@ func postScore(t testing.TB, url string, req ScoreRequest) (*http.Response, *Sco
 	return resp, &sr
 }
 
+func postScoreBatch(t testing.TB, url string, req BatchScoreRequest) (*http.Response, *BatchScoreResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/score-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var br BatchScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	return resp, &br
+}
+
 func records(n int, gen func(int) Record) []Record {
 	out := make([]Record, 0, n)
 	for i := 0; i < n; i++ {
@@ -282,6 +303,7 @@ func TestEvictionLoggedOncePerGeneration(t *testing.T) {
 	var lines []string
 	s, path := newTestServer(t, func(c *Config) {
 		c.MaxStreams = 1
+		c.Shards = 1 // pin the global LRU: per-shard caps would round up
 		c.Logf = func(format string, args ...any) {
 			mu.Lock()
 			lines = append(lines, fmt.Sprintf(format, args...))
@@ -326,7 +348,9 @@ func TestEvictionLoggedOncePerGeneration(t *testing.T) {
 }
 
 func TestStreamLRUEviction(t *testing.T) {
-	s, _ := newTestServer(t, func(c *Config) { c.MaxStreams = 2 })
+	// One shard pins the exact global LRU order the assertions below walk;
+	// with S shards the cap is ceil(2/S) per shard and the counts differ.
+	s, _ := newTestServer(t, func(c *Config) { c.MaxStreams = 2; c.Shards = 1 })
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -412,7 +436,7 @@ func TestNewFailsOnBadModelBeforeBinding(t *testing.T) {
 }
 
 func TestAdmitterBoundsAndDeadline(t *testing.T) {
-	a := newAdmitter(1, 1, nil, nil)
+	a := newAdmitter(1, 1, 1<<20, nil, nil, nil)
 	rel1, err := a.admit(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -463,7 +487,7 @@ func TestAdmitterBoundsAndDeadline(t *testing.T) {
 
 func TestAdmitterHighWaterNeverExceedsBound(t *testing.T) {
 	const concurrent, queue, burst = 2, 3, 40
-	a := newAdmitter(concurrent, queue, nil, nil)
+	a := newAdmitter(concurrent, queue, 1<<20, nil, nil, nil)
 	block := make(chan struct{})
 	var wg sync.WaitGroup
 	var ok, shed sync.Map

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"crossfeature/internal/core"
+	"crossfeature/internal/obs"
 )
 
 // stream is one client audit stream's online detector plus the model
@@ -20,64 +21,169 @@ type stream struct {
 	version uint64
 }
 
-// streamTable is a bounded LRU of live streams. A scoring service on a
-// busy network sees streams come and go (nodes reboot, clients churn);
-// capping the table and evicting the least recently scored stream keeps
-// memory bounded no matter how many distinct stream ids a client — or an
-// attacker — invents. An evicted stream that returns simply restarts with
-// fresh hysteresis state.
-type streamTable struct {
+// streamShard is one independently locked slice of the stream table: its
+// own map, its own LRU list, its own capacity. Distinct streams that hash
+// to different shards never touch the same mutex, so a fleet of clients
+// scoring disjoint streams contends only on the per-stream locks it
+// actually shares. The trailing pad keeps neighbouring shards off one
+// cache line — without it two shards' mutexes false-share and the whole
+// point of sharding evaporates under load.
+type streamShard struct {
 	mu   sync.Mutex
 	max  int
 	byID map[string]*stream
 	lru  *list.List // front = most recently used
 
+	_ [32]byte // pad to a cache line; see streamShard doc
+}
+
+// streamTable is a bounded LRU of live streams, sharded by stream-id hash.
+// A scoring service on a busy network sees streams come and go (nodes
+// reboot, clients churn); capping the table and evicting the least
+// recently scored stream keeps memory bounded no matter how many distinct
+// stream ids a client — or an attacker — invents. An evicted stream that
+// returns simply restarts with fresh hysteresis state.
+//
+// Capacity is enforced per shard: each shard holds at most
+// ceil(max/shards) streams, so the table's total capacity lies in
+// [max, max+shards-1] and the memory bound survives sharding. The LRU is
+// per shard too — a hot stream protects itself only from eviction within
+// its own shard, which under a hash that spreads ids evenly is
+// indistinguishable from the global policy until the table is nearly
+// full.
+type streamTable struct {
+	shards []streamShard
+	mask   uint32
+	max    int // configured global capacity, for logs
+
+	// lockWait counts shard-lock acquisitions that had to wait because
+	// another goroutine held the shard. A rising rate under load is the
+	// signal to raise the shard count. Never nil.
+	lockWait *obs.Counter
+
 	// onEvict, when set, observes every eviction (counter bump, first-
-	// eviction logging). It runs under the table lock — keep it quick.
-	onEvict func(id string)
-	// onCreate, when set, observes every stream created cold by get —
-	// restored streams (insert) do not fire it, so the counter behind it
-	// separates cold starts from checkpoint-warmed streams. It runs under
-	// the table lock — keep it quick.
+	// eviction logging). onCreate, when set, observes every stream created
+	// cold by get — restored streams (insert) do not fire it, so the
+	// counter behind it separates cold starts from checkpoint-warmed
+	// streams.
+	//
+	// Ordering guarantee: both callbacks run AFTER the table mutation is
+	// visible and OUTSIDE the shard lock, so they may call back into the
+	// table (len, snapshot, even get) without deadlocking. For a single
+	// get the order is onCreate first, then any onEvict calls in LRU
+	// order (coldest first). Callbacks for different shards — and for
+	// concurrent gets on one shard — may interleave arbitrarily; a
+	// callback that needs a consistent view of the table must take its
+	// own snapshot, not assume the state it was called about still holds.
+	onEvict  func(id string)
 	onCreate func(id string)
 }
 
-func newStreamTable(max int) *streamTable {
+// newStreamTable builds a table of at most max streams across the given
+// number of shards (rounded up to a power of two, clamped to [1, 1024]).
+// lockWait receives shard-lock contention events; nil builds a private
+// counter.
+func newStreamTable(max, shards int, lockWait *obs.Counter) *streamTable {
 	if max < 1 {
 		max = 1
 	}
-	return &streamTable{max: max, byID: make(map[string]*stream), lru: list.New()}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 1024 {
+		shards = 1024
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if lockWait == nil {
+		lockWait = obs.NewCounter()
+	}
+	t := &streamTable{
+		shards:   make([]streamShard, n),
+		mask:     uint32(n - 1),
+		max:      max,
+		lockWait: lockWait,
+	}
+	perShard := (max + n - 1) / n
+	for i := range t.shards {
+		t.shards[i].max = perShard
+		t.shards[i].byID = make(map[string]*stream)
+		t.shards[i].lru = list.New()
+	}
+	return t
 }
 
-// get returns the stream for id, creating it with mk (and evicting the
-// coldest stream when over capacity) on first sight.
+// shardFor hashes id (FNV-1a) onto a shard. The mask works because the
+// shard count is a power of two.
+func (t *streamTable) shardFor(id string) *streamShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &t.shards[h&t.mask]
+}
+
+// lock takes sh.mu, counting the acquisition as contended when it could
+// not be taken immediately.
+func (t *streamTable) lock(sh *streamShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	t.lockWait.Inc()
+	sh.mu.Lock()
+}
+
+// get returns the stream for id, creating it (and evicting the coldest
+// streams of its shard when over capacity) on first sight. mk runs
+// outside the shard lock; when two gets race on a new id, one detector is
+// built and discarded.
 func (t *streamTable) get(id string, mk func() *core.OnlineDetector) *stream {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if s, ok := t.byID[id]; ok {
-		t.lru.MoveToFront(s.elem)
+	sh := t.shardFor(id)
+	t.lock(sh)
+	if s, ok := sh.byID[id]; ok {
+		sh.lru.MoveToFront(s.elem)
+		sh.mu.Unlock()
 		return s
 	}
-	s := &stream{id: id, od: mk()}
-	s.elem = t.lru.PushFront(s)
-	t.byID[id] = s
+	sh.mu.Unlock()
+
+	od := mk()
+	t.lock(sh)
+	if s, ok := sh.byID[id]; ok {
+		// Lost the creation race; the loser's detector is garbage.
+		sh.lru.MoveToFront(s.elem)
+		sh.mu.Unlock()
+		return s
+	}
+	s := &stream{id: id, od: od}
+	s.elem = sh.lru.PushFront(s)
+	sh.byID[id] = s
+	var evicted []string
+	for len(sh.byID) > sh.max {
+		back := sh.lru.Back()
+		ev := back.Value.(*stream)
+		sh.lru.Remove(back)
+		delete(sh.byID, ev.id)
+		evicted = append(evicted, ev.id)
+	}
+	sh.mu.Unlock()
+
+	// Callbacks fire outside the critical section (see the field docs for
+	// the ordering guarantee): an onEvict that logs, bumps registry
+	// counters or reads the table back must not serialise every other
+	// stream's admission behind it.
 	if t.onCreate != nil {
 		t.onCreate(id)
 	}
-	t.evictOverCapLocked()
-	return s
-}
-
-func (t *streamTable) evictOverCapLocked() {
-	for len(t.byID) > t.max {
-		back := t.lru.Back()
-		ev := back.Value.(*stream)
-		t.lru.Remove(back)
-		delete(t.byID, ev.id)
-		if t.onEvict != nil {
-			t.onEvict(ev.id)
+	if t.onEvict != nil {
+		for _, id := range evicted {
+			t.onEvict(id)
 		}
 	}
+	return s
 }
 
 // streamState is one stream's checkpointable state: its id and the
@@ -88,22 +194,26 @@ type streamState struct {
 }
 
 // snapshot captures every stream's detector state for a checkpoint,
-// hottest first (so a restore into a smaller table keeps the most
-// recently active streams). The table lock is held only long enough to
-// copy the stream pointers — O(streams) pointer moves, no encoding —
-// then each stream is encoded under its own lock. A stream whose lock
-// cannot be taken immediately (a request is scoring on it right now) is
-// skipped and counted via skipped rather than awaited: checkpoint
-// duration must stay bounded even when a handler wedges, and a skipped
-// stream simply restarts cold after a crash, which is exactly what it
-// would have done before checkpoints existed.
+// hottest first within each shard (so a restore into a smaller table
+// keeps the most recently active streams of every shard). Each shard's
+// lock is held only long enough to copy that shard's stream pointers —
+// O(streams) pointer moves, no encoding — then each stream is encoded
+// under its own lock. A stream whose lock cannot be taken immediately (a
+// request is scoring on it right now) is skipped and counted via skipped
+// rather than awaited: checkpoint duration must stay bounded even when a
+// handler wedges, and a skipped stream simply restarts cold after a
+// crash, which is exactly what it would have done before checkpoints
+// existed.
 func (t *streamTable) snapshot() (states []streamState, skipped int) {
-	t.mu.Lock()
-	ordered := make([]*stream, 0, len(t.byID))
-	for e := t.lru.Front(); e != nil; e = e.Next() {
-		ordered = append(ordered, e.Value.(*stream))
+	ordered := make([]*stream, 0, t.len())
+	for i := range t.shards {
+		sh := &t.shards[i]
+		t.lock(sh)
+		for e := sh.lru.Front(); e != nil; e = e.Next() {
+			ordered = append(ordered, e.Value.(*stream))
+		}
+		sh.mu.Unlock()
 	}
-	t.mu.Unlock()
 
 	states = make([]streamState, 0, len(ordered))
 	for _, s := range ordered {
@@ -119,28 +229,46 @@ func (t *streamTable) snapshot() (states []streamState, skipped int) {
 
 // insert adds a restored stream if (and only if) no live stream with the
 // same id exists — traffic scored since boot always wins over checkpoint
-// state — and the table has room: a restored stream would land at the
-// cold end of the LRU, so when the table is already full it would be the
-// next eviction anyway and is simply not inserted. Reports whether the
-// stream was inserted.
+// state — and the stream's shard has room: a restored stream would land
+// at the cold end of the shard's LRU, so when the shard is already full
+// it would be the next eviction anyway and is simply not inserted.
+// Reports whether the stream was inserted.
 func (t *streamTable) insert(id string, od *core.OnlineDetector) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.byID[id]; ok {
+	sh := t.shardFor(id)
+	t.lock(sh)
+	defer sh.mu.Unlock()
+	if _, ok := sh.byID[id]; ok {
 		return false
 	}
-	if len(t.byID) >= t.max {
+	if len(sh.byID) >= sh.max {
 		return false
 	}
 	s := &stream{id: id, od: od}
-	s.elem = t.lru.PushBack(s)
-	t.byID[id] = s
+	s.elem = sh.lru.PushBack(s)
+	sh.byID[id] = s
 	return true
 }
 
-// len reports the number of live streams.
+// len reports the number of live streams across all shards.
 func (t *streamTable) len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.byID)
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		t.lock(sh)
+		n += len(sh.byID)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// numShards reports the (power-of-two) shard count.
+func (t *streamTable) numShards() int { return len(t.shards) }
+
+// shardLen reports shard i's live stream count, for the per-shard
+// occupancy gauges.
+func (t *streamTable) shardLen(i int) int {
+	sh := &t.shards[i]
+	t.lock(sh)
+	defer sh.mu.Unlock()
+	return len(sh.byID)
 }
