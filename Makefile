@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build test vet race short fuzz bench bench-train bench-score bench-serve serve-smoke train-smoke score-diff fmt serve-chaos crash-chaos obs-smoke
+.PHONY: ci build test vet race short fuzz bench bench-train bench-score bench-serve serve-smoke train-smoke score-diff fmt serve-chaos crash-chaos obs-smoke loadgen-smoke
 
 # ci is the full gate: formatting and static analysis, a clean build of
 # every package and the test suite under the race detector, plus a smoke
@@ -8,9 +8,10 @@ GO ?= go
 # the training benchmarks so a broken fast path fails fast, the compiled
 # scoring-kernel differential suite, a soak of the serving chaos suite,
 # the crash-recovery suite, a one-iteration spin of the serving
-# throughput benchmark, and an end-to-end scrape of the observability
-# surfaces.
-ci: fmt vet build race train-smoke score-diff serve-chaos crash-chaos serve-smoke obs-smoke
+# throughput benchmark, an end-to-end scrape of the observability
+# surfaces, and a short open-loop load-generator run against a live
+# server.
+ci: fmt vet build race train-smoke score-diff serve-chaos crash-chaos serve-smoke obs-smoke loadgen-smoke
 
 # fmt fails (listing the offenders) if any file is not gofmt-clean.
 fmt:
@@ -34,6 +35,13 @@ crash-chaos:
 		-run 'TestCheckpoint|TestRunRestores|TestRunPeriodic|TestChaosHungHandler|TestChaosReloadFailpoint|TestChaosAdmit|TestDecodeCheckpoint' \
 		./internal/serve/
 	$(GO) test -race -count=2 -timeout 60s ./internal/failpoint/
+
+# loadgen-smoke boots the scoring service on an ephemeral port and runs
+# cfa loadgen against it end to end: a 2s open-loop measurement, an
+# audit-trace replay and a closed-loop pass, asserting non-zero goodput,
+# zero transport errors and a clean drain.
+loadgen-smoke:
+	$(GO) test -run TestLoadgenSmoke -count 1 -timeout 120s ./cmd/cfa/
 
 # obs-smoke boots the scoring service on ephemeral ports and scrapes
 # /metrics and the pprof surface end to end, then replays the registry
@@ -107,12 +115,16 @@ bench-score:
 # bench-serve measures end-to-end serving throughput over real HTTP:
 # per-record /v1/score against /v1/score-batch at 1, 4 and 16 stream
 # shards, reporting records/sec plus server-side p50/p99 latency from
-# the obs histograms. The output is appended to the dated BENCH file so
-# a before/after for a serving-path change lands next to the kernel
-# numbers.
+# the obs histograms, followed by the goodput-vs-offered-load sweep:
+# cfa loadgen drives 1x/2x/4x of the calibrated peak in open loop with
+# adaptive overload control on and then off. The output is appended to
+# the dated BENCH file so a before/after for a serving-path change lands
+# next to the kernel numbers.
 bench-serve:
 	$(GO) test -run '^$$' -bench '^BenchmarkServeThroughput$$' -count 3 \
 		-timeout 30m ./internal/serve/ | tee -a BENCH_$$(date +%Y%m%d).json
+	CFA_LOADGEN_SWEEP=1 $(GO) test -run TestLoadgenSweep -count 1 -v \
+		-timeout 20m ./cmd/cfa/ | tee -a BENCH_$$(date +%Y%m%d).json
 
 # serve-smoke gives every serving-throughput benchmark case a single
 # iteration so `make ci` exercises the batch and per-record HTTP paths at

@@ -1,0 +1,179 @@
+package main
+
+// cfa loadgen: drive a running `cfa serve` endpoint with a reproducible
+// workload and report the goodput-vs-offered-load curve. Request bodies
+// come from a feature-vector CSV or a `manetsim -record` audit trace;
+// with a trace, replay arrivals can preserve the recorded inter-arrival
+// shape. Results go to stdout (one line per multiplier) and to a
+// versioned JSON artifact for the bench ledger.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"crossfeature/internal/features"
+	"crossfeature/internal/loadgen"
+	"crossfeature/internal/trace"
+)
+
+func loadgenCmd(args []string, w io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runLoadgen(ctx, args, w)
+}
+
+// runLoadgen is the cancellable core of loadgenCmd, also driven directly
+// by the smoke and sweep tests.
+func runLoadgen(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cfa loadgen", flag.ContinueOnError)
+	target := fs.String("target", "http://127.0.0.1:8080", "serve endpoint base URL")
+	tracePath := fs.String("trace", "", "workload source: a manetsim -record audit trace or a feature CSV (required)")
+	mode := fs.String("mode", "open", "open (scheduled arrivals) or closed (worker pool)")
+	arrivalsKind := fs.String("arrivals", "poisson", "open-loop arrival process: poisson, bursty or replay (replay needs an audit trace)")
+	duration := fs.Duration("duration", 5*time.Second, "measurement length per multiplier")
+	rate := fs.Float64("rate", 1000, "offered load at multiplier 1, records/second")
+	multipliers := fs.String("multipliers", "1", "comma-separated offered-load multipliers to sweep")
+	batchFraction := fs.Float64("batch-fraction", 0.5, "fraction of requests sent to /v1/score-batch")
+	batchRecords := fs.Int("batch-records", 64, "records per batch request")
+	streams := fs.Int("streams", 32, "distinct stream ids the workload rotates through")
+	workers := fs.Int("workers", 16, "closed-loop worker pool at multiplier 1")
+	maxInFlight := fs.Int("max-inflight", 512, "open-loop in-flight cap; arrivals past it are dropped client-side")
+	burstOn := fs.Duration("burst-on", 500*time.Millisecond, "bursty arrivals: on-window length")
+	burstOff := fs.Duration("burst-off", 500*time.Millisecond, "bursty arrivals: off-window length")
+	slo := fs.Duration("slo", time.Second, "latency SLO; goodput(slo) counts only records served within it (negative disables)")
+	seed := fs.Int64("seed", 1, "workload seed; same config and seed offers the same load")
+	jsonOut := fs.String("json", "loadgen.json", "versioned JSON report path (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required (a manetsim -record audit trace or a feature CSV)")
+	}
+
+	values, gaps, err := readWorkload(*tracePath)
+	if err != nil {
+		return err
+	}
+	mults, err := parseMultipliers(*multipliers)
+	if err != nil {
+		return err
+	}
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		TargetURL:     strings.TrimRight(*target, "/"),
+		Mode:          *mode,
+		Arrivals:      *arrivalsKind,
+		Duration:      *duration,
+		Rate:          *rate,
+		Multipliers:   mults,
+		BatchFraction: *batchFraction,
+		BatchRecords:  *batchRecords,
+		Streams:       *streams,
+		Workers:       *workers,
+		MaxInFlight:   *maxInFlight,
+		BurstOn:       *burstOn,
+		BurstOff:      *burstOff,
+		SLO:           *slo,
+		Seed:          *seed,
+		FeatureNames:  features.Names(),
+		Values:        values,
+		Gaps:          gaps,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "cfa loadgen: %s %s arrivals against %s, %.0f rec/s base rate\n",
+		rep.Mode, rep.Arrivals, rep.Target, rep.RateRecPerSec)
+	fmt.Fprintln(w, "mult\toffered rec/s\tgoodput rec/s\tgoodput(slo)\tshed%\tdegraded\tdropped\terrors\tp50ms\tp99ms\tp999ms")
+	for _, pt := range rep.Points {
+		fmt.Fprintf(w, "x%g\t%.0f\t%.0f\t%.0f\t%.1f\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\n",
+			pt.Multiplier, pt.OfferedRecPerSec, pt.GoodputRecPerSec, pt.SLOGoodputRecPerSec,
+			100*pt.ShedRate, pt.Degraded, pt.Dropped, pt.Errors, pt.P50ms, pt.P99ms, pt.P999ms)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", *jsonOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "cfa loadgen: report -> %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// readWorkload loads request-body values (and, for audit traces,
+// inter-arrival gaps) from path, sniffing the audit-trace header so the
+// one flag accepts either format.
+func readWorkload(path string) (values [][]float64, gaps []float64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(len(trace.AuditTraceHeader))
+	if string(head) == trace.AuditTraceHeader {
+		_, recs, err := trace.ReadAuditTrace(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		values = make([][]float64, len(recs))
+		times := make([]float64, len(recs))
+		for i, r := range recs {
+			values[i], times[i] = r.Values, r.Time
+		}
+		return values, loadgen.GapsOf(times), nil
+	}
+	vectors, err := features.ReadCSV(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	values = make([][]float64, len(vectors))
+	times := make([]float64, len(vectors))
+	for i, v := range vectors {
+		values[i], times[i] = v.Values, v.Time
+	}
+	return values, loadgen.GapsOf(times), nil
+}
+
+// parseMultipliers parses "1,2,4" into {1,2,4}.
+func parseMultipliers(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := strconv.ParseFloat(part, 64)
+		if err != nil || m <= 0 {
+			return nil, fmt.Errorf("bad multiplier %q (want a positive number)", part)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-multipliers is empty")
+	}
+	return out, nil
+}

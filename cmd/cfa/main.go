@@ -15,6 +15,11 @@
 // Serve a trained model over HTTP with load-shedding and hot reload:
 //
 //	cfa serve -model model.bin -addr :8080
+//
+// Drive a running serve endpoint with reproducible load and measure the
+// goodput-vs-offered-load curve:
+//
+//	cfa loadgen -target http://127.0.0.1:8080 -rate 2000 -multipliers 1,2,4
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"crossfeature/internal/core"
 	"crossfeature/internal/experiments"
 	"crossfeature/internal/features"
+	"crossfeature/internal/ml/nbayes"
 )
 
 func main() {
@@ -37,7 +43,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: cfa <train|detect|curve|inspect|serve> [flags]")
+		return fmt.Errorf("usage: cfa <train|detect|curve|inspect|serve|loadgen> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -50,8 +56,10 @@ func run(args []string, w io.Writer) error {
 		return inspect(args[1:], w)
 	case "serve":
 		return serveCmd(args[1:], w)
+	case "loadgen":
+		return loadgenCmd(args[1:], w)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want train, detect, curve, inspect or serve)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want train, detect, curve, inspect, serve or loadgen)", args[0])
 	}
 }
 
@@ -114,6 +122,25 @@ func train(args []string, w io.Writer) error {
 		Discretizer: disc,
 		Threshold:   th,
 		Scorer:      sc,
+	}
+	// Non-NBC bundles also carry a cheap naive-Bayes fallback trained on
+	// the same discretised data, with its own threshold calibrated at the
+	// same false-alarm rate: `cfa serve` scores through it at brownout
+	// level 2 instead of shedding outright. An NBC primary is already the
+	// cheap kernel, so it carries none.
+	if learner.Name() != "NBC" {
+		fb, err := core.Train(ds, nbayes.NewLearner(), core.TrainOptions{Parallelism: *parallel})
+		if err != nil {
+			return fmt.Errorf("training NB fallback: %w", err)
+		}
+		fth, fdropped := core.Calibrate(fb.ScoreAll(ds, sc), *far)
+		if fdropped > 0 {
+			fmt.Fprintf(w, "warning: dropped %d non-finite fallback scores during calibration\n", fdropped)
+		}
+		b.Fallback = fb
+		b.FallbackThreshold = fth
+		fmt.Fprintf(w, "trained NBC brownout fallback: %d sub-models, threshold %.4f\n",
+			fb.NumModels(), fth)
 	}
 	// SaveFile writes a checksummed snapshot via temp-file + rename, so a
 	// crash mid-write never leaves a half-written model behind.

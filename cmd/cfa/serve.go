@@ -45,12 +45,18 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 	shards := fs.Int("shards", 0, "stream-table shards, rounded up to a power of two (0 = GOMAXPROCS)")
 	maxBatchRecords := fs.Int("max-batch-records", 0, "records allowed in one /v1/score-batch request (0 = default)")
 	maxQueueRecords := fs.Int64("max-queue-records", 0, "records admitted or queued across all in-flight requests (0 = default)")
+	maxInflight := fs.Int("max-inflight", 0, "score requests concurrently in a handler, counted before body decode (0 = default)")
 	smoothing := fs.Float64("smoothing", 0, "EWMA smoothing factor for online detectors (0 = default)")
 	raiseAfter := fs.Int("raise-after", 0, "consecutive low scores before an alarm raises (0 = default)")
 	clearAfter := fs.Int("clear-after", 0, "consecutive high scores before an alarm clears (0 = default)")
 	checkpointPath := fs.String("checkpoint-path", "", "durable per-stream detector state file; empty disables checkpointing")
 	checkpointInterval := fs.Duration("checkpoint-interval", 15*time.Second, "periodic checkpoint cadence")
 	checkpointMaxAge := fs.Duration("checkpoint-max-age", time.Hour, "oldest checkpoint still restored at boot (negative disables the age check)")
+	adaptive := fs.Bool("adaptive", true, "adaptive overload control: AIMD record budget plus brownout degradation under sustained overload")
+	overloadTarget := fs.Duration("overload-target", 0, "projected queue-drain time past which the service counts as overloaded (0 = timeout/5)")
+	brownoutTick := fs.Duration("brownout-tick", 0, "overload-controller cadence (0 = 100ms)")
+	brownoutEnter := fs.Int("brownout-enter-after", 0, "consecutive overloaded ticks before the brownout level rises (0 = 3)")
+	brownoutExit := fs.Int("brownout-exit-after", 0, "consecutive calm ticks before the brownout level falls (0 = 10)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,23 +71,30 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 
 	reg := obs.NewRegistry()
 	srv, err := serve.New(serve.Config{
-		ModelPath:          *model,
-		MaxConcurrent:      *concurrency,
-		MaxQueue:           *queue,
-		RequestTimeout:     *timeout,
-		DrainTimeout:       drain,
-		MaxStreams:         *maxStreams,
-		Shards:             *shards,
-		MaxBatchRecords:    *maxBatchRecords,
-		MaxQueueRecords:    *maxQueueRecords,
-		Smoothing:          *smoothing,
-		RaiseAfter:         *raiseAfter,
-		ClearAfter:         *clearAfter,
-		CheckpointPath:     *checkpointPath,
-		CheckpointInterval: *checkpointInterval,
-		CheckpointMaxAge:   *checkpointMaxAge,
-		Registry:           reg,
-		FeatureMetrics:     *featureMetrics,
+		ModelPath:           *model,
+		MaxConcurrent:       *concurrency,
+		MaxQueue:            *queue,
+		RequestTimeout:      *timeout,
+		DrainTimeout:        drain,
+		MaxStreams:          *maxStreams,
+		Shards:              *shards,
+		MaxBatchRecords:     *maxBatchRecords,
+		MaxQueueRecords:     *maxQueueRecords,
+		Smoothing:           *smoothing,
+		RaiseAfter:          *raiseAfter,
+		ClearAfter:          *clearAfter,
+		CheckpointPath:      *checkpointPath,
+		CheckpointInterval:  *checkpointInterval,
+		CheckpointMaxAge:    *checkpointMaxAge,
+		MaxInFlightRequests: *maxInflight,
+		Registry:            reg,
+		FeatureMetrics:      *featureMetrics,
+
+		DisableAdaptiveOverload: !*adaptive,
+		OverloadTarget:          *overloadTarget,
+		BrownoutTick:            *brownoutTick,
+		BrownoutEnterAfter:      *brownoutEnter,
+		BrownoutExitAfter:       *brownoutExit,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "cfa serve: "+format+"\n", args...)
 		},

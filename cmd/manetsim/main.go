@@ -53,6 +53,7 @@ func run(args []string) error {
 	faultNode := fs.Int("fault-node", 1, "node hit by crash faults (flap/sampler faults target -monitor)")
 	monitor := fs.Int("monitor", 0, "node whose audit trail is recorded")
 	out := fs.String("out", "", "output CSV path (default stdout)")
+	record := fs.String("record", "", "also write a replayable audit trace (for cfa loadgen -trace) to this path")
 	events := fs.String("events", "", "optional per-observation event log path")
 	metricsOut := fs.String("metrics-out", "", "write audit-stream metrics in Prometheus text format to this file")
 	if err := fs.Parse(args); err != nil {
@@ -142,6 +143,26 @@ func run(args []string) error {
 	}
 	if err := features.WriteCSV(w, vectors); err != nil {
 		return err
+	}
+	if *record != "" {
+		// The same vectors again, in the replayable audit-trace format:
+		// timestamps carry the scenario's arrival shape, values become
+		// loadgen request bodies.
+		recs := make([]trace.AuditRecord, len(vectors))
+		for i, v := range vectors {
+			recs[i] = trace.AuditRecord{Time: v.Time, Values: v.Values}
+		}
+		rf, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteAuditTrace(rf, features.Names(), recs); err != nil {
+			rf.Close()
+			return fmt.Errorf("record: %w", err)
+		}
+		if err := rf.Close(); err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
 	}
 	if reg != nil {
 		reg.GaugeFunc("sim_events_processed",

@@ -266,6 +266,18 @@ type Bundle struct {
 	Discretizer *features.Discretizer
 	Threshold   float64
 	Scorer      Scorer
+
+	// Fallback, when present, is a cheap naive-Bayes ensemble trained on
+	// the same discretised dataset as Analyzer, with its own calibrated
+	// threshold. The serving layer's brownout mode scores through it when
+	// the primary ensemble can no longer keep up with offered load: NB
+	// inference compiles to flat count-table lookups, the cheapest kernel
+	// of the three learners. Nil when the primary learner is already NBC
+	// (the fallback would be the primary) and in bundles written before
+	// the field existed — gob leaves absent fields zero, so old snapshots
+	// load unchanged.
+	Fallback          *Analyzer
+	FallbackThreshold float64
 }
 
 // Validate checks the structural invariants a loaded bundle must satisfy
@@ -288,12 +300,34 @@ func (b *Bundle) Validate() error {
 	case b.Scorer != MatchCount && b.Scorer != Probability:
 		return fmt.Errorf("%w: unknown scorer %d", ErrSnapshotCorrupt, int(b.Scorer))
 	}
+	if b.Fallback != nil {
+		switch {
+		case b.Fallback.NumModels() == 0:
+			return fmt.Errorf("%w: bundle fallback analyzer has no sub-models", ErrSnapshotCorrupt)
+		case len(b.Fallback.Attrs) != len(b.Analyzer.Attrs):
+			return fmt.Errorf("%w: fallback schema width %d does not match primary %d",
+				ErrSnapshotCorrupt, len(b.Fallback.Attrs), len(b.Analyzer.Attrs))
+		case math.IsNaN(b.FallbackThreshold) || math.IsInf(b.FallbackThreshold, 0):
+			return fmt.Errorf("%w: non-finite fallback threshold %v", ErrSnapshotCorrupt, b.FallbackThreshold)
+		}
+	}
 	return nil
 }
 
 // Detector builds the bundle's detector at its calibrated threshold.
 func (b *Bundle) Detector() *Detector {
 	return &Detector{Analyzer: b.Analyzer, Scorer: b.Scorer, Threshold: b.Threshold}
+}
+
+// FallbackDetector builds the degraded-mode NB detector at its own
+// calibrated threshold, or nil when the bundle carries no fallback. The
+// combination rule is shared with the primary so scores from both stay in
+// the same [0,1] range.
+func (b *Bundle) FallbackDetector() *Detector {
+	if b.Fallback == nil {
+		return nil
+	}
+	return &Detector{Analyzer: b.Fallback, Scorer: b.Scorer, Threshold: b.FallbackThreshold}
 }
 
 // SaveFile writes the bundle to path atomically.

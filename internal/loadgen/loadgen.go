@@ -1,0 +1,631 @@
+// Package loadgen drives a serve endpoint with a reproducible workload
+// and measures what came back: offered load, goodput, shed rate and
+// latency quantiles, per offered-load multiplier.
+//
+// The generator runs in two shapes. Open loop schedules arrivals from a
+// clock that does not care how the server is doing — Poisson, bursty
+// on/off matching the paper's periodic attack-session model, or the
+// replayed inter-arrival gaps of a recorded audit trace — so offered
+// load keeps coming during a stall and the measurement shows queueing
+// collapse instead of politely hiding it (the coordinated-omission trap
+// of closed-loop-only benchmarks). Closed loop runs a fixed worker pool
+// back-to-back, which is the right probe for "what is the peak the
+// service can actually sustain". Capacity claims want both: closed loop
+// finds the peak, open loop shows what happens past it.
+//
+// Every request is fire-once: a shed 429 is counted, never retried —
+// retrying would convert offered load into a self-amplifying storm and
+// make the goodput curve unreadable.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossfeature/internal/serve"
+)
+
+// ReportVersion identifies the JSON artifact schema.
+const ReportVersion = 1
+
+// Config tunes one load-generation run. Zero values take the documented
+// defaults.
+type Config struct {
+	// TargetURL is the serve endpoint base, e.g. "http://127.0.0.1:8080"
+	// (required).
+	TargetURL string
+	// Mode is "open" (scheduled arrivals, the default) or "closed"
+	// (worker pool, back-to-back).
+	Mode string
+	// Arrivals shapes open-loop arrivals: "poisson" (default), "bursty"
+	// (on/off periods, Poisson within the on window), or "replay" (the
+	// inter-arrival gaps of Trace, normalised to the requested rate).
+	Arrivals string
+	// Duration is how long each multiplier's measurement runs. Default 5s.
+	Duration time.Duration
+	// Rate is the offered load at multiplier 1, in records/second.
+	// Requests/second follows from the batch mix. Default 1000.
+	Rate float64
+	// Multipliers are the offered-load multiples to sweep; each gets its
+	// own measurement point. Default {1}.
+	Multipliers []float64
+	// BatchFraction is the fraction of requests sent to /v1/score-batch
+	// (the rest go to /v1/score with a single record). Default 0.5;
+	// negative means 0.
+	BatchFraction float64
+	// BatchRecords is the records per batch request. Default 64.
+	BatchRecords int
+	// Streams is how many distinct stream ids the workload rotates
+	// through. Default 32.
+	Streams int
+	// Workers is the closed-loop pool size at multiplier 1 (scaled by the
+	// multiplier). Default 16.
+	Workers int
+	// MaxInFlight bounds open-loop concurrency: an arrival that would
+	// exceed it is dropped client-side and counted, because an unbounded
+	// open loop against a stalled server just measures the client's fd
+	// limit. Default 512.
+	MaxInFlight int
+	// BurstOn/BurstOff are the bursty on/off window lengths. Default
+	// 500ms each (50% duty cycle, matching the paper's periodic attack
+	// sessions).
+	BurstOn, BurstOff time.Duration
+	// SLO is the latency bound for goodput accounting: records in OK
+	// responses slower than it still count as scored, but not as
+	// within-SLO goodput. Raw goodput flatters a server that queues
+	// unboundedly — it serves everything, eventually — so capacity
+	// claims should quote the SLO column. Default 1s; negative disables
+	// the bound (every OK record counts).
+	SLO time.Duration
+	// Seed drives arrivals and workload rotation; runs with the same
+	// config and seed offer the same load. Default 1.
+	Seed int64
+	// FeatureNames and Values are the request-body material: each request
+	// takes rows from Values (wrapping). Required.
+	FeatureNames []string
+	Values       [][]float64
+	// Gaps, for Arrivals "replay", are the recorded inter-arrival gaps in
+	// seconds; they are normalised so their mean matches the requested
+	// request rate, preserving shape.
+	Gaps []float64
+	// HTTPClient overrides the transport; default a dedicated client with
+	// a generous connection pool.
+	HTTPClient *http.Client
+	// Logf, when set, receives one progress line per measurement point.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.TargetURL == "" {
+		return c, fmt.Errorf("loadgen: TargetURL is required")
+	}
+	if len(c.Values) == 0 {
+		return c, fmt.Errorf("loadgen: no request values to send")
+	}
+	if c.Mode == "" {
+		c.Mode = "open"
+	}
+	if c.Mode != "open" && c.Mode != "closed" {
+		return c, fmt.Errorf("loadgen: unknown mode %q (want open or closed)", c.Mode)
+	}
+	if c.Arrivals == "" {
+		c.Arrivals = "poisson"
+	}
+	switch c.Arrivals {
+	case "poisson", "bursty":
+	case "replay":
+		if len(c.Gaps) == 0 {
+			return c, fmt.Errorf("loadgen: replay arrivals need recorded gaps (use -trace)")
+		}
+	default:
+		return c, fmt.Errorf("loadgen: unknown arrivals %q (want poisson, bursty or replay)", c.Arrivals)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Rate <= 0 {
+		c.Rate = 1000
+	}
+	if len(c.Multipliers) == 0 {
+		c.Multipliers = []float64{1}
+	}
+	if c.BatchFraction < 0 {
+		c.BatchFraction = 0
+	}
+	if c.BatchFraction > 1 {
+		c.BatchFraction = 1
+	}
+	if c.BatchRecords <= 0 {
+		c.BatchRecords = 64
+	}
+	if c.Streams <= 0 {
+		c.Streams = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 512
+	}
+	if c.BurstOn <= 0 {
+		c.BurstOn = 500 * time.Millisecond
+	}
+	if c.BurstOff <= 0 {
+		c.BurstOff = 500 * time.Millisecond
+	}
+	if c.SLO == 0 {
+		c.SLO = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HTTPClient == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = c.MaxInFlight
+		c.HTTPClient = &http.Client{Transport: tr}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// Point is one multiplier's measurement.
+type Point struct {
+	Multiplier float64 `json:"multiplier"`
+	// Offered load: what the generator tried to send.
+	OfferedRecPerSec float64 `json:"offered_rec_per_sec"`
+	OfferedReqPerSec float64 `json:"offered_req_per_sec"`
+	// Outcome counts. Dropped is the open-loop client-side drop (the
+	// in-flight cap); everything else reached the wire.
+	Sent     uint64 `json:"sent"`
+	OK       uint64 `json:"ok"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+	Dropped  uint64 `json:"dropped"`
+	Degraded uint64 `json:"degraded"`
+	// RecordsScored counts records inside OK responses; goodput is that
+	// over the measured elapsed time. The WithinSLO pair restricts both
+	// to responses that met the latency SLO — the honest capacity
+	// number when the server is queueing.
+	RecordsScored       uint64  `json:"records_scored"`
+	GoodputRecPerSec    float64 `json:"goodput_rec_per_sec"`
+	SLOms               float64 `json:"slo_ms"`
+	RecordsWithinSLO    uint64  `json:"records_within_slo"`
+	SLOGoodputRecPerSec float64 `json:"goodput_slo_rec_per_sec"`
+	// ShedRate is shed requests over wire requests.
+	ShedRate float64 `json:"shed_rate"`
+	// Latency quantiles over OK responses, milliseconds.
+	P50ms  float64 `json:"p50_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	P999ms float64 `json:"p999_ms"`
+	// ElapsedSeconds is the measured wall time (dispatch through drain).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// Report is the versioned JSON artifact of one run.
+type Report struct {
+	Version       int     `json:"loadgen_version"`
+	Target        string  `json:"target"`
+	Mode          string  `json:"mode"`
+	Arrivals      string  `json:"arrivals"`
+	RateRecPerSec float64 `json:"rate_rec_per_sec"`
+	BatchFraction float64 `json:"batch_fraction"`
+	BatchRecords  int     `json:"batch_records"`
+	Streams       int     `json:"streams"`
+	Seed          int64   `json:"seed"`
+	Points        []Point `json:"points"`
+}
+
+// body is one pre-marshaled request: open-loop dispatch must cost the
+// scheduler nothing but a goroutine, so all JSON encoding happens before
+// the clock starts.
+type body struct {
+	path    string
+	payload []byte
+	records int
+}
+
+// buildBodies pre-marshals a rotation of request bodies from the value
+// pool: batch requests first at the configured fraction, single-record
+// requests for the rest, interleaved so any window of the rotation holds
+// the configured mix. Streams rotate across bodies.
+func buildBodies(cfg Config) ([]body, error) {
+	const rotation = 256
+	bodies := make([]body, 0, rotation)
+	vi := 0
+	nextValues := func() []float64 {
+		v := cfg.Values[vi%len(cfg.Values)]
+		vi++
+		return v
+	}
+	stream := func(i int) string { return fmt.Sprintf("lg-%d", i%cfg.Streams) }
+	for i := 0; i < rotation; i++ {
+		// Deterministic interleave: request i is a batch iff its position
+		// crosses a BatchFraction boundary (same trick as a Bresenham line).
+		isBatch := math.Floor(float64(i+1)*cfg.BatchFraction) > math.Floor(float64(i)*cfg.BatchFraction)
+		if isBatch {
+			recs := make([]serve.Record, cfg.BatchRecords)
+			for j := range recs {
+				recs[j] = serve.Record{Values: nextValues()}
+			}
+			p, err := json.Marshal(serve.BatchScoreRequest{Items: []serve.ScoreRequest{{Stream: stream(i), Records: recs}}})
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: encode batch body: %w", err)
+			}
+			bodies = append(bodies, body{path: "/v1/score-batch", payload: p, records: cfg.BatchRecords})
+			continue
+		}
+		p, err := json.Marshal(serve.ScoreRequest{Stream: stream(i), Records: []serve.Record{{Values: nextValues()}}})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: encode body: %w", err)
+		}
+		bodies = append(bodies, body{path: "/v1/score", payload: p, records: 1})
+	}
+	return bodies, nil
+}
+
+// avgRecordsPerRequest converts the record-denominated rate into a
+// request rate: a batch carries BatchRecords, a single request one.
+func (c Config) avgRecordsPerRequest() float64 {
+	return (1-c.BatchFraction)*1 + c.BatchFraction*float64(c.BatchRecords)
+}
+
+// counters accumulates one point's outcomes; latencies holds OK response
+// times for quantile extraction.
+type counters struct {
+	sent, ok, shed, errs, dropped, degraded, records atomic.Uint64
+	recordsSLO                                       atomic.Uint64
+
+	slo time.Duration // set before the run starts; <=0 means no bound
+
+	mu        sync.Mutex
+	latencies []float64 // seconds
+}
+
+// latencyCap bounds the latency sample (FIFO truncation past it would
+// bias the tail, so past the cap new samples are dropped and the run is
+// long enough that it does not matter for a smoke test).
+const latencyCap = 1 << 21
+
+func (cs *counters) observeOK(d time.Duration, records int, degraded bool) {
+	cs.ok.Add(1)
+	cs.records.Add(uint64(records))
+	if cs.slo <= 0 || d <= cs.slo {
+		cs.recordsSLO.Add(uint64(records))
+	}
+	if degraded {
+		cs.degraded.Add(1)
+	}
+	cs.mu.Lock()
+	if len(cs.latencies) < latencyCap {
+		cs.latencies = append(cs.latencies, d.Seconds())
+	}
+	cs.mu.Unlock()
+}
+
+// quantile returns the q-quantile of sorted (nearest-rank); 0 when empty.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// fire sends one pre-marshaled request and classifies the outcome. The
+// response body is drained so the connection returns to the pool.
+func fire(ctx context.Context, hc *http.Client, base string, b body, cs *counters) {
+	cs.sent.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+b.path, bytes.NewReader(b.payload))
+	if err != nil {
+		cs.errs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The run ended mid-request (closed-loop drain, or an early
+			// cancel): not a server failure, and not offered load either.
+			cs.sent.Add(^uint64(0))
+			return
+		}
+		cs.errs.Add(1)
+		return
+	}
+	elapsed := time.Since(start)
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		cs.observeOK(elapsed, b.records, resp.Header.Get("X-CFA-Degraded") != "")
+	case resp.StatusCode == http.StatusTooManyRequests:
+		cs.shed.Add(1)
+	default:
+		cs.errs.Add(1)
+	}
+}
+
+// arrivals yields successive absolute arrival offsets (seconds from the
+// start of the run), strictly non-decreasing.
+type arrivals interface {
+	next() float64
+}
+
+type poissonArrivals struct {
+	rng  *rand.Rand
+	rate float64
+	t    float64
+}
+
+func (p *poissonArrivals) next() float64 {
+	p.t += p.rng.ExpFloat64() / p.rate
+	return p.t
+}
+
+// burstyArrivals is an on/off source: Poisson arrivals inside the on
+// window at a rate inflated so the long-run average matches the requested
+// rate, silence in the off window — the paper's periodic attack-session
+// shape applied to load.
+type burstyArrivals struct {
+	rng       *rand.Rand
+	onRate    float64 // arrival rate inside the on window
+	on, cycle float64 // seconds
+	win       int     // cycle index; arrivals land at win*cycle + pos
+	pos       float64 // offset inside the current on window, always < on
+}
+
+func newBurstyArrivals(rng *rand.Rand, rate float64, on, off time.Duration) *burstyArrivals {
+	onS, offS := on.Seconds(), off.Seconds()
+	cycle := onS + offS
+	return &burstyArrivals{rng: rng, onRate: rate * cycle / onS, on: onS, cycle: cycle}
+}
+
+func (b *burstyArrivals) next() float64 {
+	// The window index is tracked as an integer rather than derived from
+	// the running clock: deriving it from float remainders admits
+	// fixpoints (a remainder below the clock's ulp, or a boundary that
+	// floor-divides to the previous cycle) that stall the process.
+	for {
+		gap := b.rng.ExpFloat64() / b.onRate
+		if b.pos+gap >= b.on {
+			// The burst ends before this arrival lands: restart at the
+			// next on window.
+			b.win++
+			b.pos = 0
+			continue
+		}
+		b.pos += gap
+		return float64(b.win)*b.cycle + b.pos
+	}
+}
+
+// replayArrivals cycles through recorded gaps scaled so their mean equals
+// 1/rate: the trace's burstiness at the requested offered load.
+type replayArrivals struct {
+	gaps  []float64
+	scale float64
+	i     int
+	t     float64
+}
+
+func newReplayArrivals(gaps []float64, rate float64) *replayArrivals {
+	sum := 0.0
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	if mean <= 0 {
+		// Degenerate trace (all records share a timestamp): fall back to
+		// uniform gaps at the requested rate.
+		return &replayArrivals{gaps: []float64{1}, scale: 1 / rate}
+	}
+	return &replayArrivals{gaps: gaps, scale: 1 / (rate * mean)}
+}
+
+func (r *replayArrivals) next() float64 {
+	r.t += r.gaps[r.i%len(r.gaps)] * r.scale
+	r.i++
+	return r.t
+}
+
+func (c Config) newArrivals(rng *rand.Rand, reqRate float64) arrivals {
+	switch c.Arrivals {
+	case "bursty":
+		return newBurstyArrivals(rng, reqRate, c.BurstOn, c.BurstOff)
+	case "replay":
+		return newReplayArrivals(c.Gaps, reqRate)
+	default:
+		return &poissonArrivals{rng: rng, rate: reqRate}
+	}
+}
+
+// GapsOf extracts the inter-arrival gaps from recorded timestamps
+// (non-positive gaps are clamped to zero; replay normalisation handles
+// the rest).
+func GapsOf(times []float64) []float64 {
+	if len(times) < 2 {
+		return nil
+	}
+	gaps := make([]float64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		g := times[i] - times[i-1]
+		if g < 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+			g = 0
+		}
+		gaps = append(gaps, g)
+	}
+	return gaps
+}
+
+// Run executes the sweep: one measurement point per multiplier, in
+// order, each running for cfg.Duration plus drain. Cancelling ctx ends
+// the run early with the points measured so far.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	bodies, err := buildBodies(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Version:       ReportVersion,
+		Target:        cfg.TargetURL,
+		Mode:          cfg.Mode,
+		Arrivals:      cfg.Arrivals,
+		RateRecPerSec: cfg.Rate,
+		BatchFraction: cfg.BatchFraction,
+		BatchRecords:  cfg.BatchRecords,
+		Streams:       cfg.Streams,
+		Seed:          cfg.Seed,
+	}
+	for i, m := range cfg.Multipliers {
+		if ctx.Err() != nil {
+			break
+		}
+		// A fresh seed per point keeps points independent but the whole
+		// sweep reproducible.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+		pt, err := cfg.runPoint(ctx, rng, bodies, m)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, pt)
+		cfg.Logf("loadgen: x%.2g offered %.0f rec/s -> goodput %.0f rec/s, shed %.1f%%, p99 %.1fms",
+			m, pt.OfferedRecPerSec, pt.GoodputRecPerSec, 100*pt.ShedRate, pt.P99ms)
+	}
+	return rep, nil
+}
+
+// runPoint measures one multiplier.
+func (c Config) runPoint(ctx context.Context, rng *rand.Rand, bodies []body, mult float64) (Point, error) {
+	recRate := c.Rate * mult
+	reqRate := recRate / c.avgRecordsPerRequest()
+	pt := Point{
+		Multiplier:       mult,
+		OfferedRecPerSec: recRate,
+		OfferedReqPerSec: reqRate,
+	}
+	cs := &counters{slo: c.SLO}
+	start := time.Now()
+	if c.Mode == "closed" {
+		c.runClosed(ctx, bodies, mult, cs)
+	} else {
+		c.runOpen(ctx, rng, bodies, reqRate, cs)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	pt.Sent = cs.sent.Load()
+	pt.OK = cs.ok.Load()
+	pt.Shed = cs.shed.Load()
+	pt.Errors = cs.errs.Load()
+	pt.Dropped = cs.dropped.Load()
+	pt.Degraded = cs.degraded.Load()
+	pt.RecordsScored = cs.records.Load()
+	pt.RecordsWithinSLO = cs.recordsSLO.Load()
+	if c.SLO > 0 {
+		pt.SLOms = float64(c.SLO.Milliseconds())
+	}
+	pt.ElapsedSeconds = elapsed
+	if elapsed > 0 {
+		pt.GoodputRecPerSec = float64(pt.RecordsScored) / elapsed
+		pt.SLOGoodputRecPerSec = float64(pt.RecordsWithinSLO) / elapsed
+	}
+	if pt.Sent > 0 {
+		pt.ShedRate = float64(pt.Shed) / float64(pt.Sent)
+	}
+	sort.Float64s(cs.latencies)
+	pt.P50ms = quantile(cs.latencies, 0.50) * 1e3
+	pt.P99ms = quantile(cs.latencies, 0.99) * 1e3
+	pt.P999ms = quantile(cs.latencies, 0.999) * 1e3
+	return pt, ctx.Err()
+}
+
+// runOpen schedules arrivals from the configured process and fires each
+// in its own goroutine, bounded by MaxInFlight; an arrival over the bound
+// is dropped and counted rather than queued (queueing client-side would
+// close the loop by the back door).
+func (c Config) runOpen(ctx context.Context, rng *rand.Rand, bodies []body, reqRate float64, cs *counters) {
+	arr := c.newArrivals(rng, reqRate)
+	var wg sync.WaitGroup
+	var inFlight atomic.Int64
+	start := time.Now()
+	deadline := start.Add(c.Duration)
+	bi := 0
+	for {
+		at := start.Add(time.Duration(arr.next() * float64(time.Second)))
+		if at.After(deadline) {
+			break
+		}
+		if d := time.Until(at); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				wg.Wait()
+				return
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		b := bodies[bi%len(bodies)]
+		bi++
+		if inFlight.Add(1) > int64(c.MaxInFlight) {
+			inFlight.Add(-1)
+			cs.dropped.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inFlight.Add(-1)
+			fire(ctx, c.HTTPClient, c.TargetURL, b, cs)
+		}()
+	}
+	wg.Wait()
+}
+
+// runClosed runs round(Workers*mult) workers back-to-back for the
+// duration: offered load follows service rate, the classic closed loop.
+func (c Config) runClosed(ctx context.Context, bodies []body, mult float64, cs *counters) {
+	workers := int(math.Round(float64(c.Workers) * mult))
+	if workers < 1 {
+		workers = 1
+	}
+	dctx, cancel := context.WithTimeout(ctx, c.Duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	var bi atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dctx.Err() == nil {
+				b := bodies[int(bi.Add(1))%len(bodies)]
+				fire(dctx, c.HTTPClient, c.TargetURL, b, cs)
+			}
+		}()
+	}
+	wg.Wait()
+}

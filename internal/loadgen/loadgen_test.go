@@ -1,0 +1,224 @@
+package loadgen
+
+// Unit tests for the deterministic pieces of the generator: arrival
+// processes, gap extraction, body building and SLO accounting. The
+// end-to-end behaviour against a live server is covered by the loadgen
+// smoke and sweep tests in cmd/cfa.
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"crossfeature/internal/serve"
+)
+
+func TestPoissonArrivalsDeterministicAndMonotonic(t *testing.T) {
+	a := &poissonArrivals{rng: rand.New(rand.NewSource(42)), rate: 100}
+	b := &poissonArrivals{rng: rand.New(rand.NewSource(42)), rate: 100}
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		ta, tb := a.next(), b.next()
+		if ta != tb {
+			t.Fatalf("arrival %d diverged under the same seed: %v vs %v", i, ta, tb)
+		}
+		if ta < prev {
+			t.Fatalf("arrival %d went backwards: %v after %v", i, ta, prev)
+		}
+		prev = ta
+	}
+	// The empirical rate should be near the requested one over 1000
+	// arrivals (SE of the mean is ~3%).
+	rate := 1000 / prev
+	if rate < 80 || rate > 120 {
+		t.Fatalf("poisson empirical rate = %.1f/s, want ~100/s", rate)
+	}
+}
+
+func TestBurstyArrivalsStayInOnWindowAtNormalisedRate(t *testing.T) {
+	on, off := 100*time.Millisecond, 300*time.Millisecond
+	a := newBurstyArrivals(rand.New(rand.NewSource(7)), 200, on, off)
+	cycle := (on + off).Seconds()
+	last := 0.0
+	n := 2000
+	for i := 0; i < n; i++ {
+		at := a.next()
+		if at < last {
+			t.Fatalf("arrival %d went backwards", i)
+		}
+		last = at
+		if pos := math.Mod(at, cycle); pos >= on.Seconds() {
+			t.Fatalf("arrival %d at %.4fs lands in the off window (cycle pos %.4f)", i, at, pos)
+		}
+	}
+	// The on-window rate is inflated so the long-run average matches the
+	// requested 200/s despite 75% silence.
+	rate := float64(n) / last
+	if rate < 160 || rate > 240 {
+		t.Fatalf("bursty long-run rate = %.1f/s, want ~200/s", rate)
+	}
+}
+
+func TestReplayArrivalsPreserveShapeAtRequestedRate(t *testing.T) {
+	// Two short gaps then a long one, mean 1s: at rate 10/s the mean gap
+	// must become 100ms with the 1:1:4 shape intact.
+	a := newReplayArrivals([]float64{0.5, 0.5, 2.0}, 10)
+	t0 := a.next()
+	t1 := a.next()
+	t2 := a.next()
+	g0, g1, g2 := t0, t1-t0, t2-t1
+	if math.Abs(g0-0.05) > 1e-9 || math.Abs(g1-0.05) > 1e-9 || math.Abs(g2-0.2) > 1e-9 {
+		t.Fatalf("scaled gaps = %v %v %v, want 0.05 0.05 0.2", g0, g1, g2)
+	}
+	// Degenerate trace: all records share a timestamp; falls back to
+	// uniform gaps at the requested rate rather than dividing by zero.
+	d := newReplayArrivals([]float64{0, 0, 0}, 10)
+	if g := d.next(); math.Abs(g-0.1) > 1e-9 {
+		t.Fatalf("degenerate-trace gap = %v, want 0.1", g)
+	}
+}
+
+func TestGapsOf(t *testing.T) {
+	gaps := GapsOf([]float64{1, 2.5, 2.0, math.NaN(), 10})
+	want := []float64{1.5, 0, 0, 0}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gap %d = %v, want %v (full: %v)", i, gaps[i], want[i], gaps)
+		}
+	}
+	if GapsOf([]float64{1}) != nil {
+		t.Fatal("a single timestamp has no gaps")
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 5}, {0.99, 10}, {0.1, 1}, {1, 10},
+	} {
+		if got := quantile(sorted, tc.q); got != tc.want {
+			t.Errorf("quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile of empty = %v, want 0", got)
+	}
+}
+
+func TestBuildBodiesMixAndInterleave(t *testing.T) {
+	cfg, err := Config{
+		TargetURL:     "http://x",
+		BatchFraction: 0.25,
+		BatchRecords:  8,
+		Streams:       4,
+		Values:        [][]float64{{1, 2}, {3, 4}, {5, 6}},
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies, err := buildBodies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := 0
+	run, maxRun := 0, 0 // longest run of consecutive single-record bodies
+	for _, b := range bodies {
+		switch b.path {
+		case "/v1/score-batch":
+			batches++
+			run = 0
+			var req serve.BatchScoreRequest
+			if err := json.Unmarshal(b.payload, &req); err != nil {
+				t.Fatalf("batch body does not decode: %v", err)
+			}
+			if len(req.Items) != 1 || len(req.Items[0].Records) != 8 {
+				t.Fatalf("batch body shape: %d items, want 1x8 records", len(req.Items))
+			}
+			if b.records != 8 {
+				t.Fatalf("batch body records = %d, want 8", b.records)
+			}
+		case "/v1/score":
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+			var req serve.ScoreRequest
+			if err := json.Unmarshal(b.payload, &req); err != nil {
+				t.Fatalf("single body does not decode: %v", err)
+			}
+			if len(req.Records) != 1 || b.records != 1 {
+				t.Fatalf("single body carries %d records", len(req.Records))
+			}
+		default:
+			t.Fatalf("unexpected path %q", b.path)
+		}
+	}
+	// A quarter of the 256-body rotation is batches, spread evenly (the
+	// Bresenham interleave caps single-record runs at 1/frac - 1 = 3).
+	if batches != 64 {
+		t.Fatalf("batches = %d, want 64 of %d", batches, len(bodies))
+	}
+	if maxRun > 3 {
+		t.Fatalf("longest single-record run = %d; the mix should interleave, not clump", maxRun)
+	}
+}
+
+func TestAvgRecordsPerRequest(t *testing.T) {
+	c := Config{BatchFraction: 0.5, BatchRecords: 64}
+	if got := c.avgRecordsPerRequest(); got != 32.5 {
+		t.Fatalf("avgRecordsPerRequest = %v, want 32.5", got)
+	}
+}
+
+func TestCountersSLOAccounting(t *testing.T) {
+	cs := &counters{slo: 100 * time.Millisecond}
+	cs.observeOK(50*time.Millisecond, 10, false)
+	cs.observeOK(200*time.Millisecond, 10, true)
+	if got := cs.records.Load(); got != 20 {
+		t.Fatalf("records = %d, want 20", got)
+	}
+	if got := cs.recordsSLO.Load(); got != 10 {
+		t.Fatalf("records within SLO = %d, want 10 (the 200ms response is over the 100ms bound)", got)
+	}
+	if got := cs.degraded.Load(); got != 1 {
+		t.Fatalf("degraded = %d, want 1", got)
+	}
+	// Unbounded: everything OK counts.
+	free := &counters{}
+	free.observeOK(time.Hour, 5, false)
+	if got := free.recordsSLO.Load(); got != 5 {
+		t.Fatalf("records within disabled SLO = %d, want 5", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{TargetURL: "http://x", Values: [][]float64{{1}}}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"missing target", func(c *Config) { c.TargetURL = "" }},
+		{"no values", func(c *Config) { c.Values = nil }},
+		{"bad mode", func(c *Config) { c.Mode = "sideways" }},
+		{"bad arrivals", func(c *Config) { c.Arrivals = "fractal" }},
+		{"replay without gaps", func(c *Config) { c.Arrivals = "replay" }},
+	} {
+		c := base
+		tc.mutate(&c)
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("%s: want an error", tc.name)
+		}
+	}
+	c, err := base.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SLO != time.Second || c.Rate != 1000 || c.Mode != "open" {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

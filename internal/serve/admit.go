@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -55,25 +56,84 @@ type admitter struct {
 	queuedRecords   atomic.Int64
 	shedRecords     *obs.Counter
 
+	// budget is the live record budget admission checks reservations
+	// against. It starts at maxQueueRecords (the configured static bound)
+	// and stays there unless the adaptive overload controller steers it
+	// down under sustained overload and back up as load clears.
+	budget atomic.Int64
+
+	// inflight counts score requests inside a handler — including the
+	// JSON body decode that runs *before* record-level admission — and
+	// maxInflight caps it. The cap exists because decode-before-admit
+	// (needed so admission can count records) leaves the decode stage
+	// itself unprotected: under a large enough open-loop storm, hundreds
+	// of concurrent decodes starve the scoring slots of CPU while the
+	// post-decode queue stays shallow, so nothing sheds and nothing
+	// signals overload. The gate sheds that storm at the door for the
+	// price of an atomic add, before any body bytes are parsed.
+	inflight    atomic.Int64
+	maxInflight int64
+
 	// perRecNanos is an EWMA of observed per-record service time (float64
 	// bits), fed by every release. It prices the Retry-After hint: backlog
 	// in records times seconds per record over the parallelism actually
-	// available.
+	// available. recsPerReq is an EWMA of records per admitted request,
+	// used to estimate the cost of requests shed before their body (and
+	// so their record count) was ever decoded.
 	perRecNanos atomic.Uint64
+	recsPerReq  atomic.Uint64
+
+	// shedRecentN is a decaying count of recently shed records, priced
+	// into the Retry-After hint alongside the committed backlog: shed
+	// clients come back, so their records are future work even though
+	// they never entered the queue. Without it a sustained overload
+	// prices the hint off the (bounded) committed backlog alone and tells
+	// an ever-growing crowd of clients the same short wait.
+	shedMu      sync.Mutex
+	shedRecentN float64
+	shedLast    time.Time
 
 	shed     *obs.Counter
 	timeouts *obs.Counter
+
+	// unwanted counts involuntary sheds only — queue/budget overflow, the
+	// in-flight gate and queue-wait timeouts — and feeds the overload
+	// controller's hot/calm signal. Deliberate brownout sample-sheds are
+	// excluded: counting work the controller itself chose to turn away as
+	// overload evidence would make level 3 self-sustaining (shedding
+	// proves overload proves shedding), pinning the brownout long after
+	// the real storm passed. budgetShed is the subset of unwanted that
+	// bounced off a *lowered* adaptive record budget: those are the
+	// budget enforcing the latency bound the controller chose (a lowered
+	// budget refusing work proves nothing except that the budget was
+	// lowered), so every controller signal reads unwanted minus
+	// budgetShed.
+	unwanted   obs.Counter
+	budgetShed obs.Counter
 }
 
 // newAdmitter builds the gate. shed, shedRecords and timeouts are the
 // counters bumped on rejection — registry-bound in production, nil for a
 // private counter.
 func newAdmitter(concurrent, maxQueue int, maxQueueRecords int64, shed, shedRecords, timeouts *obs.Counter) *admitter {
+	return newAdmitterInflight(concurrent, maxQueue, 0, maxQueueRecords, shed, shedRecords, timeouts)
+}
+
+// newAdmitterInflight is newAdmitter with an explicit pre-decode
+// in-flight cap; maxInflight <= 0 picks the default (16x the post-decode
+// capacity, floored at 256 so modest bursts never notice the gate).
+func newAdmitterInflight(concurrent, maxQueue, maxInflight int, maxQueueRecords int64, shed, shedRecords, timeouts *obs.Counter) *admitter {
 	if concurrent < 1 {
 		concurrent = 1
 	}
 	if maxQueue < 0 {
 		maxQueue = 0
+	}
+	if maxInflight <= 0 {
+		maxInflight = 16 * (concurrent + maxQueue)
+		if maxInflight < 256 {
+			maxInflight = 256
+		}
 	}
 	if maxQueueRecords < 1 {
 		maxQueueRecords = 1
@@ -87,16 +147,39 @@ func newAdmitter(concurrent, maxQueue int, maxQueueRecords int64, shed, shedReco
 	if timeouts == nil {
 		timeouts = obs.NewCounter()
 	}
-	return &admitter{
+	a := &admitter{
 		slots:           make(chan struct{}, concurrent),
 		concurrent:      int64(concurrent),
 		maxQueue:        int64(maxQueue),
+		maxInflight:     int64(maxInflight),
 		maxQueueRecords: maxQueueRecords,
 		shed:            shed,
 		shedRecords:     shedRecords,
 		timeouts:        timeouts,
 	}
+	a.budget.Store(maxQueueRecords)
+	return a
 }
+
+// enterRequest is the pre-decode gate: it claims an in-flight slot for
+// one score request, before the body is read. ok reports whether the
+// request may proceed; when it may, exit must be called exactly once
+// when the handler returns. A refusal costs two atomic adds and no body
+// bytes — the point of the gate is that shedding a storm must be cheaper
+// than parsing it.
+func (a *admitter) enterRequest() (exit func(), ok bool) {
+	if a.inflight.Add(1) > a.maxInflight {
+		a.inflight.Add(-1)
+		a.shed.Inc()
+		a.unwanted.Inc()
+		return nil, false
+	}
+	return func() { a.inflight.Add(-1) }, true
+}
+
+// inflightRequests reports score requests currently inside a handler,
+// including those still decoding their body.
+func (a *admitter) inflightRequests() int64 { return a.inflight.Load() }
 
 // admit admits a single-record request; see admitN.
 func (a *admitter) admit(ctx context.Context) (release func(), err error) {
@@ -116,12 +199,21 @@ func (a *admitter) admitN(ctx context.Context, n int) (release func(), err error
 	}
 	if err := fpAdmit.Hit(); err != nil {
 		a.shed.Inc()
+		a.unwanted.Inc()
 		a.shedRecords.Add(uint64(n))
 		return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
 	}
-	if a.queuedRecords.Add(int64(n)) > a.maxQueueRecords {
+	if a.queuedRecords.Add(int64(n)) > a.budget.Load() {
 		a.queuedRecords.Add(int64(-n))
 		a.shed.Inc()
+		a.unwanted.Inc()
+		if a.budget.Load() < a.maxQueueRecords {
+			// Bounced off a *lowered* adaptive budget, not the static
+			// record bound: that is the budget enforcing its own limit,
+			// not fresh congestion evidence, so it feeds none of the
+			// control loops (see tickEvidence in brownout.go).
+			a.budgetShed.Inc()
+		}
 		a.shedRecords.Add(uint64(n))
 		return nil, ErrOverloaded
 	}
@@ -144,6 +236,7 @@ func (a *admitter) admitN(ctx context.Context, n int) (release func(), err error
 		a.queued.Add(-1)
 		a.queuedRecords.Add(int64(-n))
 		a.shed.Inc()
+		a.unwanted.Inc()
 		a.shedRecords.Add(uint64(n))
 		return nil, ErrOverloaded
 	}
@@ -160,46 +253,132 @@ func (a *admitter) admitN(ctx context.Context, n int) (release func(), err error
 	case <-ctx.Done():
 		a.queuedRecords.Add(int64(-n))
 		a.timeouts.Inc()
+		a.unwanted.Inc()
 		return nil, fmt.Errorf("%w (%v)", ErrQueueTimeout, ctx.Err())
 	}
 }
 
-// observeServiceTime folds one request's elapsed slot-plus-queue time
-// into the per-record service-time EWMA. Queue wait is deliberately
-// included: the hint prices what a client would actually experience, not
-// just the CPU cost.
+// observeServiceTime folds one request's slot-hold time into the
+// per-record service-time EWMA. The clock starts at slot grant, so queue
+// wait is excluded: both consumers — the Retry-After hint and the
+// overload controller's drain projection — multiply this by a backlog
+// and divide by parallelism, which is exactly Little's law, and pricing
+// queue wait into the per-record cost would count the queue twice.
 func (a *admitter) observeServiceTime(elapsed time.Duration, records int64) {
 	if records < 1 || elapsed <= 0 {
 		return
 	}
 	per := float64(elapsed.Nanoseconds()) / float64(records)
 	const alpha = 0.2
+	ewma(&a.perRecNanos, per, alpha)
+	ewma(&a.recsPerReq, float64(records), alpha)
+}
+
+// ewma folds sample into the float64-bits EWMA at dst (first sample
+// initialises it).
+func ewma(dst *atomic.Uint64, sample, alpha float64) {
 	for {
-		old := a.perRecNanos.Load()
-		cur := math.Float64frombits(old)
-		next := per
+		old := dst.Load()
+		next := sample
 		if old != 0 {
-			next = alpha*per + (1-alpha)*cur
+			next = alpha*sample + (1-alpha)*math.Float64frombits(old)
 		}
-		if a.perRecNanos.CompareAndSwap(old, math.Float64bits(next)) {
+		if dst.CompareAndSwap(old, math.Float64bits(next)) {
 			return
 		}
 	}
 }
 
+// estRecordsPerRequest estimates how many records a request whose body
+// was never decoded would have carried: the records-per-request EWMA,
+// floored at one. Prices gate and sample sheds into the Retry-After
+// backlog without pretending the count is exact.
+func (a *admitter) estRecordsPerRequest() int64 {
+	est := int64(math.Float64frombits(a.recsPerReq.Load()))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// shedHalfLife is how fast the recent-shed backlog behind the Retry-After
+// hint forgets: a record shed one second ago counts half, two seconds ago
+// a quarter. Long enough that a burst of sheds raises the hint for the
+// clients shed right behind it, short enough that one bad second does not
+// inflate hints all afternoon.
+const shedHalfLife = time.Second
+
+// noteShed folds n just-shed records into the decaying shed backlog. Call
+// it after pricing the shedding request's own hint — retryAfterHint
+// already adds the rejected batch itself, so noting first would count it
+// twice.
+func (a *admitter) noteShed(n int64) {
+	now := time.Now()
+	a.shedMu.Lock()
+	a.shedRecentN = a.shedDecayed(now) + float64(n)
+	a.shedLast = now
+	a.shedMu.Unlock()
+}
+
+// shedDecayed returns the shed backlog decayed to now. Caller holds shedMu.
+func (a *admitter) shedDecayed(now time.Time) float64 {
+	if a.shedRecentN == 0 {
+		return 0
+	}
+	dt := now.Sub(a.shedLast)
+	if dt <= 0 {
+		return a.shedRecentN
+	}
+	return a.shedRecentN * math.Exp2(-float64(dt)/float64(shedHalfLife))
+}
+
+// shedBacklog reports the decayed recent-shed backlog in records.
+func (a *admitter) shedBacklog() float64 {
+	a.shedMu.Lock()
+	defer a.shedMu.Unlock()
+	return a.shedDecayed(time.Now())
+}
+
+// unwantedShed reports involuntary sheds (queue/budget overflow, gate
+// refusals, queue-wait timeouts) — the overload controller's evidence
+// stream, which deliberate sample-sheds never touch.
+func (a *admitter) unwantedShed() uint64 { return a.unwanted.Value() }
+
+// budgetOverflowShed reports the subset of unwantedShed that bounced off
+// a lowered adaptive record budget.
+func (a *admitter) budgetOverflowShed() uint64 { return a.budgetShed.Value() }
+
+// recordBudget reports the live adaptive record budget.
+func (a *admitter) recordBudget() int64 { return a.budget.Load() }
+
+// setRecordBudget installs a new record budget (floored at 1 record).
+func (a *admitter) setRecordBudget(v int64) {
+	if v < 1 {
+		v = 1
+	}
+	a.budget.Store(v)
+}
+
+// perRecordNanos reports the per-record service-time EWMA in nanoseconds
+// (0 before any request completes).
+func (a *admitter) perRecordNanos() float64 {
+	return math.Float64frombits(a.perRecNanos.Load())
+}
+
 // retryAfterHint estimates, in whole seconds clamped to [1, 30], how long
 // a shed client should wait before retrying n records: the committed
-// record backlog plus the rejected batch, priced at the observed
-// per-record service time, divided by the scoring parallelism. Before any
-// request completes (no EWMA yet) it answers 1 — the cheap guess that
-// matches the pre-batching behaviour.
+// record backlog, the decayed cost of recently shed records (they will be
+// back) and the rejected batch itself, priced at the observed per-record
+// service time, divided by the scoring parallelism. Before any request
+// completes (no EWMA yet) it answers 1 — the cheap guess that matches the
+// pre-batching behaviour.
 func (a *admitter) retryAfterHint(n int) int {
 	per := math.Float64frombits(a.perRecNanos.Load())
 	if per <= 0 {
 		return 1
 	}
-	backlog := a.queuedRecords.Load() + int64(n)
-	secs := per * float64(backlog) / float64(a.concurrent) / 1e9
+	backlog := float64(a.queuedRecords.Load()+int64(n)) + a.shedBacklog()
+	secs := per * backlog / float64(a.concurrent) / 1e9
 	hint := int(math.Ceil(secs))
 	if hint < 1 {
 		return 1

@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"crossfeature/internal/core"
@@ -44,11 +43,13 @@ type BatchItemResult struct {
 }
 
 // BatchScoreResponse is the reply to a BatchScoreRequest. Items are in
-// request order.
+// request order. Degraded mirrors ScoreResponse.Degraded: the brownout
+// mode the whole batch was served under, empty at full fidelity.
 type BatchScoreResponse struct {
 	ModelVersion  uint64            `json:"model_version"`
 	Items         []BatchItemResult `json:"items"`
 	RecordsScored int               `json:"records_scored"`
+	Degraded      string            `json:"degraded,omitempty"`
 }
 
 // scoreItems is the one scoring pipeline behind both /v1/score and
@@ -67,7 +68,24 @@ type BatchScoreResponse struct {
 // ScoreEvents are pinned to Score, and ObserveScore(raw) is exactly what
 // Observe computes internally. Returns per-item results in input order
 // and the total records scored.
-func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest) ([]BatchItemResult, int) {
+//
+// lvl is the brownout level the request is served under. Level 1 skips
+// the Explain-style per-feature metrics; level 2 and above (when the
+// bundle carries an NB fallback) scores through the compiled NB kernel
+// *statelessly* — the per-stream detectors are never touched, because
+// ObserveScore folds raw scores into EWMA/hysteresis state against the
+// PRIMARY detector's threshold, and NB-scale scores would poison stream
+// state that outlives the brownout. Degraded verdicts are point-in-time:
+// Smoothed is the raw score and Alarm mirrors Anomaly, with no hysteresis
+// edges. That also skips the shard and stream locks — the stateful tail is
+// exactly the part worth shedding under overload.
+func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest, lvl int) ([]BatchItemResult, int) {
+	det := lm.detector
+	stateless := false
+	if lvl >= brownoutNBOnly && lm.fallback != nil {
+		det = lm.fallback
+		stateless = true
+	}
 	results := make([]BatchItemResult, len(items))
 	rows := make([][][]int, len(items))
 	total := 0
@@ -98,15 +116,18 @@ func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest) ([]BatchItemR
 	for _, xs := range rows {
 		flat = append(flat, xs...)
 	}
-	an := lm.detector.Analyzer
+	an := det.Analyzer
 	var scores []float64
 	if len(flat) >= batchKernelMin {
-		scores = an.ScoreAll(ml.DatasetOf(an.Attrs, flat), lm.detector.Scorer)
+		scores = an.ScoreAll(ml.DatasetOf(an.Attrs, flat), det.Scorer)
 	} else {
-		scores = an.ScoreEvents(flat, lm.detector.Scorer)
+		scores = an.ScoreEvents(flat, det.Scorer)
 	}
 
 	feat := s.featureMetricsFor(lm)
+	if lvl >= brownoutNoExtras {
+		feat = nil
+	}
 	scored, off := 0, 0
 	for i := range items {
 		xs := rows[i]
@@ -115,47 +136,92 @@ func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest) ([]BatchItemR
 		}
 		recScores := scores[off : off+len(xs)]
 		off += len(xs)
-		st := s.streams.get(items[i].Stream, func() *core.OnlineDetector {
-			return s.newOnlineDetector(lm)
-		})
-		rr := make([]RecordResult, 0, len(xs))
-		st.mu.Lock()
-		if st.version != lm.version {
-			st.od.SwapDetector(lm.detector)
-			st.version = lm.version
+		var rr []RecordResult
+		if stateless {
+			rr = statelessResults(items[i].Records, recScores, det.Threshold, s.met)
+		} else {
+			rr = s.statefulResults(lm, items[i], xs, recScores, feat)
 		}
-		for j, raw := range recScores {
-			state := st.od.ObserveScore(raw)
-			out := RecordResult{
-				Time:     items[i].Records[j].Time,
-				Score:    state.Score,
-				Smoothed: state.Smoothed,
-				Anomaly:  state.Score < lm.detector.Threshold,
-				Alarm:    state.Alarm,
-				Raised:   state.Raised,
-				Cleared:  state.Cleared,
-			}
-			if !isFinite(state.Score) {
-				out.Score, out.Anomaly, out.Invalid = -1, true, true
-				s.met.invalid.Inc()
-			} else if out.Anomaly {
-				s.met.scoreAnomaly.Observe(state.Score)
-			} else {
-				s.met.scoreNormal.Observe(state.Score)
-			}
-			if !isFinite(state.Smoothed) {
-				out.Smoothed = -1
-			}
-			if feat != nil {
-				feat.Observe(lm.bundle.Analyzer.Explain(xs[j]))
-			}
-			rr = append(rr, out)
-		}
-		st.mu.Unlock()
 		results[i].Results = rr
 		scored += len(rr)
 	}
+	if scored > 0 {
+		s.met.brownoutVerdict(lvl).Add(uint64(scored))
+	}
 	return results, scored
+}
+
+// statefulResults runs one item's precomputed scores through its stream's
+// detector under the stream lock — the full-fidelity (levels 0-1) tail.
+func (s *Server) statefulResults(lm *loadedModel, item ScoreRequest, xs [][]int, recScores []float64, feat *core.ScoreMetrics) []RecordResult {
+	st := s.streams.get(item.Stream, func() *core.OnlineDetector {
+		return s.newOnlineDetector(lm)
+	})
+	rr := make([]RecordResult, 0, len(xs))
+	st.mu.Lock()
+	if st.version != lm.version {
+		st.od.SwapDetector(lm.detector)
+		st.version = lm.version
+	}
+	for j, raw := range recScores {
+		state := st.od.ObserveScore(raw)
+		out := RecordResult{
+			Time:     item.Records[j].Time,
+			Score:    state.Score,
+			Smoothed: state.Smoothed,
+			Anomaly:  state.Score < lm.detector.Threshold,
+			Alarm:    state.Alarm,
+			Raised:   state.Raised,
+			Cleared:  state.Cleared,
+		}
+		if !isFinite(state.Score) {
+			out.Score, out.Anomaly, out.Invalid = -1, true, true
+			s.met.invalid.Inc()
+		} else if out.Anomaly {
+			s.met.scoreAnomaly.Observe(state.Score)
+		} else {
+			s.met.scoreNormal.Observe(state.Score)
+		}
+		if !isFinite(state.Smoothed) {
+			out.Smoothed = -1
+		}
+		if feat != nil {
+			feat.Observe(lm.bundle.Analyzer.Explain(xs[j]))
+		}
+		rr = append(rr, out)
+	}
+	st.mu.Unlock()
+	return rr
+}
+
+// statelessResults builds point-in-time verdicts from NB fallback scores
+// at brownout level 2+: threshold comparison only, no stream state read
+// or written. Smoothed repeats the raw score and Alarm mirrors Anomaly so
+// a client keying off either field still gets a sane (if undamped)
+// signal; Raised/Cleared stay false because there is no hysteresis to
+// edge-trigger.
+func statelessResults(records []Record, recScores []float64, threshold float64, met *serverMetrics) []RecordResult {
+	rr := make([]RecordResult, 0, len(recScores))
+	for j, raw := range recScores {
+		anomaly := raw < threshold
+		out := RecordResult{
+			Time:     records[j].Time,
+			Score:    raw,
+			Smoothed: raw,
+			Anomaly:  anomaly,
+			Alarm:    anomaly,
+		}
+		if !isFinite(raw) {
+			out.Score, out.Smoothed, out.Anomaly, out.Alarm, out.Invalid = -1, -1, true, true, true
+			met.invalid.Inc()
+		} else if anomaly {
+			met.scoreAnomaly.Observe(raw)
+		} else {
+			met.scoreNormal.Observe(raw)
+		}
+		rr = append(rr, out)
+	}
+	return rr
 }
 
 // handleScoreBatch is POST /v1/score-batch: N streams' records in, one
@@ -169,6 +235,11 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.batchRequests.Inc()
 	started := time.Now()
 	defer func() { s.met.latency.Observe(time.Since(started).Seconds()) }()
+	exit, ok := s.gateEnter(w)
+	if !ok {
+		return
+	}
+	defer exit()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
@@ -195,8 +266,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	release, err := s.adm.admitN(ctx, n)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterHint(n)))
-		writeJSONError(w, http.StatusTooManyRequests, err.Error())
+		s.shedReply(w, n, err.Error())
 		return
 	case err != nil:
 		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
@@ -210,7 +280,8 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	lm := s.model.current()
-	items, scored := s.scoreItems(lm, req.Items)
+	lvl := s.brown.level()
+	items, scored := s.scoreItems(lm, req.Items, lvl)
 	bad := 0
 	for i := range items {
 		if items[i].Error != "" {
@@ -221,9 +292,14 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		s.met.badRequests.Add(uint64(bad))
 	}
 	s.met.scored.Add(uint64(scored))
+	degraded := degradedMode(lvl, lm.fallback != nil)
+	if degraded != "" {
+		w.Header().Set(degradedHeader, degraded)
+	}
 	writeJSON(w, http.StatusOK, BatchScoreResponse{
 		ModelVersion:  lm.version,
 		Items:         items,
 		RecordsScored: scored,
+		Degraded:      degraded,
 	})
 }

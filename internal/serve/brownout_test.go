@@ -1,0 +1,551 @@
+package serve
+
+// Tests for the adaptive overload controller: AIMD budget moves,
+// entry/exit hysteresis pinned through the serve/brownout failpoint
+// (no real load needed), sample-shedding, the Retry-After clamp edges,
+// and — the one that matters most — the brownout NB-only differential:
+// degraded verdicts must be bit-identical to the fallback detector
+// scored by hand on the same records, and full verdicts to the primary.
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"crossfeature/internal/core"
+	"crossfeature/internal/failpoint"
+	"crossfeature/internal/features"
+	"crossfeature/internal/ml/c45"
+	"crossfeature/internal/ml/nbayes"
+)
+
+// writeFallbackBundle trains a bundle whose primary is a C4.5 ensemble
+// and whose Fallback is a naive-Bayes ensemble on the same discretised
+// data — the shape `cfa train -learner C4.5` now produces, and the only
+// shape under which brownout level 2 changes the scoring kernel.
+func writeFallbackBundle(t testing.TB, path string) *core.Bundle {
+	t.Helper()
+	rows := normalRows(120)
+	disc, err := features.Fit(rows, testFeatureNames, features.FitOptions{Buckets: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := disc.Dataset(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Train(ds, c45.NewLearner(), core.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, _ := core.Calibrate(a.ScoreAll(ds, core.Probability), 0.02)
+	fb, err := core.Train(ds, nbayes.NewLearner(), core.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fth, _ := core.Calibrate(fb.ScoreAll(ds, core.Probability), 0.02)
+	b := &core.Bundle{
+		Analyzer:          a,
+		Discretizer:       disc,
+		Threshold:         th,
+		Scorer:            core.Probability,
+		Fallback:          fb,
+		FallbackThreshold: fth,
+	}
+	if err := b.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDegradedMode(t *testing.T) {
+	cases := []struct {
+		lvl          int
+		haveFallback bool
+		want         string
+	}{
+		{brownoutOff, true, ""},
+		{brownoutOff, false, ""},
+		{brownoutNoExtras, true, "extras-off"},
+		{brownoutNoExtras, false, "extras-off"},
+		{brownoutNBOnly, true, "nb-only"},
+		{brownoutNBOnly, false, "extras-off"},
+		{brownoutShedding, true, "nb-only+shed"},
+		{brownoutShedding, false, "extras-off+shed"},
+	}
+	for _, c := range cases {
+		if got := degradedMode(c.lvl, c.haveFallback); got != c.want {
+			t.Errorf("degradedMode(%d, %v) = %q, want %q", c.lvl, c.haveFallback, got, c.want)
+		}
+	}
+}
+
+// TestBrownoutHysteresis pins the entry/exit dwell through the failpoint:
+// hot ticks below the dwell must not raise the level, the dwell-th must,
+// and exit must take the (longer) calm dwell.
+func TestBrownoutHysteresis(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.BrownoutEnterAfter = 3
+		c.BrownoutExitAfter = 5
+	})
+	if err := failpoint.Arm("serve/brownout", "error(hot)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/brownout")
+
+	for i := 0; i < 2; i++ {
+		s.brown.tick()
+	}
+	if got := s.brown.level(); got != brownoutOff {
+		t.Fatalf("level after 2 hot ticks = %d, want 0 (dwell is 3)", got)
+	}
+	s.brown.tick()
+	if got := s.brown.level(); got != brownoutNoExtras {
+		t.Fatalf("level after 3 hot ticks = %d, want 1", got)
+	}
+	// Three more hot ticks: one full dwell again, level 2.
+	for i := 0; i < 3; i++ {
+		s.brown.tick()
+	}
+	if got := s.brown.level(); got != brownoutNBOnly {
+		t.Fatalf("level after 6 hot ticks = %d, want 2", got)
+	}
+
+	if err := failpoint.Arm("serve/brownout", "error(calm)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.brown.tick()
+	}
+	if got := s.brown.level(); got != brownoutNBOnly {
+		t.Fatalf("level after 4 calm ticks = %d, want 2 (exit dwell is 5)", got)
+	}
+	s.brown.tick()
+	if got := s.brown.level(); got != brownoutNoExtras {
+		t.Fatalf("level after 5 calm ticks = %d, want 1", got)
+	}
+	// A single hot tick resets the calm streak: 4 more calm ticks must
+	// not be enough to exit again.
+	if err := failpoint.Arm("serve/brownout", "error(hot)"); err != nil {
+		t.Fatal(err)
+	}
+	s.brown.tick()
+	if err := failpoint.Arm("serve/brownout", "error(calm)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.brown.tick()
+	}
+	if got := s.brown.level(); got != brownoutNoExtras {
+		t.Fatalf("level after hot interruption + 4 calm ticks = %d, want 1", got)
+	}
+	if got := s.met.brownoutTransitions.Value(); got != 3 {
+		t.Fatalf("transitions = %d, want 3 (0->1, 1->2, 2->1)", got)
+	}
+}
+
+// TestBrownoutForcedLevel pins the failpoint's integer directive: chaos
+// runs jump straight to a level without walking the hysteresis.
+func TestBrownoutForcedLevel(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	if err := failpoint.Arm("serve/brownout", "error(3)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/brownout")
+	s.brown.tick()
+	if got := s.brown.level(); got != brownoutShedding {
+		t.Fatalf("forced level = %d, want 3", got)
+	}
+	if err := failpoint.Arm("serve/brownout", "error(0)"); err != nil {
+		t.Fatal(err)
+	}
+	s.brown.tick()
+	if got := s.brown.level(); got != brownoutOff {
+		t.Fatalf("forced level = %d, want 0", got)
+	}
+	if got := s.met.brownoutTransitions.Value(); got != 2 {
+		t.Fatalf("transitions = %d, want 2", got)
+	}
+}
+
+// TestAIMDBudget pins the budget dynamics: hot ticks halve toward the
+// one-batch floor, calm ticks creep back to the configured maximum.
+func TestAIMDBudget(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.MaxConcurrent = 1 // pin the floor: one max batch per slot
+		c.MaxBatchRecords = 100
+		c.MaxQueueRecords = 6400
+	})
+	if err := failpoint.Arm("serve/brownout", "error(hot)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/brownout")
+
+	if got := s.adm.recordBudget(); got != 6400 {
+		t.Fatalf("initial budget = %d, want 6400", got)
+	}
+	s.brown.tick()
+	if got := s.adm.recordBudget(); got != 3200 {
+		t.Fatalf("budget after 1 hot tick = %d, want 3200", got)
+	}
+	for i := 0; i < 20; i++ {
+		s.brown.tick()
+	}
+	if got := s.adm.recordBudget(); got != 100 {
+		t.Fatalf("budget floor = %d, want 100 (one max batch)", got)
+	}
+
+	if err := failpoint.Arm("serve/brownout", "error(calm)"); err != nil {
+		t.Fatal(err)
+	}
+	s.brown.tick()
+	if got := s.adm.recordBudget(); got != 200 {
+		t.Fatalf("budget after 1 calm tick = %d, want 200 (step = max/64)", got)
+	}
+	for i := 0; i < 200; i++ {
+		s.brown.tick()
+	}
+	if got := s.adm.recordBudget(); got != 6400 {
+		t.Fatalf("budget ceiling = %d, want 6400", got)
+	}
+}
+
+// TestBrownoutNBOnlyDifferential is the brownout analogue of the
+// score-diff pinning: at level 2 the served scores must be bit-identical
+// to the fallback detector scored by hand on the same records, and back
+// at level 0 bit-identical to the primary — same records, same bundle.
+func TestBrownoutNBOnlyDifferential(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/model.bin"
+	b := writeFallbackBundle(t, path)
+	s, err := New(Config{
+		ModelPath: path,
+		Logf:      func(format string, args ...any) { t.Logf(format, args...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	recs := records(16, normalRecord)
+	recs = append(recs, records(8, anomalousRecord)...)
+
+	refScore := func(an *core.Analyzer, rec Record) float64 {
+		x, err := b.Discretizer.Transform(rec.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an.Score(x, b.Scorer)
+	}
+
+	if err := failpoint.Arm("serve/brownout", "error(2)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/brownout")
+	s.brown.tick()
+
+	resp, sr := postScore(t, ts.URL, ScoreRequest{Stream: "diff", Records: recs})
+	if sr == nil {
+		t.Fatalf("level-2 score failed: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-CFA-Degraded"); got != "nb-only" {
+		t.Fatalf("X-CFA-Degraded = %q, want nb-only", got)
+	}
+	if sr.Degraded != "nb-only" {
+		t.Fatalf("response degraded = %q, want nb-only", sr.Degraded)
+	}
+	for i, rr := range sr.Results {
+		want := refScore(b.Fallback, recs[i])
+		if rr.Score != want {
+			t.Fatalf("record %d: level-2 score %v != fallback reference %v", i, rr.Score, want)
+		}
+		if rr.Smoothed != rr.Score {
+			t.Fatalf("record %d: level-2 smoothed %v != score %v (stateless verdicts are point-in-time)", i, rr.Smoothed, rr.Score)
+		}
+		if wantAnom := want < b.FallbackThreshold; rr.Anomaly != wantAnom || rr.Alarm != wantAnom {
+			t.Fatalf("record %d: level-2 anomaly/alarm = %v/%v, want %v at fallback threshold", i, rr.Anomaly, rr.Alarm, wantAnom)
+		}
+		if rr.Raised || rr.Cleared {
+			t.Fatalf("record %d: stateless verdict carries hysteresis edges", i)
+		}
+	}
+	// Stateless scoring must not have created stream state.
+	if got := s.streams.len(); got != 0 {
+		t.Fatalf("level-2 scoring created %d streams, want 0", got)
+	}
+
+	// Back to full service: primary scores, stream state returns.
+	if err := failpoint.Arm("serve/brownout", "error(0)"); err != nil {
+		t.Fatal(err)
+	}
+	s.brown.tick()
+	resp, sr = postScore(t, ts.URL, ScoreRequest{Stream: "diff", Records: recs})
+	if sr == nil {
+		t.Fatalf("level-0 score failed: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-CFA-Degraded"); got != "" {
+		t.Fatalf("X-CFA-Degraded = %q after brownout exit, want empty", got)
+	}
+	if sr.Degraded != "" {
+		t.Fatalf("response degraded = %q after exit, want empty", sr.Degraded)
+	}
+	for i, rr := range sr.Results {
+		want := refScore(b.Analyzer, recs[i])
+		if rr.Score != want {
+			t.Fatalf("record %d: level-0 score %v != primary reference %v", i, rr.Score, want)
+		}
+	}
+	if got := s.streams.len(); got != 1 {
+		t.Fatalf("level-0 scoring left %d streams, want 1", got)
+	}
+	if lvl2 := s.met.brownoutVerdicts[brownoutNBOnly].Value(); lvl2 != uint64(len(recs)) {
+		t.Fatalf("level-2 verdict counter = %d, want %d", lvl2, len(recs))
+	}
+}
+
+// TestBrownoutNBOnlyWithoutFallback: a bundle with no fallback (NBC
+// primary) must keep serving primary verdicts at level 2, reported as
+// extras-off.
+func TestBrownoutNBOnlyWithoutFallback(t *testing.T) {
+	s, _ := newTestServer(t, nil) // writeTestBundle trains NBC, no fallback
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := failpoint.Arm("serve/brownout", "error(2)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/brownout")
+	s.brown.tick()
+
+	resp, sr := postScore(t, ts.URL, ScoreRequest{Stream: "s", Records: records(4, normalRecord)})
+	if sr == nil {
+		t.Fatalf("score failed: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-CFA-Degraded"); got != "extras-off" {
+		t.Fatalf("X-CFA-Degraded = %q, want extras-off", got)
+	}
+	// Primary path still ran: stream state exists.
+	if got := s.streams.len(); got != 1 {
+		t.Fatalf("streams = %d, want 1 (no fallback means the stateful path)", got)
+	}
+}
+
+// TestSampleShedAlternates pins level 3's deterministic 50% shed: out of
+// 10 requests exactly 5 are turned away with a degraded 429.
+func TestSampleShedAlternates(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := failpoint.Arm("serve/brownout", "error(3)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/brownout")
+	s.brown.tick()
+
+	shed, ok := 0, 0
+	for i := 0; i < 10; i++ {
+		resp, sr := postScore(t, ts.URL, ScoreRequest{Stream: "s", Records: records(1, normalRecord)})
+		switch {
+		case sr != nil:
+			ok++
+		case resp.StatusCode == http.StatusTooManyRequests:
+			shed++
+			if resp.Header.Get("X-CFA-Degraded") == "" {
+				t.Fatal("sample-shed 429 missing X-CFA-Degraded header")
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("sample-shed 429 missing Retry-After header")
+			}
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if shed != 5 || ok != 5 {
+		t.Fatalf("shed/ok = %d/%d, want 5/5 (deterministic alternation)", shed, ok)
+	}
+	if got := s.met.brownoutShed.Value(); got != 5 {
+		t.Fatalf("brownout shed counter = %d, want 5", got)
+	}
+	st := s.Stats()
+	if st.BrownoutLevel != 3 || st.BrownoutShed != 5 {
+		t.Fatalf("Stats brownout level/shed = %d/%d, want 3/5", st.BrownoutLevel, st.BrownoutShed)
+	}
+}
+
+// TestSampleStrideAIMD pins level 3's adaptive admit stride: hot ticks
+// widen it multiplicatively toward the cap, calm ticks narrow it by one,
+// and the level refuses to drop until the stride has unwound — a fixed
+// 50% door cannot match a 10x storm, and reopening before unwinding
+// would just re-admit it.
+func TestSampleStrideAIMD(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.BrownoutEnterAfter = 3
+		c.BrownoutExitAfter = 2
+	})
+	if err := failpoint.Arm("serve/brownout", "error(3)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/brownout")
+	s.brown.tick()
+	if got := s.brown.sampleStride(); got != sampleStrideMin {
+		t.Fatalf("stride after forced entry = %d, want %d", got, sampleStrideMin)
+	}
+
+	if err := failpoint.Arm("serve/brownout", "error(hot)"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int64{3, 4, 6, 9, 13} { // k += max(1, k/2)
+		s.brown.tick()
+		if got := s.brown.sampleStride(); got != want {
+			t.Fatalf("stride after hot tick = %d, want %d", got, want)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		s.brown.tick()
+	}
+	if got := s.brown.sampleStride(); got != sampleStrideMax {
+		t.Fatalf("stride cap = %d, want %d", got, sampleStrideMax)
+	}
+	if got := s.brown.level(); got != brownoutShedding {
+		t.Fatalf("level = %d, want 3 (already at max)", got)
+	}
+	if got := s.Stats().BrownoutStride; got != sampleStrideMax {
+		t.Fatalf("Stats stride = %d, want %d", got, sampleStrideMax)
+	}
+
+	// Calm ticks unwind the stride one step each and must NOT count
+	// toward the exit dwell while doing so.
+	if err := failpoint.Arm("serve/brownout", "error(calm)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < sampleStrideMax-sampleStrideMin; i++ {
+		s.brown.tick()
+	}
+	if got := s.brown.sampleStride(); got != sampleStrideMin {
+		t.Fatalf("stride after unwind = %d, want %d", got, sampleStrideMin)
+	}
+	if got := s.brown.level(); got != brownoutShedding {
+		t.Fatalf("level dropped to %d during stride unwind, want 3", got)
+	}
+	// Only now does the exit dwell start counting.
+	s.brown.tick()
+	if got := s.brown.level(); got != brownoutShedding {
+		t.Fatalf("level after 1 calm tick past unwind = %d, want 3 (exit dwell is 2)", got)
+	}
+	s.brown.tick()
+	if got := s.brown.level(); got != brownoutNBOnly {
+		t.Fatalf("level after exit dwell = %d, want 2", got)
+	}
+}
+
+// TestSampleShedNotOverloadEvidence pins the controller's evidence
+// stream: deliberate sample-sheds must not read back as overload, or
+// level 3 sustains itself after the real storm ends. Only involuntary
+// sheds (queue overflow here) count.
+func TestSampleShedNotOverloadEvidence(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := failpoint.Arm("serve/brownout", "error(3)"); err != nil {
+		t.Fatal(err)
+	}
+	s.brown.tick()
+	failpoint.Disarm("serve/brownout")
+
+	for i := 0; i < 10; i++ {
+		postScore(t, ts.URL, ScoreRequest{Stream: "s", Records: records(1, normalRecord)})
+	}
+	if got := s.met.brownoutShed.Value(); got == 0 {
+		t.Fatal("no sample-sheds happened; the test is not exercising level 3")
+	}
+	if got := s.adm.unwantedShed(); got != 0 {
+		t.Fatalf("unwantedShed = %d after sample-sheds only, want 0", got)
+	}
+	if ev := s.brown.overloadSignal(); ev.hot || ev.shedHot || ev.budgetHot {
+		t.Fatal("overloadSignal = hot on sample-shed evidence alone")
+	}
+
+	// An involuntary shed is evidence — and shed evidence specifically,
+	// the kind that widens the stride.
+	s.adm.unwanted.Inc()
+	if ev := s.brown.overloadSignal(); !ev.hot || !ev.shedHot {
+		t.Fatal("overloadSignal = calm after an involuntary shed")
+	}
+
+	// A shed that bounced off a lowered adaptive budget is no evidence at
+	// all: it is the budget enforcing the latency bound the controller
+	// chose, and feeding it back would ratchet the loop that listens.
+	s.adm.setRecordBudget(s.adm.recordBudget() / 2)
+	s.adm.unwanted.Inc()
+	s.adm.budgetShed.Inc()
+	if ev := s.brown.overloadSignal(); ev.hot || ev.shedHot || ev.budgetHot {
+		t.Fatalf("budget-overflow shed evidence = %+v, want none", ev)
+	}
+}
+
+// TestRetryAfterClampEdges pins the hint clamp [1, 30] at both edges and
+// the shed-backlog satellite: shed records must raise the hint for the
+// clients shed right behind them, and decay back out.
+func TestRetryAfterClampEdges(t *testing.T) {
+	a := newAdmitter(1, 1, 1<<20, nil, nil, nil)
+
+	// No EWMA yet: the cheap guess.
+	if got := a.retryAfterHint(1); got != 1 {
+		t.Fatalf("hint before any service time = %d, want 1", got)
+	}
+	// Tiny per-record cost: floor at 1.
+	a.observeServiceTime(time.Microsecond, 1000)
+	if got := a.retryAfterHint(1); got != 1 {
+		t.Fatalf("hint at negligible cost = %d, want 1 (low clamp)", got)
+	}
+	// Absurd per-record cost: ceiling at 30.
+	a.observeServiceTime(time.Hour, 1)
+	for i := 0; i < 50; i++ { // drive the EWMA all the way up
+		a.observeServiceTime(time.Hour, 1)
+	}
+	if got := a.retryAfterHint(1); got != 30 {
+		t.Fatalf("hint at absurd cost = %d, want 30 (high clamp)", got)
+	}
+
+	// Fresh admitter with a moderate cost: the shed backlog must move the
+	// hint, and decay must move it back.
+	b := newAdmitter(1, 1, 1<<20, nil, nil, nil)
+	for i := 0; i < 50; i++ {
+		b.observeServiceTime(2*time.Second, 1) // 2 s/record, 1-wide service
+	}
+	base := b.retryAfterHint(1)
+	if base != 2 {
+		t.Fatalf("base hint = %d, want 2 (2s for the rejected record itself)", base)
+	}
+	b.noteShed(5)
+	raised := b.retryAfterHint(1)
+	if raised <= base {
+		t.Fatalf("hint after noteShed(5) = %d, want > %d (shed clients come back)", raised, base)
+	}
+	// Backdate the shed burst far past the half-life: the backlog decays
+	// to nothing and the hint returns to base.
+	b.shedMu.Lock()
+	b.shedLast = time.Now().Add(-100 * shedHalfLife)
+	b.shedMu.Unlock()
+	if got := b.retryAfterHint(1); got != base {
+		t.Fatalf("hint after decay = %d, want %d", got, base)
+	}
+	if got := b.shedBacklog(); got > 1e-9 {
+		t.Fatalf("decayed shed backlog = %v, want ~0", got)
+	}
+}
+
+// TestShedBacklogMath pins the half-life arithmetic directly.
+func TestShedBacklogMath(t *testing.T) {
+	a := newAdmitter(1, 1, 1<<20, nil, nil, nil)
+	a.noteShed(100)
+	a.shedMu.Lock()
+	a.shedLast = time.Now().Add(-shedHalfLife)
+	a.shedMu.Unlock()
+	got := a.shedBacklog()
+	if math.Abs(got-50) > 1 { // one half-life: half the records remain
+		t.Fatalf("backlog after one half-life = %v, want ~50", got)
+	}
+}

@@ -706,3 +706,122 @@ func TestChaosAdmitDelayFailpoint(t *testing.T) {
 		t.Errorf("request completed in %v, delay failpoint did not fire", took)
 	}
 }
+
+// TestChaosCheckpointDuringBrownoutBurst races the durable-state machinery
+// against the overload controller: with brownout pinned at level 3
+// (sample-shedding plus degraded scoring), a sustained mixed burst mutates
+// stream state and trips noteShed while checkpoints snapshot the table in
+// a loop. Invariants: every checkpoint write succeeds promptly (a busy
+// stream is skipped, never waited on), the final file restores cleanly
+// into a fresh server, every burst request resolves to 200 or 429, and
+// nothing leaks goroutines.
+func TestChaosCheckpointDuringBrownoutBurst(t *testing.T) {
+	defer leakCheck(t)()
+	cp := filepath.Join(t.TempDir(), "streams.cfac")
+	s, modelPath := newTestServer(t, func(c *Config) {
+		c.CheckpointPath = cp
+		c.MaxConcurrent = 2
+		c.MaxQueue = 4
+		c.MaxQueueRecords = 64
+		c.MaxBatchRecords = 16
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm stream state at full service so checkpoints have something real
+	// to snapshot.
+	for i := 0; i < 8; i++ {
+		resp, _ := postScore(t, ts.URL, ScoreRequest{
+			Stream:  fmt.Sprintf("warm-%d", i),
+			Records: records(2, normalRecord),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warmup request %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	if err := failpoint.Arm("serve/brownout", "error(3)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disarm("serve/brownout")
+	s.brown.tick()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var code int
+				if i%2 == 0 {
+					resp, _ := postScore(t, ts.URL, ScoreRequest{
+						Stream:  fmt.Sprintf("warm-%d", (w+i)%8),
+						Records: records(1, normalRecord),
+					})
+					code = resp.StatusCode
+				} else {
+					resp, _ := postScoreBatch(t, ts.URL, BatchScoreRequest{Items: []ScoreRequest{{
+						Stream:  fmt.Sprintf("warm-%d", (w+i)%8),
+						Records: records(4, normalRecord),
+					}}})
+					code = resp.StatusCode
+				}
+				if code != http.StatusOK && code != http.StatusTooManyRequests {
+					t.Errorf("burst request: unexpected status %d", code)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Checkpoint in a tight loop while the burst runs. Every write must
+	// succeed, and promptly: the snapshot skips busy streams rather than
+	// queueing behind them, so brownout load cannot stall the CFAC write.
+	for i := 0; i < 15; i++ {
+		start := time.Now()
+		info, err := s.Checkpoint()
+		if err != nil {
+			t.Fatalf("checkpoint %d under brownout burst: %v", i, err)
+		}
+		if took := time.Since(start); took > 5*time.Second {
+			t.Fatalf("checkpoint %d took %v; snapshot must not stall under load", i, took)
+		}
+		if info.Bytes == 0 {
+			t.Fatalf("checkpoint %d wrote zero bytes", i)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesce and take the final snapshot with every stream idle, then
+	// restore it into a fresh server: the file written during the storm's
+	// aftermath must parse and warm the table.
+	info, err := s.Checkpoint()
+	if err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	if info.Streams == 0 {
+		t.Fatal("final checkpoint snapshot holds no streams")
+	}
+	s2, err := New(Config{
+		ModelPath:      modelPath,
+		CheckpointPath: cp,
+		Logf:           func(format string, args ...any) { t.Logf(format, args...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored := s2.RestoreCheckpoint(); restored != info.Streams {
+		t.Fatalf("restored %d streams, want %d", restored, info.Streams)
+	}
+	if got := s2.met.restoreOutcome("restored").Value(); got != 1 {
+		t.Fatalf("restore outcome counter = %d, want 1", got)
+	}
+}

@@ -122,6 +122,7 @@ type Client struct {
 	attempts     atomic.Uint64
 	retries      atomic.Uint64
 	budgetDenied atomic.Uint64
+	degraded     atomic.Uint64
 }
 
 // New builds a client.
@@ -297,6 +298,14 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out any) er
 		}
 		return se
 	}
+	// A brownout 200 is a success, never a retry: the server answered with
+	// a (degraded) verdict, and re-asking an overloaded server for a better
+	// one is exactly the load it is trying to shed. Count it so callers can
+	// see how much of their traffic was served degraded; the mode itself is
+	// in the response's Degraded field.
+	if resp.Header.Get("X-CFA-Degraded") != "" {
+		c.degraded.Add(1)
+	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: decode response: %w", err)
 	}
@@ -351,6 +360,10 @@ func (c *Client) earnToken() {
 func (c *Client) Stats() (attempts, retries, budgetDenied uint64) {
 	return c.attempts.Load(), c.retries.Load(), c.budgetDenied.Load()
 }
+
+// DegradedResponses reports successful responses served under server
+// brownout (the X-CFA-Degraded header was set).
+func (c *Client) DegradedResponses() uint64 { return c.degraded.Load() }
 
 // BreakerState reports the circuit breaker's current state: "closed",
 // "open" or "half_open".

@@ -350,3 +350,54 @@ func TestScoreBatchEndToEndAgainstRealServe(t *testing.T) {
 		t.Errorf("per-item outcomes wrong: %+v", resp.Items)
 	}
 }
+
+// TestDegradedResponsesAreSuccessesNotRetries pins the client half of the
+// brownout contract: a 200 carrying X-CFA-Degraded is a success — one
+// attempt, no retry, no breaker damage — with the degradation surfaced
+// through DegradedResponses and the response's Degraded field, not as an
+// error. Retrying a degraded verdict would re-offer exactly the load the
+// server is browning out to shed.
+func TestDegradedResponsesAreSuccessesNotRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-CFA-Degraded", "nb-only")
+		w.Write([]byte(`{"stream":"s","model_version":1,"results":[{"score":0.9,"smoothed":0.9}],"degraded":"nb-only"}`))
+	}))
+	t.Cleanup(ts.Close)
+	c, slept := testClient(t, ts, nil)
+
+	sr, err := c.Score(context.Background(), "s", oneRecord())
+	if err != nil {
+		t.Fatalf("degraded 200 returned error: %v", err)
+	}
+	if sr.Degraded != "nb-only" {
+		t.Fatalf("response Degraded = %q, want nb-only", sr.Degraded)
+	}
+	attempts, retries, _ := c.Stats()
+	if attempts != 1 || retries != 0 {
+		t.Fatalf("attempts/retries = %d/%d, want 1/0 (degraded 200 is terminal)", attempts, retries)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("client slept %v; a degraded success must not back off", *slept)
+	}
+	if got := c.DegradedResponses(); got != 1 {
+		t.Fatalf("DegradedResponses = %d, want 1", got)
+	}
+	if st := c.BreakerState(); st != "closed" {
+		t.Fatalf("breaker = %s after degraded success, want closed", st)
+	}
+
+	// A full-fidelity success must not count.
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"stream":"s","model_version":1,"results":[{"score":0.9,"smoothed":0.9}]}`))
+	}))
+	t.Cleanup(ts2.Close)
+	c2, _ := testClient(t, ts2, nil)
+	if _, err := c2.Score(context.Background(), "s", oneRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.DegradedResponses(); got != 0 {
+		t.Fatalf("DegradedResponses = %d for a full-fidelity 200, want 0", got)
+	}
+}

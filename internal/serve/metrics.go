@@ -42,6 +42,13 @@ type serverMetrics struct {
 	// outcome; restoreOutcome looks them up.
 	restoreOutcomes map[string]*obs.Counter
 
+	inflightShed        *obs.Counter
+	brownoutShed        *obs.Counter
+	brownoutTransitions *obs.Counter
+	// brownoutVerdicts holds one pre-registered labeled counter per brownout
+	// level; brownoutVerdict looks them up.
+	brownoutVerdicts map[int]*obs.Counter
+
 	latency           *obs.Histogram
 	scoreNormal       *obs.Histogram
 	scoreAnomaly      *obs.Histogram
@@ -88,6 +95,21 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Streams warmed from a checkpoint at boot."),
 		coldStarts: reg.Counter("cfa_stream_cold_starts_total",
 			"Streams created cold with fresh detector state (not checkpoint-restored)."),
+		inflightShed: reg.Counter("cfa_inflight_shed_total",
+			"Requests shed at the pre-decode in-flight gate, before their body was read."),
+		brownoutShed: reg.Counter("cfa_brownout_shed_total",
+			"Requests sample-shed at brownout level 3, on top of queue-full sheds."),
+		brownoutTransitions: reg.Counter("cfa_brownout_transitions_total",
+			"Brownout level changes in either direction, including failpoint-forced ones."),
+		brownoutVerdicts: func() map[int]*obs.Counter {
+			const help = "Records scored, by the brownout level they were served under."
+			m := make(map[int]*obs.Counter, brownoutMaxLevel+1)
+			for lvl := brownoutOff; lvl <= brownoutMaxLevel; lvl++ {
+				m[lvl] = reg.Counter("cfa_brownout_verdicts_total", help,
+					obs.L("level", strconv.Itoa(lvl)))
+			}
+			return m
+		}(),
 		restoreOutcomes: map[string]*obs.Counter{
 			"restored": reg.Counter("cfa_checkpoint_restore_total",
 				"Boot-time checkpoint restore attempts by outcome.", obs.L("outcome", "restored")),
@@ -126,6 +148,15 @@ func (m *serverMetrics) restoreOutcome(outcome string) *obs.Counter {
 	return obs.NewCounter()
 }
 
+// brownoutVerdict returns the per-level verdict counter, with the same
+// throwaway fallback as restoreOutcome for a level outside the table.
+func (m *serverMetrics) brownoutVerdict(lvl int) *obs.Counter {
+	if c, ok := m.brownoutVerdicts[lvl]; ok {
+		return c
+	}
+	return obs.NewCounter()
+}
+
 // registerGauges binds the sampled gauges once the server's subsystems
 // exist; their values are read live at scrape time.
 func (m *serverMetrics) registerGauges(s *Server) {
@@ -146,6 +177,22 @@ func (m *serverMetrics) registerGauges(s *Server) {
 	m.reg.GaugeFunc("cfa_queued_records",
 		"Records admitted or waiting across all in-flight requests.", func() float64 {
 			return float64(s.adm.recordDepth())
+		})
+	m.reg.GaugeFunc("cfa_inflight_requests",
+		"Score requests inside a handler, including those still decoding their body.", func() float64 {
+			return float64(s.adm.inflightRequests())
+		})
+	m.reg.GaugeFunc("cfa_brownout_level",
+		"Current brownout degradation level (0 = full service).", func() float64 {
+			return float64(s.brown.level())
+		})
+	m.reg.GaugeFunc("cfa_record_budget",
+		"Live adaptive record budget admission reserves against.", func() float64 {
+			return float64(s.adm.recordBudget())
+		})
+	m.reg.GaugeFunc("cfa_brownout_admit_stride",
+		"Level-3 sample-shed stride: one request in this many is admitted (dormant below level 3).", func() float64 {
+			return float64(s.brown.sampleStride())
 		})
 	const shardHelp = "Live streams per stream-table shard; skew here means a hot-spotted stream-id hash."
 	for i := 0; i < s.streams.numShards(); i++ {

@@ -22,6 +22,10 @@ var fpReload = failpoint.At("serve/reload")
 type loadedModel struct {
 	bundle   *core.Bundle
 	detector *core.Detector
+	// fallback is the bundle's cheap NB detector, compiled at load for
+	// brownout level-2 scoring; nil when the bundle carries none (NBC
+	// primaries are already the cheap kernel).
+	fallback *core.Detector
 	version  uint64
 	loadedAt time.Time
 	// compile records the flat-form kernel build that ran at load time —
@@ -79,10 +83,17 @@ func (h *modelHolder) reload() error {
 	// before the swap: no request ever scores through the pointer-walking
 	// model forms, and none pays the compile either.
 	cs := b.Analyzer.Compile()
+	fb := b.FallbackDetector()
+	if fb != nil {
+		// The whole point of the fallback is cheap inference under
+		// overload, so its kernels are compiled at load like the primary's.
+		fb.Analyzer.Compile()
+	}
 	h.version++
 	h.cur.Store(&loadedModel{
 		bundle:   b,
 		detector: b.Detector(),
+		fallback: fb,
 		version:  h.version,
 		loadedAt: time.Now(),
 		compile:  cs,

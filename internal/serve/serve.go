@@ -69,6 +69,13 @@ type Config struct {
 	// MaxBatchRecords caps the records in one /v1/score-batch request
 	// (413 beyond it). Default 4096.
 	MaxBatchRecords int
+	// MaxInFlightRequests caps score requests concurrently inside a
+	// handler, counted from before the body decode. Record-level
+	// admission only runs after the body is parsed; this earlier, cruder
+	// gate keeps an open-loop storm from spending the whole CPU budget on
+	// parsing bodies it would then shed. Default 16*(MaxConcurrent +
+	// MaxQueue), floored at 256.
+	MaxInFlightRequests int
 	// MaxQueueRecords bounds the records admitted or queued across all
 	// in-flight requests — the shed policy in units of scoring work, on
 	// top of MaxQueue's bound in requests. Default 4*MaxBatchRecords.
@@ -104,6 +111,24 @@ type Config struct {
 	// explained as well as scored, roughly doubling scoring cost, so this
 	// is opt-in.
 	FeatureMetrics bool
+	// DisableAdaptiveOverload turns off the AIMD record-budget limiter and
+	// brownout controller, leaving only the static admission bounds. The
+	// adaptive controller is on by default: it only acts under sustained
+	// overload, so an unloaded service behaves identically either way.
+	DisableAdaptiveOverload bool
+	// OverloadTarget is the projected queue-drain time (per-record EWMA
+	// times record backlog over parallelism) past which a controller tick
+	// counts the service as overloaded. Default RequestTimeout/5 — the
+	// queue should clear well inside a request's deadline.
+	OverloadTarget time.Duration
+	// BrownoutTick is the overload-controller cadence. Default 100ms.
+	BrownoutTick time.Duration
+	// BrownoutEnterAfter and BrownoutExitAfter are the hysteresis dwells:
+	// consecutive overloaded ticks before the brownout level rises, and
+	// consecutive calm ticks before it falls. Exit is slower than entry so
+	// the level does not flap at the saturation boundary. Defaults 3 and 10.
+	BrownoutEnterAfter int
+	BrownoutExitAfter  int
 
 	// scoreHook, when set, runs inside the scoring handler after
 	// admission. It exists for the chaos tests: blocking here simulates
@@ -145,6 +170,18 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 15 * time.Second
 	}
+	if c.OverloadTarget <= 0 {
+		c.OverloadTarget = c.RequestTimeout / 5
+	}
+	if c.BrownoutTick <= 0 {
+		c.BrownoutTick = 100 * time.Millisecond
+	}
+	if c.BrownoutEnterAfter <= 0 {
+		c.BrownoutEnterAfter = 3
+	}
+	if c.BrownoutExitAfter <= 0 {
+		c.BrownoutExitAfter = 10
+	}
 	if c.CheckpointMaxAge == 0 {
 		c.CheckpointMaxAge = time.Hour
 	}
@@ -183,11 +220,15 @@ type RecordResult struct {
 	Invalid  bool    `json:"invalid,omitempty"`
 }
 
-// ScoreResponse is the reply to a ScoreRequest.
+// ScoreResponse is the reply to a ScoreRequest. Degraded, when non-empty,
+// names the brownout mode the verdicts were served under (it mirrors the
+// X-CFA-Degraded header): "extras-off", "nb-only", or either with "+shed"
+// appended. Full-fidelity responses omit it.
 type ScoreResponse struct {
 	Stream       string         `json:"stream"`
 	ModelVersion uint64         `json:"model_version"`
 	Results      []RecordResult `json:"results"`
+	Degraded     string         `json:"degraded,omitempty"`
 }
 
 // Readiness is the /readyz payload. Ready is false while draining and
@@ -246,6 +287,18 @@ type Stats struct {
 	StreamColdStarts   uint64 `json:"stream_cold_starts"`
 	Restoring          bool   `json:"restoring,omitempty"`
 
+	// Overload-control surfaces: the live brownout level and adaptive
+	// record budget, plus the controller's counters.
+	InflightRequests    int64  `json:"inflight_requests"`
+	InflightShed        uint64 `json:"inflight_shed"`
+	BrownoutLevel       int    `json:"brownout_level"`
+	BrownoutTransitions uint64 `json:"brownout_transitions"`
+	BrownoutShed        uint64 `json:"brownout_shed"`
+	BrownoutStride      int64  `json:"brownout_admit_stride"`
+	InvoluntaryShed     uint64 `json:"involuntary_shed"`
+	DegradedVerdicts    uint64 `json:"degraded_verdicts"`
+	RecordBudget        int64  `json:"record_budget"`
+
 	// Compiled-kernel surfaces: the serving model's flat-form compile
 	// cost and footprint, recorded at load time.
 	CompileSeconds    float64 `json:"model_compile_seconds"`
@@ -262,6 +315,7 @@ type Server struct {
 	model    *modelHolder
 	streams  *streamTable
 	adm      *admitter
+	brown    *overloadController
 	draining atomic.Bool
 	mux      *http.ServeMux
 	met      *serverMetrics
@@ -307,11 +361,12 @@ func New(cfg Config) (*Server, error) {
 		cfg:         cfg,
 		model:       newModelHolder(cfg.ModelPath, met.reloads, met.reloadFailures),
 		streams:     newStreamTable(cfg.MaxStreams, cfg.Shards, met.shardLockWait),
-		adm:         newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue, cfg.MaxQueueRecords, met.shed, met.shedRecords, met.timeouts),
+		adm:         newAdmitterInflight(cfg.MaxConcurrent, cfg.MaxQueue, cfg.MaxInFlightRequests, cfg.MaxQueueRecords, met.shed, met.shedRecords, met.timeouts),
 		met:         met,
 		start:       time.Now(),
 		restoreDone: make(chan struct{}),
 	}
+	s.brown = newOverloadController(s.adm, met, cfg)
 	s.goVersion, s.buildRev = buildInfo()
 	s.streams.onEvict = s.observeEviction
 	s.streams.onCreate = func(string) { met.coldStarts.Inc() }
@@ -423,6 +478,20 @@ func (s *Server) Stats() Stats {
 		StreamsRestored:    s.met.streamsRestored.Value(),
 		StreamColdStarts:   s.met.coldStarts.Value(),
 		Restoring:          s.restoring.Load(),
+
+		InflightRequests:    s.adm.inflightRequests(),
+		InflightShed:        s.met.inflightShed.Value(),
+		BrownoutLevel:       s.brown.level(),
+		BrownoutTransitions: s.met.brownoutTransitions.Value(),
+		BrownoutShed:        s.met.brownoutShed.Value(),
+		BrownoutStride:      s.brown.sampleStride(),
+		InvoluntaryShed:     s.adm.unwantedShed(),
+		RecordBudget:        s.adm.recordBudget(),
+	}
+	for lvl, c := range s.met.brownoutVerdicts {
+		if lvl > brownoutOff {
+			st.DegradedVerdicts += c.Value()
+		}
 	}
 	if lm := s.model.current(); lm != nil {
 		st.ModelVersion = lm.version
@@ -454,6 +523,9 @@ func (s *Server) Stats() Stats {
 // (with /readyz reporting 503 until it finishes), checkpoints
 // periodically, and writes a final checkpoint after the drain.
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	if !s.cfg.DisableAdaptiveOverload {
+		go s.brown.run(ctx)
+	}
 	if s.cfg.CheckpointPath != "" {
 		// Restore runs concurrently with serving: the socket accepts at
 		// once (a load balancer that ignores /readyz still gets scored,
@@ -540,6 +612,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	started := time.Now()
 	defer func() { s.met.latency.Observe(time.Since(started).Seconds()) }()
+	exit, ok := s.gateEnter(w)
+	if !ok {
+		return
+	}
+	defer exit()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
@@ -557,8 +634,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	release, err := s.adm.admitN(ctx, n)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterHint(n)))
-		writeJSONError(w, http.StatusTooManyRequests, err.Error())
+		s.shedReply(w, n, err.Error())
 		return
 	case err != nil:
 		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
@@ -570,14 +646,71 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 
 	lm := s.model.current()
-	items, scored := s.scoreItems(lm, []ScoreRequest{req})
+	lvl := s.brown.level()
+	items, scored := s.scoreItems(lm, []ScoreRequest{req}, lvl)
 	if items[0].Error != "" {
 		s.met.badRequests.Inc()
 		writeJSONError(w, http.StatusBadRequest, items[0].Error)
 		return
 	}
 	s.met.scored.Add(uint64(scored))
-	writeJSON(w, http.StatusOK, ScoreResponse{Stream: req.Stream, ModelVersion: lm.version, Results: items[0].Results})
+	degraded := degradedMode(lvl, lm.fallback != nil)
+	if degraded != "" {
+		w.Header().Set(degradedHeader, degraded)
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{Stream: req.Stream, ModelVersion: lm.version, Results: items[0].Results, Degraded: degraded})
+}
+
+// degradedHeader is set on every response served under brownout — 200s
+// carry the degradation mode, sample-shed 429s carry the mode with "+shed"
+// — so a client can always tell a full verdict from a degraded one.
+const degradedHeader = "X-CFA-Degraded"
+
+// shedReply writes the 429 for a request shed by admission: Retry-After
+// priced off the live backlog (including the rejected records themselves),
+// then the shed records folded into the decaying backlog behind future
+// hints — in that order, or the batch would be priced twice.
+func (s *Server) shedReply(w http.ResponseWriter, n int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterHint(n)))
+	s.adm.noteShed(int64(n))
+	writeJSONError(w, http.StatusTooManyRequests, msg)
+}
+
+// gateEnter claims the pre-decode in-flight slot for one score request,
+// writing the 429 itself when the request may not proceed. Brownout
+// level 3's sample-shed also fires here, before any body bytes are
+// parsed: both sheds exist to be cheaper than the work they displace,
+// and under an open-loop storm the body decode is most of that work.
+// Neither knows the request's record count (the body was never read), so
+// their cost enters the Retry-After backlog as the records-per-request
+// estimate, while cfa_shed_records_total stays exact by counting
+// admission-time sheds only.
+func (s *Server) gateEnter(w http.ResponseWriter) (exit func(), ok bool) {
+	exit, ok = s.adm.enterRequest()
+	if !ok {
+		s.met.inflightShed.Inc()
+		s.shedReplyEst(w, "serve: overloaded, too many requests in flight")
+		return nil, false
+	}
+	if s.brown.shedSample() {
+		exit()
+		s.met.shed.Inc()
+		s.met.brownoutShed.Inc()
+		lm := s.model.current()
+		w.Header().Set(degradedHeader, degradedMode(s.brown.level(), lm != nil && lm.fallback != nil))
+		s.shedReplyEst(w, "serve: overloaded, sample-shedding at brownout level 3")
+		return nil, false
+	}
+	return exit, true
+}
+
+// shedReplyEst is shedReply for requests refused before their body was
+// decoded, priced at the records-per-request estimate.
+func (s *Server) shedReplyEst(w http.ResponseWriter, msg string) {
+	n := int(s.adm.estRecordsPerRequest())
+	w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterHint(n)))
+	s.adm.noteShed(int64(n))
+	writeJSONError(w, http.StatusTooManyRequests, msg)
 }
 
 // decodeBody reads one JSON request body, bounded in bytes by limit and

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAuditTraceRoundTrip(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	recs := []AuditRecord{
+		{Time: 0, Values: []float64{1, 2.5, -3}},
+		{Time: 5.25, Values: []float64{0.1, 0, 1e9}},
+		{Time: 10, Values: []float64{-0.0001, 42, 7}},
+	}
+	var buf bytes.Buffer
+	if err := WriteAuditTrace(&buf, names, recs); err != nil {
+		t.Fatal(err)
+	}
+	gotNames, gotRecs, err := ReadAuditTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(gotNames, ",") != strings.Join(names, ",") {
+		t.Fatalf("names = %v, want %v", gotNames, names)
+	}
+	if len(gotRecs) != len(recs) {
+		t.Fatalf("records = %d, want %d", len(gotRecs), len(recs))
+	}
+	for i := range recs {
+		if gotRecs[i].Time != recs[i].Time {
+			t.Fatalf("record %d time = %v, want %v", i, gotRecs[i].Time, recs[i].Time)
+		}
+		for j := range recs[i].Values {
+			if gotRecs[i].Values[j] != recs[i].Values[j] {
+				t.Fatalf("record %d value %d = %v, want %v", i, j, gotRecs[i].Values[j], recs[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestAuditTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "not-a-trace\na\tb\n1\t2\t3\n",
+		"no names":      AuditTraceHeader + "\n",
+		"short row":     AuditTraceHeader + "\na\tb\n1\t2\n",
+		"bad value":     AuditTraceHeader + "\na\tb\n1\tx\ty\n",
+		"no records":    AuditTraceHeader + "\na\tb\n",
+		"bad timestamp": AuditTraceHeader + "\na\tb\nzzz\t1\t2\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadAuditTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadAuditTrace accepted malformed input", name)
+		}
+	}
+}
+
+func TestWriteAuditTraceRejectsRaggedRecords(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteAuditTrace(&buf, []string{"a", "b"}, []AuditRecord{{Time: 0, Values: []float64{1}}})
+	if err == nil {
+		t.Fatal("WriteAuditTrace accepted a record with the wrong arity")
+	}
+}
