@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build test vet race short fuzz bench bench-train bench-score bench-serve serve-smoke train-smoke score-diff fmt serve-chaos crash-chaos obs-smoke loadgen-smoke
+.PHONY: ci build test vet race short fuzz bench bench-train bench-score bench-serve serve-smoke train-smoke score-diff fmt serve-chaos crash-chaos obs-smoke loadgen-smoke metrics-lint
 
 # ci is the full gate: formatting and static analysis, a clean build of
 # every package and the test suite under the race detector, plus a smoke
@@ -9,9 +9,9 @@ GO ?= go
 # scoring-kernel differential suite, a soak of the serving chaos suite,
 # the crash-recovery suite, a one-iteration spin of the serving
 # throughput benchmark, an end-to-end scrape of the observability
-# surfaces, and a short open-loop load-generator run against a live
-# server.
-ci: fmt vet build race train-smoke score-diff serve-chaos crash-chaos serve-smoke obs-smoke loadgen-smoke
+# surfaces, a short open-loop load-generator run against a live server,
+# and the metrics naming/statz-drift lint.
+ci: fmt vet build race train-smoke score-diff serve-chaos crash-chaos serve-smoke obs-smoke loadgen-smoke metrics-lint
 
 # fmt fails (listing the offenders) if any file is not gofmt-clean.
 fmt:
@@ -44,11 +44,20 @@ loadgen-smoke:
 	$(GO) test -run TestLoadgenSmoke -count 1 -timeout 120s ./cmd/cfa/
 
 # obs-smoke boots the scoring service on ephemeral ports and scrapes
-# /metrics and the pprof surface end to end, then replays the registry
-# encoder golden tests and the concurrency hammer under the race detector.
+# /metrics, the pprof surface and the /flightz flight-recorder dump end
+# to end, then replays the registry encoder golden tests and the
+# concurrency hammer under the race detector.
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count 1 ./cmd/cfa/
 	$(GO) test -race -count 1 ./internal/obs/
+
+# metrics-lint pins the observability naming contract: every registered
+# metric is cfa_-prefixed snake_case with help text (counters end in
+# _total), and every counter /statz reports maps to a live registry
+# metric present in the Prometheus exposition.
+metrics-lint:
+	$(GO) test -run 'TestMetricNamesLint|TestStatzFieldsBackedByRegistryMetrics' \
+		-count 1 ./internal/serve/
 
 # score-diff re-runs the compiled-kernel differential suites under the
 # race detector: each learner's flat form against its pointer-walking

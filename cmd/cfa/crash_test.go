@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"crossfeature/internal/features"
+	"crossfeature/internal/obs"
+	"crossfeature/internal/serve"
 )
 
 // crashRecord builds a deterministic score record: the same i always
@@ -286,6 +288,114 @@ func TestCrashRecoveryResumesFromCheckpoint(t *testing.T) {
 	}
 	if m := p2.metric(t, "cfa_stream_cold_starts_total"); !strings.HasSuffix(m, " 1") {
 		t.Errorf("cold start metric = %q, want 1", m)
+	}
+}
+
+// TestCrashRecoveryPreservesFlightDump: the flight recorder is a black
+// box, so its dump must survive the crash it exists to explain. A SIGKILL
+// leaves the dirty marker armed; the next boot preserves the last
+// persisted dump under .flight.crash, readable with its request traces
+// (including a client-propagated trace id) intact, and surfaces the
+// recovery in /statz, /metrics and the flight event stream.
+func TestCrashRecoveryPreservesFlightDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cfa-under-test")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	normal := filepath.Join(dir, "normal.csv")
+	model := filepath.Join(dir, "model.bin")
+	writeSyntheticTrace(t, normal, 200, false, 40)
+	var out bytes.Buffer
+	if err := run([]string{"train", "-in", normal, "-model", model, "-learner", "NBC", "-warmup", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "streams.ckpt")
+	serveArgs := []string{
+		"-model", model, "-addr", "127.0.0.1:0",
+		"-checkpoint-path", ckpt, "-checkpoint-interval", "1h",
+	}
+
+	// ---- Process 1: score with a known trace id, checkpoint (persisting
+	// the flight dump), then die hard.
+	p1 := startServeProc(t, bin, serveArgs...)
+	tc := obs.NewTraceContext()
+	body, _ := json.Marshal(map[string]any{
+		"stream":  "boxed",
+		"records": []map[string]any{crashRecord(1)},
+	})
+	req, err := http.NewRequest(http.MethodPost, p1.base+"/v1/score", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, tc.Header())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced score: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); !strings.HasPrefix(got, tc.TraceID()) {
+		t.Errorf("response trace header %q does not echo trace id %q", got, tc.TraceID())
+	}
+	cresp, err := http.Post(p1.base+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, cresp.Body)
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d", cresp.StatusCode)
+	}
+	p1.kill(t)
+
+	// ---- Process 2: must detect the unclean shutdown and preserve the
+	// pre-crash dump before overwriting anything.
+	p2 := startServeProc(t, bin, serveArgs...)
+	defer p2.kill(t)
+
+	crashDump := ckpt + ".flight.crash"
+	dump, err := serve.ReadFlightDump(crashDump)
+	if err != nil {
+		t.Fatalf("reading recovered flight dump: %v", err)
+	}
+	var boxed *obs.RequestTrace
+	for i := range dump.Traces {
+		if dump.Traces[i].TraceID == tc.TraceID() {
+			boxed = &dump.Traces[i]
+		}
+	}
+	if boxed == nil {
+		t.Fatalf("recovered dump has no trace %s (have %d traces)", tc.TraceID(), len(dump.Traces))
+	}
+	if !boxed.Propagated || boxed.Stream != "boxed" || boxed.Status != http.StatusOK {
+		t.Errorf("recovered trace wrong: %+v", boxed)
+	}
+	if len(boxed.Hops) == 0 {
+		t.Error("recovered trace has no hop timeline")
+	}
+	if m := p2.metric(t, "cfa_flight_recovered_total"); !strings.HasSuffix(m, " 1") {
+		t.Errorf("flight recovered metric = %q, want 1", m)
+	}
+	sresp, err := http.Get(p2.base + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		FlightCrashDump string `json:"flight_crash_dump"`
+	}
+	json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if st.FlightCrashDump != crashDump {
+		t.Errorf("statz flight_crash_dump = %q, want %q", st.FlightCrashDump, crashDump)
 	}
 }
 

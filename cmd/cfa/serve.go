@@ -57,6 +57,12 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 	brownoutTick := fs.Duration("brownout-tick", 0, "overload-controller cadence (0 = 100ms)")
 	brownoutEnter := fs.Int("brownout-enter-after", 0, "consecutive overloaded ticks before the brownout level rises (0 = 3)")
 	brownoutExit := fs.Int("brownout-exit-after", 0, "consecutive calm ticks before the brownout level falls (0 = 10)")
+	accessLog := fs.String("access-log", "", "sampled JSON-lines access log: a file path, or - for stderr; empty disables")
+	accessLogSample := fs.Int("access-log-sample", 1, "log one request in N (widened 4x per brownout level)")
+	sloLatency := fs.Duration("slo", time.Second, "latency SLO for burn-rate accounting (negative disables the monitor)")
+	sloObjective := fs.Float64("slo-objective", 0.99, "fraction of records that must be served within the SLO")
+	sloEvidence := fs.Bool("slo-evidence", false, "let sustained fast-burn on both SLO windows count as brownout overload evidence")
+	flightTraces := fs.Int("flight-traces", 0, "request traces the flight recorder retains (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +73,22 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 	// runtime.
 	if err := failpoint.ArmFromEnv(os.Getenv(failpoint.EnvVar)); err != nil {
 		return fmt.Errorf("cfa serve: %s: %w", failpoint.EnvVar, err)
+	}
+
+	// The access log opens before the server: an unwritable log path is a
+	// clean startup failure, mirroring the bind-error policy below.
+	var alogW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		alogW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("cfa serve: open access log: %w", err)
+		}
+		defer f.Close()
+		alogW = f
 	}
 
 	reg := obs.NewRegistry()
@@ -95,6 +117,13 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 		BrownoutTick:            *brownoutTick,
 		BrownoutEnterAfter:      *brownoutEnter,
 		BrownoutExitAfter:       *brownoutExit,
+
+		AccessLog:       alogW,
+		AccessLogSample: *accessLogSample,
+		SLOLatency:      *sloLatency,
+		SLOObjective:    *sloObjective,
+		SLOBurnEvidence: *sloEvidence,
+		FlightTraceCap:  *flightTraces,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "cfa serve: "+format+"\n", args...)
 		},
@@ -116,13 +145,14 @@ func runServe(ctx context.Context, args []string, w io.Writer) error {
 		fph := http.StripPrefix("/failpoints", failpoint.Handler())
 		mux.Handle("/failpoints", fph)
 		mux.Handle("/failpoints/", fph)
+		mux.Handle("/flightz", obs.FlightHandler(srv.Flight()))
 		ps, err := obs.StartDebugServer(*debugAddr, mux)
 		if err != nil {
 			ln.Close()
 			return err
 		}
 		defer ps.Close()
-		fmt.Fprintf(w, "cfa serve: debug surface on http://%s/debug/pprof/ (and /metrics, /tracez, /failpoints)\n", ps.Addr())
+		fmt.Fprintf(w, "cfa serve: debug surface on http://%s/debug/pprof/ (and /metrics, /tracez, /flightz, /failpoints)\n", ps.Addr())
 	}
 
 	hup := make(chan os.Signal, 1)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"path/filepath"
 	"regexp"
@@ -118,6 +119,14 @@ func TestObsSmoke(t *testing.T) {
 	if code, _ := get("http://" + debug + "/tracez"); code != http.StatusOK {
 		t.Errorf("/tracez status %d", code)
 	}
+	// /flightz serves the versioned flight dump, and the scored request
+	// above must already be in it with its per-hop timeline.
+	if code, body := get("http://" + debug + "/flightz"); code != http.StatusOK ||
+		!strings.Contains(body, `"flight_version": 1`) ||
+		!strings.Contains(body, `"stream": "smoke"`) ||
+		!strings.Contains(body, `"name": "kernel"`) {
+		t.Errorf("/flightz (status %d) wrong:\n%.2000s", code, body)
+	}
 
 	cancel()
 	select {
@@ -127,5 +136,40 @@ func TestObsSmoke(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("server did not drain after cancel")
+	}
+}
+
+// TestServeDebugAddrBindFailureIsFatal pins the startup contract: a debug
+// listener that cannot bind kills the boot with an error instead of
+// serving without its observability surface — a service that silently
+// comes up unobservable is worse than one that fails loudly.
+func TestServeDebugAddrBindFailureIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	normal := filepath.Join(dir, "normal.csv")
+	model := filepath.Join(dir, "model.bin")
+	writeSyntheticTrace(t, normal, 200, false, 40)
+	var out bytes.Buffer
+	if err := run([]string{"train", "-in", normal, "-model", model, "-learner", "NBC", "-warmup", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy a port so the debug bind must fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	var buf syncBuffer
+	err = runServe(ctx, []string{
+		"-model", model, "-addr", "127.0.0.1:0", "-debug-addr", ln.Addr().String(),
+	}, &buf)
+	if err == nil {
+		t.Fatalf("runServe with an unbindable -debug-addr returned nil, want a fatal bind error\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "address already in use") && !strings.Contains(err.Error(), "bind") {
+		t.Errorf("bind failure surfaced as %v, want an address-in-use error", err)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crossfeature/internal/obs"
 	"crossfeature/internal/serve"
 )
 
@@ -211,7 +212,22 @@ type Point struct {
 	P999ms float64 `json:"p999_ms"`
 	// ElapsedSeconds is the measured wall time (dispatch through drain).
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// SlowTraces are the slowest wire responses' trace ids, worst first:
+	// each resolves against the server's /flightz dump to a per-hop
+	// timeline, turning a bad p99 from a number into a diagnosis.
+	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
 }
+
+// SlowTrace identifies one of a point's slowest responses.
+type SlowTrace struct {
+	TraceID   string  `json:"trace_id"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+// slowTraceK bounds how many slow traces a point keeps.
+const slowTraceK = 5
 
 // Report is the versioned JSON artifact of one run.
 type Report struct {
@@ -291,6 +307,7 @@ type counters struct {
 
 	mu        sync.Mutex
 	latencies []float64 // seconds
+	slow      []SlowTrace
 }
 
 // latencyCap bounds the latency sample (FIFO truncation past it would
@@ -312,6 +329,21 @@ func (cs *counters) observeOK(d time.Duration, records int, degraded bool) {
 		cs.latencies = append(cs.latencies, d.Seconds())
 	}
 	cs.mu.Unlock()
+}
+
+// observeSlow keeps the K slowest wire responses, worst first. K is tiny,
+// so a sort per insertion beats a heap on both code and cache.
+func (cs *counters) observeSlow(st SlowTrace) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if len(cs.slow) == slowTraceK && st.LatencyMs <= cs.slow[slowTraceK-1].LatencyMs {
+		return
+	}
+	cs.slow = append(cs.slow, st)
+	sort.Slice(cs.slow, func(i, j int) bool { return cs.slow[i].LatencyMs > cs.slow[j].LatencyMs })
+	if len(cs.slow) > slowTraceK {
+		cs.slow = cs.slow[:slowTraceK]
+	}
 }
 
 // quantile returns the q-quantile of sorted (nearest-rank); 0 when empty.
@@ -339,6 +371,11 @@ func fire(ctx context.Context, hc *http.Client, base string, b body, cs *counter
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Every request carries a fresh trace context: a slow response's id
+	// can then be looked up in the server's /flightz dump for its per-hop
+	// timeline.
+	tc := obs.NewTraceContext()
+	req.Header.Set(obs.TraceHeader, tc.Header())
 	start := time.Now()
 	resp, err := hc.Do(req)
 	if err != nil {
@@ -354,6 +391,12 @@ func fire(ctx context.Context, hc *http.Client, base string, b body, cs *counter
 	elapsed := time.Since(start)
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
+	cs.observeSlow(SlowTrace{
+		TraceID:   tc.TraceID(),
+		Path:      b.path,
+		Status:    resp.StatusCode,
+		LatencyMs: elapsed.Seconds() * 1e3,
+	})
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		cs.observeOK(elapsed, b.records, resp.Header.Get("X-CFA-Degraded") != "")
@@ -558,6 +601,7 @@ func (c Config) runPoint(ctx context.Context, rng *rand.Rand, bodies []body, mul
 	pt.P50ms = quantile(cs.latencies, 0.50) * 1e3
 	pt.P99ms = quantile(cs.latencies, 0.99) * 1e3
 	pt.P999ms = quantile(cs.latencies, 0.999) * 1e3
+	pt.SlowTraces = cs.slow
 	return pt, ctx.Err()
 }
 

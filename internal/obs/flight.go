@@ -1,0 +1,265 @@
+package obs
+
+// The flight recorder is the service's black box: a fixed-size ring of
+// the last N completed request traces (per-hop timestamps, verdict
+// counts, degradation mode) plus every operational state transition
+// (brownout shifts, checkpoint writes and restores, model reloads, stream
+// evictions), dumpable as versioned JSON from GET /flightz and persisted
+// next to the checkpoint file so a crash leaves a readable account of the
+// service's final moments.
+//
+// Everything on the record path is lock-free: a finished trace is one
+// pointer publish into a sharded ring, an event is the same plus one
+// time.Now(). The dump path (an operator, or the post-crash boot) pays
+// for sorting and JSON.
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// FlightVersion is the dump format version; bump it when RequestTrace,
+// FlightEvent or the envelope change shape incompatibly.
+const FlightVersion = 1
+
+// Hop is one pipeline stage boundary inside a request, as an offset from
+// the request's start — offsets rather than absolute stamps keep a trace
+// readable at a glance and compress well in JSON.
+type Hop struct {
+	Name         string `json:"name"`
+	OffsetMicros int64  `json:"offset_us"`
+}
+
+// RequestTrace is one completed request's timeline. Traces are recorded
+// after the response is written, so DurationMicros covers decode through
+// response encode.
+type RequestTrace struct {
+	TraceID        string `json:"trace_id"`
+	SpanID         string `json:"span_id"`
+	Endpoint       string `json:"endpoint"`
+	Stream         string `json:"stream,omitempty"`
+	Records        int    `json:"records,omitempty"`
+	Anomalies      int    `json:"anomalies,omitempty"`
+	Status         int    `json:"status"`
+	Degraded       string `json:"degraded,omitempty"`
+	Err            string `json:"error,omitempty"`
+	Propagated     bool   `json:"propagated,omitempty"`
+	StartUnixNanos int64  `json:"start_unix_nanos"`
+	DurationMicros int64  `json:"duration_us"`
+	Hops           []Hop  `json:"hops,omitempty"`
+}
+
+// FlightEvent is one operational state transition.
+type FlightEvent struct {
+	AtUnixNanos int64  `json:"at_unix_nanos"`
+	Kind        string `json:"kind"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+// ExemplarSet carries one histogram's per-bucket exemplars into the dump.
+type ExemplarSet struct {
+	Metric    string     `json:"metric"`
+	Exemplars []Exemplar `json:"exemplars"`
+}
+
+// FlightDump is the versioned JSON artifact: what /flightz serves and
+// what gets persisted next to the checkpoint file.
+type FlightDump struct {
+	Version     int            `json:"flight_version"`
+	AtUnixNanos int64          `json:"at_unix_nanos"`
+	Traces      []RequestTrace `json:"traces"`
+	Events      []FlightEvent  `json:"events"`
+	Exemplars   []ExemplarSet  `json:"exemplars,omitempty"`
+}
+
+// FlightRecorder owns the trace and event rings. Construct with
+// NewFlightRecorder; all methods are safe for concurrent use.
+type FlightRecorder struct {
+	traces *ring[RequestTrace]
+	events *ring[FlightEvent]
+	// exemplar sources are registered at wiring time (before traffic), so
+	// the slice is effectively immutable afterwards.
+	exemplars []exemplarSource
+}
+
+type exemplarSource struct {
+	metric string
+	h      *Histogram
+}
+
+// NewFlightRecorder builds a recorder keeping roughly traceCap completed
+// traces and eventCap state transitions (defaults 256 and 256 when <= 0).
+func NewFlightRecorder(traceCap, eventCap int) *FlightRecorder {
+	if traceCap <= 0 {
+		traceCap = 256
+	}
+	if eventCap <= 0 {
+		eventCap = 256
+	}
+	return &FlightRecorder{
+		traces: newRing[RequestTrace](traceCap),
+		events: newRing[FlightEvent](eventCap),
+	}
+}
+
+// RecordTrace publishes one completed request trace.
+func (f *FlightRecorder) RecordTrace(rt *RequestTrace) {
+	if f == nil || rt == nil {
+		return
+	}
+	// Shard by the tail of the trace id: splitmix64 output bits are
+	// uniform, and the hex tail preserves them.
+	f.traces.put(hashTail(rt.TraceID), rt)
+}
+
+// Event records one operational state transition, stamped now.
+func (f *FlightRecorder) Event(kind, detail string) {
+	if f == nil {
+		return
+	}
+	ev := &FlightEvent{AtUnixNanos: time.Now().UnixNano(), Kind: kind, Detail: detail}
+	f.events.put(uint64(ev.AtUnixNanos), ev)
+}
+
+// AddExemplarSource includes h's per-bucket exemplars in every dump under
+// the given metric name. Call during wiring, before traffic.
+func (f *FlightRecorder) AddExemplarSource(metric string, h *Histogram) {
+	if f == nil || h == nil {
+		return
+	}
+	f.exemplars = append(f.exemplars, exemplarSource{metric: metric, h: h})
+}
+
+// TraceCount reports the live traces in the ring (for /statz).
+func (f *FlightRecorder) TraceCount() int {
+	if f == nil {
+		return 0
+	}
+	return f.traces.len()
+}
+
+// Dump snapshots the recorder into its versioned JSON form.
+func (f *FlightRecorder) Dump() FlightDump {
+	d := FlightDump{
+		Version:     FlightVersion,
+		AtUnixNanos: time.Now().UnixNano(),
+		Traces:      []RequestTrace{},
+		Events:      []FlightEvent{},
+	}
+	if f == nil {
+		return d
+	}
+	for _, rt := range f.traces.snapshot() {
+		d.Traces = append(d.Traces, *rt)
+	}
+	for _, ev := range f.events.snapshot() {
+		d.Events = append(d.Events, *ev)
+	}
+	for _, src := range f.exemplars {
+		if ex := src.h.Exemplars(); len(ex) > 0 {
+			d.Exemplars = append(d.Exemplars, ExemplarSet{Metric: src.metric, Exemplars: ex})
+		}
+	}
+	return d
+}
+
+// ActiveTrace accumulates one in-flight request's timeline. It is built
+// at handler entry, stamped at each pipeline hop, and finished (then
+// handed to RecordTrace) after the response is written. Methods are
+// nil-safe so un-traced call sites (tests driving the pipeline directly)
+// can pass nil; an ActiveTrace itself is owned by one request goroutine
+// — the scoring pipeline runs hops sequentially — so stamps need no
+// atomics.
+type ActiveTrace struct {
+	RT    RequestTrace
+	start time.Time
+	// hopBuf backs RT.Hops for the common case (every stage of the
+	// pipeline stamps once) without a second allocation.
+	hopBuf [8]Hop
+}
+
+// StartTrace begins a timeline for one request under tc.
+func StartTrace(tc TraceContext, endpoint string, propagated bool) *ActiveTrace {
+	a := &ActiveTrace{start: time.Now()}
+	a.RT = RequestTrace{
+		TraceID:        tc.TraceID(),
+		SpanID:         tc.SpanID(),
+		Endpoint:       endpoint,
+		Propagated:     propagated,
+		StartUnixNanos: a.start.UnixNano(),
+	}
+	a.RT.Hops = a.hopBuf[:0]
+	return a
+}
+
+// Hop stamps a stage boundary at the current offset.
+func (a *ActiveTrace) Hop(name string) {
+	if a == nil {
+		return
+	}
+	a.RT.Hops = append(a.RT.Hops, Hop{Name: name, OffsetMicros: time.Since(a.start).Microseconds()})
+}
+
+// HopOnce stamps name only if it has not been stamped yet — for stages
+// that repeat per item (the first stream-lock acquisition of a batch).
+func (a *ActiveTrace) HopOnce(name string) {
+	if a == nil {
+		return
+	}
+	for _, h := range a.RT.Hops {
+		if h.Name == name {
+			return
+		}
+	}
+	a.Hop(name)
+}
+
+// TraceID returns the trace id, or "" on a nil trace (so exemplar calls
+// can pass it straight through).
+func (a *ActiveTrace) TraceID() string {
+	if a == nil {
+		return ""
+	}
+	return a.RT.TraceID
+}
+
+// Finish seals the timeline with the response status and returns the
+// completed trace, or nil on a nil receiver.
+func (a *ActiveTrace) Finish(status int) *RequestTrace {
+	if a == nil {
+		return nil
+	}
+	a.RT.Status = status
+	a.RT.DurationMicros = time.Since(a.start).Microseconds()
+	return &a.RT
+}
+
+// Elapsed reports time since the trace started.
+func (a *ActiveTrace) Elapsed() time.Duration {
+	if a == nil {
+		return 0
+	}
+	return time.Since(a.start)
+}
+
+// FlightHandler serves fr's dump as JSON — mount it at /flightz on the
+// debug mux, never the public listener.
+func FlightHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fr.Dump())
+	})
+}
+
+// hashTail folds a trace id's trailing hex digits into shard-key bits;
+// non-hex input still spreads via the byte values.
+func hashTail(s string) uint64 {
+	var v uint64
+	for i := max(0, len(s)-8); i < len(s); i++ {
+		v = v<<5 ^ uint64(s[i])
+	}
+	return v
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := newRing[int](16)
+	for i := 0; i < 100; i++ {
+		v := i
+		r.put(uint64(i), &v)
+	}
+	got := r.snapshot()
+	if len(got) == 0 || len(got) > 16 {
+		t.Fatalf("snapshot has %d entries, want 1..16", len(got))
+	}
+	// Entries come out oldest-first and the newest value must survive.
+	last := *got[len(got)-1]
+	if last != 99 {
+		t.Fatalf("newest entry is %d, want 99", last)
+	}
+	for i := 1; i < len(got); i++ {
+		if *got[i-1] >= *got[i] {
+			t.Fatalf("snapshot out of order at %d: %d >= %d", i, *got[i-1], *got[i])
+		}
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := newRing[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := g*1000 + i
+				r.put(uint64(v), &v)
+				if i%100 == 0 {
+					r.snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := r.len(); n == 0 || n > 64+ringShards {
+		t.Fatalf("ring holds %d entries after concurrent writes", n)
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	fr := NewFlightRecorder(32, 32)
+	tc := NewTraceContext()
+	at := StartTrace(tc, "score", true)
+	at.Hop("decode")
+	at.Hop("admit")
+	at.RT.Stream = "s1"
+	at.RT.Records = 3
+	fr.RecordTrace(at.Finish(200))
+	fr.Event("brownout", "level 0 -> 1")
+
+	h := NewHistogram([]float64{0.1, 1})
+	h.ObserveWithExemplar(0.05, tc.TraceID())
+	fr.AddExemplarSource("test_latency", h)
+
+	d := fr.Dump()
+	if d.Version != FlightVersion {
+		t.Fatalf("dump version %d, want %d", d.Version, FlightVersion)
+	}
+	if len(d.Traces) != 1 || d.Traces[0].TraceID != tc.TraceID() {
+		t.Fatalf("dump traces: %+v", d.Traces)
+	}
+	tr := d.Traces[0]
+	if tr.Status != 200 || tr.Stream != "s1" || len(tr.Hops) != 2 || !tr.Propagated {
+		t.Fatalf("trace fields wrong: %+v", tr)
+	}
+	if tr.Hops[0].Name != "decode" || tr.Hops[1].Name != "admit" {
+		t.Fatalf("hop names wrong: %+v", tr.Hops)
+	}
+	if tr.Hops[1].OffsetMicros < tr.Hops[0].OffsetMicros {
+		t.Fatalf("hop offsets not monotone: %+v", tr.Hops)
+	}
+	if len(d.Events) != 1 || d.Events[0].Kind != "brownout" {
+		t.Fatalf("dump events: %+v", d.Events)
+	}
+	if len(d.Exemplars) != 1 || d.Exemplars[0].Metric != "test_latency" {
+		t.Fatalf("dump exemplars: %+v", d.Exemplars)
+	}
+	if d.Exemplars[0].Exemplars[0].TraceID != tc.TraceID() {
+		t.Fatalf("exemplar trace id: %+v", d.Exemplars[0])
+	}
+}
+
+func TestFlightDumpJSONRoundTrip(t *testing.T) {
+	fr := NewFlightRecorder(8, 8)
+	fr.RecordTrace(StartTrace(NewTraceContext(), "score-batch", false).Finish(429))
+	fr.Event("checkpoint", "write ok")
+	b, err := json.Marshal(fr.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FlightDump
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != FlightVersion || len(back.Traces) != 1 || len(back.Events) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Traces[0].Status != 429 || back.Traces[0].Endpoint != "score-batch" {
+		t.Fatalf("trace fields lost: %+v", back.Traces[0])
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	fr := NewFlightRecorder(8, 8)
+	fr.RecordTrace(StartTrace(NewTraceContext(), "score", false).Finish(200))
+	rec := httptest.NewRecorder()
+	FlightHandler(fr).ServeHTTP(rec, httptest.NewRequest("GET", "/flightz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if d.Version != FlightVersion || len(d.Traces) != 1 {
+		t.Fatalf("handler dump: %+v", d)
+	}
+}
+
+func TestActiveTraceNilSafe(t *testing.T) {
+	var a *ActiveTrace
+	a.Hop("decode")
+	a.HopOnce("lock")
+	if a.TraceID() != "" || a.Finish(200) != nil || a.Elapsed() != 0 {
+		t.Fatal("nil ActiveTrace methods not inert")
+	}
+	var fr *FlightRecorder
+	fr.RecordTrace(nil)
+	fr.Event("k", "d")
+	if fr.TraceCount() != 0 {
+		t.Fatal("nil FlightRecorder not inert")
+	}
+	d := fr.Dump()
+	if d.Version != FlightVersion {
+		t.Fatal("nil FlightRecorder dump missing version")
+	}
+}
+
+func TestHopOnce(t *testing.T) {
+	a := StartTrace(NewTraceContext(), "score", false)
+	a.HopOnce("lock")
+	a.HopOnce("lock")
+	a.Hop("observe")
+	rt := a.Finish(200)
+	if len(rt.Hops) != 2 {
+		t.Fatalf("hops %+v, want lock+observe only", rt.Hops)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(0.5) // untraced: no exemplar
+	if ex := h.Exemplars(); len(ex) != 0 {
+		t.Fatalf("untraced observe produced exemplars: %+v", ex)
+	}
+	h.ObserveWithExemplar(0.7, "trace-a")
+	h.ObserveWithExemplar(5, "trace-b")
+	h.ObserveWithExemplar(100, "trace-c")
+	h.ObserveWithExemplar(0.9, "trace-d") // overwrites trace-a's bucket
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("got %d exemplars, want 3: %+v", len(ex), ex)
+	}
+	if ex[0].TraceID != "trace-d" || ex[0].Bucket != "1" {
+		t.Fatalf("bucket 0 exemplar: %+v", ex[0])
+	}
+	if ex[1].TraceID != "trace-b" || ex[1].Bucket != "10" {
+		t.Fatalf("bucket 1 exemplar: %+v", ex[1])
+	}
+	if ex[2].TraceID != "trace-c" || ex[2].Bucket != "+Inf" {
+		t.Fatalf("+Inf exemplar: %+v", ex[2])
+	}
+	if ex[0].AtUnixNanos <= 0 || time.Now().UnixNano() < ex[0].AtUnixNanos {
+		t.Fatalf("exemplar timestamp out of range: %d", ex[0].AtUnixNanos)
+	}
+	// Counting must be unaffected by exemplar bookkeeping.
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing uint64. The zero value is unusable;
@@ -85,6 +86,22 @@ type Histogram struct {
 	bounds  []float64
 	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sumBits atomic.Uint64
+	// exemplars holds the most recent traced sample per bucket (same
+	// indexing as buckets). Slots stay nil until SetExemplar runs, so
+	// untraced histograms pay only the slice of nil pointers.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to the trace that most recently
+// landed in it — the bridge from a fat p99 bucket to a replayable
+// per-hop timeline in the flight recorder. Bucket is the bucket's upper
+// bound rendered as in the exposition format ("+Inf" for the overflow
+// bucket), because JSON cannot carry infinities.
+type Exemplar struct {
+	Bucket      string  `json:"bucket"`
+	Value       float64 `json:"value"`
+	TraceID     string  `json:"trace_id"`
+	AtUnixNanos int64   `json:"at_unix_nanos"`
 }
 
 // NewHistogram returns a standalone histogram over the given upper bounds.
@@ -99,9 +116,19 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds:  append([]float64(nil), bounds...),
-		buckets: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		buckets:   make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
+}
+
+// bucketIndex returns the bucket index for v (len(bounds) = +Inf).
+func (h *Histogram) bucketIndex(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
 }
 
 // Observe records one value. NaN observations are dropped (they would
@@ -110,11 +137,7 @@ func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return
 	}
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.buckets[i].Add(1)
+	h.buckets[h.bucketIndex(v)].Add(1)
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -122,6 +145,49 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records v and, when traceID is non-empty, remembers
+// it as the bucket's most recent exemplar. One allocation per call — use
+// it for per-request signals (latency), not per-record inner loops;
+// per-record paths should Observe normally and SetExemplar once.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	h.SetExemplar(v, traceID)
+}
+
+// SetExemplar links traceID to the bucket v falls in without counting an
+// observation (the observation happened separately). Empty trace ids and
+// NaN values are ignored.
+func (h *Histogram) SetExemplar(v float64, traceID string) {
+	if traceID == "" || math.IsNaN(v) {
+		return
+	}
+	h.exemplars[h.bucketIndex(v)].Store(&Exemplar{
+		Value:       v,
+		TraceID:     traceID,
+		AtUnixNanos: time.Now().UnixNano(),
+	})
+}
+
+// Exemplars returns the live per-bucket exemplars, bucket-labelled and
+// ordered by bucket. Buckets that never saw a traced sample are omitted.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.exemplars {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		ex := *e
+		if i < len(h.bounds) {
+			ex.Bucket = formatFloat(h.bounds[i])
+		} else {
+			ex.Bucket = "+Inf"
+		}
+		out = append(out, ex)
+	}
+	return out
 }
 
 // HistogramPoint is a histogram's state at snapshot time. Counts are

@@ -1,0 +1,92 @@
+package serve
+
+// Sampled structured access log. One JSON line per sampled request with
+// the trace id, verdict counts, degradation mode and latency — enough to
+// grep a bad verdict back to its flight-recorder timeline. The sample
+// stride is multiplied by 4 per brownout level, so at level 3 the log
+// writes 1/64th of its configured rate: logging exists to explain
+// overload, never to amplify it. Dropped lines are counted, not silent.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossfeature/internal/obs"
+)
+
+// accessLog writes sampled request lines to one writer. A nil *accessLog
+// is inert, so the hot path needs no enabled check.
+type accessLog struct {
+	w      io.Writer
+	sample uint64
+	level  func() int
+
+	ctr            atomic.Uint64
+	lines, dropped *obs.Counter
+
+	mu sync.Mutex
+}
+
+// newAccessLog builds a log writing one line per sample requests (sample
+// < 1 means every request) to w; level reads the live brownout level.
+func newAccessLog(w io.Writer, sample int, level func() int, lines, dropped *obs.Counter) *accessLog {
+	if w == nil {
+		return nil
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return &accessLog{w: w, sample: uint64(sample), level: level, lines: lines, dropped: dropped}
+}
+
+// accessEntry is one log line. Latency is in milliseconds for grep-side
+// ergonomics; the trace id links to /flightz for microsecond hops.
+type accessEntry struct {
+	Time      string  `json:"ts"`
+	TraceID   string  `json:"trace_id"`
+	Endpoint  string  `json:"endpoint"`
+	Stream    string  `json:"stream,omitempty"`
+	Records   int     `json:"records,omitempty"`
+	Anomalies int     `json:"anomalies,omitempty"`
+	Status    int     `json:"status"`
+	Degraded  string  `json:"degraded,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+// log writes rt's line if it survives sampling. The effective stride is
+// the configured sample rate shifted up 4x per brownout level.
+func (l *accessLog) log(rt *obs.RequestTrace) {
+	if l == nil || rt == nil {
+		return
+	}
+	stride := l.sample << uint(2*l.level())
+	if l.ctr.Add(1)%stride != 0 {
+		l.dropped.Inc()
+		return
+	}
+	entry := accessEntry{
+		Time:      time.Unix(0, rt.StartUnixNanos).UTC().Format(time.RFC3339Nano),
+		TraceID:   rt.TraceID,
+		Endpoint:  rt.Endpoint,
+		Stream:    rt.Stream,
+		Records:   rt.Records,
+		Anomalies: rt.Anomalies,
+		Status:    rt.Status,
+		Degraded:  rt.Degraded,
+		Error:     rt.Err,
+		LatencyMs: float64(rt.DurationMicros) / 1e3,
+	}
+	b, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+	l.lines.Inc()
+}

@@ -13,11 +13,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
-	"time"
 
 	"crossfeature/internal/core"
 	"crossfeature/internal/ml"
+	"crossfeature/internal/obs"
 )
 
 // batchKernelMin is the flattened row count below which scoreItems skips
@@ -79,7 +80,13 @@ type BatchScoreResponse struct {
 // Smoothed is the raw score and Alarm mirrors Anomaly, with no hysteresis
 // edges. That also skips the shard and stream locks — the stateful tail is
 // exactly the part worth shedding under overload.
-func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest, lvl int) ([]BatchItemResult, int) {
+// tr, when non-nil, receives per-stage hop stamps ("transform" after
+// discretisation, "kernel" after the batch kernel pass, "lock" at the
+// first stream-lock acquisition, "observe" once verdicts are folded), the
+// batch's anomaly count, and one score exemplar per verdict histogram —
+// per request, not per record, so tracing costs O(1) allocations however
+// fat the batch.
+func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest, lvl int, tr *obs.ActiveTrace) ([]BatchItemResult, int) {
 	det := lm.detector
 	stateless := false
 	if lvl >= brownoutNBOnly && lm.fallback != nil {
@@ -111,6 +118,7 @@ func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest, lvl int) ([]B
 		rows[i] = xs
 		total += len(xs)
 	}
+	tr.Hop("transform")
 
 	flat := make([][]int, 0, total)
 	for _, xs := range rows {
@@ -123,6 +131,7 @@ func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest, lvl int) ([]B
 	} else {
 		scores = an.ScoreEvents(flat, det.Scorer)
 	}
+	tr.Hop("kernel")
 
 	feat := s.featureMetricsFor(lm)
 	if lvl >= brownoutNoExtras {
@@ -140,7 +149,7 @@ func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest, lvl int) ([]B
 		if stateless {
 			rr = statelessResults(items[i].Records, recScores, det.Threshold, s.met)
 		} else {
-			rr = s.statefulResults(lm, items[i], xs, recScores, feat)
+			rr = s.statefulResults(lm, items[i], xs, recScores, feat, tr)
 		}
 		results[i].Results = rr
 		scored += len(rr)
@@ -148,17 +157,44 @@ func (s *Server) scoreItems(lm *loadedModel, items []ScoreRequest, lvl int) ([]B
 	if scored > 0 {
 		s.met.brownoutVerdict(lvl).Add(uint64(scored))
 	}
+	tr.Hop("observe")
+	if tr != nil {
+		// One exemplar per verdict histogram per request: the last score of
+		// each verdict stands for the batch, keeping the cost independent of
+		// record count. SetExemplar ignores the NaN sentinels.
+		anomalies := 0
+		lastNormal, lastAnomaly := math.NaN(), math.NaN()
+		for i := range results {
+			for _, r := range results[i].Results {
+				if r.Anomaly {
+					anomalies++
+				}
+				if r.Invalid {
+					continue
+				}
+				if r.Anomaly {
+					lastAnomaly = r.Score
+				} else {
+					lastNormal = r.Score
+				}
+			}
+		}
+		tr.RT.Anomalies = anomalies
+		s.met.scoreNormal.SetExemplar(lastNormal, tr.TraceID())
+		s.met.scoreAnomaly.SetExemplar(lastAnomaly, tr.TraceID())
+	}
 	return results, scored
 }
 
 // statefulResults runs one item's precomputed scores through its stream's
 // detector under the stream lock — the full-fidelity (levels 0-1) tail.
-func (s *Server) statefulResults(lm *loadedModel, item ScoreRequest, xs [][]int, recScores []float64, feat *core.ScoreMetrics) []RecordResult {
+func (s *Server) statefulResults(lm *loadedModel, item ScoreRequest, xs [][]int, recScores []float64, feat *core.ScoreMetrics, tr *obs.ActiveTrace) []RecordResult {
 	st := s.streams.get(item.Stream, func() *core.OnlineDetector {
 		return s.newOnlineDetector(lm)
 	})
 	rr := make([]RecordResult, 0, len(xs))
 	st.mu.Lock()
+	tr.HopOnce("lock")
 	if st.version != lm.version {
 		st.od.SwapDetector(lm.detector)
 		st.version = lm.version
@@ -233,8 +269,9 @@ func statelessResults(records []Record, recScores []float64, threshold float64, 
 func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	s.met.batchRequests.Inc()
-	started := time.Now()
-	defer func() { s.met.latency.Observe(time.Since(started).Seconds()) }()
+	tr, sw := s.traceRequest(w, r, "score-batch")
+	w = sw
+	defer s.finishRequest(tr, sw)
 	exit, ok := s.gateEnter(w)
 	if !ok {
 		return
@@ -247,6 +284,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(ctx, w, r, s.cfg.MaxBatchBodyBytes, &req) {
 		return
 	}
+	tr.Hop("decode")
 	if len(req.Items) == 0 {
 		s.met.badRequests.Inc()
 		writeJSONError(w, http.StatusBadRequest, "batch score request needs at least one item")
@@ -263,6 +301,10 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.batchRecords.Observe(float64(n))
+	tr.RT.Records = n
+	if len(req.Items) == 1 {
+		tr.RT.Stream = req.Items[0].Stream
+	}
 	release, err := s.adm.admitN(ctx, n)
 	switch {
 	case errors.Is(err, ErrOverloaded):
@@ -273,6 +315,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	tr.Hop("admit")
 	if hook := s.cfg.scoreHook; hook != nil {
 		for _, it := range req.Items {
 			hook(it.Stream)
@@ -281,7 +324,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 
 	lm := s.model.current()
 	lvl := s.brown.level()
-	items, scored := s.scoreItems(lm, req.Items, lvl)
+	items, scored := s.scoreItems(lm, req.Items, lvl, tr)
 	bad := 0
 	for i := range items {
 		if items[i].Error != "" {
@@ -293,6 +336,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.scored.Add(uint64(scored))
 	degraded := degradedMode(lvl, lm.fallback != nil)
+	tr.RT.Degraded = degraded
 	if degraded != "" {
 		w.Header().Set(degradedHeader, degraded)
 	}

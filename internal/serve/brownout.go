@@ -41,6 +41,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"strconv"
 	"strings"
 	"time"
@@ -48,6 +49,7 @@ import (
 	"sync/atomic"
 
 	"crossfeature/internal/failpoint"
+	"crossfeature/internal/obs"
 )
 
 // fpBrownout forces controller transitions without real load, for the
@@ -95,6 +97,12 @@ type overloadController struct {
 	adm  *admitter
 	met  *serverMetrics
 	logf func(format string, args ...any)
+
+	// event, when set, records level transitions into the flight
+	// recorder; slo, when set, contributes burn-rate evidence to the
+	// overload signal (both optional, wired by New).
+	event func(kind, detail string)
+	slo   *obs.SLOMonitor
 
 	// target is the projected queue-drain time past which a tick counts
 	// as hot; tickEvery the controller cadence.
@@ -286,6 +294,19 @@ func (c *overloadController) overloadSignal() tickEvidence {
 			ev.hot, ev.budgetHot = true, true
 		}
 	}
+	// SLO-burn evidence (opt-in, -slo-evidence): when BOTH alerting
+	// windows burn past the fast-burn threshold, the error budget is
+	// disappearing on the timescale operators page on — count it as
+	// latency pressure even if the queue projection looks fine (slow
+	// responses that still answer in time to dodge the drain check burn
+	// budget without tripping either signal above). Requiring the long
+	// window too keeps a brief spike — or the controller's own shedding
+	// during a single hot dwell — from self-sustaining the signal.
+	if c.slo != nil &&
+		c.slo.BurnRate(5*time.Minute) >= obs.FastBurnThreshold &&
+		c.slo.BurnRate(time.Hour) >= obs.FastBurnThreshold {
+		ev.hot, ev.budgetHot = true, true
+	}
 	return ev
 }
 
@@ -381,6 +402,9 @@ func (c *overloadController) shift(delta int32, why string) {
 			c.met.brownoutTransitions.Inc()
 			c.logf("serve: brownout level %d -> %d (%s; record budget %d)",
 				old, next, why, c.adm.recordBudget())
+			if c.event != nil {
+				c.event("brownout", fmt.Sprintf("level %d -> %d (%s)", old, next, why))
+			}
 			return
 		}
 	}
@@ -395,6 +419,9 @@ func (c *overloadController) force(lvl int32) {
 	if old != lvl {
 		c.met.brownoutTransitions.Inc()
 		c.logf("serve: brownout level %d -> %d (forced by failpoint)", old, lvl)
+		if c.event != nil {
+			c.event("brownout", fmt.Sprintf("level %d -> %d (forced by failpoint)", old, lvl))
+		}
 	}
 	c.hot, c.calm, c.hotRun = 0, 0, 0
 	c.admitEvery.Store(sampleStrideMin)

@@ -198,6 +198,14 @@ func (s *Server) Checkpoint() (CheckpointInfo, error) {
 	s.lastCheckpoint.Store(&info)
 	s.met.checkpointWrites.Inc()
 	s.met.checkpointSeconds.Observe(time.Since(start).Seconds())
+	s.flightEvent("checkpoint", fmt.Sprintf("%d streams, %d bytes", info.Streams, info.Bytes))
+	// The flight recorder's persistence piggybacks on the checkpoint
+	// cadence: whatever dump is on disk when the process dies hard is at
+	// most one checkpoint interval old. Failure costs the fresher dump,
+	// never the checkpoint.
+	if err := s.writeFlightDump(s.flightPath()); err != nil {
+		s.cfg.Logf("serve: flight dump alongside checkpoint failed: %v", err)
+	}
 	return info, nil
 }
 
@@ -217,6 +225,7 @@ func (s *Server) RestoreCheckpoint() int {
 	} else if outcome == "restored" {
 		s.cfg.Logf("serve: checkpoint restored %d streams from %s", restored, s.cfg.CheckpointPath)
 	}
+	s.flightEvent("restore", fmt.Sprintf("%s: %d streams", outcome, restored))
 	s.lastRestore.Store(&ev)
 	return restored
 }

@@ -227,8 +227,12 @@ func (c *Client) ScoreBatch(ctx context.Context, items []serve.ScoreRequest) (*s
 
 // call runs the retry loop around one logical request: backoff + budget
 // before each retry, breaker gate before each attempt, classification
-// after.
+// after. One trace context covers the whole logical call — every retry
+// shares the trace id with a fresh span, so the server's flight recorder
+// shows a retried request as one trace with several attempts rather than
+// unrelated requests.
 func (c *Client) call(ctx context.Context, path string, body []byte, out any) error {
+	tc := obs.NewTraceContext()
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -249,7 +253,7 @@ func (c *Client) call(ctx context.Context, path string, body []byte, out any) er
 			}
 			return berr
 		}
-		err := c.once(ctx, path, body, out)
+		err := c.once(ctx, path, body, out, tc.NewSpan())
 		c.br.observe(!breakerFailure(err))
 		if err == nil {
 			c.earnToken()
@@ -267,13 +271,14 @@ func (c *Client) call(ctx context.Context, path string, body []byte, out any) er
 }
 
 // once performs a single attempt, decoding a 200 into out.
-func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, path string, body []byte, out any, tc obs.TraceContext) error {
 	c.attempts.Add(1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, tc.Header())
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)

@@ -45,6 +45,14 @@ type serverMetrics struct {
 	inflightShed        *obs.Counter
 	brownoutShed        *obs.Counter
 	brownoutTransitions *obs.Counter
+
+	flightTraces       *obs.Counter
+	flightEvents       *obs.Counter
+	flightDumpWrites   *obs.Counter
+	flightDumpFailures *obs.Counter
+	flightRecovered    *obs.Counter
+	accessLogLines     *obs.Counter
+	accessLogDropped   *obs.Counter
 	// brownoutVerdicts holds one pre-registered labeled counter per brownout
 	// level; brownoutVerdict looks them up.
 	brownoutVerdicts map[int]*obs.Counter
@@ -101,6 +109,20 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Requests sample-shed at brownout level 3, on top of queue-full sheds."),
 		brownoutTransitions: reg.Counter("cfa_brownout_transitions_total",
 			"Brownout level changes in either direction, including failpoint-forced ones."),
+		flightTraces: reg.Counter("cfa_flight_traces_total",
+			"Completed request traces published into the flight recorder."),
+		flightEvents: reg.Counter("cfa_flight_events_total",
+			"Operational state transitions recorded into the flight recorder."),
+		flightDumpWrites: reg.Counter("cfa_flight_dump_writes_total",
+			"Flight-recorder dumps persisted next to the checkpoint."),
+		flightDumpFailures: reg.Counter("cfa_flight_dump_failures_total",
+			"Flight-recorder dump writes that failed; the previous dump file was kept."),
+		flightRecovered: reg.Counter("cfa_flight_recovered_total",
+			"Boots that found an unclean shutdown and preserved the pre-crash flight dump."),
+		accessLogLines: reg.Counter("cfa_access_log_lines_total",
+			"Access-log lines written after sampling."),
+		accessLogDropped: reg.Counter("cfa_access_log_dropped_total",
+			"Access-log lines dropped by the sample stride (widened under brownout)."),
 		brownoutVerdicts: func() map[int]*obs.Counter {
 			const help = "Records scored, by the brownout level they were served under."
 			m := make(map[int]*obs.Counter, brownoutMaxLevel+1)
@@ -212,6 +234,18 @@ func (m *serverMetrics) registerGauges(s *Server) {
 		"Seconds since the service was constructed.", func() float64 {
 			return time.Since(s.start).Seconds()
 		})
+	if s.slo != nil {
+		const burnHelp = "SLO error-budget burn rate over the alerting window (1.0 = burning exactly the budget)."
+		for _, w := range []struct {
+			label string
+			d     time.Duration
+		}{{"5m", 5 * time.Minute}, {"1h", time.Hour}} {
+			win := w.d
+			m.reg.GaugeFunc("cfa_slo_burn_rate", burnHelp, func() float64 {
+				return s.slo.BurnRate(win)
+			}, obs.L("window", w.label))
+		}
+	}
 	m.reg.GaugeFunc("cfa_model_compile_seconds",
 		"Wall time of the serving model's flat-kernel compile at load.", func() float64 {
 			if lm := s.model.current(); lm != nil {

@@ -1,0 +1,137 @@
+package serve
+
+// Satellite guards against observability drift: every metric name in the
+// live registry follows the naming contract, and every counter /statz
+// reports is backed by a real registered metric (and vice versa the statz
+// field still serializes). Run by `make metrics-lint`.
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+
+	"crossfeature/internal/obs"
+)
+
+// statzMetricTable maps each /statz JSON field to the registry metric it
+// mirrors. When a field or metric is added, renamed, or dropped, this
+// table is the one place that must move with it — the test fails on
+// either side of the drift.
+var statzMetricTable = map[string]string{
+	"requests":                  "cfa_requests_total",
+	"batch_requests":            "cfa_batch_requests_total",
+	"records_scored":            "cfa_records_scored_total",
+	"shed":                      "cfa_shed_total",
+	"shed_records":              "cfa_shed_records_total",
+	"queue_timeouts":            "cfa_queue_timeouts_total",
+	"bad_requests":              "cfa_bad_requests_total",
+	"panics":                    "cfa_panics_total",
+	"invalid_scores":            "cfa_invalid_scores_total",
+	"queue_depth":               "cfa_queue_depth",
+	"queue_high_water":          "cfa_queue_high_water",
+	"queued_records":            "cfa_queued_records",
+	"streams":                   "cfa_streams",
+	"stream_shard_lock_waits":   "cfa_stream_shard_lock_wait_total",
+	"stream_evictions":          "cfa_stream_evictions_total",
+	"model_version":             "cfa_model_generation",
+	"reloads":                   "cfa_reloads_total",
+	"reload_failures":           "cfa_reload_failures_total",
+	"uptime_seconds":            "cfa_uptime_seconds",
+	"checkpoint_writes":         "cfa_checkpoint_writes_total",
+	"checkpoint_write_failures": "cfa_checkpoint_write_failures_total",
+	"streams_restored":          "cfa_checkpoint_streams_restored_total",
+	"stream_cold_starts":        "cfa_stream_cold_starts_total",
+	"inflight_requests":         "cfa_inflight_requests",
+	"inflight_shed":             "cfa_inflight_shed_total",
+	"brownout_level":            "cfa_brownout_level",
+	"brownout_transitions":      "cfa_brownout_transitions_total",
+	"brownout_shed":             "cfa_brownout_shed_total",
+	"brownout_admit_stride":     "cfa_brownout_admit_stride",
+	"degraded_verdicts":         "cfa_brownout_verdicts_total",
+	"record_budget":             "cfa_record_budget",
+	"model_compile_seconds":     "cfa_model_compile_seconds",
+	"slo_burn_rate_5m":          "cfa_slo_burn_rate",
+	"slo_burn_rate_1h":          "cfa_slo_burn_rate",
+	"flight_traces":             "cfa_flight_traces_total",
+	"flight_events":             "cfa_flight_events_total",
+	"access_log_lines":          "cfa_access_log_lines_total",
+	"access_log_dropped":        "cfa_access_log_dropped_total",
+}
+
+// lintServer builds a fully-wired server over an external registry so the
+// tests below can inspect everything New registers, gauges included.
+func lintServer(t *testing.T) (*Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, _ := newTestServer(t, func(c *Config) { c.Registry = reg })
+	return s, reg
+}
+
+func TestStatzFieldsBackedByRegistryMetrics(t *testing.T) {
+	s, reg := lintServer(t)
+
+	raw, err := json.Marshal(s.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statz map[string]any
+	if err := json.Unmarshal(raw, &statz); err != nil {
+		t.Fatal(err)
+	}
+
+	registered := make(map[string]bool)
+	for _, p := range reg.Snapshot() {
+		registered[p.Name] = true
+	}
+	// The Prometheus text exposition must agree with the snapshot — the
+	// golden check covers the full scrape path, not just the Go API.
+	var prom bytes.Buffer
+	reg.WritePrometheus(&prom)
+
+	for field, metric := range statzMetricTable {
+		if _, ok := statz[field]; !ok {
+			t.Errorf("statz no longer serializes %q (mapped to %s); update Stats or the table", field, metric)
+		}
+		if !registered[metric] {
+			t.Errorf("statz field %q references unregistered metric %s", field, metric)
+		}
+		if !strings.Contains(prom.String(), metric+" ") && !strings.Contains(prom.String(), metric+"{") {
+			t.Errorf("metric %s missing from the Prometheus exposition", metric)
+		}
+	}
+}
+
+var metricNameRe = regexp.MustCompile(`^cfa_[a-z0-9_]+$`)
+
+func TestMetricNamesLint(t *testing.T) {
+	_, reg := lintServer(t)
+
+	seen := make(map[string]bool)
+	for _, p := range reg.Snapshot() {
+		if !metricNameRe.MatchString(p.Name) {
+			t.Errorf("metric %q violates the cfa_ snake_case naming contract", p.Name)
+		}
+		if strings.TrimSpace(p.Help) == "" {
+			t.Errorf("metric %q has no help text", p.Name)
+		}
+		if p.Kind == "counter" && !strings.HasSuffix(p.Name, "_total") {
+			t.Errorf("counter %q must end in _total", p.Name)
+		}
+		if (p.Kind == "gauge" || p.Kind == "histogram") && strings.HasSuffix(p.Name, "_total") {
+			t.Errorf("%s %q must not end in _total", p.Kind, p.Name)
+		}
+		key := p.Name
+		for _, l := range p.Labels {
+			key += "|" + l.Key + "=" + l.Value
+		}
+		if seen[key] {
+			t.Errorf("duplicate metric instance %q in one snapshot", key)
+		}
+		seen[key] = true
+	}
+	if len(seen) < 30 {
+		t.Fatalf("registry snapshot has only %d instances; the lint walked an unwired registry", len(seen))
+	}
+}

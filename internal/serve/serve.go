@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net"
@@ -130,6 +131,32 @@ type Config struct {
 	BrownoutEnterAfter int
 	BrownoutExitAfter  int
 
+	// SLOLatency is the per-request latency bound the burn-rate monitor
+	// scores goodput against — the same definition cfa loadgen reports
+	// (records inside 200s faster than this are good; shed, timed-out and
+	// errored records burn budget). Default 1s; negative disables the
+	// monitor.
+	SLOLatency time.Duration
+	// SLOObjective is the availability objective (target good fraction)
+	// the burn rate is normalised by. Default 0.99.
+	SLOObjective float64
+	// SLOBurnEvidence, when set, lets the brownout controller consume the
+	// burn-rate monitor as overload evidence: both the 5m and 1h windows
+	// burning past obs.FastBurnThreshold count a tick as hot. Off by
+	// default — the monitor observes shed traffic, so this loop is
+	// partially self-referential and is opt-in until proven out.
+	SLOBurnEvidence bool
+	// FlightTraceCap bounds the flight recorder's completed-trace ring
+	// (events have their own equal-sized ring). Default 256.
+	FlightTraceCap int
+	// AccessLog, when set, receives one structured JSON line per sampled
+	// request. Nil disables the access log.
+	AccessLog io.Writer
+	// AccessLogSample logs one request in this many (1 = every request).
+	// Under brownout the effective stride is multiplied by 4 per level so
+	// logging can never amplify overload. Default 1.
+	AccessLogSample int
+
 	// scoreHook, when set, runs inside the scoring handler after
 	// admission. It exists for the chaos tests: blocking here simulates
 	// slow scoring, panicking here exercises recovery.
@@ -184,6 +211,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointMaxAge == 0 {
 		c.CheckpointMaxAge = time.Hour
+	}
+	if c.SLOLatency == 0 {
+		c.SLOLatency = time.Second
+	}
+	if c.SLOObjective <= 0 || c.SLOObjective >= 1 {
+		c.SLOObjective = 0.99
+	}
+	if c.FlightTraceCap <= 0 {
+		c.FlightTraceCap = 256
+	}
+	if c.AccessLogSample < 1 {
+		c.AccessLogSample = 1
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -306,6 +345,18 @@ type Stats struct {
 	CompiledTreeNodes int     `json:"model_tree_nodes,omitempty"`
 	CompiledRuleConds int     `json:"model_rule_conds,omitempty"`
 	CompiledNBEntries int     `json:"model_nb_entries,omitempty"`
+
+	// Observability surfaces: the SLO burn rates over both alerting
+	// windows, the flight recorder's fill, the path of a preserved
+	// pre-crash flight dump (set when this boot followed an unclean
+	// shutdown), and the access log's sampling outcome.
+	SLOBurnRate5m    float64 `json:"slo_burn_rate_5m"`
+	SLOBurnRate1h    float64 `json:"slo_burn_rate_1h"`
+	FlightTraces     int     `json:"flight_traces"`
+	FlightEvents     uint64  `json:"flight_events"`
+	FlightCrashDump  string  `json:"flight_crash_dump,omitempty"`
+	AccessLogLines   uint64  `json:"access_log_lines"`
+	AccessLogDropped uint64  `json:"access_log_dropped"`
 }
 
 // Server is the scoring service. Construct with New, expose with
@@ -331,6 +382,16 @@ type Server struct {
 
 	goVersion string
 	buildRev  string
+
+	// flight is the black-box recorder; slo the burn-rate monitor (nil
+	// when SLOLatency < 0); alog the sampled access log (nil when
+	// disabled). flightCrash holds the path of a preserved pre-crash dump
+	// for /statz; panicDumped makes the panic flight dump one-shot.
+	flight      *obs.FlightRecorder
+	slo         *obs.SLOMonitor
+	alog        *accessLog
+	flightCrash atomic.Pointer[string]
+	panicDumped atomic.Bool
 
 	// feat caches the per-generation feature metrics binding (only used
 	// with Config.FeatureMetrics).
@@ -370,6 +431,18 @@ func New(cfg Config) (*Server, error) {
 	s.goVersion, s.buildRev = buildInfo()
 	s.streams.onEvict = s.observeEviction
 	s.streams.onCreate = func(string) { met.coldStarts.Inc() }
+	s.flight = obs.NewFlightRecorder(cfg.FlightTraceCap, cfg.FlightTraceCap)
+	s.flight.AddExemplarSource("cfa_request_seconds", met.latency)
+	s.flight.AddExemplarSource("cfa_score{verdict=\"normal\"}", met.scoreNormal)
+	s.flight.AddExemplarSource("cfa_score{verdict=\"anomaly\"}", met.scoreAnomaly)
+	if cfg.SLOLatency > 0 {
+		s.slo = obs.NewSLOMonitor(cfg.SLOObjective)
+	}
+	s.alog = newAccessLog(cfg.AccessLog, cfg.AccessLogSample, s.brown.level, met.accessLogLines, met.accessLogDropped)
+	s.brown.event = s.flightEvent
+	if cfg.SLOBurnEvidence && s.slo != nil {
+		s.brown.slo = s.slo
+	}
 	met.registerGauges(s)
 	if err := s.model.reload(); err != nil {
 		return nil, err
@@ -404,6 +477,10 @@ func (s *Server) observeEviction(id string) {
 	if s.evictLogGen.Swap(gen+1) != gen+1 {
 		s.cfg.Logf("serve: stream table full (max %d): evicted least-recent stream %q (first eviction at model generation %d)",
 			s.cfg.MaxStreams, id, gen)
+		// Only the first eviction per generation lands in the flight
+		// recorder too: a churn storm must not wash the request traces out
+		// of the event ring.
+		s.flightEvent("eviction", fmt.Sprintf("stream %q (model generation %d)", id, gen))
 	}
 }
 
@@ -418,9 +495,11 @@ func (s *Server) Reload() error {
 	if err != nil {
 		s.cfg.Logf("serve: model reload failed, keeping version %d: %v",
 			s.model.current().version, err)
+		s.flightEvent("reload-failed", err.Error())
 		return err
 	}
 	s.cfg.Logf("serve: model reloaded, now version %d", s.model.current().version)
+	s.flightEvent("reload", fmt.Sprintf("model version %d", s.model.current().version))
 	return nil
 }
 
@@ -513,6 +592,17 @@ func (s *Server) Stats() Stats {
 		st.CheckpointStreams = ci.Streams
 		st.CheckpointUnix = ci.At.Unix()
 	}
+	if s.slo != nil {
+		st.SLOBurnRate5m = s.slo.BurnRate(5 * time.Minute)
+		st.SLOBurnRate1h = s.slo.BurnRate(time.Hour)
+	}
+	st.FlightTraces = s.flight.TraceCount()
+	st.FlightEvents = s.met.flightEvents.Value()
+	if p := s.flightCrash.Load(); p != nil {
+		st.FlightCrashDump = *p
+	}
+	st.AccessLogLines = s.met.accessLogLines.Value()
+	st.AccessLogDropped = s.met.accessLogDropped.Value()
 	return st
 }
 
@@ -525,6 +615,12 @@ func (s *Server) Stats() Stats {
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	if !s.cfg.DisableAdaptiveOverload {
 		go s.brown.run(ctx)
+	}
+	if s.cfg.CheckpointPath != "" {
+		// Before anything overwrites the flight file: preserve a crashed
+		// predecessor's black box, then arm the dirty marker for this
+		// process.
+		s.recoverFlightDump()
 	}
 	if s.cfg.CheckpointPath != "" {
 		// Restore runs concurrently with serving: the socket accepts at
@@ -572,6 +668,10 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 		default:
 			s.cfg.Logf("serve: skipping final checkpoint: restore still in flight")
 		}
+		// The process is exiting deliberately: persist the final flight
+		// dump and disarm the dirty marker so the next boot does not
+		// mistake this shutdown for a crash.
+		s.markCleanShutdown()
 	}
 	if err != nil {
 		return fmt.Errorf("serve: drain incomplete: %w", err)
@@ -591,6 +691,8 @@ func (s *Server) recoverWrap(h http.Handler) http.Handler {
 				}
 				s.met.panics.Inc()
 				s.cfg.Logf("serve: panic in %s %s: %v", r.Method, r.URL.Path, p)
+				s.flightEvent("panic", fmt.Sprintf("%s %s: %v", r.Method, r.URL.Path, p))
+				s.dumpPanic()
 				writeJSONError(w, http.StatusInternalServerError, "internal error")
 			}
 		}()
@@ -610,8 +712,9 @@ func (s *Server) recoverWrap(h http.Handler) http.Handler {
 // already been observed when the 400 went out.)
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
-	started := time.Now()
-	defer func() { s.met.latency.Observe(time.Since(started).Seconds()) }()
+	tr, sw := s.traceRequest(w, r, "score")
+	w = sw
+	defer s.finishRequest(tr, sw)
 	exit, ok := s.gateEnter(w)
 	if !ok {
 		return
@@ -624,6 +727,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(ctx, w, r, s.cfg.MaxBodyBytes, &req) {
 		return
 	}
+	tr.Hop("decode")
+	tr.RT.Stream = req.Stream
+	tr.RT.Records = len(req.Records)
 	if req.Stream == "" || len(req.Records) == 0 {
 		s.met.badRequests.Inc()
 		writeJSONError(w, http.StatusBadRequest, "score request needs a stream id and at least one record")
@@ -641,20 +747,23 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	tr.Hop("admit")
 	if hook := s.cfg.scoreHook; hook != nil {
 		hook(req.Stream)
 	}
 
 	lm := s.model.current()
 	lvl := s.brown.level()
-	items, scored := s.scoreItems(lm, []ScoreRequest{req}, lvl)
+	items, scored := s.scoreItems(lm, []ScoreRequest{req}, lvl, tr)
 	if items[0].Error != "" {
 		s.met.badRequests.Inc()
+		tr.RT.Err = items[0].Error
 		writeJSONError(w, http.StatusBadRequest, items[0].Error)
 		return
 	}
 	s.met.scored.Add(uint64(scored))
 	degraded := degradedMode(lvl, lm.fallback != nil)
+	tr.RT.Degraded = degraded
 	if degraded != "" {
 		w.Header().Set(degradedHeader, degraded)
 	}

@@ -1,0 +1,104 @@
+package serve
+
+// Request-trace plumbing: every score request gets an obs.ActiveTrace at
+// handler entry (propagated from the client's X-CFA-Trace header or
+// minted fresh), per-hop stamps through the pipeline, and — after the
+// response is written — one publish into the flight recorder, a latency
+// exemplar, an SLO observation and a sampled access-log line. The trace
+// id is echoed on the response header so a client can quote it back when
+// reporting a bad verdict.
+
+import (
+	"net/http"
+
+	"crossfeature/internal/obs"
+)
+
+// statusWriter captures the response status for the completed trace. It
+// exposes Unwrap so http.NewResponseController still reaches the real
+// connection's deadline controls through it.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// traceRequest opens the request's timeline and echoes its trace context
+// on the response, returning the trace and the status-capturing writer
+// the handler must write through.
+func (s *Server) traceRequest(w http.ResponseWriter, r *http.Request, endpoint string) (*obs.ActiveTrace, *statusWriter) {
+	tc, propagated := obs.ContextFromHeader(r.Header.Get(obs.TraceHeader))
+	w.Header().Set(obs.TraceHeader, tc.Header())
+	tr := obs.StartTrace(tc, endpoint, propagated)
+	return tr, &statusWriter{ResponseWriter: w, code: http.StatusOK}
+}
+
+// finishRequest seals the timeline after the handler returns: latency
+// histogram (with the trace id as the bucket's exemplar), flight
+// recorder, SLO accounting and the access log all read the same
+// completed trace, so the surfaces can never disagree about a request.
+func (s *Server) finishRequest(tr *obs.ActiveTrace, sw *statusWriter) {
+	elapsed := tr.Elapsed()
+	s.met.latency.ObserveWithExemplar(elapsed.Seconds(), tr.TraceID())
+	rt := tr.Finish(sw.code)
+	s.met.flightTraces.Inc()
+	s.flight.RecordTrace(rt)
+	s.observeSLO(rt)
+	s.alog.log(rt)
+}
+
+// observeSLO folds one finished request into the burn-rate monitor.
+// Served records are good when the request beat the SLO latency; shed,
+// timed-out and errored records burn budget; client mistakes (4xx other
+// than 429/408) are not SLO traffic at all. Requests refused before
+// their body was decoded carry no record count and are charged as one
+// record — the honest floor, since their real size was never learned.
+func (s *Server) observeSLO(rt *obs.RequestTrace) {
+	if s.slo == nil {
+		return
+	}
+	n := uint64(rt.Records)
+	if n == 0 {
+		n = 1
+	}
+	switch {
+	case rt.Status == http.StatusOK:
+		good := uint64(0)
+		if rt.DurationMicros <= s.cfg.SLOLatency.Microseconds() {
+			good = n
+		}
+		s.slo.Observe(good, n)
+	case rt.Status == http.StatusTooManyRequests,
+		rt.Status == http.StatusRequestTimeout,
+		rt.Status >= 500:
+		s.slo.Observe(0, n)
+	}
+}
+
+// flightEvent records one operational state transition into the flight
+// recorder and counts it.
+func (s *Server) flightEvent(kind, detail string) {
+	s.met.flightEvents.Inc()
+	s.flight.Event(kind, detail)
+}
+
+// Flight exposes the flight recorder for the /flightz debug handler.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// SLO exposes the burn-rate monitor (nil when disabled).
+func (s *Server) SLO() *obs.SLOMonitor { return s.slo }
